@@ -1,0 +1,30 @@
+"""Benchmark workload sizes (shared by all benchmark modules).
+
+Sizes are scaled so the full suite runs in a couple of minutes while
+preserving the shape of the paper's figures.  Export
+``REPRO_BENCH_SCALE=paper`` to run the paper-scale workloads (1000 blocks
+of 1000 words for Fig. 5, a larger SoC job for the case study).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.soc import SocConfig
+from repro.workloads import StreamingConfig
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def streaming_config(fifo_depth: int) -> StreamingConfig:
+    """The Fig. 5 workload at the selected scale."""
+    if SCALE == "paper":
+        return StreamingConfig.paper_scale(fifo_depth=fifo_depth)
+    return StreamingConfig(n_blocks=20, words_per_block=50, fifo_depth=fifo_depth)
+
+
+def soc_config() -> SocConfig:
+    """The case-study workload at the selected scale."""
+    if SCALE == "paper":
+        return SocConfig.benchmark(n_chains=8, items_per_chain=4096)
+    return SocConfig.benchmark(n_chains=4, items_per_chain=512)

@@ -1,0 +1,66 @@
+"""EXP-CSW — context-switch accounting (machine-independent Fig. 5 companion).
+
+Wall-clock durations depend on the host machine; the number of context
+switches does not.  This benchmark measures the Fig. 5 pipeline while
+attaching the exact context-switch counts per model and FIFO depth, and
+checks the structural claims of Section IV-B:
+
+* TDless performs one context switch per FIFO access (independent of depth);
+* untimed and TDfull only switch when the FIFO is internally full or empty,
+  so their counts shrink roughly like 1/depth;
+* TDfull and untimed have (almost) the same number of context switches.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.kernel import Simulator
+from repro.workloads import PipelineModel, StreamingPipeline
+
+from bench_config import streaming_config
+
+DEPTHS = (1, 2, 4, 8, 32)
+
+
+def switches_for(model: PipelineModel, depth: int) -> int:
+    sim = Simulator(f"csw_{model.value}_{depth}")
+    StreamingPipeline(sim, model, streaming_config(depth)).run()
+    return sim.stats.context_switches
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_context_switch_counts(benchmark, depth):
+    benchmark.group = f"context switches depth={depth}"
+
+    def run():
+        return {model: switches_for(model, depth) for model in PipelineModel
+                if model is not PipelineModel.QUANTUM}
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({m.value: c for m, c in counts.items()})
+
+    tdless = counts[PipelineModel.TDLESS]
+    tdfull = counts[PipelineModel.TDFULL]
+    untimed = counts[PipelineModel.UNTIMED]
+    if depth >= 4:
+        # With reasonably deep FIFOs the Smart FIFO removes the vast majority
+        # of the context switches of the sync-per-access reference...
+        assert tdfull < tdless / 2
+        # ... and gets close to the untimed lower bound.
+        assert tdfull <= untimed * 2.5
+    if depth == 1:
+        # With a single cell every access blocks: no advantage is expected.
+        assert tdfull >= tdless * 0.5
+
+
+def test_context_switch_table(benchmark):
+    """Prints the per-depth context-switch table."""
+
+    def run():
+        return experiments.context_switch_sweep(
+            depths=DEPTHS, base_config=streaming_config(16)
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(experiments.context_switch_table(rows))

@@ -1,0 +1,40 @@
+"""EXP-FIG2 / EXP-FIG3 — the writer/reader example of Fig. 1/2/3.
+
+Benchmarks the three executions of the didactic example and checks, on
+every measured run, that the Smart FIFO execution reproduces the reference
+dates while the naively decoupled one does not.
+"""
+
+import pytest
+
+from repro.analysis.experiments import fig2_fig3_example
+from repro.kernel import Simulator
+from repro.workloads import ExampleMode, WriterReaderExample
+
+EXPECTED_REFERENCE = [(1, 0.0, 0.0), (2, 20.0, 20.0), (3, 40.0, 40.0)]
+EXPECTED_NAIVE = [(1, 0.0, 0.0), (2, 20.0, 15.0), (3, 40.0, 30.0)]
+
+
+def run_example(mode: ExampleMode):
+    sim = Simulator(f"bench_{mode.value}")
+    example = WriterReaderExample(sim, mode=mode)
+    example.run()
+    return example.dates_ns()
+
+
+@pytest.mark.parametrize("mode", list(ExampleMode), ids=lambda m: m.value)
+def test_fig2_fig3_example(benchmark, mode):
+    dates = benchmark(run_example, mode)
+    if mode is ExampleMode.DECOUPLED_NO_SYNC:
+        assert dates == EXPECTED_NAIVE
+    else:
+        assert dates == EXPECTED_REFERENCE
+
+
+def test_fig2_fig3_report(benchmark):
+    """Prints the Fig. 2/3 comparison table (same rows as the paper figures)."""
+    result = benchmark(fig2_fig3_example)
+    assert result.smart_matches_reference
+    assert result.naive_differs_from_reference
+    print()
+    print(result.table())

@@ -1,0 +1,66 @@
+"""EXP-FIG5 — execution duration versus FIFO depth (Fig. 5).
+
+One benchmark per (model, FIFO depth) point: the pytest-benchmark table is
+the figure's data.  The paper's claims to check against the produced
+numbers:
+
+* the TDless model runs at roughly the same speed for all FIFO depths;
+* the untimed and TDfull models get faster as the FIFO depth grows
+  (context switches only happen when the FIFO is internally full or empty);
+* TDfull is slower than TDless for 1-cell FIFOs, faster from 2-cell FIFOs,
+  with a gain factor that grows with the depth;
+* TDfull stays within a small factor of the untimed model (the cost of
+  timing accuracy).
+
+A final summary entry re-runs the sweep through the experiment driver and
+prints the paper-style table plus the derived speed-up ratios.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.kernel import Simulator
+from repro.kernel.simtime import TimeUnit
+from repro.workloads import PipelineModel, StreamingPipeline
+
+from bench_config import streaming_config
+
+DEPTHS = (1, 2, 4, 8, 16, 64)
+MODELS = (PipelineModel.UNTIMED, PipelineModel.TDLESS, PipelineModel.TDFULL)
+
+
+def run_pipeline(model: PipelineModel, depth: int):
+    sim = Simulator(f"fig5_{model.value}_{depth}")
+    pipeline = StreamingPipeline(sim, model, streaming_config(depth))
+    pipeline.run()
+    pipeline.verify()
+    return sim, pipeline
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.value)
+def test_fig5_point(benchmark, model, depth):
+    benchmark.group = f"fig5 depth={depth}"
+    sim, pipeline = benchmark(run_pipeline, model, depth)
+    benchmark.extra_info["context_switches"] = sim.stats.context_switches
+    benchmark.extra_info["completion_ns"] = pipeline.completion_time.to(TimeUnit.NS)
+    if model is PipelineModel.TDFULL:
+        # Accuracy check: the decoupled model must finish at the exact date
+        # of the non-decoupled timed reference.
+        _, reference = run_pipeline(PipelineModel.TDLESS, depth)
+        assert pipeline.completion_time == reference.completion_time
+
+
+def test_fig5_summary_table(benchmark):
+    """Prints the full Fig. 5 table and derived ratios in one run."""
+
+    def sweep():
+        return experiments.fig5_depth_sweep(
+            depths=DEPTHS, base_config=streaming_config(16), models=MODELS
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(experiments.fig5_table(rows))
+    print()
+    print(experiments.fig5_speedup_table(rows))

@@ -1,0 +1,110 @@
+"""Micro-benchmarks of the FIFO primitives.
+
+These quantify the per-access cost differences discussed in the paper:
+
+* the Smart FIFO does more work per access than a regular FIFO (the price
+  of the timestamp bookkeeping, visible in the "TDfull vs untimed" gap of
+  Fig. 5);
+* the non-blocking ``is_empty`` performs two tests instead of one;
+* ``get_size`` is O(depth) and intended for low-rate monitor accesses
+  (Section III-C).
+"""
+
+import pytest
+
+from repro.fifo import RegularFifo, SmartFifo
+from repro.kernel import Simulator
+from repro.td import DecoupledModule
+
+
+def drive(sim, generator_func):
+    """Run a one-thread simulation executing ``generator_func``."""
+    sim.create_thread(generator_func, name="driver")
+    sim.run()
+
+
+class _Stream(DecoupledModule):
+    """Writes then reads ``count`` items through a FIFO, fully decoupled."""
+
+    def __init__(self, parent, name, fifo, count):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.count = count
+        self.create_thread(self.writer)
+        self.create_thread(self.reader)
+
+    def writer(self):
+        for value in range(self.count):
+            yield from self.fifo.write(value)
+            self.inc(1)
+
+    def reader(self):
+        for _ in range(self.count):
+            yield from self.fifo.read()
+            self.inc(1)
+
+
+ITEMS = 2000
+
+
+def regular_fifo_nb_ops():
+    sim = Simulator("micro_regular")
+    fifo = RegularFifo(sim, "fifo", depth=64)
+    for _ in range(ITEMS):
+        fifo.nb_write(1)
+        fifo.nb_read()
+    return fifo.total_read
+
+
+def smart_fifo_nb_ops():
+    sim = Simulator("micro_smart_nb")
+    fifo = SmartFifo(sim, "fifo", depth=64)
+    for _ in range(ITEMS):
+        fifo.nb_write(1)
+        fifo.nb_read()
+    return fifo.total_read
+
+
+def smart_fifo_decoupled_stream():
+    sim = Simulator("micro_smart_stream")
+    fifo = SmartFifo(sim, "fifo", depth=64)
+    _Stream(sim, "stream", fifo, ITEMS)
+    sim.run()
+    return fifo.total_read
+
+
+def test_regular_fifo_nonblocking(benchmark):
+    benchmark.group = "word transfer"
+    assert benchmark(regular_fifo_nb_ops) == ITEMS
+
+
+def test_smart_fifo_nonblocking(benchmark):
+    benchmark.group = "word transfer"
+    assert benchmark(smart_fifo_nb_ops) == ITEMS
+
+
+def test_smart_fifo_decoupled_blocking_stream(benchmark):
+    benchmark.group = "word transfer"
+    assert benchmark(smart_fifo_decoupled_stream) == ITEMS
+
+
+@pytest.mark.parametrize("depth", (4, 64, 1024))
+def test_get_size_cost_scales_with_depth(benchmark, depth):
+    benchmark.group = "monitor get_size"
+    sim = Simulator(f"micro_getsize_{depth}")
+    fifo = SmartFifo(sim, "fifo", depth=depth)
+    for value in range(depth // 2):
+        fifo.nb_write(value)
+
+    def query():
+        return fifo.size_at(sim.now)
+
+    assert benchmark(query) == depth // 2
+
+
+def test_is_empty_cost(benchmark):
+    benchmark.group = "monitor get_size"
+    sim = Simulator("micro_isempty")
+    fifo = SmartFifo(sim, "fifo", depth=64)
+    fifo.nb_write(1)
+    assert benchmark(fifo.is_empty) is False

@@ -1,0 +1,94 @@
+"""EXP-QUANTUM — ablation: global-quantum decoupling vs. the Smart FIFO.
+
+Section II-A of the paper recalls the classic trade-off of quantum-based
+temporal decoupling: a large quantum is good for speed but bad for
+accuracy, and choosing the quantum is left to the user.  The Smart FIFO
+needs no quantum and keeps the timing exact.
+
+This benchmark quantifies that trade-off on the Fig. 5 pipeline: each
+quantum value is a benchmark point (wall time), and the timing error with
+respect to the non-decoupled reference is attached as extra info; the Smart
+FIFO point must show zero error.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.kernel import Simulator
+from repro.kernel.simtime import TimeUnit
+from repro.td import GlobalQuantum
+from repro.workloads import PipelineModel, StreamingPipeline
+
+from bench_config import streaming_config
+
+QUANTA_NS = (0, 100, 1000, 10000, 100000)
+
+
+def reference_completion_ns():
+    sim = Simulator("quantum_reference")
+    pipeline = StreamingPipeline(sim, PipelineModel.TDLESS, streaming_config(8))
+    pipeline.run()
+    return pipeline.completion_time.to(TimeUnit.NS)
+
+
+REFERENCE_NS = None
+
+
+def _reference():
+    global REFERENCE_NS
+    if REFERENCE_NS is None:
+        REFERENCE_NS = reference_completion_ns()
+    return REFERENCE_NS
+
+
+def run_quantum_pipeline(quantum_ns: int):
+    sim = Simulator(f"quantum_{quantum_ns}")
+    GlobalQuantum.instance(sim).set(quantum_ns, TimeUnit.NS)
+    pipeline = StreamingPipeline(sim, PipelineModel.QUANTUM, streaming_config(8))
+    pipeline.run()
+    pipeline.verify()
+    return sim, pipeline
+
+
+def run_smart_pipeline():
+    sim = Simulator("quantum_smart")
+    pipeline = StreamingPipeline(sim, PipelineModel.TDFULL, streaming_config(8))
+    pipeline.run()
+    pipeline.verify()
+    return sim, pipeline
+
+
+@pytest.mark.parametrize("quantum_ns", QUANTA_NS)
+def test_quantum_point(benchmark, quantum_ns):
+    benchmark.group = "quantum ablation"
+    sim, pipeline = benchmark(run_quantum_pipeline, quantum_ns)
+    error = abs(pipeline.completion_time.to(TimeUnit.NS) - _reference())
+    benchmark.extra_info["quantum_ns"] = quantum_ns
+    benchmark.extra_info["timing_error_ns"] = error
+    benchmark.extra_info["context_switches"] = sim.stats.context_switches
+    if quantum_ns == 0:
+        # Quantum zero disables decoupling: the timing must be exact.
+        assert error == 0.0
+
+
+def test_smart_fifo_point(benchmark):
+    benchmark.group = "quantum ablation"
+    sim, pipeline = benchmark(run_smart_pipeline)
+    error = abs(pipeline.completion_time.to(TimeUnit.NS) - _reference())
+    benchmark.extra_info["quantum_ns"] = "none needed"
+    benchmark.extra_info["timing_error_ns"] = error
+    benchmark.extra_info["context_switches"] = sim.stats.context_switches
+    assert error == 0.0, "the Smart FIFO must keep the exact reference timing"
+
+
+def test_quantum_ablation_report(benchmark):
+    """Prints the accuracy/speed trade-off table."""
+
+    def run():
+        return experiments.quantum_ablation(
+            quanta_ns=QUANTA_NS, config=streaming_config(8)
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(experiments.quantum_table(rows))

@@ -1,0 +1,23 @@
+"""Pytest configuration for the benchmark harness.
+
+The actual workload sizes live in :mod:`bench_config`; this conftest only
+exposes the selected scale as a fixture and makes sure the benchmark
+directory is importable.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from bench_config import SCALE  # noqa: E402  (path set up just above)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """The selected benchmark scale ("quick" or "paper")."""
+    return SCALE

@@ -1,0 +1,362 @@
+"""Experiment drivers.
+
+One driver per table/figure of the paper (see DESIGN.md, "Per-experiment
+index").  The benchmark harness under ``benchmarks/`` and the
+EXPERIMENTS.md generator call these functions; they can also be used
+interactively::
+
+    from repro.analysis import experiments
+    rows = experiments.fig5_depth_sweep(depths=[1, 2, 4, 8, 16])
+    print(experiments.fig5_table(rows))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..kernel.simtime import SimTime, TimeUnit, ns
+from ..kernel.simulator import Simulator
+from ..soc.platform import FifoPolicy, SocConfig, SocPlatform
+from ..td.quantum import GlobalQuantum
+from ..workloads.streaming import (
+    ExampleMode,
+    PipelineModel,
+    StreamingConfig,
+    StreamingPipeline,
+    WriterReaderExample,
+)
+from .reporting import ascii_table, dict_rows_table
+from .stats import RunResult, measure_run
+
+
+# ---------------------------------------------------------------------------
+# EXP-FIG2 / EXP-FIG3 — execution traces of the writer/reader example
+# ---------------------------------------------------------------------------
+@dataclass
+class ExampleResult:
+    """Dates produced by the three executions of the Fig. 1 model."""
+
+    reference: List[tuple]
+    naive_decoupled: List[tuple]
+    smart: List[tuple]
+
+    @property
+    def smart_matches_reference(self) -> bool:
+        return self.smart == self.reference
+
+    @property
+    def naive_differs_from_reference(self) -> bool:
+        return self.naive_decoupled != self.reference
+
+    def table(self) -> str:
+        headers = ["value", "reference wr/rd (ns)", "naive wr/rd (ns)", "smart wr/rd (ns)"]
+        rows = []
+        for (value, ref_w, ref_r), (_, naive_w, naive_r), (_, smart_w, smart_r) in zip(
+            self.reference, self.naive_decoupled, self.smart
+        ):
+            rows.append(
+                [
+                    value,
+                    f"{ref_w:g} / {ref_r:g}",
+                    f"{naive_w:g} / {naive_r:g}",
+                    f"{smart_w:g} / {smart_r:g}",
+                ]
+            )
+        return ascii_table(headers, rows, title="Fig. 2/3 — write/read dates per value")
+
+
+def fig2_fig3_example(fifo_depth: int = 4) -> ExampleResult:
+    """Run the Fig. 1 example in the three modes and collect the dates."""
+
+    def run(mode: ExampleMode) -> List[tuple]:
+        sim = Simulator(f"example_{mode.value}")
+        example = WriterReaderExample(sim, mode=mode, fifo_depth=fifo_depth)
+        example.run()
+        return example.dates_ns()
+
+    return ExampleResult(
+        reference=run(ExampleMode.REFERENCE),
+        naive_decoupled=run(ExampleMode.DECOUPLED_NO_SYNC),
+        smart=run(ExampleMode.SMART),
+    )
+
+
+# ---------------------------------------------------------------------------
+# EXP-FIG5 — execution duration versus FIFO depth
+# ---------------------------------------------------------------------------
+DEFAULT_FIG5_DEPTHS = (1, 2, 4, 8, 16, 32, 64, 128)
+DEFAULT_FIG5_MODELS = (
+    PipelineModel.UNTIMED,
+    PipelineModel.TDLESS,
+    PipelineModel.TDFULL,
+)
+
+
+def run_pipeline(
+    model: PipelineModel, config: StreamingConfig, label: Optional[str] = None
+) -> RunResult:
+    """Measure one pipeline run (wall time + kernel counters)."""
+
+    def setup(sim: Simulator) -> StreamingPipeline:
+        return StreamingPipeline(sim, model, config)
+
+    def extras(sim: Simulator, pipeline: StreamingPipeline) -> Dict[str, float]:
+        pipeline.verify()
+        completion = pipeline.completion_time
+        return {
+            "completion_ns": completion.to(TimeUnit.NS) if completion else 0.0,
+            "fifo_depth": config.fifo_depth,
+            "model": model.value,
+        }
+
+    return measure_run(label or model.value, setup, extras)
+
+
+def fig5_depth_sweep(
+    depths: Sequence[int] = DEFAULT_FIG5_DEPTHS,
+    base_config: Optional[StreamingConfig] = None,
+    models: Sequence[PipelineModel] = DEFAULT_FIG5_MODELS,
+) -> List[Dict[str, object]]:
+    """Reproduce the Fig. 5 sweep; returns one dict row per (depth, model)."""
+    base = base_config or StreamingConfig()
+    rows: List[Dict[str, object]] = []
+    for depth in depths:
+        config = StreamingConfig(
+            n_blocks=base.n_blocks,
+            words_per_block=base.words_per_block,
+            fifo_depth=depth,
+            source_word_time=base.source_word_time,
+            transmitter_word_time=base.transmitter_word_time,
+            sink_word_time=base.sink_word_time,
+            block_overhead=base.block_overhead,
+        )
+        for model in models:
+            result = run_pipeline(model, config, label=f"{model.value}_d{depth}")
+            row = result.as_row()
+            row["depth"] = depth
+            row["model"] = model.value
+            rows.append(row)
+    return rows
+
+
+def fig5_table(rows: Sequence[Dict[str, object]]) -> str:
+    columns = ["depth", "model", "wall_seconds", "context_switches", "completion_ns"]
+    return dict_rows_table(rows, columns, title="Fig. 5 — execution duration vs FIFO depth")
+
+
+def fig5_series(rows: Sequence[Dict[str, object]]) -> Dict[str, Dict[int, float]]:
+    """Pivot the sweep rows into {model: {depth: wall_seconds}}."""
+    series: Dict[str, Dict[int, float]] = {}
+    for row in rows:
+        series.setdefault(str(row["model"]), {})[int(row["depth"])] = float(
+            row["wall_seconds"]
+        )
+    return series
+
+
+def fig5_speedup_table(rows: Sequence[Dict[str, object]]) -> str:
+    """TDfull speed-up over TDless per depth (the paper's headline numbers)."""
+    series = fig5_series(rows)
+    tdless = series.get(PipelineModel.TDLESS.value, {})
+    tdfull = series.get(PipelineModel.TDFULL.value, {})
+    untimed = series.get(PipelineModel.UNTIMED.value, {})
+    table_rows = []
+    for depth in sorted(tdfull):
+        row = [depth]
+        if depth in tdless and tdfull[depth] > 0:
+            row.append(f"{tdless[depth] / tdfull[depth]:.2f}x")
+        else:
+            row.append("-")
+        if depth in untimed and untimed[depth] > 0:
+            row.append(f"{tdfull[depth] / untimed[depth]:.2f}x")
+        else:
+            row.append("-")
+        table_rows.append(row)
+    return ascii_table(
+        ["depth", "TDfull speedup vs TDless", "TDfull slowdown vs untimed"],
+        table_rows,
+        title="Fig. 5 — derived ratios",
+    )
+
+
+# ---------------------------------------------------------------------------
+# EXP-CASE — the heterogeneous many-core case study
+# ---------------------------------------------------------------------------
+@dataclass
+class CaseStudyResult:
+    """Comparison of the two FIFO policies on the same SoC and job."""
+
+    smart: RunResult
+    sync: RunResult
+    timing_identical: bool
+    consumer_dates_ns: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def gain_percent(self) -> float:
+        return self.smart.gain_percent_vs(self.sync)
+
+    def table(self) -> str:
+        rows = [
+            [
+                "sync-per-access",
+                f"{self.sync.wall_seconds:.4f}",
+                self.sync.context_switches,
+                self.sync.extra.get("fifo_blocking_waits", ""),
+            ],
+            [
+                "Smart FIFO",
+                f"{self.smart.wall_seconds:.4f}",
+                self.smart.context_switches,
+                self.smart.extra.get("fifo_blocking_waits", ""),
+            ],
+        ]
+        table = ascii_table(
+            ["policy", "wall seconds", "context switches", "fifo blocking waits"],
+            rows,
+            title="Case study (Section IV-C) — Smart FIFO vs sync-per-access",
+        )
+        return (
+            f"{table}\n"
+            f"gain: {self.gain_percent:.1f}% "
+            f"(timing identical: {self.timing_identical})"
+        )
+
+
+def case_study(config: Optional[SocConfig] = None) -> CaseStudyResult:
+    """Run the case-study SoC with both FIFO policies and compare."""
+    config = config or SocConfig.benchmark()
+    finishes: Dict[str, Dict[str, float]] = {}
+
+    def make_setup(policy: FifoPolicy):
+        def setup(sim: Simulator) -> SocPlatform:
+            return SocPlatform(sim, policy=policy, config=config)
+
+        return setup
+
+    def extras(sim: Simulator, platform: SocPlatform) -> Dict[str, float]:
+        platform.verify()
+        dates = {
+            name: time.to(TimeUnit.NS) if time is not None else -1.0
+            for name, time in platform.consumer_finish_times().items()
+        }
+        finishes[platform.policy.value] = dates
+        return {
+            "fifo_blocking_waits": platform.fifo_blocking_waits(),
+            "noc_packets": platform.mesh.total_packets_routed,
+        }
+
+    sync_result = measure_run(
+        "sync_per_access", make_setup(FifoPolicy.SYNC_PER_ACCESS), extras
+    )
+    smart_result = measure_run("smart_fifo", make_setup(FifoPolicy.SMART), extras)
+    timing_identical = finishes.get("smart") == finishes.get("sync")
+    return CaseStudyResult(
+        smart=smart_result,
+        sync=sync_result,
+        timing_identical=timing_identical,
+        consumer_dates_ns=finishes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# EXP-QUANTUM — global-quantum decoupling ablation
+# ---------------------------------------------------------------------------
+def quantum_ablation(
+    quanta_ns: Sequence[int] = (0, 100, 1000, 10000),
+    config: Optional[StreamingConfig] = None,
+) -> List[Dict[str, object]]:
+    """Compare quantum-based decoupling against TDless and the Smart FIFO.
+
+    For each quantum the pipeline runs with regular FIFOs and quantum-keeper
+    decoupling; the completion date is compared with the TDless reference to
+    quantify the timing error, while the wall time and context switches show
+    the speed side of the trade-off.  The Smart FIFO row (exact timing, no
+    quantum to tune) is appended for comparison.
+    """
+    config = config or StreamingConfig()
+    rows: List[Dict[str, object]] = []
+
+    reference = run_pipeline(PipelineModel.TDLESS, config, label="tdless_reference")
+    reference_completion = reference.extra["completion_ns"]
+    reference_row = reference.as_row()
+    reference_row.update({"quantum_ns": "-", "timing_error_ns": 0.0})
+    rows.append(reference_row)
+
+    for quantum_ns in quanta_ns:
+        def setup(sim: Simulator, quantum_ns=quantum_ns) -> StreamingPipeline:
+            GlobalQuantum.instance(sim).set(quantum_ns, TimeUnit.NS)
+            return StreamingPipeline(sim, PipelineModel.QUANTUM, config)
+
+        def extras(sim: Simulator, pipeline: StreamingPipeline) -> Dict[str, float]:
+            pipeline.verify()
+            completion = pipeline.completion_time
+            return {
+                "completion_ns": completion.to(TimeUnit.NS) if completion else 0.0,
+            }
+
+        result = measure_run(f"quantum_{quantum_ns}ns", setup, extras)
+        row = result.as_row()
+        row["quantum_ns"] = quantum_ns
+        row["timing_error_ns"] = abs(
+            result.extra["completion_ns"] - reference_completion
+        )
+        rows.append(row)
+
+    smart = run_pipeline(PipelineModel.TDFULL, config, label="smart_fifo")
+    smart_row = smart.as_row()
+    smart_row.update(
+        {
+            "quantum_ns": "none needed",
+            "timing_error_ns": abs(smart.extra["completion_ns"] - reference_completion),
+        }
+    )
+    rows.append(smart_row)
+    return rows
+
+
+def quantum_table(rows: Sequence[Dict[str, object]]) -> str:
+    columns = [
+        "label",
+        "quantum_ns",
+        "wall_seconds",
+        "context_switches",
+        "completion_ns",
+        "timing_error_ns",
+    ]
+    return dict_rows_table(
+        rows, columns, title="Quantum ablation — accuracy/speed trade-off"
+    )
+
+
+# ---------------------------------------------------------------------------
+# EXP-CSW — context-switch accounting (machine-independent Fig. 5 companion)
+# ---------------------------------------------------------------------------
+def context_switch_sweep(
+    depths: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    base_config: Optional[StreamingConfig] = None,
+) -> List[Dict[str, object]]:
+    """Context-switch counts per model and FIFO depth (no wall-clock noise)."""
+    rows = fig5_depth_sweep(depths, base_config)
+    return [
+        {
+            "depth": row["depth"],
+            "model": row["model"],
+            "context_switches": row["context_switches"],
+            "delta_cycles": row["delta_cycles"],
+        }
+        for row in rows
+    ]
+
+
+def context_switch_table(rows: Sequence[Dict[str, object]]) -> str:
+    return dict_rows_table(
+        rows,
+        ["depth", "model", "context_switches", "delta_cycles"],
+        title="Context switches vs FIFO depth",
+    )
+
+
+Iterable  # typing convenience re-export
+SimTime
+ns

@@ -1,0 +1,52 @@
+"""FIFO channel library.
+
+Implementations:
+
+* :class:`~repro.fifo.regular_fifo.RegularFifo` — the ``sc_fifo``
+  equivalent, for non-decoupled processes;
+* :class:`~repro.fifo.sync_fifo.SyncFifo` — a regular FIFO with a
+  ``sync()`` at the beginning of each access, the timing-correct but slow
+  way to use FIFOs from decoupled processes (Section II-B);
+* :class:`~repro.fifo.smart_fifo.SmartFifo` — the paper's contribution:
+  temporal-decoupling-aware FIFO with blocking, non-blocking and monitor
+  interfaces (Section III);
+* :class:`~repro.fifo.packet_fifo.PacketSmartFifo` — the Smart FIFO
+  extension handling packetization used by the case-study network
+  interfaces (Section IV-C);
+* :class:`~repro.fifo.arbiter.WriteArbiter` /
+  :class:`~repro.fifo.arbiter.ReadArbiter` — per-side arbiters required
+  when several processes share a FIFO side.
+"""
+
+from .arbiter import ReadArbiter, WriteArbiter
+from .cells import Cell, CellRing, NEVER
+from .interfaces import (
+    FifoInterface,
+    FifoMonitorInterface,
+    FifoReaderInterface,
+    FifoWriterInterface,
+)
+from .packet_fifo import PacketSmartFifo
+from .ports import FifoMonitorPort, FifoReadPort, FifoWritePort
+from .regular_fifo import RegularFifo
+from .smart_fifo import SmartFifo
+from .sync_fifo import SyncFifo
+
+__all__ = [
+    "Cell",
+    "CellRing",
+    "FifoInterface",
+    "FifoMonitorInterface",
+    "FifoMonitorPort",
+    "FifoReadPort",
+    "FifoReaderInterface",
+    "FifoWritePort",
+    "FifoWriterInterface",
+    "NEVER",
+    "PacketSmartFifo",
+    "ReadArbiter",
+    "RegularFifo",
+    "SmartFifo",
+    "SyncFifo",
+    "WriteArbiter",
+]

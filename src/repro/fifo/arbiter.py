@@ -1,0 +1,104 @@
+"""Side arbiters for the Smart FIFO.
+
+Section III of the paper: *"The Smart FIFO assumes that each side is always
+accessed by the same process; if it is not the case in the design, then an
+arbiter must be added to ensure that two successive accesses on the same
+side cannot have decreasing local dates (i.e., time must go forward on each
+side, but no ordering with the other side is required)."*
+
+:class:`WriteArbiter` and :class:`ReadArbiter` implement that arbiter for
+decoupled threads: they model the FIFO port as a shared resource that is
+*busy* until the date of the last granted access, so a process whose local
+date is behind the last access date is simply delayed (its local date is
+raised) until the port is free again.  This keeps the per-side dates
+monotonic while preserving temporal decoupling (no context switch is
+introduced by the arbiter itself).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from ..kernel.module import Module
+from ..kernel.simtime import SimTime, ZERO_TIME, as_time
+from ..kernel.simulator import Simulator
+from ..td.local_time import get_local_time_manager
+from .cells import NEVER
+from .interfaces import FifoReaderInterface, FifoWriterInterface
+
+
+class _SideArbiter(Module):
+    """Common machinery: serialize accesses by raising late callers."""
+
+    def __init__(
+        self,
+        parent: Union[Simulator, Module],
+        name: str,
+        fifo,
+        access_duration: SimTime = ZERO_TIME,
+    ):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        #: Minimum time the port stays busy after a granted access; models
+        #: the arbitration/transfer cycle of the real hardware port.
+        self.access_duration = access_duration
+        self._port_free_fs = NEVER
+        #: Number of accesses whose caller had to be delayed by arbitration.
+        self.arbitrated_accesses = 0
+        self.total_accesses = 0
+
+    def set_access_duration(self, duration, unit=None) -> None:
+        self.access_duration = as_time(duration) if unit is None else as_time(duration, unit)
+
+    def _grant(self) -> None:
+        """Raise the caller's local date to the port-free date if needed."""
+        process = self.sim.scheduler.current_process
+        manager = get_local_time_manager(self.sim)
+        local_fs = manager.local_fs(process)
+        self.total_accesses += 1
+        if local_fs < self._port_free_fs:
+            self.arbitrated_accesses += 1
+            if process is not None:
+                local_fs = manager.advance_to(process, self._port_free_fs)
+            else:
+                local_fs = self._port_free_fs
+        self._port_free_fs = local_fs + self.access_duration.femtoseconds
+
+
+class WriteArbiter(_SideArbiter, FifoWriterInterface):
+    """Serializes several writer processes in front of one FIFO write side."""
+
+    def write(self, data: Any):
+        self._grant()
+        yield from self.fifo.write(data)
+
+    def nb_write(self, data: Any) -> bool:
+        self._grant()
+        return self.fifo.nb_write(data)
+
+    def is_full(self) -> bool:
+        return self.fifo.is_full()
+
+    @property
+    def not_full_event(self):
+        return self.fifo.not_full_event
+
+
+class ReadArbiter(_SideArbiter, FifoReaderInterface):
+    """Serializes several reader processes in front of one FIFO read side."""
+
+    def read(self):
+        self._grant()
+        data = yield from self.fifo.read()
+        return data
+
+    def nb_read(self):
+        self._grant()
+        return self.fifo.nb_read()
+
+    def is_empty(self) -> bool:
+        return self.fifo.is_empty()
+
+    @property
+    def not_empty_event(self):
+        return self.fifo.not_empty_event

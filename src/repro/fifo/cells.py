@@ -1,0 +1,157 @@
+"""Timestamped cell ring of the Smart FIFO.
+
+Section III-A of the paper: *"Internally, the Smart FIFO contains as many
+cells as the hardware FIFO it models.  Each cell is either free or busy,
+and in addition to the data, we store both the last data insertion date and
+the last freeing date for each cell.  One index points to the first free
+cell and another to the first busy cell."*
+
+:class:`CellRing` implements exactly that structure plus the interpretation
+rules of the monitor interface (Section III-C), which need both dates to
+decide whether a cell is *really* busy at a given observation date.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from ..kernel.errors import FifoError
+
+#: Sentinel date meaning "never happened" (before any simulated date).
+NEVER = -1
+
+
+@dataclass
+class Cell:
+    """One hardware FIFO slot with its timestamp history."""
+
+    data: Any = None
+    busy: bool = False
+    #: Local date of the last data insertion into this cell (NEVER if none).
+    insertion_fs: int = NEVER
+    #: Local date of the last freeing (read) of this cell (NEVER if none).
+    freeing_fs: int = NEVER
+
+    def really_busy_at(self, date_fs: int) -> bool:
+        """Is this cell occupied in the *real* FIFO at ``date_fs``?
+
+        Interpretation rules of Section III-C:
+
+        * an internally **busy** cell is really busy if the insertion date is
+          in the past, or if the previous freeing date is in the future
+          (internally the cell has been freed and filled again since the
+          observation date, so at the observation date it still held the
+          previous item);
+        * an internally **free** cell is really busy if the freeing date is
+          in the future and the previous insertion date is in the past (the
+          item it held at the observation date had not yet left).
+        """
+        if self.busy:
+            return self.insertion_fs <= date_fs or self.freeing_fs > date_fs
+        return self.freeing_fs > date_fs and self.insertion_fs <= date_fs
+
+
+class CellRing:
+    """The bounded ring of timestamped cells."""
+
+    def __init__(self, depth: int):
+        if depth <= 0:
+            raise FifoError(f"Smart FIFO depth must be positive, got {depth}")
+        self._cells: List[Cell] = [Cell() for _ in range(depth)]
+        self._depth = depth
+        self._first_free = 0
+        self._first_busy = 0
+        self._busy_count = 0
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def busy_count(self) -> int:
+        """Number of internally busy cells (not the real FIFO size)."""
+        return self._busy_count
+
+    @property
+    def internally_full(self) -> bool:
+        return self._busy_count == self._depth
+
+    @property
+    def internally_empty(self) -> bool:
+        return self._busy_count == 0
+
+    def first_free_cell(self) -> Optional[Cell]:
+        """The cell the next write will fill, or None when internally full."""
+        if self.internally_full:
+            return None
+        return self._cells[self._first_free]
+
+    def first_busy_cell(self) -> Optional[Cell]:
+        """The cell the next read will empty, or None when internally empty."""
+        if self.internally_empty:
+            return None
+        return self._cells[self._first_busy]
+
+    def second_busy_cell(self) -> Optional[Cell]:
+        """The busy cell that will become the head after one pop."""
+        if self._busy_count < 2:
+            return None
+        return self._cells[(self._first_busy + 1) % self._depth]
+
+    def cells(self):
+        """Iterate over all cells (monitor interface)."""
+        return iter(self._cells)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def push(self, data: Any, insertion_fs: int, cell: Optional[Cell] = None) -> Cell:
+        """Fill the first free cell at ``insertion_fs``; return that cell.
+
+        Callers that already fetched the first free cell (to inspect its
+        freeing date) can pass it to avoid a second lookup.
+        """
+        if cell is None:
+            cell = self.first_free_cell()
+            if cell is None:
+                raise FifoError("push on an internally full Smart FIFO")
+        cell.data = data
+        cell.busy = True
+        cell.insertion_fs = insertion_fs
+        self._first_free = (self._first_free + 1) % self._depth
+        self._busy_count += 1
+        return cell
+
+    def pop(self, freeing_fs: int, cell: Optional[Cell] = None) -> Any:
+        """Free the first busy cell at ``freeing_fs``; return its data.
+
+        As for :meth:`push`, the already-fetched head cell may be passed in.
+        """
+        if cell is None:
+            cell = self.first_busy_cell()
+            if cell is None:
+                raise FifoError("pop on an internally empty Smart FIFO")
+        data = cell.data
+        cell.data = None
+        cell.busy = False
+        cell.freeing_fs = freeing_fs
+        self._first_busy = (self._first_busy + 1) % self._depth
+        self._busy_count -= 1
+        return data
+
+    # ------------------------------------------------------------------
+    # Monitor interpretation
+    # ------------------------------------------------------------------
+    def real_size_at(self, date_fs: int) -> int:
+        """Number of items the modelled hardware FIFO holds at ``date_fs``."""
+        return sum(1 for cell in self._cells if cell.really_busy_at(date_fs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CellRing(depth={self._depth}, busy={self._busy_count}, "
+            f"head={self._first_busy}, tail={self._first_free})"
+        )

@@ -1,0 +1,91 @@
+"""FIFO interfaces.
+
+The Smart FIFO of the paper exposes three interfaces (Fig. 4):
+
+* a **writer-side interface** — blocking ``write`` plus the non-blocking
+  helpers ``is_full`` / ``nb_write`` and the ``not_full_event``; accesses
+  must carry non-decreasing local dates and are expected at a high rate;
+* a **reader-side interface** — blocking ``read`` plus ``is_empty`` /
+  ``nb_read`` and the ``not_empty_event``; same date-ordering requirement;
+* a **monitor interface** — ``get_size``, a low-rate access used by embedded
+  software for debug and dynamic performance tuning.
+
+Every FIFO implementation of this package (regular, sync-wrapped, smart,
+packet-aware) implements the same three interfaces, so the benchmark models
+and the case-study SoC can swap implementations without touching the rest
+of the design.  Blocking calls are generators and must be driven with
+``yield from`` from thread processes; non-blocking calls are plain methods
+usable from method processes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from ..kernel.event import Event
+
+
+class FifoWriterInterface(abc.ABC):
+    """Write side of a bounded FIFO."""
+
+    @abc.abstractmethod
+    def write(self, data: Any):
+        """Blocking write (generator).  Use as ``yield from fifo.write(x)``.
+
+        Blocks (synchronizing the caller when it is decoupled) while the
+        FIFO is full, then stores ``data``.
+        """
+
+    @abc.abstractmethod
+    def nb_write(self, data: Any) -> bool:
+        """Non-blocking write; returns False (and stores nothing) when full."""
+
+    @abc.abstractmethod
+    def is_full(self) -> bool:
+        """External view of fullness at the caller's local date."""
+
+    @property
+    @abc.abstractmethod
+    def not_full_event(self) -> Event:
+        """Event notified when the FIFO stops being (externally) full."""
+
+
+class FifoReaderInterface(abc.ABC):
+    """Read side of a bounded FIFO."""
+
+    @abc.abstractmethod
+    def read(self):
+        """Blocking read (generator).  Use as ``x = yield from fifo.read()``."""
+
+    @abc.abstractmethod
+    def nb_read(self):
+        """Non-blocking read; raises :class:`~repro.kernel.errors.FifoError`
+        if the FIFO is externally empty (guard with :meth:`is_empty`)."""
+
+    @abc.abstractmethod
+    def is_empty(self) -> bool:
+        """External view of emptiness at the caller's local date."""
+
+    @property
+    @abc.abstractmethod
+    def not_empty_event(self) -> Event:
+        """Event notified when the FIFO stops being (externally) empty."""
+
+
+class FifoMonitorInterface(abc.ABC):
+    """Monitor (filling level) side of a bounded FIFO."""
+
+    @abc.abstractmethod
+    def get_size(self):
+        """Blocking size query (generator): number of items really present
+        at the caller's date.  ``size = yield from fifo.get_size()``."""
+
+    @property
+    @abc.abstractmethod
+    def depth(self) -> int:
+        """The capacity of the modelled hardware FIFO."""
+
+
+class FifoInterface(FifoWriterInterface, FifoReaderInterface, FifoMonitorInterface):
+    """Convenience ABC grouping the three Smart FIFO interfaces."""

@@ -1,0 +1,138 @@
+"""The regular (non-decoupled) FIFO.
+
+:class:`RegularFifo` is the equivalent of ``sc_fifo``: a bounded FIFO whose
+blocking accesses suspend the calling thread (one context switch per
+blocked access) and whose events are notified with a delta delay.  It knows
+nothing about local dates: it is meant to be used either
+
+* by non-decoupled threads (the paper's reference executions and the
+  ``TDless`` / ``untimed`` models of Fig. 5), or
+* by non-decoupled ``SC_METHOD`` code such as the NoC routers of the case
+  study (through :meth:`nb_read` / :meth:`nb_write`).
+
+Decoupled threads must not use it directly — they would corrupt the timing
+exactly as illustrated by Fig. 3 of the paper.  They should use either
+:class:`~repro.fifo.sync_fifo.SyncFifo` (same timing, one context switch
+per access) or :class:`~repro.fifo.smart_fifo.SmartFifo` (same timing,
+almost no context switch).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Union
+
+from ..kernel.errors import FifoError
+from ..kernel.module import Module
+from ..kernel.process import WaitEvent
+from ..kernel.simtime import ZERO_TIME
+from ..kernel.simulator import Simulator
+from .interfaces import FifoInterface
+
+
+class RegularFifo(Module, FifoInterface):
+    """A bounded FIFO with ``sc_fifo``-like blocking semantics."""
+
+    def __init__(self, parent: Union[Simulator, Module], name: str, depth: int = 16):
+        super().__init__(parent, name)
+        if depth <= 0:
+            raise FifoError(f"FIFO {name!r}: depth must be positive, got {depth}")
+        self._depth = depth
+        self._items: Deque[Any] = deque()
+        self._data_written_event = self.create_event("data_written")
+        self._data_read_event = self.create_event("data_read")
+        #: Counters mirrored by the Smart FIFO, used by tests and benchmarks.
+        self.total_written = 0
+        self.total_read = 0
+
+    # ------------------------------------------------------------------
+    # Monitor interface
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def size(self) -> int:
+        """Current number of stored items (immediate view)."""
+        return len(self._items)
+
+    def num_available(self) -> int:
+        return len(self._items)
+
+    def num_free(self) -> int:
+        return self._depth - len(self._items)
+
+    def get_size(self):
+        """Blocking-style size query (generator for interface uniformity)."""
+        yield from ()
+        return len(self._items)
+
+    # ------------------------------------------------------------------
+    # Writer interface
+    # ------------------------------------------------------------------
+    def is_full(self) -> bool:
+        return len(self._items) >= self._depth
+
+    @property
+    def not_full_event(self):
+        return self._data_read_event
+
+    def write(self, data: Any):
+        """Blocking write: waits (suspends the thread) while the FIFO is full."""
+        while self.is_full():
+            yield WaitEvent(self._data_read_event)
+        self._push(data)
+
+    def nb_write(self, data: Any) -> bool:
+        if self.is_full():
+            return False
+        self._push(data)
+        return True
+
+    def _push(self, data: Any) -> None:
+        self._items.append(data)
+        self.total_written += 1
+        self._data_written_event.notify(ZERO_TIME)
+
+    # ------------------------------------------------------------------
+    # Reader interface
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def not_empty_event(self):
+        return self._data_written_event
+
+    def read(self):
+        """Blocking read: waits (suspends the thread) while the FIFO is empty."""
+        while self.is_empty():
+            yield WaitEvent(self._data_written_event)
+        return self._pop()
+
+    def nb_read(self):
+        if self.is_empty():
+            raise FifoError(f"nb_read on empty FIFO {self.full_name}")
+        return self._pop()
+
+    def peek(self):
+        """Return the head item without removing it (raises when empty)."""
+        if self.is_empty():
+            raise FifoError(f"peek on empty FIFO {self.full_name}")
+        return self._items[0]
+
+    def _pop(self) -> Any:
+        data = self._items.popleft()
+        self.total_read += 1
+        self._data_read_event.notify(ZERO_TIME)
+        return data
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RegularFifo({self.full_name!r}, depth={self._depth}, "
+            f"size={len(self._items)})"
+        )

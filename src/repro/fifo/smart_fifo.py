@@ -1,0 +1,408 @@
+"""The Smart FIFO (Section III of the paper).
+
+The Smart FIFO is the paper's contribution: a model of a bounded hardware
+FIFO that is aware of the local dates of temporally decoupled processes.
+
+* Each **data item** carries the local date at which it was written (the
+  *insertion date*); a blocking :meth:`read` raises the reader's local date
+  up to that insertion date instead of synchronizing with the kernel.
+* Each **freed cell** carries the local date at which it was read (the
+  *freeing date*); a blocking :meth:`write` raises the writer's local date
+  up to that freeing date, which models the back-pressure of the bounded
+  hardware FIFO.
+* A context switch only happens when the FIFO is *internally* full (write)
+  or *internally* empty (read): the writer/reader synchronizes and waits
+  until the peer frees/fills a cell.
+
+The non-blocking interface (Section III-B) lets ``SC_METHOD``-style
+processes use the FIFO: :meth:`is_empty` / :meth:`is_full` give the
+*external* view of the FIFO at the caller's date, and the
+:attr:`not_empty_event` / :attr:`not_full_event` events are notified with a
+*delayed* notification so that they fire exactly at the date the real FIFO
+changes state.
+
+The monitor interface (Section III-C) computes the *real* filling level at
+the (synchronized) caller's date from the per-cell timestamps.
+
+The goal — and the property checked extensively by the test suite — is that
+a model using Smart FIFOs with temporal decoupling produces **exactly the
+same dates** as the same model using regular FIFOs without temporal
+decoupling; only the schedule and the number of delta cycles may change.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from ..kernel.errors import FifoError, TimingError
+from ..kernel.event import Event
+from ..kernel.module import Module
+from ..kernel.process import Process, WaitEvent
+from ..kernel.simtime import SimTime, ZERO_TIME
+from ..kernel.simulator import Simulator
+from ..td.decoupling import sync
+from ..td.local_time import LocalTimeManager, get_local_time_manager
+from .cells import CellRing, NEVER
+from .interfaces import FifoInterface
+
+
+class SmartFifo(Module, FifoInterface):
+    """A bounded FIFO aware of the local time of decoupled processes.
+
+    Parameters
+    ----------
+    parent, name:
+        Standard module hierarchy arguments.
+    depth:
+        Number of cells of the modelled hardware FIFO.
+    enforce_side_ordering:
+        When True (default) the FIFO checks that successive accesses on the
+        same side carry non-decreasing dates, as required by Section III of
+        the paper; violations raise :class:`TimingError`.  Designs where two
+        processes share a side must insert a
+        :class:`~repro.fifo.arbiter.WriteArbiter` /
+        :class:`~repro.fifo.arbiter.ReadArbiter`.
+    always_notify_external:
+        When False (default) the delayed external notifications are only
+        scheduled when a process actually listens to the corresponding
+        event, which keeps the kernel's timed queue small.  Set to True to
+        schedule them unconditionally (useful in unit tests).
+    sync_on_access:
+        When True every blocking access starts by synchronizing the caller,
+        which turns this FIFO into the "regular FIFO plus sync() at each
+        access" reference of Section II-B (one context switch per access,
+        same timing).  The case-study benchmark uses this flag to build the
+        slow-but-accurate flavour the paper compares the Smart FIFO against.
+    """
+
+    def __init__(
+        self,
+        parent: Union[Simulator, Module],
+        name: str,
+        depth: int = 16,
+        enforce_side_ordering: bool = True,
+        always_notify_external: bool = False,
+        sync_on_access: bool = False,
+    ):
+        super().__init__(parent, name)
+        self._cells = CellRing(depth)
+        self._enforce_side_ordering = enforce_side_ordering
+        self._always_notify_external = always_notify_external
+        self.sync_on_access = sync_on_access
+        # Hot-path caches: the scheduler and the local-time map never change
+        # after construction and are consulted on every access.
+        self._scheduler = self.sim.scheduler
+        self._manager = get_local_time_manager(self.sim)
+
+        # Internal events used to wake a blocked blocking access.
+        self._cell_filled = self.create_event("cell_filled")
+        self._cell_freed = self.create_event("cell_freed")
+        # External events of the non-blocking interface (delayed notifications).
+        self._not_empty_event = self.create_event("not_empty")
+        self._not_full_event = self.create_event("not_full")
+
+        self._blocked_readers = 0
+        self._blocked_writers = 0
+        self._last_write_fs = NEVER
+        self._last_read_fs = NEVER
+
+        #: Number of items written / read since construction.
+        self.total_written = 0
+        self.total_read = 0
+        #: Number of times a blocking access had to suspend the caller
+        #: (i.e. context switches caused by this FIFO).
+        self.blocking_waits = 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _caller(self):
+        return self._scheduler.current_process, self._manager
+
+    def _caller_date_fs(self) -> int:
+        return self._manager.local_fs_fast(
+            self._scheduler.current_process, self._scheduler.now_fs
+        )
+
+    def _notify_external(self, event: Event, date_fs: int, forced: bool = False) -> None:
+        """Schedule a delayed notification of ``event`` at ``date_fs``.
+
+        The notification fires at the real (hardware) date of the FIFO state
+        change, which may be in the future of the current global date when
+        the access was performed by a decoupled process.
+
+        As an optimisation over the paper's rules, data-path notifications
+        (from the write/read methods) are skipped when no process observes
+        the event.  Notifications triggered by an explicit state query
+        (``is_empty``, ``is_full``, ``packet_available``, a refused
+        non-blocking access) pass ``forced=True``: the querying process is
+        about to wait on the event (it is not registered yet while its
+        method body is still running), so the notification must always be
+        scheduled.
+        """
+        if not forced and not self._always_notify_external and not event.has_listeners:
+            return
+        delay_fs = date_fs - self._scheduler.now_fs
+        if delay_fs <= 0:
+            event.notify(ZERO_TIME)
+        else:
+            event.notify(SimTime.from_femtoseconds(delay_fs))
+
+    def _ordering_error(self, side: str, date_fs: int) -> None:
+        """Raise the Section-III ordering violation error for ``side``."""
+        last = self._last_write_fs if side == "write" else self._last_read_fs
+        raise TimingError(
+            f"Smart FIFO {self.full_name}: {side} accesses with decreasing "
+            f"dates ({SimTime.from_femtoseconds(last)} then "
+            f"{SimTime.from_femtoseconds(date_fs)}); each side must be "
+            f"accessed by a single process or through an arbiter"
+        )
+
+    # ------------------------------------------------------------------
+    # Monitor interface (Section III-C)
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return self._cells.depth
+
+    def get_size(self):
+        """Blocking size query: synchronize the caller, then count the cells
+        that are *really* busy at the (now synchronized) caller's date."""
+        yield from sync(sim=self.sim)
+        return self._cells.real_size_at(self.sim.now_fs)
+
+    def get_free_count(self):
+        """Blocking free-slot query (``depth - get_size``)."""
+        size = yield from self.get_size()
+        return self._cells.depth - size
+
+    def size_at(self, date: SimTime) -> int:
+        """Real filling level at an arbitrary date (pure observation)."""
+        return self._cells.real_size_at(date.femtoseconds)
+
+    def peek_size(self) -> int:
+        """Real filling level at the caller's local date, without syncing.
+
+        Extension over the paper's monitor interface: usable from method
+        processes (which cannot synchronize) and from decoupled threads that
+        only need an estimate consistent with their own local date.
+        """
+        return self._cells.real_size_at(self._caller_date_fs())
+
+    @property
+    def internal_size(self) -> int:
+        """Number of internally busy cells (not the real hardware size)."""
+        return self._cells.busy_count
+
+    # ------------------------------------------------------------------
+    # Writer-side interface (Section III-A)
+    # ------------------------------------------------------------------
+    @property
+    def not_full_event(self) -> Event:
+        return self._not_full_event
+
+    def is_full(self) -> bool:
+        """External view of fullness at the caller's local date.
+
+        True iff all cells are internally busy, or the first free cell will
+        only be freed in the caller's future (the real FIFO still holds the
+        previous item in that cell).  When the answer is True because of a
+        future freeing date, the external ``not_full_event`` is (re)armed at
+        that date so that the canonical method pattern
+        ``if fifo.is_full(): next_trigger(fifo.not_full_event); return``
+        cannot miss the wake-up.
+        """
+        if self._cells.internally_full:
+            return True
+        cell = self._cells.first_free_cell()
+        date_fs = self._caller_date_fs()
+        if cell.freeing_fs > date_fs:
+            self._notify_external(self._not_full_event, cell.freeing_fs, forced=True)
+            return True
+        return False
+
+    def write(self, data: Any):
+        """Blocking write (``yield from fifo.write(x)``).
+
+        Algorithm of Section III-A:
+
+        1. while all cells are internally busy, synchronize the writer and
+           wait until the reader frees a cell (this is the only case that
+           costs context switches);
+        2. if the freeing date of the first free cell is in the writer's
+           future, raise the writer's local date up to it;
+        3. fill the cell, record the insertion date, advance the free index;
+        4. wake up a blocked reader, if any, and schedule the external
+           ``not_empty`` notification when the FIFO was internally empty.
+        """
+        process, manager = self._caller()
+        if self.sync_on_access:
+            yield from sync(sim=self.sim)
+        while self._cells.internally_full:
+            self.blocking_waits += 1
+            self._blocked_writers += 1
+            try:
+                yield from sync(sim=self.sim)
+                if self._cells.internally_full:
+                    yield WaitEvent(self._cell_freed)
+            finally:
+                self._blocked_writers -= 1
+        self._do_write(process, manager, data)
+
+    def nb_write(self, data: Any) -> bool:
+        """Non-blocking write for method processes.
+
+        Returns False without writing when the FIFO is externally full at
+        the caller's date (guard with :meth:`is_full`).
+        """
+        if self._cells.internally_full:
+            return False
+        cell = self._cells.first_free_cell()
+        if cell.freeing_fs > self._caller_date_fs():
+            # Externally full until the freeing date: arm the not_full event
+            # so a method process retrying on it cannot miss the wake-up.
+            self._notify_external(self._not_full_event, cell.freeing_fs, forced=True)
+            return False
+        process, manager = self._caller()
+        self._do_write(process, manager, data)
+        return True
+
+    def _do_write(self, process: Optional[Process], manager: LocalTimeManager, data: Any) -> None:
+        cells = self._cells
+        now_fs = self._scheduler.now_fs
+        local_fs = manager.local_fs_fast(process, now_fs)
+        cell = cells.first_free_cell()
+        if cell is None:  # pragma: no cover - guarded by callers
+            raise FifoError(f"write on internally full Smart FIFO {self.full_name}")
+        if cell.freeing_fs > local_fs:
+            if process is not None:
+                local_fs = manager.advance_to(process, cell.freeing_fs)
+            else:
+                local_fs = cell.freeing_fs
+        if self._enforce_side_ordering and local_fs < self._last_write_fs:
+            self._ordering_error("write", local_fs)
+        was_internally_empty = cells.busy_count == 0
+        cells.push(data, local_fs, cell)
+        self._last_write_fs = local_fs
+        self.total_written += 1
+        # Wake a reader blocked inside a blocking read.
+        if self._blocked_readers:
+            self._cell_filled.notify(ZERO_TIME)
+        # External not_empty notification, case 1 of Section III-B: all the
+        # cells were free before this write.  The notification is delayed
+        # until the insertion date of the new first busy cell.
+        if was_internally_empty:
+            self._notify_external(self._not_empty_event, local_fs)
+        # Symmetric bookkeeping for not_full: after this push, if the FIFO is
+        # not internally full but the next free cell will only be freed in
+        # the future, the real FIFO is full until that date.
+        if (
+            self._always_notify_external or self._not_full_event.has_listeners
+        ) and not cells.internally_full:
+            next_free = cells.first_free_cell()
+            if next_free.freeing_fs > now_fs:
+                self._notify_external(self._not_full_event, next_free.freeing_fs)
+
+    # ------------------------------------------------------------------
+    # Reader-side interface (Section III-A)
+    # ------------------------------------------------------------------
+    @property
+    def not_empty_event(self) -> Event:
+        return self._not_empty_event
+
+    def is_empty(self) -> bool:
+        """External view of emptiness at the caller's local date.
+
+        True iff all cells are internally free, or the insertion date of the
+        first busy cell is in the caller's future.  In the latter case the
+        external ``not_empty_event`` is (re)armed at that insertion date.
+        """
+        cell = self._cells.first_busy_cell()
+        if cell is None:
+            return True
+        date_fs = self._caller_date_fs()
+        if cell.insertion_fs > date_fs:
+            self._notify_external(self._not_empty_event, cell.insertion_fs, forced=True)
+            return True
+        return False
+
+    def read(self):
+        """Blocking read (``x = yield from fifo.read()``).
+
+        Symmetric to :meth:`write`: wait until a cell is internally busy,
+        raise the reader's local date up to the insertion date of the first
+        busy cell if needed, free the cell (recording the freeing date),
+        notify the write side, and return the data.
+        """
+        process, manager = self._caller()
+        if self.sync_on_access:
+            yield from sync(sim=self.sim)
+        while self._cells.internally_empty:
+            self.blocking_waits += 1
+            self._blocked_readers += 1
+            try:
+                yield from sync(sim=self.sim)
+                if self._cells.internally_empty:
+                    yield WaitEvent(self._cell_filled)
+            finally:
+                self._blocked_readers -= 1
+        return self._do_read(process, manager)
+
+    def nb_read(self):
+        """Non-blocking read for method processes.
+
+        Raises :class:`FifoError` when the FIFO is externally empty at the
+        caller's date (guard with :meth:`is_empty`).
+        """
+        cell = self._cells.first_busy_cell()
+        if cell is None or cell.insertion_fs > self._caller_date_fs():
+            if cell is not None:
+                # Arm the not_empty event at the date the item really arrives.
+                self._notify_external(self._not_empty_event, cell.insertion_fs, forced=True)
+            raise FifoError(
+                f"nb_read on externally empty Smart FIFO {self.full_name}"
+            )
+        process, manager = self._caller()
+        return self._do_read(process, manager)
+
+    def _do_read(self, process: Optional[Process], manager: LocalTimeManager):
+        cells = self._cells
+        now_fs = self._scheduler.now_fs
+        cell = cells.first_busy_cell()
+        if cell is None:  # pragma: no cover - guarded by callers
+            raise FifoError(f"read on internally empty Smart FIFO {self.full_name}")
+        local_fs = manager.local_fs_fast(process, now_fs)
+        if cell.insertion_fs > local_fs:
+            if process is not None:
+                local_fs = manager.advance_to(process, cell.insertion_fs)
+            else:
+                local_fs = cell.insertion_fs
+        if self._enforce_side_ordering and local_fs < self._last_read_fs:
+            self._ordering_error("read", local_fs)
+        was_internally_full = cells.busy_count == cells.depth
+        data = cells.pop(local_fs, cell)
+        self._last_read_fs = local_fs
+        self.total_read += 1
+        # Wake a writer blocked inside a blocking write.
+        if self._blocked_writers:
+            self._cell_freed.notify(ZERO_TIME)
+        # External not_full notification, case 1 (symmetric of Section III-B):
+        # all the cells were busy before this read; the real FIFO stops being
+        # full at the freeing date.
+        if was_internally_full:
+            self._notify_external(self._not_full_event, local_fs)
+        # External not_empty notification, case 2 of Section III-B: the next
+        # busy cell exists but its insertion date is in the future; the real
+        # FIFO becomes non-empty (again) only at that date.
+        if self._always_notify_external or self._not_empty_event.has_listeners:
+            next_busy = cells.first_busy_cell()
+            if next_busy is not None and next_busy.insertion_fs > now_fs:
+                self._notify_external(self._not_empty_event, next_busy.insertion_fs)
+        return data
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SmartFifo({self.full_name!r}, depth={self.depth}, "
+            f"internal_size={self.internal_size})"
+        )

@@ -1,0 +1,98 @@
+"""The sync-per-access FIFO.
+
+Section II-B of the paper describes the straightforward way to combine a
+regular FIFO with temporally decoupled processes: "take a regular FIFO and
+add a ``sync()`` at the beginning of each public method".  The result is
+functionally and temporally correct — the paper uses it as the reference
+for timing — but pays one context switch per access, which is exactly what
+the Smart FIFO avoids.
+
+:class:`SyncFifo` is that adapter.  It is the FIFO used by the ``TDless``
+flavour of the case-study SoC (Section IV-C compares it against the Smart
+FIFO) and by the mutation/equivalence tests as the timing oracle when the
+calling processes are decoupled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from ..kernel.module import Module
+from ..kernel.simulator import Simulator
+from ..td.decoupling import sync
+from .interfaces import FifoInterface
+from .regular_fifo import RegularFifo
+
+
+class SyncFifo(Module, FifoInterface):
+    """A regular FIFO whose every public access first synchronizes the caller."""
+
+    def __init__(self, parent: Union[Simulator, Module], name: str, depth: int = 16):
+        super().__init__(parent, name)
+        self._inner = RegularFifo(self, "inner", depth)
+
+    # ------------------------------------------------------------------
+    # Monitor interface
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return self._inner.depth
+
+    @property
+    def size(self) -> int:
+        return self._inner.size
+
+    def get_size(self):
+        """Synchronize the caller, then return the regular FIFO size."""
+        yield from sync(sim=self.sim)
+        return self._inner.size
+
+    # ------------------------------------------------------------------
+    # Writer interface
+    # ------------------------------------------------------------------
+    def write(self, data: Any):
+        """Synchronize the caller, then perform a regular blocking write."""
+        yield from sync(sim=self.sim)
+        yield from self._inner.write(data)
+
+    def nb_write(self, data: Any) -> bool:
+        """Non-blocking write; only meaningful for synchronized callers."""
+        return self._inner.nb_write(data)
+
+    def is_full(self) -> bool:
+        return self._inner.is_full()
+
+    @property
+    def not_full_event(self):
+        return self._inner.not_full_event
+
+    # ------------------------------------------------------------------
+    # Reader interface
+    # ------------------------------------------------------------------
+    def read(self):
+        """Synchronize the caller, then perform a regular blocking read."""
+        yield from sync(sim=self.sim)
+        data = yield from self._inner.read()
+        return data
+
+    def nb_read(self):
+        return self._inner.nb_read()
+
+    def is_empty(self) -> bool:
+        return self._inner.is_empty()
+
+    @property
+    def not_empty_event(self):
+        return self._inner.not_empty_event
+
+    # ------------------------------------------------------------------
+    @property
+    def total_written(self) -> int:
+        return self._inner.total_written
+
+    @property
+    def total_read(self) -> int:
+        return self._inner.total_read
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SyncFifo({self.full_name!r}, depth={self.depth}, size={self.size})"

@@ -1,0 +1,206 @@
+"""Events and event notification.
+
+:class:`Event` reproduces the semantics of ``sc_event``:
+
+* **immediate notification** — ``notify()`` with no argument triggers the
+  event during the current evaluation phase;
+* **delta notification** — ``notify(ZERO_TIME)`` triggers the event in the
+  delta-notification phase of the current time step;
+* **timed notification** — ``notify(delay)`` triggers the event ``delay``
+  later in simulated time.
+
+An event carries at most one *pending* notification.  The SystemC override
+rules apply: a delta notification overrides a pending timed notification,
+an earlier timed notification overrides a later one, and a pending delta
+notification cannot be overridden (the extra request is simply dropped).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import context
+from .errors import SchedulingError
+from .simtime import SimTime, ZERO_TIME
+
+
+class _TimedNotification:
+    """Book-keeping record for a pending timed notification.
+
+    The scheduler keeps these in its timed queue; cancelling a notification
+    simply marks the record, the scheduler skips cancelled records when it
+    pops them.
+    """
+
+    __slots__ = ("event", "time_fs", "cancelled")
+
+    def __init__(self, event: "Event", time_fs: int):
+        self.event = event
+        self.time_fs = time_fs
+        self.cancelled = False
+
+
+class Event:
+    """A notification channel processes can wait on.
+
+    Parameters
+    ----------
+    name:
+        Debug name, shown in traces and error messages.
+    sim:
+        The owning simulator.  When omitted the event binds lazily to the
+        process-wide current simulator the first time it is notified.
+    """
+
+    def __init__(self, name: str = "event", sim=None):
+        self.name = name
+        self._sim = sim
+        # Threads dynamically waiting on this event: (process, wait_id).
+        self._waiting_threads: List[Tuple[object, int]] = []
+        # Methods statically sensitive to this event (permanent).
+        self._static_methods: List[object] = []
+        # Methods dynamically waiting via next_trigger: (process, trigger_id).
+        self._dynamic_methods: List[Tuple[object, int]] = []
+        # Pending notification state.
+        self._pending_delta = False
+        self._pending_timed: Optional[_TimedNotification] = None
+        # Date (in delta-cycle coordinates) of the last trigger, used by
+        # Signal.event() style queries.
+        self._last_trigger_marker: Optional[Tuple[int, int]] = None
+
+    # -- wiring ----------------------------------------------------------
+    @property
+    def sim(self):
+        if self._sim is None:
+            self._sim = context.current_simulator()
+        return self._sim
+
+    def bind_simulator(self, sim) -> None:
+        """Explicitly attach the event to a simulator (done by modules)."""
+        self._sim = sim
+
+    # -- registration (used by the scheduler and by method processes) ----
+    def add_waiting_thread(self, process, wait_id: int) -> None:
+        self._waiting_threads.append((process, wait_id))
+
+    def add_static_method(self, process) -> None:
+        if process not in self._static_methods:
+            self._static_methods.append(process)
+
+    def remove_static_method(self, process) -> None:
+        if process in self._static_methods:
+            self._static_methods.remove(process)
+
+    def add_dynamic_method(self, process, trigger_id: int) -> None:
+        self._dynamic_methods.append((process, trigger_id))
+
+    @property
+    def has_listeners(self) -> bool:
+        """True when at least one process would observe a notification.
+
+        Channels use this to skip scheduling notifications nobody can see
+        (e.g. the Smart FIFO external ``not_empty`` event when no method
+        process monitors the FIFO), which keeps the timed queue small.
+        """
+        return bool(
+            self._waiting_threads or self._static_methods or self._dynamic_methods
+        )
+
+    # -- notification ----------------------------------------------------
+    def notify(self, delay: Optional[SimTime] = None) -> None:
+        """Notify the event.
+
+        ``notify()`` is an immediate notification, ``notify(ZERO_TIME)`` a
+        delta notification and ``notify(t)`` with ``t > 0`` a timed
+        notification ``t`` after the current simulated date.
+        """
+        scheduler = self.sim.scheduler
+        scheduler.stats.event_notifications += 1
+        if delay is None:
+            # Immediate: trigger right now, do not touch pending notifications.
+            scheduler.trigger_event_now(self)
+            return
+        if not isinstance(delay, SimTime):
+            raise SchedulingError(
+                f"Event.notify expects a SimTime delay, got {delay!r}"
+            )
+        if delay.is_zero:
+            if self._pending_delta:
+                return
+            self._cancel_timed()
+            self._pending_delta = True
+            scheduler.schedule_delta_notification(self)
+            return
+        # Timed notification.
+        if self._pending_delta:
+            return
+        target_fs = scheduler.now_fs + delay.femtoseconds
+        if self._pending_timed is not None and not self._pending_timed.cancelled:
+            if self._pending_timed.time_fs <= target_fs:
+                return
+            self._pending_timed.cancelled = True
+        record = _TimedNotification(self, target_fs)
+        self._pending_timed = record
+        scheduler.schedule_timed_notification(record)
+
+    def cancel(self) -> None:
+        """Cancel any pending (delta or timed) notification."""
+        self._pending_delta = False
+        self._cancel_timed()
+
+    def _cancel_timed(self) -> None:
+        if self._pending_timed is not None:
+            self._pending_timed.cancelled = True
+            self._pending_timed = None
+
+    # -- trigger (called by the scheduler) -------------------------------
+    def consume_pending_delta(self) -> bool:
+        """Return True (and clear the flag) if a delta notification is due."""
+        was_pending = self._pending_delta
+        self._pending_delta = False
+        return was_pending
+
+    def clear_pending_timed(self, record: _TimedNotification) -> None:
+        if self._pending_timed is record:
+            self._pending_timed = None
+
+    def collect_triggered_processes(self, marker: Tuple[int, int]):
+        """Return processes to wake and reset the dynamic waiting lists.
+
+        ``marker`` is a (timed-phase, delta-cycle) pair recorded so that
+        ``triggered`` queries can tell whether the event fired in the
+        current evaluation phase.
+        """
+        self._last_trigger_marker = marker
+        threads = self._waiting_threads
+        dyn_methods = self._dynamic_methods
+        self._waiting_threads = []
+        self._dynamic_methods = []
+        return threads, list(self._static_methods), dyn_methods
+
+    def triggered_at(self, marker: Tuple[int, int]) -> bool:
+        """True if the event triggered in the evaluation phase ``marker``."""
+        return self._last_trigger_marker == marker
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Event({self.name!r})"
+
+
+class EventList:
+    """Helper combining several events for *and*/*or* waits."""
+
+    def __init__(self, events, wait_for_all: bool):
+        self.events = list(events)
+        self.wait_for_all = wait_for_all
+        if not self.events:
+            raise SchedulingError("cannot wait on an empty event list")
+
+
+def any_of(*events: Event) -> EventList:
+    """Wait descriptor helper: resume when *any* of ``events`` triggers."""
+    return EventList(events, wait_for_all=False)
+
+
+def all_of(*events: Event) -> EventList:
+    """Wait descriptor helper: resume when *all* of ``events`` triggered."""
+    return EventList(events, wait_for_all=True)

@@ -1,0 +1,71 @@
+"""Ports.
+
+A :class:`Port` is a typed reference from a module to an interface
+implemented elsewhere (a channel, another module...).  Binding is checked
+at elaboration: an unbound mandatory port raises
+:class:`~repro.kernel.errors.BindingError`, an attempt to bind twice as
+well.  The FIFO reader/writer ports of :mod:`repro.fifo.ports` and the TLM
+sockets of :mod:`repro.tlm.sockets` are built on top of this class.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, Type, TypeVar
+
+from .errors import BindingError
+from .module import Module
+
+T = TypeVar("T")
+
+
+class Port(Generic[T]):
+    """A reference to an interface, resolved at binding time."""
+
+    def __init__(
+        self,
+        owner: Module,
+        name: str,
+        interface_type: Optional[Type] = None,
+        optional: bool = False,
+    ):
+        self.owner = owner
+        self.name = name
+        self.full_name = f"{owner.full_name}.{name}"
+        self.interface_type = interface_type
+        self.optional = optional
+        self._bound: Optional[T] = None
+        owner.register_port(self)
+
+    def bind(self, interface: T) -> None:
+        """Bind the port to ``interface`` (exactly once)."""
+        if self._bound is not None:
+            raise BindingError(f"port {self.full_name} is already bound")
+        if self.interface_type is not None and not isinstance(
+            interface, self.interface_type
+        ):
+            raise BindingError(
+                f"port {self.full_name} expects a "
+                f"{self.interface_type.__name__}, got {type(interface).__name__}"
+            )
+        self._bound = interface
+
+    # SystemC-style operator() binding.
+    __call__ = bind
+
+    @property
+    def bound(self) -> bool:
+        return self._bound is not None
+
+    def get(self) -> T:
+        """Return the bound interface (raises if unbound)."""
+        if self._bound is None:
+            raise BindingError(f"port {self.full_name} is not bound")
+        return self._bound
+
+    def check_bound(self) -> None:
+        if self._bound is None and not self.optional:
+            raise BindingError(f"port {self.full_name} was left unbound")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "bound" if self.bound else "unbound"
+        return f"Port({self.full_name!r}, {state})"

@@ -1,0 +1,207 @@
+"""Simulation processes.
+
+Two process kinds are provided, mirroring SystemC:
+
+* :class:`ThreadProcess` (``SC_THREAD``) — a Python generator that suspends
+  by *yielding* a wait descriptor (``yield self.wait(20, NS)``,
+  ``yield WaitEvent(ev)``) and is resumed by the scheduler.  Each
+  suspension/resumption is a *context switch* and is counted as such;
+  these are the expensive operations the paper's Smart FIFO removes.
+
+* :class:`MethodProcess` (``SC_METHOD``) — a plain callable executed from
+  beginning to end, with static sensitivity and ``next_trigger``.  Method
+  processes cannot wait, which is why the Smart FIFO exposes the
+  non-blocking interface of Section III-B.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, List, Optional
+
+from .errors import ProcessError
+from .event import Event, EventList
+from .simtime import SimTime
+
+
+# ---------------------------------------------------------------------------
+# Wait descriptors
+# ---------------------------------------------------------------------------
+class WaitDescriptor:
+    """Base class of every object a thread process may yield."""
+
+    __slots__ = ()
+
+
+class Timeout(WaitDescriptor):
+    """Suspend the calling thread for a fixed simulated duration."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: SimTime):
+        if not isinstance(duration, SimTime):
+            raise ProcessError(f"Timeout expects a SimTime, got {duration!r}")
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Timeout({self.duration})"
+
+
+class WaitEvent(WaitDescriptor):
+    """Suspend the calling thread until ``event`` is notified."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        if not isinstance(event, Event):
+            raise ProcessError(f"WaitEvent expects an Event, got {event!r}")
+        self.event = event
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WaitEvent({self.event.name})"
+
+
+class WaitEventList(WaitDescriptor):
+    """Suspend until any/all events of an :class:`EventList` trigger."""
+
+    __slots__ = ("events", "wait_for_all")
+
+    def __init__(self, event_list: EventList):
+        self.events = list(event_list.events)
+        self.wait_for_all = event_list.wait_for_all
+
+
+class WaitEventOrTimeout(WaitDescriptor):
+    """Suspend until ``event`` triggers or ``timeout`` elapses."""
+
+    __slots__ = ("event", "timeout")
+
+    def __init__(self, event: Event, timeout: SimTime):
+        if not isinstance(event, Event):
+            raise ProcessError(f"expected an Event, got {event!r}")
+        if not isinstance(timeout, SimTime):
+            raise ProcessError(f"expected a SimTime timeout, got {timeout!r}")
+        self.event = event
+        self.timeout = timeout
+
+
+# ---------------------------------------------------------------------------
+# Processes
+# ---------------------------------------------------------------------------
+_PROCESS_IDS = itertools.count(1)
+
+
+class Process:
+    """Common state of thread and method processes."""
+
+    kind = "process"
+
+    def __init__(self, name: str, func: Callable, sim):
+        self.name = name
+        self.func = func
+        self.sim = sim
+        self.pid = next(_PROCESS_IDS)
+        self.terminated = False
+        #: Event notified when the process terminates (like sc_process_handle
+        #: ``terminated_event``); created lazily.
+        self._terminated_event: Optional[Event] = None
+
+    @property
+    def terminated_event(self) -> Event:
+        if self._terminated_event is None:
+            self._terminated_event = Event(f"{self.name}.terminated", sim=self.sim)
+        return self._terminated_event
+
+    def mark_terminated(self) -> None:
+        self.terminated = True
+        if self._terminated_event is not None:
+            self._terminated_event.notify(SimTime(0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ThreadProcess(Process):
+    """A generator-based cooperative thread (``SC_THREAD``)."""
+
+    kind = "thread"
+
+    def __init__(self, name: str, func: Callable, sim):
+        super().__init__(name, func, sim)
+        self._generator = None
+        #: Monotonic counter identifying the current wait; wake-ups carrying a
+        #: stale identifier (e.g. the timeout half of an event-or-timeout wait
+        #: that already completed) are ignored by the scheduler.
+        self.wait_id = 0
+        #: For wait-for-all waits: events still missing.
+        self.pending_all_events: List[Event] = []
+        self.started = False
+
+    def start(self):
+        """Instantiate the generator (first activation)."""
+        if self.started:
+            raise ProcessError(f"thread {self.name} started twice")
+        self.started = True
+        gen = self.func()
+        if gen is None:
+            # The function body contained no yield: it ran to completion
+            # synchronously (legal, like a SystemC thread that returns
+            # immediately).
+            self._generator = None
+            self.mark_terminated()
+            return None
+        if not hasattr(gen, "send"):
+            raise ProcessError(
+                f"thread {self.name}: process function must be a generator "
+                f"function (did you forget a 'yield'?)"
+            )
+        self._generator = gen
+        return gen
+
+    def resume(self, value=None):
+        """Advance the generator; return the next wait descriptor or None."""
+        if self.terminated:
+            raise ProcessError(f"thread {self.name} resumed after termination")
+        try:
+            descriptor = self._generator.send(value)
+        except StopIteration:
+            self.mark_terminated()
+            return None
+        return descriptor
+
+    def new_wait_id(self) -> int:
+        self.wait_id += 1
+        return self.wait_id
+
+
+class MethodProcess(Process):
+    """A run-to-completion callback (``SC_METHOD``)."""
+
+    kind = "method"
+
+    def __init__(
+        self,
+        name: str,
+        func: Callable,
+        sim,
+        sensitivity: Optional[Iterable[Event]] = None,
+        dont_initialize: bool = False,
+    ):
+        super().__init__(name, func, sim)
+        self.static_sensitivity: List[Event] = list(sensitivity or [])
+        self.dont_initialize = dont_initialize
+        #: When True the method ignores its static sensitivity until the
+        #: dynamic trigger installed by ``next_trigger`` fires.
+        self.dynamic_trigger_active = False
+        self.trigger_id = 0
+        #: Set by the scheduler while the method body runs so that
+        #: ``next_trigger`` calls can be recorded.
+        self.requested_trigger = None
+
+    def register_static_sensitivity(self) -> None:
+        for event in self.static_sensitivity:
+            event.add_static_method(self)
+
+    def new_trigger_id(self) -> int:
+        self.trigger_id += 1
+        return self.trigger_id

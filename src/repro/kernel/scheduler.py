@@ -1,0 +1,401 @@
+"""The discrete-event scheduler.
+
+The scheduler implements the SystemC evaluation model:
+
+1. **evaluation phase** — every runnable process runs (threads are resumed,
+   methods are called); immediate notifications may add more processes to
+   the same evaluation phase;
+2. **update phase** — primitive channels that called ``request_update``
+   get their ``update`` method called;
+3. **delta-notification phase** — delta notifications trigger their events,
+   possibly making processes runnable for a new delta cycle;
+4. **timed-notification phase** — when nothing is runnable, simulated time
+   advances to the earliest pending timed notification.
+
+Threads suspend by yielding a :class:`~repro.kernel.process.WaitDescriptor`;
+the scheduler arms the corresponding wake-up and resumes the generator when
+it fires.  Every resumption is counted as a *context switch* in
+:class:`~repro.kernel.stats.KernelStats` — the quantity the Smart FIFO is
+designed to minimise.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from .errors import ProcessError, SchedulingError
+from .event import Event, EventList, _TimedNotification
+from .process import (
+    MethodProcess,
+    Process,
+    ThreadProcess,
+    Timeout,
+    WaitDescriptor,
+    WaitEvent,
+    WaitEventList,
+    WaitEventOrTimeout,
+)
+from .simtime import SimTime
+from .stats import KernelStats
+
+#: Sentinel meaning "the method body did not call next_trigger".
+_NO_TRIGGER_REQUEST = object()
+
+
+class _TimedEntry:
+    """Entry of the timed-notification queue."""
+
+    __slots__ = ("kind", "payload", "token")
+
+    EVENT = "event"
+    PROCESS = "process"
+
+    def __init__(self, kind: str, payload, token: int = 0):
+        self.kind = kind
+        self.payload = payload
+        self.token = token
+
+
+class Scheduler:
+    """Event queues, process bookkeeping and the simulation loop."""
+
+    def __init__(self, stats: Optional[KernelStats] = None):
+        self.stats = stats or KernelStats()
+        self.now_fs = 0
+        self.current_process: Optional[Process] = None
+
+        self._runnable = deque()
+        self._runnable_pids = set()
+        self._resume_values: Dict[int, object] = {}
+
+        self._delta_events: List[Event] = []
+        self._delta_process_wakes: List[Tuple[ThreadProcess, int]] = []
+
+        self._timed_queue: List[Tuple[int, int, _TimedEntry]] = []
+        self._seq = itertools.count()
+
+        self._update_requests: List[object] = []
+        self._update_pids = set()
+
+        self._threads: List[ThreadProcess] = []
+        self._methods: List[MethodProcess] = []
+
+        self._started = False
+        self._stop_requested = False
+        self._end_of_simulation = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> SimTime:
+        return SimTime.from_femtoseconds(self.now_fs)
+
+    def register_thread(self, process: ThreadProcess) -> None:
+        self._threads.append(process)
+        self.stats.processes_created += 1
+        if self._started:
+            # Dynamically spawned thread: runs in the current/next evaluation
+            # phase, like sc_spawn.
+            self._make_runnable(process)
+
+    def register_method(self, process: MethodProcess) -> None:
+        self._methods.append(process)
+        self.stats.processes_created += 1
+        process.register_static_sensitivity()
+        if self._started and not process.dont_initialize:
+            self._make_runnable(process)
+
+    def request_update(self, channel) -> None:
+        """Queue ``channel.update()`` for the next update phase."""
+        if id(channel) not in self._update_pids:
+            self._update_pids.add(id(channel))
+            self._update_requests.append(channel)
+
+    # ------------------------------------------------------------------
+    # Notification plumbing (called by Event)
+    # ------------------------------------------------------------------
+    def schedule_delta_notification(self, event: Event) -> None:
+        self._delta_events.append(event)
+
+    def schedule_timed_notification(self, record: _TimedNotification) -> None:
+        entry = _TimedEntry(_TimedEntry.EVENT, record)
+        heapq.heappush(self._timed_queue, (record.time_fs, next(self._seq), entry))
+
+    def trigger_event_now(self, event: Event) -> None:
+        """Immediate notification: wake waiters during the current phase."""
+        self._trigger_event(event)
+
+    # ------------------------------------------------------------------
+    # Runnable management
+    # ------------------------------------------------------------------
+    def _make_runnable(self, process: Process, value=None) -> None:
+        if process.terminated:
+            return
+        if process.pid in self._runnable_pids:
+            return
+        self._runnable_pids.add(process.pid)
+        self._resume_values[process.pid] = value
+        self._runnable.append(process)
+
+    def _wake_thread(self, process: ThreadProcess, wait_id: int, value=None) -> None:
+        """Wake a thread if the wake-up matches its current wait."""
+        if process.terminated:
+            return
+        if wait_id != process.wait_id:
+            return  # stale wake-up (e.g. the timeout half of a finished wait)
+        self._make_runnable(process, value)
+
+    def _trigger_method(self, process: MethodProcess, dynamic: bool, token: int) -> None:
+        if process.terminated:
+            return
+        if dynamic:
+            if not process.dynamic_trigger_active or token != process.trigger_id:
+                return
+            process.dynamic_trigger_active = False
+        else:
+            if process.dynamic_trigger_active:
+                return  # static sensitivity masked by a pending next_trigger
+        self._make_runnable(process)
+
+    def _trigger_event(self, event: Event) -> None:
+        marker = (self.stats.timed_phases, self.stats.delta_cycles)
+        threads, static_methods, dynamic_methods = event.collect_triggered_processes(
+            marker
+        )
+        for process, wait_id in threads:
+            if process.pending_all_events:
+                if wait_id != process.wait_id:
+                    continue
+                if event in process.pending_all_events:
+                    process.pending_all_events.remove(event)
+                if process.pending_all_events:
+                    continue
+                self._wake_thread(process, wait_id, value=event)
+            else:
+                self._wake_thread(process, wait_id, value=event)
+        for method in static_methods:
+            self._trigger_method(method, dynamic=False, token=0)
+        for method, trigger_id in dynamic_methods:
+            self._trigger_method(method, dynamic=True, token=trigger_id)
+
+    # ------------------------------------------------------------------
+    # Wait arming
+    # ------------------------------------------------------------------
+    def arm_wait(self, process: ThreadProcess, descriptor: WaitDescriptor) -> None:
+        process.pending_all_events = []
+        wait_id = process.new_wait_id()
+        if isinstance(descriptor, Timeout):
+            self._arm_timeout(process, wait_id, descriptor.duration)
+        elif isinstance(descriptor, WaitEvent):
+            descriptor.event.add_waiting_thread(process, wait_id)
+        elif isinstance(descriptor, WaitEventOrTimeout):
+            descriptor.event.add_waiting_thread(process, wait_id)
+            self._arm_timeout(process, wait_id, descriptor.timeout)
+        elif isinstance(descriptor, WaitEventList):
+            if descriptor.wait_for_all:
+                process.pending_all_events = list(descriptor.events)
+            for event in descriptor.events:
+                event.add_waiting_thread(process, wait_id)
+        elif isinstance(descriptor, EventList):
+            self.arm_wait(process, WaitEventList(descriptor))
+        else:
+            raise ProcessError(
+                f"thread {process.name} yielded {descriptor!r}, which is not a "
+                f"wait descriptor"
+            )
+
+    def _arm_timeout(self, process: ThreadProcess, wait_id: int, duration: SimTime) -> None:
+        if duration.is_zero:
+            self._delta_process_wakes.append((process, wait_id))
+            return
+        entry = _TimedEntry(_TimedEntry.PROCESS, process, wait_id)
+        heapq.heappush(
+            self._timed_queue,
+            (self.now_fs + duration.femtoseconds, next(self._seq), entry),
+        )
+
+    # ------------------------------------------------------------------
+    # Process execution
+    # ------------------------------------------------------------------
+    def _execute(self, process: Process) -> None:
+        value = self._resume_values.pop(process.pid, None)
+        self.current_process = process
+        try:
+            if isinstance(process, ThreadProcess):
+                self._execute_thread(process, value)
+            elif isinstance(process, MethodProcess):
+                self._execute_method(process)
+            else:  # pragma: no cover - defensive
+                raise ProcessError(f"unknown process kind: {process!r}")
+        finally:
+            self.current_process = None
+
+    def _execute_thread(self, process: ThreadProcess, value) -> None:
+        self.stats.record_thread_activation(process.name)
+        if not process.started:
+            generator = process.start()
+            if generator is None:
+                return
+            value = None
+        descriptor = process.resume(value)
+        if descriptor is None:
+            return
+        if isinstance(descriptor, EventList):
+            descriptor = WaitEventList(descriptor)
+        if isinstance(descriptor, Event):
+            descriptor = WaitEvent(descriptor)
+        self.arm_wait(process, descriptor)
+
+    def _execute_method(self, process: MethodProcess) -> None:
+        self.stats.record_method_invocation(process.name)
+        process.requested_trigger = _NO_TRIGGER_REQUEST
+        process.func()
+        request = process.requested_trigger
+        process.requested_trigger = _NO_TRIGGER_REQUEST
+        if request is _NO_TRIGGER_REQUEST:
+            return
+        if request is None:
+            # next_trigger() with no argument: restore static sensitivity.
+            process.dynamic_trigger_active = False
+            return
+        token = process.new_trigger_id()
+        process.dynamic_trigger_active = True
+        if isinstance(request, Event):
+            request.add_dynamic_method(process, token)
+        elif isinstance(request, SimTime):
+            entry = _TimedEntry(_TimedEntry.PROCESS, process, token)
+            heapq.heappush(
+                self._timed_queue,
+                (self.now_fs + request.femtoseconds, next(self._seq), entry),
+            )
+        elif isinstance(request, EventList):
+            for event in request.events:
+                event.add_dynamic_method(process, token)
+        else:
+            raise ProcessError(
+                f"next_trigger expects an Event, an EventList or a SimTime, "
+                f"got {request!r}"
+            )
+
+    def record_next_trigger(self, request) -> None:
+        """Store a ``next_trigger`` request made by the running method."""
+        process = self.current_process
+        if not isinstance(process, MethodProcess):
+            raise ProcessError("next_trigger called outside of a method process")
+        process.requested_trigger = request
+
+    # ------------------------------------------------------------------
+    # Simulation loop
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        self._started = True
+        for process in self._threads:
+            self._make_runnable(process)
+        for process in self._methods:
+            if not process.dont_initialize:
+                self._make_runnable(process)
+
+    def stop(self) -> None:
+        """Request the simulation loop to stop at the end of the current
+        delta cycle (like ``sc_stop``)."""
+        self._stop_requested = True
+
+    @property
+    def pending_activity(self) -> bool:
+        return bool(
+            self._runnable
+            or self._delta_events
+            or self._delta_process_wakes
+            or self._timed_queue
+        )
+
+    def run(self, until: Optional[SimTime] = None) -> None:
+        """Run the simulation until ``until`` (inclusive) or until no
+        activity remains."""
+        until_fs = None if until is None else until.femtoseconds
+        if not self._started:
+            self._initialize()
+        while True:
+            if self._stop_requested:
+                self._stop_requested = False
+                break
+            if self._runnable:
+                self._run_delta_cycle()
+                continue
+            # Nothing runnable: process pending delta notifications (they may
+            # exist without runnable processes, e.g. a notify(ZERO) from
+            # outside the simulation).
+            if self._delta_events or self._delta_process_wakes:
+                self._delta_notification_phase()
+                continue
+            if not self._advance_time(until_fs):
+                break
+
+    def _run_delta_cycle(self) -> None:
+        self.stats.delta_cycles += 1
+        # Evaluation phase.
+        while self._runnable:
+            process = self._runnable.popleft()
+            self._runnable_pids.discard(process.pid)
+            self._execute(process)
+        # Update phase.
+        if self._update_requests:
+            requests = self._update_requests
+            self._update_requests = []
+            self._update_pids = set()
+            for channel in requests:
+                channel.update()
+        # Delta-notification phase.
+        self._delta_notification_phase()
+
+    def _delta_notification_phase(self) -> None:
+        events = self._delta_events
+        self._delta_events = []
+        wakes = self._delta_process_wakes
+        self._delta_process_wakes = []
+        for event in events:
+            if event.consume_pending_delta():
+                self._trigger_event(event)
+        for process, wait_id in wakes:
+            self._wake_thread(process, wait_id)
+
+    def _advance_time(self, until_fs: Optional[int]) -> bool:
+        """Advance to the next timed notification; return False to stop."""
+        # Drop cancelled event notifications sitting at the head of the queue.
+        while self._timed_queue:
+            time_fs, _seq, entry = self._timed_queue[0]
+            if entry.kind == _TimedEntry.EVENT and entry.payload.cancelled:
+                heapq.heappop(self._timed_queue)
+                continue
+            break
+        if not self._timed_queue:
+            if until_fs is not None and until_fs > self.now_fs:
+                self.now_fs = until_fs
+            return False
+        next_time = self._timed_queue[0][0]
+        if until_fs is not None and next_time > until_fs:
+            self.now_fs = until_fs
+            return False
+        if next_time < self.now_fs:  # pragma: no cover - defensive
+            raise SchedulingError("timed queue went backwards")
+        self.now_fs = next_time
+        self.stats.timed_phases += 1
+        while self._timed_queue and self._timed_queue[0][0] == next_time:
+            _time, _seq, entry = heapq.heappop(self._timed_queue)
+            if entry.kind == _TimedEntry.EVENT:
+                record = entry.payload
+                if record.cancelled:
+                    continue
+                record.event.clear_pending_timed(record)
+                self._trigger_event(record.event)
+            else:
+                process = entry.payload
+                if isinstance(process, MethodProcess):
+                    self._trigger_method(process, dynamic=True, token=entry.token)
+                else:
+                    self._wake_thread(process, entry.token)
+        return True

@@ -1,0 +1,200 @@
+"""The :class:`Simulator` facade.
+
+A :class:`Simulator` owns the scheduler, the kernel statistics, the trace
+collector and the top of the module hierarchy.  It is the object user code
+interacts with:
+
+.. code-block:: python
+
+    from repro.kernel import Simulator, ns
+
+    sim = Simulator()
+    top = MyTopModule(sim, "top")
+    sim.run()                    # run until no activity remains
+    print(sim.now, sim.stats.context_switches)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from . import context
+from .errors import ElaborationError, ProcessError
+from .event import Event, EventList
+from .process import (
+    MethodProcess,
+    ThreadProcess,
+    Timeout,
+    WaitEvent,
+    WaitEventList,
+    WaitEventOrTimeout,
+)
+from .scheduler import Scheduler
+from .simtime import SimTime, TimeUnit, as_time
+from .stats import KernelStats
+from .tracing import TraceCollector
+
+
+class Simulator:
+    """A self-contained simulation context."""
+
+    def __init__(self, name: str = "sim"):
+        self.name = name
+        self.stats = KernelStats()
+        self.scheduler = Scheduler(self.stats)
+        self.trace = TraceCollector()
+        self._names = set()
+        self._children = []
+        self._elaborated = False
+        context.set_current_simulator(self)
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> SimTime:
+        """The global simulated date (``sc_time_stamp``)."""
+        return self.scheduler.now
+
+    @property
+    def now_fs(self) -> int:
+        return self.scheduler.now_fs
+
+    # ------------------------------------------------------------------
+    # Hierarchy bookkeeping
+    # ------------------------------------------------------------------
+    def register_name(self, full_name: str) -> None:
+        if full_name in self._names:
+            raise ElaborationError(f"duplicate module or process name: {full_name}")
+        self._names.add(full_name)
+
+    def add_child(self, module) -> None:
+        self._children.append(module)
+
+    @property
+    def children(self):
+        return tuple(self._children)
+
+    def walk_modules(self):
+        """Yield every module of the hierarchy, depth-first."""
+        stack = list(self._children)
+        while stack:
+            module = stack.pop()
+            yield module
+            stack.extend(module.children)
+
+    # ------------------------------------------------------------------
+    # Process creation (for code not living inside a Module)
+    # ------------------------------------------------------------------
+    def create_thread(self, func: Callable, name: Optional[str] = None) -> ThreadProcess:
+        """Register ``func`` (a generator function) as a thread process."""
+        proc_name = name or getattr(func, "__name__", "thread")
+        self.register_name(proc_name)
+        process = ThreadProcess(proc_name, func, self)
+        self.scheduler.register_thread(process)
+        return process
+
+    def create_method(
+        self,
+        func: Callable,
+        name: Optional[str] = None,
+        sensitivity: Optional[Iterable[Event]] = None,
+        dont_initialize: bool = False,
+    ) -> MethodProcess:
+        """Register ``func`` as a run-to-completion method process."""
+        proc_name = name or getattr(func, "__name__", "method")
+        self.register_name(proc_name)
+        process = MethodProcess(
+            proc_name, func, self, sensitivity=sensitivity, dont_initialize=dont_initialize
+        )
+        self.scheduler.register_method(process)
+        return process
+
+    def create_event(self, name: str = "event") -> Event:
+        return Event(name, sim=self)
+
+    # ------------------------------------------------------------------
+    # Wait descriptor helpers (usable from any thread code)
+    # ------------------------------------------------------------------
+    def wait(self, duration_or_event, unit: TimeUnit = TimeUnit.NS, timeout=None):
+        """Build a wait descriptor to be yielded by a thread process.
+
+        Usage from a thread body::
+
+            yield sim.wait(20, NS)          # wait 20 ns
+            yield sim.wait(some_event)      # wait for an event
+            yield sim.wait(ev, timeout=ns(5))   # event with timeout
+        """
+        if isinstance(duration_or_event, Event):
+            if timeout is not None:
+                return WaitEventOrTimeout(duration_or_event, as_time(timeout))
+            return WaitEvent(duration_or_event)
+        if isinstance(duration_or_event, EventList):
+            return WaitEventList(duration_or_event)
+        return Timeout(as_time(duration_or_event, unit))
+
+    def next_trigger(self, trigger=None, unit: TimeUnit = TimeUnit.NS) -> None:
+        """Record a dynamic trigger for the currently running method process."""
+        if trigger is None or isinstance(trigger, (Event, EventList)):
+            self.scheduler.record_next_trigger(trigger)
+            return
+        self.scheduler.record_next_trigger(as_time(trigger, unit))
+
+    def current_process(self):
+        return self.scheduler.current_process
+
+    def current_process_name(self) -> str:
+        process = self.scheduler.current_process
+        return process.name if process is not None else "<elaboration>"
+
+    # ------------------------------------------------------------------
+    # Elaboration and execution
+    # ------------------------------------------------------------------
+    def elaborate(self) -> None:
+        """Run end-of-elaboration checks (port binding, module hooks)."""
+        if self._elaborated:
+            return
+        for module in list(self.walk_modules()):
+            module.check_bindings()
+        for module in list(self.walk_modules()):
+            module.end_of_elaboration()
+        self._elaborated = True
+
+    def run(self, until=None, unit: TimeUnit = TimeUnit.NS) -> SimTime:
+        """Run the simulation (optionally until a given date) and return
+        the final simulated date."""
+        self.elaborate()
+        context.set_current_simulator(self)
+        limit = None if until is None else as_time(until, unit)
+        self.scheduler.run(limit)
+        return self.now
+
+    def stop(self) -> None:
+        """Stop the simulation at the end of the current delta cycle."""
+        self.scheduler.stop()
+
+    @property
+    def pending_activity(self) -> bool:
+        return self.scheduler.pending_activity
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def log(self, message: str, local_time: Optional[SimTime] = None) -> None:
+        """Record a timestamped trace line for the current process."""
+        local = self.now_fs if local_time is None else local_time.femtoseconds
+        self.trace.record(self.current_process_name(), local, self.now_fs, message)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Simulator({self.name!r}, now={self.now})"
+
+
+def simulate(setup: Callable[["Simulator"], None], until=None) -> Simulator:
+    """Convenience helper: build a simulator, apply ``setup``, run it.
+
+    Returns the simulator so callers can inspect time, stats and traces.
+    """
+    sim = Simulator()
+    setup(sim)
+    sim.run(until)
+    return sim

@@ -1,0 +1,131 @@
+"""Trace recording.
+
+The validation methodology of the paper (Section IV-A) relies on traces:
+each test prints timestamped messages, once with regular FIFOs and no
+temporal decoupling, once with Smart FIFOs and temporal decoupling.  The two
+trace files are then compared *after reordering*, because temporal
+decoupling changes the process schedule (dates may decrease between
+consecutive lines) but must not change the set of (date, process, message)
+records.
+
+:class:`TraceCollector` stores :class:`TraceRecord` objects; helpers in
+:mod:`repro.analysis.trace_diff` implement the reorder-and-compare check.
+A lightweight VCD writer is also provided for waveform-style inspection of
+signals and FIFO fill levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TextIO
+
+from .simtime import SimTime
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped trace line.
+
+    ``local_fs`` is the local date of the emitting process (equal to the
+    global date when the process is not decoupled); ``global_fs`` is the
+    kernel date at emission.  Only ``local_fs`` takes part in equivalence
+    comparisons, exactly like the paper compares local-date-stamped lines.
+    """
+
+    local_fs: int
+    global_fs: int
+    process: str
+    message: str
+
+    @property
+    def local_time(self) -> SimTime:
+        return SimTime.from_femtoseconds(self.local_fs)
+
+    @property
+    def global_time(self) -> SimTime:
+        return SimTime.from_femtoseconds(self.global_fs)
+
+    def sort_key(self):
+        """Key used by the reorder-and-compare validation."""
+        return (self.local_fs, self.process, self.message)
+
+    def format(self) -> str:
+        return f"[{self.local_time}] {self.process}: {self.message}"
+
+
+class TraceCollector:
+    """Accumulates trace records for one simulation run."""
+
+    def __init__(self):
+        self.records: List[TraceRecord] = []
+        self.enabled = True
+
+    def record(self, process: str, local_fs: int, global_fs: int, message: str) -> None:
+        if not self.enabled:
+            return
+        self.records.append(TraceRecord(local_fs, global_fs, process, message))
+
+    def clear(self) -> None:
+        self.records = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def formatted_lines(self) -> List[str]:
+        """Trace lines in emission order (the raw 'printed' trace file)."""
+        return [record.format() for record in self.records]
+
+    def sorted_lines(self) -> List[str]:
+        """Trace lines after the reordering step of the paper's validation."""
+        return [r.format() for r in sorted(self.records, key=TraceRecord.sort_key)]
+
+    def write(self, stream: TextIO) -> None:
+        for line in self.formatted_lines():
+            stream.write(line + "\n")
+
+
+class VcdWriter:
+    """A minimal Value Change Dump writer.
+
+    Only integer/real valued variables are supported, which is enough to
+    dump FIFO fill levels and simple signals for debugging the case-study
+    platform.  Times are written in femtoseconds.
+    """
+
+    def __init__(self, stream: TextIO, top: str = "repro"):
+        self._stream = stream
+        self._top = top
+        self._variables: Dict[str, str] = {}
+        self._next_code = 33  # printable ASCII identifiers start at '!'
+        self._header_done = False
+        self._last_time: Optional[int] = None
+
+    def add_variable(self, name: str, width: int = 32) -> None:
+        if self._header_done:
+            raise RuntimeError("cannot add VCD variables after the header was written")
+        code = chr(self._next_code)
+        self._next_code += 1
+        self._variables[name] = code
+        self._pending_width = width
+
+    def write_header(self) -> None:
+        out = self._stream
+        out.write("$timescale 1 fs $end\n")
+        out.write(f"$scope module {self._top} $end\n")
+        for name, code in self._variables.items():
+            safe = name.replace(" ", "_")
+            out.write(f"$var integer 32 {code} {safe} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        self._header_done = True
+
+    def change(self, time_fs: int, name: str, value: int) -> None:
+        if not self._header_done:
+            self.write_header()
+        if self._last_time != time_fs:
+            self._stream.write(f"#{time_fs}\n")
+            self._last_time = time_fs
+        code = self._variables[name]
+        self._stream.write(f"b{value:b} {code}\n")

@@ -1,0 +1,59 @@
+"""Case-study heterogeneous many-core SoC (Section IV-C).
+
+Assembles temporally decoupled hardware accelerators, a stream NoC modelled
+with non-decoupled method processes, packetizing network interfaces, a
+memory-mapped bus and a control core running firmware, in the two FIFO
+policies the paper compares (Smart FIFO vs. sync-per-access FIFO).
+"""
+
+from .accelerator import (
+    AcceleratorBase,
+    ConsumerAccelerator,
+    ProducerAccelerator,
+    STATUS_BUSY,
+    STATUS_DONE,
+    STATUS_IDLE,
+    WorkerAccelerator,
+)
+from .core import ControlCore
+from .firmware import Firmware, FirmwareBuilder, Instruction, OpCode
+from .monitor import FifoLevelProbe, LevelSample
+from .noc import DestNetworkInterface, Mesh, Packet, Router, SourceNetworkInterface
+from .platform import (
+    ACCEL_REG_BASE,
+    Chain,
+    FifoPolicy,
+    MEMORY_BASE,
+    REGISTER_OFFSETS,
+    SocConfig,
+    SocPlatform,
+)
+
+__all__ = [
+    "ACCEL_REG_BASE",
+    "AcceleratorBase",
+    "Chain",
+    "ConsumerAccelerator",
+    "ControlCore",
+    "DestNetworkInterface",
+    "Firmware",
+    "FirmwareBuilder",
+    "FifoLevelProbe",
+    "FifoPolicy",
+    "Instruction",
+    "LevelSample",
+    "MEMORY_BASE",
+    "Mesh",
+    "OpCode",
+    "Packet",
+    "ProducerAccelerator",
+    "REGISTER_OFFSETS",
+    "Router",
+    "STATUS_BUSY",
+    "STATUS_DONE",
+    "STATUS_IDLE",
+    "SocConfig",
+    "SocPlatform",
+    "SourceNetworkInterface",
+    "WorkerAccelerator",
+]

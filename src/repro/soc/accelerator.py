@@ -1,0 +1,180 @@
+"""Hardware accelerators.
+
+Each accelerator of the case-study SoC is modelled by one temporally
+decoupled thread (Section IV-C: "Each hardware accelerator is modeled by a
+temporally decoupled thread").  The accelerator is controlled by the
+embedded software through a small register bank (start command, number of
+items to process, status, FIFO filling levels) and exchanges data with its
+neighbours through FIFOs bound to its ports.
+
+Three roles are provided:
+
+* :class:`ProducerAccelerator` — generates a stream (models a DMA engine or
+  a bitstream fetch unit reading from memory);
+* :class:`WorkerAccelerator` — reads, processes (per-word latency), writes;
+* :class:`ConsumerAccelerator` — drains a stream (models a display engine
+  or a DMA write-back), records completion.
+
+All roles raise an interrupt line and set their STATUS register when done.
+The per-word processing cost and the item count are runtime parameters so
+the platform can build heterogeneous chains.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..fifo.ports import FifoReadPort, FifoWritePort
+from ..kernel.module import Module
+from ..kernel.signal import Signal
+from ..kernel.simtime import SimTime, TimeUnit, ns
+from ..kernel.simulator import Simulator
+from ..tlm.register_bank import RegisterBank
+from ..workloads.base import TimingMode, WorkloadModule
+
+#: STATUS register bit meanings.
+STATUS_IDLE = 0
+STATUS_BUSY = 1
+STATUS_DONE = 2
+
+
+class AcceleratorBase(WorkloadModule):
+    """Common control logic: registers, start event, IRQ, status."""
+
+    def __init__(
+        self,
+        parent: Union[Simulator, Module],
+        name: str,
+        word_time: SimTime = ns(10),
+        timing: TimingMode = TimingMode.DECOUPLED,
+    ):
+        super().__init__(parent, name, timing)
+        self.word_time = word_time
+        self.registers = RegisterBank(self, "regs")
+        self.irq = Signal(self, "irq", initial=0)
+        self._start_event = self.create_event("start")
+
+        self.registers.add_register("CTRL", 0x00, on_write=self._on_ctrl_write)
+        self.registers.add_register("ITEMS", 0x04)
+        self.registers.add_register("STATUS", 0x08, reset=STATUS_IDLE)
+        self.registers.add_register("IN_LEVEL", 0x0C, on_read=self._read_in_level)
+        self.registers.add_register("OUT_LEVEL", 0x10, on_read=self._read_out_level)
+        self.registers.add_register("PROCESSED", 0x14)
+
+        self.create_thread(self.run)
+
+    # ------------------------------------------------------------------
+    # Register callbacks
+    # ------------------------------------------------------------------
+    def _on_ctrl_write(self, value: int) -> None:
+        if value & 0x1:
+            self._start_event.notify(SimTime(0))
+
+    def _read_in_level(self) -> int:
+        fifo = self._monitored_input()
+        if fifo is None or not hasattr(fifo, "peek_size"):
+            return 0
+        return fifo.peek_size()
+
+    def _read_out_level(self) -> int:
+        fifo = self._monitored_output()
+        if fifo is None or not hasattr(fifo, "peek_size"):
+            return 0
+        return fifo.peek_size()
+
+    def _monitored_input(self):
+        return None
+
+    def _monitored_output(self):
+        return None
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+    def run(self):
+        """Wait for a start command, process the stream, signal completion."""
+        yield self.wait(self._start_event)
+        self.registers.poke("STATUS", STATUS_BUSY)
+        item_count = self.registers.peek("ITEMS")
+        yield from self.process_stream(item_count)
+        # Raising the interrupt is a synchronization point: the software must
+        # observe it at the accelerator's local completion date, so the
+        # accelerator synchronizes first (Section II-A discussion).
+        if self.timing is TimingMode.DECOUPLED:
+            yield from self.sync()
+        self.mark_finished()
+        self.registers.poke("STATUS", STATUS_DONE)
+        self.registers.poke("PROCESSED", self.items_processed)
+        self.irq.write(1)
+
+    def process_stream(self, item_count: int):
+        """Role-specific data handling (generator)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class ProducerAccelerator(AcceleratorBase):
+    """Generates ``ITEMS`` words into its output FIFO."""
+
+    def __init__(self, parent, name, word_time: SimTime = ns(10), timing=TimingMode.DECOUPLED, seed: int = 0):
+        super().__init__(parent, name, word_time, timing)
+        self.out_port = FifoWritePort(self, "out_port")
+        self.seed = seed
+
+    def _monitored_output(self):
+        return self.out_port.get() if self.out_port.bound else None
+
+    def process_stream(self, item_count: int):
+        word_ns = self.word_time.to(TimeUnit.NS)
+        for index in range(item_count):
+            # Model the fetch/generation cost of the word, then push it.
+            yield from self.advance(word_ns)
+            yield from self.out_port.write((self.seed + index) & 0xFFFFFFFF)
+            self.items_processed += 1
+
+
+class WorkerAccelerator(AcceleratorBase):
+    """Reads a word, processes it for ``word_time``, writes the result."""
+
+    def __init__(self, parent, name, word_time: SimTime = ns(10), timing=TimingMode.DECOUPLED, transform: int = 1):
+        super().__init__(parent, name, word_time, timing)
+        self.in_port = FifoReadPort(self, "in_port")
+        self.out_port = FifoWritePort(self, "out_port")
+        #: Simple arithmetic transform so functional correctness is checkable.
+        self.transform = transform
+
+    def _monitored_input(self):
+        return self.in_port.get() if self.in_port.bound else None
+
+    def _monitored_output(self):
+        return self.out_port.get() if self.out_port.bound else None
+
+    def process_stream(self, item_count: int):
+        word_ns = self.word_time.to(TimeUnit.NS)
+        for _ in range(item_count):
+            word = yield from self.in_port.read()
+            yield from self.advance(word_ns)
+            yield from self.out_port.write((word + self.transform) & 0xFFFFFFFF)
+            self.items_processed += 1
+
+
+class ConsumerAccelerator(AcceleratorBase):
+    """Drains its input FIFO; keeps a checksum and completion date."""
+
+    def __init__(self, parent, name, word_time: SimTime = ns(10), timing=TimingMode.DECOUPLED):
+        super().__init__(parent, name, word_time, timing)
+        self.in_port = FifoReadPort(self, "in_port")
+        self.checksum = 0
+        self.last_word: Optional[int] = None
+
+    def _monitored_input(self):
+        return self.in_port.get() if self.in_port.bound else None
+
+    def process_stream(self, item_count: int):
+        word_ns = self.word_time.to(TimeUnit.NS)
+        for _ in range(item_count):
+            word = yield from self.in_port.read()
+            self.checksum = (self.checksum + word) & 0xFFFFFFFF
+            self.last_word = word
+            self.items_processed += 1
+            yield from self.advance(word_ns)

@@ -1,0 +1,198 @@
+"""The control core.
+
+A loosely-timed model of the embedded processor that runs the control
+software of the case-study SoC.  It interprets a
+:class:`~repro.soc.firmware.Firmware` program: every instruction generates
+memory-mapped transactions (through the TLM bus) towards accelerator
+register banks or the shared memory, accumulates timing annotations with a
+:class:`~repro.td.quantum.QuantumKeeper`, and synchronizes when the
+quantum is exhausted or when an explicit synchronization point is reached
+(interrupt waits, barriers).
+
+The memory-mapped part of the platform is temporally decoupled "using
+existing methods" (Section IV-C); the core is therefore a standard
+quantum-keeper initiator and is identical in the two FIFO policies the
+benchmark compares.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..kernel.errors import SimulationError
+from ..kernel.module import Module
+from ..kernel.signal import Signal
+from ..kernel.simtime import SimTime, TimeUnit, ns
+from ..kernel.simulator import Simulator
+from ..td.decoupling import DecoupledMixin
+from ..td.quantum import QuantumKeeper
+from ..tlm.payload import GenericPayload
+from ..tlm.sockets import InitiatorSocket
+from .firmware import Firmware, Instruction, OpCode
+
+
+class ControlCore(DecoupledMixin, Module):
+    """Firmware interpreter with a quantum-keeper LT initiator socket."""
+
+    def __init__(
+        self,
+        parent: Union[Simulator, Module],
+        name: str,
+        firmware: Optional[Firmware] = None,
+        instruction_time: SimTime = ns(5),
+        quantum: Optional[SimTime] = None,
+    ):
+        super().__init__(parent, name)
+        self.socket = InitiatorSocket(self, "socket")
+        self.firmware = firmware
+        #: Base cost of decoding/executing one firmware instruction.
+        self.instruction_time = instruction_time
+        self.quantum_keeper = QuantumKeeper(self, quantum)
+        #: name -> base address of the peripheral's register window.
+        self.address_map: Dict[str, int] = {}
+        #: register name -> offset, shared by every accelerator register bank.
+        self.register_offsets: Dict[str, int] = {}
+        #: name -> interrupt signal to wait on.
+        self.irq_map: Dict[str, Signal] = {}
+        #: Base address of the shared memory window.
+        self.memory_base = 0
+
+        #: Results visible to the tests: variable file and monitor samples.
+        self.variables: Dict[str, int] = {}
+        self.monitor_samples: List[Tuple[str, SimTime, int, int]] = []
+        self.instructions_executed = 0
+        self.transactions_issued = 0
+        self.finish_time: Optional[SimTime] = None
+
+        self.create_thread(self.run)
+
+    # ------------------------------------------------------------------
+    # Platform wiring helpers
+    # ------------------------------------------------------------------
+    def map_peripheral(self, name: str, base_address: int) -> None:
+        self.address_map[name] = base_address
+
+    def map_irq(self, name: str, signal: Signal) -> None:
+        self.irq_map[name] = signal
+
+    def set_register_offsets(self, offsets: Dict[str, int]) -> None:
+        self.register_offsets = dict(offsets)
+
+    # ------------------------------------------------------------------
+    # Bus access primitives
+    # ------------------------------------------------------------------
+    def _transport(self, payload: GenericPayload):
+        """Issue one transaction, fold the returned delay into the local time."""
+        delay = self.socket.b_transport(payload, SimTime(0))
+        payload.check_ok()
+        self.transactions_issued += 1
+        self.quantum_keeper.inc(delay, TimeUnit.FS)
+        yield from self.quantum_keeper.sync_if_needed()
+
+    def _reg_address(self, target: str, register: str) -> int:
+        if target not in self.address_map:
+            raise SimulationError(f"core {self.full_name}: unmapped peripheral {target!r}")
+        if register not in self.register_offsets:
+            raise SimulationError(f"core {self.full_name}: unknown register {register!r}")
+        return self.address_map[target] + self.register_offsets[register]
+
+    def write_reg(self, target: str, register: str, value: int):
+        payload = GenericPayload.make_word_write(self._reg_address(target, register), value)
+        yield from self._transport(payload)
+
+    def read_reg(self, target: str, register: str):
+        payload = GenericPayload.make_word_read(self._reg_address(target, register))
+        yield from self._transport(payload)
+        return payload.word_value()
+
+    def store_word(self, address: int, value: int):
+        payload = GenericPayload.make_word_write(self.memory_base + address, value)
+        yield from self._transport(payload)
+
+    def load_word(self, address: int):
+        payload = GenericPayload.make_word_read(self.memory_base + address)
+        yield from self._transport(payload)
+        return payload.word_value()
+
+    # ------------------------------------------------------------------
+    # Firmware interpretation
+    # ------------------------------------------------------------------
+    def run(self):
+        if self.firmware is None:
+            return
+            yield  # pragma: no cover
+        for instruction in self.firmware:
+            self.quantum_keeper.inc(self.instruction_time)
+            yield from self.quantum_keeper.sync_if_needed()
+            yield from self._execute(instruction)
+            self.instructions_executed += 1
+        yield from self.sync()
+        self.finish_time = self.now
+
+    def _execute(self, instruction: Instruction):
+        opcode = instruction.opcode
+        if opcode is OpCode.WRITE_REG:
+            yield from self.write_reg(instruction.target, instruction.register, instruction.value)
+        elif opcode is OpCode.READ_REG:
+            value = yield from self.read_reg(instruction.target, instruction.register)
+            if instruction.destination:
+                self.variables[instruction.destination] = value
+        elif opcode is OpCode.POLL_REG:
+            yield from self._poll(instruction)
+        elif opcode is OpCode.DELAY:
+            self.quantum_keeper.inc(instruction.value)
+            yield from self.quantum_keeper.sync_if_needed()
+        elif opcode is OpCode.WAIT_IRQ:
+            yield from self._wait_irq(instruction.target)
+        elif opcode is OpCode.MONITOR_FIFOS:
+            yield from self._monitor_fifos(instruction)
+        elif opcode is OpCode.STORE_WORD:
+            yield from self.store_word(instruction.params["address"], instruction.value)
+        elif opcode is OpCode.LOAD_WORD:
+            value = yield from self.load_word(instruction.params["address"])
+            if instruction.destination:
+                self.variables[instruction.destination] = value
+        elif opcode is OpCode.BARRIER:
+            yield from self.sync()
+        else:  # pragma: no cover - exhaustive enum
+            raise SimulationError(f"unknown firmware opcode {opcode}")
+
+    def _poll(self, instruction: Instruction):
+        mask = instruction.params["mask"]
+        expected = instruction.params["expected"]
+        period_ns = instruction.params["period_ns"]
+        max_polls = instruction.params["max_polls"]
+        for _ in range(max_polls):
+            value = yield from self.read_reg(instruction.target, instruction.register)
+            if (value & mask) == expected:
+                return
+            self.quantum_keeper.inc(period_ns)
+            yield from self.quantum_keeper.sync()
+        raise SimulationError(
+            f"core {self.full_name}: poll of {instruction.target}.{instruction.register} "
+            f"did not converge after {max_polls} polls"
+        )
+
+    def _wait_irq(self, target: str):
+        if target not in self.irq_map:
+            raise SimulationError(f"core {self.full_name}: no IRQ mapped for {target!r}")
+        signal = self.irq_map[target]
+        # Waiting for an interrupt is a synchronization point: flush the
+        # local-time offset before suspending on the external event.
+        yield from self.sync()
+        while not signal.read():
+            yield self.wait(signal.value_changed)
+
+    def _monitor_fifos(self, instruction: Instruction):
+        targets = instruction.params["targets"]
+        repetitions = instruction.params["repetitions"]
+        period_ns = instruction.params["period_ns"]
+        for _ in range(repetitions):
+            for target in targets:
+                in_level = yield from self.read_reg(target, "IN_LEVEL")
+                out_level = yield from self.read_reg(target, "OUT_LEVEL")
+                self.monitor_samples.append(
+                    (target, self.local_time_stamp(), in_level, out_level)
+                )
+            self.quantum_keeper.inc(period_ns)
+            yield from self.quantum_keeper.sync_if_needed()

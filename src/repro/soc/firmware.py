@@ -1,0 +1,157 @@
+"""Firmware programs for the control core.
+
+The case-study SoC (Section IV-C) is driven by embedded software running on
+a control core: it configures the hardware accelerators through their
+memory-mapped registers, starts them, monitors their FIFO filling levels
+("for debug and dynamic performance tuning", Section III) and waits for
+completion interrupts.
+
+Modelling a full instruction-set simulator is unnecessary for the paper's
+experiment; what matters is the *traffic pattern* the software generates on
+the interconnect and towards the monitor interfaces.  :class:`Firmware`
+therefore describes the software as a small program of high-level
+operations that the :class:`~repro.soc.core.ControlCore` interprets with
+loosely-timed TLM transactions and quantum-keeper decoupling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class OpCode(enum.Enum):
+    """Operations the control core can execute."""
+
+    WRITE_REG = "write_reg"
+    READ_REG = "read_reg"
+    POLL_REG = "poll_reg"
+    DELAY = "delay"
+    WAIT_IRQ = "wait_irq"
+    MONITOR_FIFOS = "monitor_fifos"
+    STORE_WORD = "store_word"
+    LOAD_WORD = "load_word"
+    BARRIER = "barrier"
+
+
+@dataclass
+class Instruction:
+    """One firmware operation with its operands."""
+
+    opcode: OpCode
+    #: Target peripheral name (accelerator or memory region), when relevant.
+    target: Optional[str] = None
+    #: Register name / memory offset, when relevant.
+    register: Optional[str] = None
+    value: int = 0
+    #: Extra operands (mask, expected value, period, repetitions...).
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Name under which a read result is stored in the core's variable file.
+    destination: Optional[str] = None
+
+
+@dataclass
+class Firmware:
+    """An ordered list of instructions plus expectations used by tests."""
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> "Firmware":
+        self.instructions.append(instruction)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+
+class FirmwareBuilder:
+    """Fluent builder producing :class:`Firmware` programs."""
+
+    def __init__(self, name: str = "firmware"):
+        self._firmware = Firmware(name)
+
+    def build(self) -> Firmware:
+        return self._firmware
+
+    # ------------------------------------------------------------------
+    def write_reg(self, target: str, register: str, value: int) -> "FirmwareBuilder":
+        self._firmware.append(
+            Instruction(OpCode.WRITE_REG, target=target, register=register, value=value)
+        )
+        return self
+
+    def read_reg(self, target: str, register: str, destination: str) -> "FirmwareBuilder":
+        self._firmware.append(
+            Instruction(
+                OpCode.READ_REG, target=target, register=register, destination=destination
+            )
+        )
+        return self
+
+    def poll_reg(
+        self,
+        target: str,
+        register: str,
+        mask: int,
+        expected: int,
+        period_ns: int = 200,
+        max_polls: int = 100000,
+    ) -> "FirmwareBuilder":
+        self._firmware.append(
+            Instruction(
+                OpCode.POLL_REG,
+                target=target,
+                register=register,
+                params={
+                    "mask": mask,
+                    "expected": expected,
+                    "period_ns": period_ns,
+                    "max_polls": max_polls,
+                },
+            )
+        )
+        return self
+
+    def delay(self, duration_ns: int) -> "FirmwareBuilder":
+        self._firmware.append(Instruction(OpCode.DELAY, value=duration_ns))
+        return self
+
+    def wait_irq(self, target: str) -> "FirmwareBuilder":
+        self._firmware.append(Instruction(OpCode.WAIT_IRQ, target=target))
+        return self
+
+    def monitor_fifos(
+        self, targets: Tuple[str, ...], repetitions: int = 1, period_ns: int = 500
+    ) -> "FirmwareBuilder":
+        """Read the FIFO level registers of ``targets`` ``repetitions`` times."""
+        self._firmware.append(
+            Instruction(
+                OpCode.MONITOR_FIFOS,
+                params={
+                    "targets": tuple(targets),
+                    "repetitions": repetitions,
+                    "period_ns": period_ns,
+                },
+            )
+        )
+        return self
+
+    def store_word(self, address: int, value: int) -> "FirmwareBuilder":
+        self._firmware.append(Instruction(OpCode.STORE_WORD, value=value, params={"address": address}))
+        return self
+
+    def load_word(self, address: int, destination: str) -> "FirmwareBuilder":
+        self._firmware.append(
+            Instruction(OpCode.LOAD_WORD, destination=destination, params={"address": address})
+        )
+        return self
+
+    def barrier(self) -> "FirmwareBuilder":
+        """Synchronize the core (flush its local-time offset)."""
+        self._firmware.append(Instruction(OpCode.BARRIER))
+        return self

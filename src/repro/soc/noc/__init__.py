@@ -1,0 +1,21 @@
+"""Stream-based network-on-chip of the case-study SoC.
+
+Routers are non-decoupled ``SC_METHOD`` models with regular FIFOs; network
+interfaces bridge the decoupled accelerator world (Smart FIFOs) and the
+NoC world (packets at kernel dates), as described in Section IV-C.
+"""
+
+from .network_interface import DestNetworkInterface, SourceNetworkInterface
+from .packet import Packet
+from .router import Link, PORTS, Router
+from .topology import Mesh
+
+__all__ = [
+    "DestNetworkInterface",
+    "Link",
+    "Mesh",
+    "PORTS",
+    "Packet",
+    "Router",
+    "SourceNetworkInterface",
+]

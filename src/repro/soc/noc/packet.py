@@ -1,0 +1,36 @@
+"""NoC packets.
+
+The stream NoC of the case-study SoC moves fixed-size packets: a header
+flit carrying the destination plus ``packet_size`` payload words produced
+by the source network interface.  Packets are plain value objects; routers
+never look at the payload, only at the destination coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One NoC packet (header + payload words)."""
+
+    #: Destination router coordinates (x, y).
+    dest: Tuple[int, int]
+    #: Identifier of the destination network interface local port.
+    dest_ni: str
+    #: Identifier of the producing stream (accelerator name).
+    source: str
+    #: Sequence number within the stream (for in-order checking).
+    sequence: int
+    #: Payload words.
+    words: Tuple[int, ...]
+
+    @property
+    def flit_count(self) -> int:
+        """Header flit plus one flit per payload word."""
+        return 1 + len(self.words)
+
+    def __len__(self) -> int:
+        return len(self.words)

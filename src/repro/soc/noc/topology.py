@@ -1,0 +1,86 @@
+"""Mesh topology builder.
+
+Builds a W x H mesh of :class:`~repro.soc.noc.router.Router` modules and
+wires the neighbouring links (each router's north/south/east/west output is
+connected to the corresponding input queue of its neighbour).  Local ports
+are left to the platform, which attaches network interfaces to them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from ...kernel.errors import SimulationError
+from ...kernel.module import Module
+from ...kernel.simtime import SimTime, ns
+from ...kernel.simulator import Simulator
+from .router import Link, Router
+
+
+class Mesh(Module):
+    """A rectangular mesh of routers with XY routing."""
+
+    def __init__(
+        self,
+        parent: Union[Simulator, Module],
+        name: str,
+        width: int = 2,
+        height: int = 2,
+        queue_depth: int = 4,
+        cycle_time: SimTime = ns(2),
+    ):
+        super().__init__(parent, name)
+        if width <= 0 or height <= 0:
+            raise SimulationError(f"mesh dimensions must be positive: {width}x{height}")
+        self.width = width
+        self.height = height
+        self.routers: Dict[Tuple[int, int], Router] = {}
+        for x in range(width):
+            for y in range(height):
+                self.routers[(x, y)] = Router(
+                    self,
+                    f"router_{x}_{y}",
+                    coords=(x, y),
+                    queue_depth=queue_depth,
+                    cycle_time=cycle_time,
+                )
+        self._wire_neighbours()
+
+    # ------------------------------------------------------------------
+    def _wire_neighbours(self) -> None:
+        for (x, y), router in self.routers.items():
+            if x + 1 < self.width:
+                east = self.routers[(x + 1, y)]
+                router.connect_output("east", east.input_link("west"))
+            if x - 1 >= 0:
+                west = self.routers[(x - 1, y)]
+                router.connect_output("west", west.input_link("east"))
+            if y + 1 < self.height:
+                south = self.routers[(x, y + 1)]
+                router.connect_output("south", south.input_link("north"))
+            if y - 1 >= 0:
+                north = self.routers[(x, y - 1)]
+                router.connect_output("north", north.input_link("south"))
+
+    # ------------------------------------------------------------------
+    def router_at(self, coords: Tuple[int, int]) -> Router:
+        if coords not in self.routers:
+            raise SimulationError(f"no router at {coords} in a {self.width}x{self.height} mesh")
+        return self.routers[coords]
+
+    def attach_local_sink(self, coords: Tuple[int, int], link: Link) -> None:
+        """Connect the local output port of a router (packets leaving the NoC)."""
+        self.router_at(coords).connect_output("local", link)
+
+    def injection_link(self, coords: Tuple[int, int]) -> Link:
+        """The link a source network interface injects packets into."""
+        return self.router_at(coords).input_link("local")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_packets_routed(self) -> int:
+        return sum(router.packets_routed for router in self.routers.values())
+
+    @property
+    def total_flits_routed(self) -> int:
+        return sum(router.flits_routed for router in self.routers.values())

@@ -1,0 +1,382 @@
+"""The heterogeneous many-core case-study platform (Section IV-C).
+
+The platform reproduces the *structure* of the industrial SoC described in
+the paper:
+
+* a **control core** running embedded software: it configures and starts
+  the accelerators over a memory-mapped bus, monitors their FIFO filling
+  levels, and waits for their completion interrupts (all of this traffic is
+  temporally decoupled with the standard quantum-keeper method);
+* several **accelerator chains**: a producer accelerator, a configurable
+  number of worker accelerators and a consumer accelerator, each modelled
+  by a temporally decoupled thread;
+* a **stream NoC**: a mesh of non-decoupled ``SC_METHOD`` routers with
+  regular FIFOs, fed through source/destination network interfaces that
+  packetize the streams;
+* **FIFOs** between decoupled accelerators and towards the network
+  interfaces, built either as Smart FIFOs (:attr:`FifoPolicy.SMART`) or as
+  FIFOs that synchronize the caller at every access
+  (:attr:`FifoPolicy.SYNC_PER_ACCESS`) — the two flavours compared by the
+  paper's case-study benchmark.  Both flavours produce exactly the same
+  timing; only the number of context switches (and hence the wall-clock
+  simulation speed) differs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..fifo.packet_fifo import PacketSmartFifo
+from ..fifo.smart_fifo import SmartFifo
+from ..kernel.errors import SimulationError
+from ..kernel.simtime import SimTime, ns, us
+from ..kernel.simulator import Simulator
+from ..tlm.bus import Bus
+from ..tlm.memory import Memory
+from ..workloads.base import TimingMode
+from .accelerator import (
+    AcceleratorBase,
+    ConsumerAccelerator,
+    ProducerAccelerator,
+    WorkerAccelerator,
+)
+from .core import ControlCore
+from .firmware import FirmwareBuilder
+from .noc import DestNetworkInterface, Mesh, SourceNetworkInterface
+
+#: Register offsets shared by every accelerator register bank.
+REGISTER_OFFSETS = {
+    "CTRL": 0x00,
+    "ITEMS": 0x04,
+    "STATUS": 0x08,
+    "IN_LEVEL": 0x0C,
+    "OUT_LEVEL": 0x10,
+    "PROCESSED": 0x14,
+}
+
+ACCEL_REG_BASE = 0x1000_0000
+ACCEL_REG_STRIDE = 0x1000
+MEMORY_BASE = 0x2000_0000
+MEMORY_SIZE = 64 * 1024
+
+
+class FifoPolicy(enum.Enum):
+    """How accelerator-facing FIFOs handle temporal decoupling."""
+
+    #: The paper's contribution: Smart FIFOs, almost no context switch.
+    SMART = "smart"
+    #: The reference: synchronize the caller at every access (same timing,
+    #: one context switch per access).
+    SYNC_PER_ACCESS = "sync"
+
+
+@dataclass
+class SocConfig:
+    """Size and timing parameters of the synthetic platform."""
+
+    n_chains: int = 2
+    workers_per_chain: int = 2
+    items_per_chain: int = 64
+    packet_size: int = 4
+    fifo_depth: int = 8
+    mesh_width: int = 2
+    mesh_height: int = 2
+    producer_word_time: SimTime = field(default_factory=lambda: ns(8))
+    worker_word_time: SimTime = field(default_factory=lambda: ns(10))
+    consumer_word_time: SimTime = field(default_factory=lambda: ns(12))
+    noc_cycle_time: SimTime = field(default_factory=lambda: ns(2))
+    #: Number of FIFO-level monitoring rounds performed by the software.
+    monitor_repetitions: int = 4
+    monitor_period_ns: int = 2000
+    #: Global quantum used by the control core for its memory-mapped traffic.
+    core_quantum: SimTime = field(default_factory=lambda: us(1))
+
+    def validate(self) -> None:
+        if self.items_per_chain % self.packet_size != 0:
+            raise SimulationError(
+                "items_per_chain must be a multiple of packet_size "
+                f"({self.items_per_chain} % {self.packet_size} != 0)"
+            )
+        if self.packet_size > self.fifo_depth:
+            raise SimulationError("packet_size cannot exceed fifo_depth")
+        if self.n_chains <= 0:
+            raise SimulationError("n_chains must be positive")
+
+    @classmethod
+    def small(cls) -> "SocConfig":
+        """A configuration small enough for unit tests."""
+        return cls(n_chains=1, workers_per_chain=1, items_per_chain=16,
+                   monitor_repetitions=2, monitor_period_ns=500)
+
+    @classmethod
+    def benchmark(cls, n_chains: int = 4, items_per_chain: int = 512) -> "SocConfig":
+        """The configuration used by the case-study benchmark (EXP-CASE)."""
+        return cls(
+            n_chains=n_chains,
+            workers_per_chain=3,
+            items_per_chain=items_per_chain,
+            mesh_width=2,
+            mesh_height=max(2, (n_chains + 1) // 2),
+            monitor_repetitions=8,
+        )
+
+
+@dataclass
+class Chain:
+    """The modules of one accelerator chain."""
+
+    index: int
+    producer: ProducerAccelerator
+    workers: List[WorkerAccelerator]
+    consumer: ConsumerAccelerator
+    fifos: List[SmartFifo]
+    ingress: PacketSmartFifo
+    egress: PacketSmartFifo
+
+    @property
+    def accelerators(self) -> List[AcceleratorBase]:
+        return [self.producer, *self.workers, self.consumer]
+
+
+class SocPlatform:
+    """Builds and runs one instance of the case-study SoC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: FifoPolicy = FifoPolicy.SMART,
+        config: Optional[SocConfig] = None,
+    ):
+        self.sim = sim
+        self.policy = policy
+        self.config = config or SocConfig()
+        self.config.validate()
+        self._sync_on_access = policy is FifoPolicy.SYNC_PER_ACCESS
+
+        self.mesh = Mesh(
+            sim,
+            "noc",
+            width=self.config.mesh_width,
+            height=self.config.mesh_height,
+            cycle_time=self.config.noc_cycle_time,
+        )
+        self.bus = Bus(sim, "bus")
+        self.memory = Memory(sim, "memory", MEMORY_SIZE)
+        self.bus.map_target(self.memory.socket, MEMORY_BASE, MEMORY_SIZE, "memory")
+
+        self.chains: List[Chain] = []
+        self._source_nis: Dict[Tuple[int, int], SourceNetworkInterface] = {}
+        self._dest_nis: Dict[Tuple[int, int], DestNetworkInterface] = {}
+        self._accelerators: Dict[str, AcceleratorBase] = {}
+        for index in range(self.config.n_chains):
+            self.chains.append(self._build_chain(index))
+
+        self.core = self._build_core()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _make_fifo(self, name: str) -> SmartFifo:
+        return SmartFifo(
+            self.sim,
+            name,
+            depth=self.config.fifo_depth,
+            sync_on_access=self._sync_on_access,
+        )
+
+    def _make_packet_fifo(self, name: str) -> PacketSmartFifo:
+        return PacketSmartFifo(
+            self.sim,
+            name,
+            depth=self.config.fifo_depth,
+            packet_size=self.config.packet_size,
+            sync_on_access=self._sync_on_access,
+        )
+
+    def _source_ni_at(self, coords: Tuple[int, int]) -> SourceNetworkInterface:
+        if coords not in self._source_nis:
+            ni = SourceNetworkInterface(
+                self.sim,
+                f"src_ni_{coords[0]}_{coords[1]}",
+                packet_size=self.config.packet_size,
+                injection_cycle=self.config.noc_cycle_time,
+            )
+            ni.connect_router(self.mesh.injection_link(coords))
+            self._source_nis[coords] = ni
+        return self._source_nis[coords]
+
+    def _dest_ni_at(self, coords: Tuple[int, int]) -> DestNetworkInterface:
+        if coords not in self._dest_nis:
+            ni = DestNetworkInterface(
+                self.sim,
+                f"dst_ni_{coords[0]}_{coords[1]}",
+                word_delivery_time=self.config.noc_cycle_time,
+            )
+            self.mesh.attach_local_sink(coords, ni.arrival_link())
+            self._dest_nis[coords] = ni
+        return self._dest_nis[coords]
+
+    def _register_accelerator(self, accel: AcceleratorBase) -> None:
+        index = len(self._accelerators)
+        base = ACCEL_REG_BASE + index * ACCEL_REG_STRIDE
+        self.bus.map_target(accel.registers.socket, base, ACCEL_REG_STRIDE, accel.name)
+        self._accelerators[accel.name] = accel
+
+    def _build_chain(self, index: int) -> Chain:
+        cfg = self.config
+        row = index % cfg.mesh_height
+        src_coords = (0, row)
+        dst_coords = (cfg.mesh_width - 1, row)
+
+        producer = ProducerAccelerator(
+            self.sim,
+            f"chain{index}_producer",
+            word_time=cfg.producer_word_time,
+            timing=TimingMode.DECOUPLED,
+            seed=index * 1000,
+        )
+        workers = [
+            WorkerAccelerator(
+                self.sim,
+                f"chain{index}_worker{w}",
+                word_time=cfg.worker_word_time,
+                timing=TimingMode.DECOUPLED,
+            )
+            for w in range(cfg.workers_per_chain)
+        ]
+        consumer = ConsumerAccelerator(
+            self.sim,
+            f"chain{index}_consumer",
+            word_time=cfg.consumer_word_time,
+            timing=TimingMode.DECOUPLED,
+        )
+
+        # Direct (hardwired) FIFOs along the chain.
+        fifos: List[SmartFifo] = []
+        stages = [producer, *workers]
+        for position in range(len(stages) - 1):
+            fifo = self._make_fifo(f"chain{index}_fifo{position}")
+            fifos.append(fifo)
+            stages[position].out_port.bind(fifo)
+            stages[position + 1].in_port.bind(fifo)
+
+        # Last stage -> source NI ingress (packetized Smart FIFO).
+        ingress = self._make_packet_fifo(f"chain{index}_ingress")
+        stages[-1].out_port.bind(ingress)
+        stream_id = f"chain{index}"
+        source_ni = self._source_ni_at(src_coords)
+        source_ni.add_stream(stream_id, ingress, dst_coords, stream_id)
+
+        # Destination NI egress -> consumer.
+        egress = self._make_packet_fifo(f"chain{index}_egress")
+        dest_ni = self._dest_ni_at(dst_coords)
+        dest_ni.connect_egress(stream_id, egress)
+        consumer.in_port.bind(egress)
+
+        chain = Chain(index, producer, workers, consumer, fifos, ingress, egress)
+        for accel in chain.accelerators:
+            self._register_accelerator(accel)
+        return chain
+
+    def _build_core(self) -> ControlCore:
+        firmware = self._build_firmware()
+        core = ControlCore(
+            self.sim,
+            "core",
+            firmware=firmware,
+            quantum=self.config.core_quantum,
+        )
+        core.socket.bind(self.bus)
+        core.set_register_offsets(REGISTER_OFFSETS)
+        core.memory_base = MEMORY_BASE
+        for name in self._accelerators:
+            index = list(self._accelerators).index(name)
+            core.map_peripheral(name, ACCEL_REG_BASE + index * ACCEL_REG_STRIDE)
+        for chain in self.chains:
+            core.map_irq(chain.consumer.name, chain.consumer.irq)
+        return core
+
+    def _build_firmware(self):
+        cfg = self.config
+        builder = FirmwareBuilder("case_study_job")
+        # Configure item counts (consumers and workers before producers).
+        for chain in self.chains:
+            for accel in chain.accelerators:
+                builder.write_reg(accel.name, "ITEMS", cfg.items_per_chain)
+        # Start the pipelines back to front so nobody loses data.
+        for chain in self.chains:
+            for accel in (chain.consumer, *reversed(chain.workers), chain.producer):
+                builder.write_reg(accel.name, "CTRL", 1)
+        # Monitor the FIFO filling levels a few times (low-rate accesses).
+        monitored = tuple(
+            chain.workers[0].name if chain.workers else chain.producer.name
+            for chain in self.chains
+        )
+        if cfg.monitor_repetitions:
+            builder.monitor_fifos(
+                monitored,
+                repetitions=cfg.monitor_repetitions,
+                period_ns=cfg.monitor_period_ns,
+            )
+        # Wait for every consumer to finish, then collect results.
+        for chain in self.chains:
+            builder.wait_irq(chain.consumer.name)
+        for chain in self.chains:
+            builder.read_reg(
+                chain.consumer.name, "PROCESSED", f"{chain.consumer.name}_processed"
+            )
+            builder.store_word(chain.index * 4, chain.index)
+        builder.barrier()
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    # Execution and checks
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        self.sim.run()
+
+    @property
+    def accelerators(self) -> Dict[str, AcceleratorBase]:
+        return dict(self._accelerators)
+
+    def consumer_finish_times(self) -> Dict[str, SimTime]:
+        return {
+            chain.consumer.name: chain.consumer.finish_time for chain in self.chains
+        }
+
+    def expected_checksum(self, chain: Chain) -> int:
+        items = self.config.items_per_chain
+        seed = chain.index * 1000
+        transform_total = len(chain.workers)
+        total = 0
+        for i in range(items):
+            total = (total + seed + i + transform_total) & 0xFFFFFFFF
+        return total
+
+    def verify(self) -> None:
+        """Check that every chain completed and data arrived intact."""
+        for chain in self.chains:
+            consumer = chain.consumer
+            if consumer.items_processed != self.config.items_per_chain:
+                raise SimulationError(
+                    f"{consumer.name} consumed {consumer.items_processed} items, "
+                    f"expected {self.config.items_per_chain}"
+                )
+            if consumer.checksum != self.expected_checksum(chain):
+                raise SimulationError(f"{consumer.name} checksum mismatch")
+            expected_var = f"{consumer.name}_processed"
+            if self.core.variables.get(expected_var) != self.config.items_per_chain:
+                raise SimulationError(
+                    f"core read back {self.core.variables.get(expected_var)} for "
+                    f"{expected_var}, expected {self.config.items_per_chain}"
+                )
+
+    def fifo_blocking_waits(self) -> int:
+        """Total number of blocking suspensions caused by accelerator FIFOs."""
+        total = 0
+        for chain in self.chains:
+            for fifo in (*chain.fifos, chain.ingress, chain.egress):
+                total += fifo.blocking_waits
+        return total

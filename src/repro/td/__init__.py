@@ -1,0 +1,32 @@
+"""Temporal decoupling core.
+
+Implements the ``inc`` / ``sync`` / ``local_time_stamp`` primitives of
+Section II of the paper, the per-process local-date map, and the TLM-style
+global quantum / quantum keeper used by memory-mapped initiators.
+"""
+
+from .decoupling import (
+    DecoupledMixin,
+    DecoupledModule,
+    inc,
+    is_synchronized,
+    local_offset,
+    local_time_stamp,
+    sync,
+)
+from .local_time import LocalTimeManager, get_local_time_manager
+from .quantum import GlobalQuantum, QuantumKeeper
+
+__all__ = [
+    "DecoupledMixin",
+    "DecoupledModule",
+    "GlobalQuantum",
+    "LocalTimeManager",
+    "QuantumKeeper",
+    "get_local_time_manager",
+    "inc",
+    "is_synchronized",
+    "local_offset",
+    "local_time_stamp",
+    "sync",
+]

@@ -1,0 +1,144 @@
+"""The temporal decoupling core API.
+
+The paper (Section II-A) defines temporal decoupling through two basic
+primitives plus an accessor:
+
+* ``inc(duration)`` — a *low-cost* operation that advances the local date of
+  the calling process without involving the kernel;
+* ``sync()`` — a *costly* operation that suspends the calling process until
+  the global date has caught up with its local date (one context switch);
+* ``local_time_stamp()`` — the local date of the calling process, the
+  decoupled counterpart of ``sc_time_stamp()``.
+
+They are offered both as free functions operating on the current process
+(the style used in the paper's pseudo-code) and as methods of
+:class:`DecoupledMixin` / :class:`DecoupledModule` for module-oriented code.
+``sync()`` is a generator and must be invoked as ``yield from sync()``
+from a thread body; calling it from a method process is an error, since
+method processes cannot wait (that is precisely why the Smart FIFO has a
+non-blocking interface).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel import context
+from ..kernel.errors import ProcessError
+from ..kernel.module import Module
+from ..kernel.process import MethodProcess, ThreadProcess, Timeout
+from ..kernel.simtime import SimTime, TimeUnit, as_time
+from ..kernel.simulator import Simulator
+from .local_time import LocalTimeManager, get_local_time_manager
+
+
+def _current(sim: Optional[Simulator] = None):
+    sim = sim or context.current_simulator()
+    process = sim.scheduler.current_process
+    if process is None:
+        raise ProcessError("temporal decoupling API used outside of a process")
+    return sim, process, get_local_time_manager(sim)
+
+
+def inc(duration, unit: TimeUnit = TimeUnit.NS, sim: Optional[Simulator] = None) -> SimTime:
+    """Advance the local date of the calling process by ``duration``.
+
+    Returns the new local date.  This is the cheap timing-annotation
+    primitive: no context switch, no kernel interaction.
+    """
+    sim, process, manager = _current(sim)
+    new_fs = manager.advance(process, as_time(duration, unit))
+    return SimTime.from_femtoseconds(new_fs)
+
+
+def local_time_stamp(sim: Optional[Simulator] = None) -> SimTime:
+    """Return the local date of the calling process (≥ global date)."""
+    sim = sim or context.current_simulator()
+    manager = get_local_time_manager(sim)
+    return manager.local_time(sim.scheduler.current_process)
+
+
+def local_offset(sim: Optional[Simulator] = None) -> SimTime:
+    """Return how far the calling process is ahead of the global date."""
+    sim = sim or context.current_simulator()
+    manager = get_local_time_manager(sim)
+    return SimTime.from_femtoseconds(
+        manager.offset_fs(sim.scheduler.current_process)
+    )
+
+
+def sync(sim: Optional[Simulator] = None):
+    """Synchronize the calling thread: wait until global time reaches its
+    local date.  Must be used as ``yield from sync()``.
+
+    If the process is already synchronized this is (almost) free: no wait is
+    executed and no context switch happens.
+    """
+    sim, process, manager = _current(sim)
+    if isinstance(process, MethodProcess):
+        raise ProcessError(
+            f"sync() called from method process {process.name}: method "
+            f"processes cannot wait; use the Smart FIFO non-blocking interface"
+        )
+    offset_fs = manager.offset_fs(process)
+    if offset_fs > 0:
+        yield Timeout(SimTime.from_femtoseconds(offset_fs))
+    manager.set_synchronized(process)
+    return SimTime.from_femtoseconds(sim.now_fs)
+
+
+def is_synchronized(sim: Optional[Simulator] = None) -> bool:
+    """True when the calling process' local date equals the global date."""
+    sim = sim or context.current_simulator()
+    manager = get_local_time_manager(sim)
+    return manager.is_synchronized(sim.scheduler.current_process)
+
+
+class DecoupledMixin:
+    """Mixin adding the temporal-decoupling API to a :class:`Module`.
+
+    The mixin also overrides :meth:`log` so that trace lines carry the
+    *local* date of the emitting process, which is what the paper's
+    trace-equivalence validation compares.
+    """
+
+    @property
+    def local_time_manager(self) -> LocalTimeManager:
+        return get_local_time_manager(self.sim)
+
+    def inc(self, duration, unit: TimeUnit = TimeUnit.NS) -> SimTime:
+        """Advance the local date of the current process (cheap)."""
+        return inc(duration, unit, sim=self.sim)
+
+    def sync(self):
+        """Synchronize the current thread; use as ``yield from self.sync()``."""
+        return sync(sim=self.sim)
+
+    def local_time_stamp(self) -> SimTime:
+        """Local date of the current process."""
+        return local_time_stamp(sim=self.sim)
+
+    def local_offset(self) -> SimTime:
+        return local_offset(sim=self.sim)
+
+    def is_synchronized(self) -> bool:
+        return is_synchronized(sim=self.sim)
+
+    def log(self, message: str, local_time: Optional[SimTime] = None) -> None:
+        if local_time is None:
+            local_time = self.local_time_stamp()
+        self.sim.log(message, local_time=local_time)
+
+    def timed_wait(self, duration, unit: TimeUnit = TimeUnit.NS):
+        """``inc`` followed by ``sync``: equivalent to a plain ``wait``.
+
+        The paper notes that ``inc(d); sync()`` is equivalent to ``wait(d)``;
+        this helper makes the non-decoupled reference implementations easy to
+        express with the same code as the decoupled ones.
+        """
+        self.inc(duration, unit)
+        return (yield from self.sync())
+
+
+class DecoupledModule(DecoupledMixin, Module):
+    """A :class:`Module` whose processes use temporal decoupling."""

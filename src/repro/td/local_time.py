@@ -1,0 +1,148 @@
+"""Per-process local dates.
+
+In a temporally decoupled model each process has a *local date* that is
+greater than or equal to the global date managed by the simulation kernel
+(Section II-A of the paper).  Following the paper, the association between a
+process and its local date is kept in a map keyed by the process handle, so
+that channels such as the Smart FIFO can retrieve the caller's local date
+without it being passed explicitly.
+
+The map stores absolute local dates in femtoseconds.  A process that never
+called :func:`~repro.td.decoupling.inc` is synchronized by definition: its
+local date is the global date.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..kernel.errors import TimingError
+from ..kernel.process import Process
+from ..kernel.simtime import SimTime
+from ..kernel.simulator import Simulator
+
+
+class LocalTimeManager:
+    """Holds the local date of every decoupled process of one simulator."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        # pid -> absolute local date in femtoseconds.
+        self._local_fs: Dict[int, int] = {}
+        # pid -> process name, for error messages and introspection.
+        self._names: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def local_fs(self, process: Optional[Process]) -> int:
+        """Local date (fs) of ``process``; the global date if undecoupled.
+
+        The local date can never be behind the global date: if the kernel
+        advanced past the stored value (the process was synchronized and
+        time moved on), the global date is returned.
+        """
+        now_fs = self.sim.now_fs
+        if process is None:
+            return now_fs
+        stored = self._local_fs.get(process.pid)
+        if stored is None or stored < now_fs:
+            return now_fs
+        return stored
+
+    def local_time(self, process: Optional[Process]) -> SimTime:
+        return SimTime.from_femtoseconds(self.local_fs(process))
+
+    def offset_fs(self, process: Optional[Process]) -> int:
+        """How far ahead of the global date ``process`` currently is."""
+        return self.local_fs(process) - self.sim.now_fs
+
+    def is_synchronized(self, process: Optional[Process]) -> bool:
+        return self.offset_fs(process) == 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def advance(self, process: Process, duration: SimTime) -> int:
+        """Add ``duration`` to the local date of ``process``; return it."""
+        return self.advance_fs(process, duration.femtoseconds)
+
+    def advance_fs(self, process: Process, delta_fs: int) -> int:
+        """Fast path of :meth:`advance`: the delta is already in femtoseconds.
+
+        This is the hot function of every finely-annotated decoupled model
+        (one call per timing annotation), so it avoids building
+        :class:`SimTime` objects.
+        """
+        pid = process.pid
+        now_fs = self.sim.scheduler.now_fs
+        stored = self._local_fs.get(pid)
+        if stored is None or stored < now_fs:
+            stored = now_fs
+            self._names[pid] = process.name
+        new_fs = stored + delta_fs
+        self._local_fs[pid] = new_fs
+        return new_fs
+
+    def advance_to(self, process: Process, target_fs: int) -> int:
+        """Raise the local date of ``process`` up to ``target_fs``.
+
+        Used by the Smart FIFO when a cell timestamp is ahead of the caller.
+        Lowering the local date is forbidden (time must go forward on each
+        FIFO side, Section III).
+        """
+        current = self.local_fs(process)
+        if target_fs < current:
+            raise TimingError(
+                f"cannot move local time of {process.name} backwards "
+                f"({SimTime.from_femtoseconds(current)} -> "
+                f"{SimTime.from_femtoseconds(target_fs)})"
+            )
+        self._local_fs[process.pid] = target_fs
+        self._names[process.pid] = process.name
+        return target_fs
+
+    def local_fs_fast(self, process: Optional[Process], now_fs: int) -> int:
+        """Variant of :meth:`local_fs` for callers that already know the
+        global date (saves one attribute chain on the hot path)."""
+        if process is None:
+            return now_fs
+        stored = self._local_fs.get(process.pid)
+        if stored is None or stored < now_fs:
+            return now_fs
+        return stored
+
+    def set_synchronized(self, process: Process) -> None:
+        """Record that ``process`` is now synchronized (after a sync wait)."""
+        self._local_fs[process.pid] = self.sim.now_fs
+        self._names[process.pid] = process.name
+
+    def forget(self, process: Process) -> None:
+        self._local_fs.pop(process.pid, None)
+        self._names.pop(process.pid, None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def decoupled_processes(self):
+        """Yield (name, local date) for every process ahead of global time."""
+        now_fs = self.sim.now_fs
+        for pid, local in self._local_fs.items():
+            if local > now_fs:
+                yield self._names.get(pid, f"pid{pid}"), SimTime.from_femtoseconds(local)
+
+    def max_local_fs(self) -> int:
+        """The furthest local date of any process (≥ global date)."""
+        now_fs = self.sim.now_fs
+        if not self._local_fs:
+            return now_fs
+        return max(now_fs, max(self._local_fs.values()))
+
+
+def get_local_time_manager(sim: Simulator) -> LocalTimeManager:
+    """Return the (lazily created) local-time manager of ``sim``."""
+    manager = getattr(sim, "_local_time_manager", None)
+    if manager is None:
+        manager = LocalTimeManager(sim)
+        sim._local_time_manager = manager
+    return manager

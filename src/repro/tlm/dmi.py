@@ -1,0 +1,87 @@
+"""Direct memory interface (DMI).
+
+Loosely-timed initiators that access the same memory region over and over
+(the control core polling a job descriptor, for instance) can bypass the
+transaction path entirely once a target granted them a direct pointer.
+This mirrors the TLM-2.0 DMI mechanism: the initiator asks for a
+:class:`DmiRegion`, then reads/writes the underlying buffer directly while
+accounting for the advertised per-access latency with ``inc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..kernel.errors import TlmError
+from ..kernel.simtime import SimTime, ZERO_TIME
+from .memory import Memory
+
+
+@dataclass
+class DmiRegion:
+    """A direct-access grant on a memory range."""
+
+    base: int
+    size: int
+    read_latency: SimTime
+    write_latency: SimTime
+    memory: Memory
+    allow_read: bool = True
+    allow_write: bool = True
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        return self.base <= address and address + length <= self.base + self.size
+
+    def read(self, address: int, length: int) -> bytes:
+        if not self.allow_read:
+            raise TlmError("DMI region does not allow reads")
+        if not self.contains(address, length):
+            raise TlmError(f"DMI read out of granted range at 0x{address:x}")
+        return self.memory.dump(address - self.base, length)
+
+    def write(self, address: int, data: bytes) -> None:
+        if not self.allow_write:
+            raise TlmError("DMI region does not allow writes")
+        if not self.contains(address, len(data)):
+            raise TlmError(f"DMI write out of granted range at 0x{address:x}")
+        self.memory.load(address - self.base, data)
+
+
+class DmiAllower:
+    """Grants DMI regions on a :class:`Memory` mapped at a base address."""
+
+    def __init__(self, memory: Memory, base: int, enabled: bool = True):
+        self.memory = memory
+        self.base = base
+        self.enabled = enabled
+        self.grants = 0
+        self.invalidations = 0
+        self._granted: Optional[DmiRegion] = None
+
+    def get_dmi(self, address: int) -> Optional[DmiRegion]:
+        """Return a grant covering ``address``, or None when DMI is disabled."""
+        if not self.enabled:
+            return None
+        if not (self.base <= address < self.base + self.memory.size):
+            return None
+        self.grants += 1
+        self._granted = DmiRegion(
+            base=self.base,
+            size=self.memory.size,
+            read_latency=self.memory.read_latency,
+            write_latency=self.memory.write_latency,
+            memory=self.memory,
+        )
+        return self._granted
+
+    def invalidate(self) -> None:
+        """Withdraw the grant (models remapping / protection changes)."""
+        if self._granted is not None:
+            self._granted.allow_read = False
+            self._granted.allow_write = False
+            self._granted = None
+            self.invalidations += 1
+
+
+ZERO_TIME  # re-export convenience

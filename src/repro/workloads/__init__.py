@@ -1,0 +1,60 @@
+"""Benchmark and validation workloads.
+
+* :mod:`repro.workloads.streaming` — the Fig. 1/2/3 writer/reader example
+  and the Fig. 5 source/transmitter/sink pipeline;
+* :mod:`repro.workloads.video` — a video-decoder-like accelerator chain;
+* :mod:`repro.workloads.random_traffic` — seeded random producer/consumer
+  scenarios with monitor sampling, used by the trace-equivalence
+  validation (Section IV-A).
+"""
+
+from .base import TimingMode, WorkloadModule
+from .random_traffic import (
+    FillLevelMonitor,
+    RandomConsumer,
+    RandomProducer,
+    RandomTrafficConfig,
+    RandomTrafficScenario,
+    run_pair,
+)
+from .streaming import (
+    ExampleMode,
+    PipelineModel,
+    Sink,
+    Source,
+    StreamingConfig,
+    StreamingPipeline,
+    Transmitter,
+    WriterReaderExample,
+)
+from .video import (
+    BitstreamParser,
+    ComputeStage,
+    Display,
+    VideoConfig,
+    VideoPipeline,
+)
+
+__all__ = [
+    "BitstreamParser",
+    "ComputeStage",
+    "Display",
+    "ExampleMode",
+    "FillLevelMonitor",
+    "PipelineModel",
+    "RandomConsumer",
+    "RandomProducer",
+    "RandomTrafficConfig",
+    "RandomTrafficScenario",
+    "Sink",
+    "Source",
+    "StreamingConfig",
+    "StreamingPipeline",
+    "TimingMode",
+    "Transmitter",
+    "VideoConfig",
+    "VideoPipeline",
+    "WorkloadModule",
+    "WriterReaderExample",
+    "run_pair",
+]

@@ -1,0 +1,125 @@
+"""Shared machinery for the benchmark workloads.
+
+Every workload module (sources, sinks, transmitters, accelerator-like
+stages, random producers/consumers) exists in the three flavours compared
+throughout the paper's evaluation:
+
+* ``UNTIMED``   — no timing annotation at all (fastest, no timing info);
+* ``TIMED_WAIT`` — timing annotations executed as plain ``wait`` calls, one
+  context switch per annotation (the paper's *TDless* reference);
+* ``DECOUPLED`` — timing annotations executed as ``inc`` on the process
+  local time (the paper's *TDfull* model, to be combined with Smart FIFOs).
+
+To keep the comparison fair, all flavours run exactly the same module code;
+only :meth:`WorkloadModule.advance` changes behaviour.  The helper is a
+generator in every mode so the per-word overhead of driving it is identical
+across flavours.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+from ..kernel.module import Module
+from ..kernel.process import Timeout
+from ..kernel.simtime import SimTime, TimeUnit, as_time
+from ..kernel.simulator import Simulator
+from ..td.decoupling import DecoupledMixin
+
+
+class TimingMode(enum.Enum):
+    """How timing annotations are executed by a workload module."""
+
+    UNTIMED = "untimed"
+    TIMED_WAIT = "timed_wait"
+    DECOUPLED = "decoupled"
+    #: Classic TLM-2.0 style: accumulate annotations on the local time and
+    #: synchronize when the global quantum is reached.  Fast, but accuracy
+    #: depends on the quantum (Section II-A discussion); used by the
+    #: EXP-QUANTUM ablation.
+    QUANTUM = "quantum"
+
+    @property
+    def is_timed(self) -> bool:
+        return self is not TimingMode.UNTIMED
+
+    @property
+    def is_decoupled(self) -> bool:
+        return self in (TimingMode.DECOUPLED, TimingMode.QUANTUM)
+
+
+class WorkloadModule(DecoupledMixin, Module):
+    """Base class of all workload modules.
+
+    Subclasses implement their behaviour once and call
+    ``yield from self.advance(duration)`` wherever the real hardware would
+    spend time.  The constructor-selected :class:`TimingMode` decides
+    whether that advances nothing, the kernel time (``wait``) or the local
+    time (``inc``).
+    """
+
+    def __init__(
+        self,
+        parent: Union[Simulator, Module],
+        name: str,
+        timing: TimingMode = TimingMode.TIMED_WAIT,
+    ):
+        super().__init__(parent, name)
+        self.timing = timing
+        #: Local date at which the module finished its job (None until done).
+        self.finish_time: Optional[SimTime] = None
+        #: Number of payload items this module processed.
+        self.items_processed = 0
+        self._quantum_keeper = None
+        # Hot-path caches for the decoupled annotation path.
+        self._scheduler = self.sim.scheduler
+        from ..td.local_time import get_local_time_manager
+
+        self._ltm = get_local_time_manager(self.sim)
+
+    @property
+    def quantum_keeper(self):
+        """Quantum keeper used in :attr:`TimingMode.QUANTUM` (lazily built)."""
+        if self._quantum_keeper is None:
+            from ..td.quantum import QuantumKeeper
+
+            self._quantum_keeper = QuantumKeeper(self)
+        return self._quantum_keeper
+
+    # ------------------------------------------------------------------
+    def advance(self, duration, unit: TimeUnit = TimeUnit.NS):
+        """Spend ``duration`` of simulated time according to the timing mode.
+
+        The ``DECOUPLED`` branch is the hot path of every finely-annotated
+        model (one call per word in the Fig. 5 benchmark), so it updates the
+        local-time map directly instead of going through the generic
+        ``inc``/``SimTime`` layers.
+        """
+        timing = self.timing
+        if timing is TimingMode.DECOUPLED:
+            self._ltm.advance_fs(
+                self._scheduler.current_process, round(duration * unit)
+            )
+            return
+        if timing is TimingMode.UNTIMED:
+            return
+        if timing is TimingMode.TIMED_WAIT:
+            yield Timeout(as_time(duration, unit))
+            return
+        self.quantum_keeper.inc(duration, unit)
+        yield from self.quantum_keeper.sync_if_needed()
+
+    def mark_finished(self) -> None:
+        """Record the completion date (local date for decoupled modules)."""
+        if self.timing.is_decoupled:
+            self.finish_time = self.local_time_stamp()
+        else:
+            self.finish_time = self.now
+
+    def checkpoint(self, message: str) -> None:
+        """Trace helper stamping the local date in decoupled mode."""
+        if self.timing.is_decoupled:
+            self.log(message)
+        else:
+            self.log(message, local_time=self.now)

@@ -1,0 +1,66 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import Module, Simulator
+from repro.kernel.simtime import TimeUnit
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator per test."""
+    return Simulator("test")
+
+
+class Recorder:
+    """Collects (time_ns, label) pairs emitted by test processes."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.entries = []
+
+    def mark(self, label: str) -> None:
+        self.entries.append((self.sim.now.to(TimeUnit.NS), label))
+
+    @property
+    def labels(self):
+        return [label for _, label in self.entries]
+
+    @property
+    def times(self):
+        return [time for time, _ in self.entries]
+
+
+@pytest.fixture
+def recorder(sim):
+    return Recorder(sim)
+
+
+class ThreadHost(Module):
+    """A module hosting arbitrary generator functions as threads."""
+
+    def __init__(self, parent, name="host"):
+        super().__init__(parent, name)
+
+    def add(self, func, name=None):
+        return self.create_thread(func, name=name or getattr(func, "__name__", "thread"))
+
+    def add_method(self, func, name=None, sensitivity=None, dont_initialize=False):
+        return self.create_method(
+            func,
+            name=name or getattr(func, "__name__", "method"),
+            sensitivity=sensitivity,
+            dont_initialize=dont_initialize,
+        )
+
+
+@pytest.fixture
+def host(sim):
+    return ThreadHost(sim)
+
+
+def ns_of(sim_time) -> float:
+    """Shorthand used all over the assertions."""
+    return sim_time.to(TimeUnit.NS)

@@ -1,0 +1,65 @@
+"""Smoke tests running every example script end to end.
+
+The examples double as documentation; these tests keep them working (each
+example performs its own internal assertions about the paper's claims, so a
+passing run is meaningful, not just import coverage).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name, *args):
+    script = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    result = subprocess.run(
+        [sys.executable, script, *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "traces equivalent" in output
+        assert "--- smart" in output
+
+    def test_streaming_pipeline(self):
+        output = run_example(
+            "streaming_pipeline.py", "--blocks", "4", "--words", "20", "--depths", "1,4,16"
+        )
+        assert "accuracy check passed" in output
+        assert "TDfull speedup vs TDless" in output
+
+    def test_soc_case_study(self):
+        output = run_example(
+            "soc_case_study.py", "--chains", "1", "--items", "64", "--workers", "1"
+        )
+        assert "timing check passed" in output
+        assert "context switches" in output
+
+    def test_monitor_and_methods(self):
+        output = run_example("monitor_and_methods.py")
+        assert "frame dates identical in both modes" in output
+        assert "level=" in output
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart.py", "streaming_pipeline.py", "soc_case_study.py", "monitor_and_methods.py"],
+)
+def test_example_exists_and_is_documented(name):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    assert os.path.exists(path)
+    with open(path) as handle:
+        source = handle.read()
+    assert source.lstrip().startswith(("#!/usr/bin/env python3", '"""'))
+    assert '"""' in source  # module docstring explaining the scenario

@@ -1,0 +1,227 @@
+"""Mutation-killer regression tests (Section IV-A methodology).
+
+The paper validates the Smart FIFO test suite with manual mutation testing:
+altering a line of the implementation must make at least one test fail.
+The tests below pin down the individual algorithmic ingredients of
+Section III so that the most plausible mutations are each caught by a
+dedicated, precise assertion:
+
+* dropping the reader-side local-time adjustment (read step 2),
+* dropping the writer-side adjustment to the freeing date (write step 2),
+* forgetting to record insertion/freeing dates (steps 3),
+* notifying the external events immediately instead of at the real date,
+* ignoring the freeing/insertion-date rules of the monitor interface.
+"""
+
+from repro.fifo import SmartFifo
+from repro.kernel import Simulator
+from repro.kernel.simtime import TimeUnit, ns
+from repro.td import DecoupledModule
+
+
+class Stamp(DecoupledModule):
+    """Minimal decoupled module with helpers used by the scenarios below."""
+
+    def __init__(self, parent, name):
+        super().__init__(parent, name)
+        self.observations = []
+        self.create_thread(self.run)
+
+    def run(self):  # pragma: no cover - overridden per scenario
+        yield from ()
+
+
+class TestReadTimeAdjustment:
+    def test_read_date_equals_insertion_date_when_reader_early(self):
+        """Mutation target: read step 2 (raise reader local time)."""
+        sim = Simulator()
+        fifo = SmartFifo(sim, "fifo", depth=4)
+        dates = {}
+
+        class Writer(Stamp):
+            def run(self):
+                self.inc(80)
+                yield from fifo.write("x")
+
+        class Reader(Stamp):
+            def run(self):
+                value = yield from fifo.read()
+                dates["read"] = self.local_time_stamp().to(TimeUnit.NS)
+                dates["value"] = value
+
+        Writer(sim, "writer")
+        Reader(sim, "reader")
+        sim.run()
+        assert dates == {"read": 80.0, "value": "x"}
+
+    def test_read_date_keeps_reader_time_when_reader_late(self):
+        sim = Simulator()
+        fifo = SmartFifo(sim, "fifo", depth=4)
+        dates = {}
+
+        class Writer(Stamp):
+            def run(self):
+                yield from fifo.write("x")   # inserted at 0 ns
+
+        class Reader(Stamp):
+            def run(self):
+                self.inc(33)
+                yield from fifo.read()
+                dates["read"] = self.local_time_stamp().to(TimeUnit.NS)
+
+        Writer(sim, "writer")
+        Reader(sim, "reader")
+        sim.run()
+        assert dates == {"read": 33.0}
+
+
+class TestWriteTimeAdjustment:
+    def test_write_date_equals_freeing_date_when_fifo_full(self):
+        """Mutation target: write step 2 (raise writer local time)."""
+        sim = Simulator()
+        fifo = SmartFifo(sim, "fifo", depth=1)
+        dates = {}
+
+        class Writer(Stamp):
+            def run(self):
+                yield from fifo.write("first")    # occupies the single cell
+                yield from fifo.write("second")   # must wait for the free
+                dates["second_write"] = self.local_time_stamp().to(TimeUnit.NS)
+
+        class Reader(Stamp):
+            def run(self):
+                self.inc(64)
+                yield from fifo.read()            # frees the cell at 64 ns
+
+        Writer(sim, "writer")
+        Reader(sim, "reader")
+        sim.run()
+        assert dates == {"second_write": 64.0}
+
+    def test_freeing_date_not_recorded_would_break_second_round(self):
+        """Mutation target: recording the freeing date in the cell."""
+        sim = Simulator()
+        fifo = SmartFifo(sim, "fifo", depth=1)
+        write_dates = []
+
+        class Writer(Stamp):
+            def run(self):
+                for value in range(3):
+                    yield from fifo.write(value)
+                    write_dates.append(self.local_time_stamp().to(TimeUnit.NS))
+
+        class Reader(Stamp):
+            def run(self):
+                for _ in range(3):
+                    value = yield from fifo.read()
+                    self.inc(50)
+                    del value
+
+        Writer(sim, "writer")
+        Reader(sim, "reader")
+        sim.run()
+        # The reader reads at 0/50/100 ns; the first free happens at 0 ns (the
+        # read completes before the 50 ns annotation), so the second write
+        # still lands at 0 ns while the third is gated by the 50 ns free.
+        assert write_dates == [0.0, 0.0, 50.0]
+
+
+class TestDelayedNotificationDates:
+    def test_not_empty_fires_at_insertion_not_at_execution(self):
+        """Mutation target: delaying the external notification."""
+        sim = Simulator()
+        fifo = SmartFifo(sim, "fifo", depth=4, always_notify_external=True)
+        wake = {}
+
+        class Writer(Stamp):
+            def run(self):
+                self.inc(42)
+                yield from fifo.write("x")   # executed at global 0, dated 42
+
+        def waiter():
+            yield sim.wait(fifo.not_empty_event)
+            wake["date"] = sim.now.to(TimeUnit.NS)
+
+        Writer(sim, "writer")
+        sim.create_thread(waiter, name="waiter")
+        sim.run()
+        assert wake == {"date": 42.0}
+
+    def test_is_empty_uses_caller_date_not_internal_state(self):
+        """Mutation target: the two-test is_empty of Section III-B."""
+        sim = Simulator()
+        fifo = SmartFifo(sim, "fifo", depth=4)
+        checks = {}
+
+        class Writer(Stamp):
+            def run(self):
+                self.inc(90)
+                yield from fifo.write("x")
+
+        def observer():
+            yield sim.wait(10)
+            checks["early"] = fifo.is_empty()     # internally busy, really empty
+            yield sim.wait(100)
+            checks["late"] = fifo.is_empty()
+
+        Writer(sim, "writer")
+        sim.create_thread(observer, name="observer")
+        sim.run()
+        assert checks == {"early": True, "late": False}
+
+
+class TestMonitorRules:
+    def test_get_size_counts_items_not_yet_really_consumed(self):
+        """Mutation target: the free-cell rule (freeing date in the future)."""
+        sim = Simulator()
+        fifo = SmartFifo(sim, "fifo", depth=4)
+        sizes = {}
+
+        class Writer(Stamp):
+            def run(self):
+                yield from fifo.write("x")     # inserted at 0 ns
+
+        class Reader(Stamp):
+            def run(self):
+                self.inc(70)
+                yield from fifo.read()         # really consumed at 70 ns
+
+        def monitor():
+            yield sim.wait(30)
+            size = yield from fifo.get_size()
+            sizes[30] = size
+            yield sim.wait(50)
+            size = yield from fifo.get_size()
+            sizes[80] = size
+
+        Writer(sim, "writer")
+        Reader(sim, "reader")
+        sim.create_thread(monitor, name="monitor")
+        sim.run()
+        # At 30 ns the item is internally gone (the decoupled reader popped
+        # it at global 0) but really still in the FIFO; at 80 ns it left.
+        assert sizes == {30: 1, 80: 0}
+
+    def test_get_size_ignores_items_inserted_in_the_future(self):
+        """Mutation target: the busy-cell rule (insertion date in the past)."""
+        sim = Simulator()
+        fifo = SmartFifo(sim, "fifo", depth=4)
+        sizes = {}
+
+        class Writer(Stamp):
+            def run(self):
+                self.inc(60)
+                yield from fifo.write("x")     # inserted at 60 ns
+
+        def monitor():
+            yield sim.wait(20)
+            size = yield from fifo.get_size()
+            sizes[20] = size
+            yield sim.wait(60)
+            size = yield from fifo.get_size()
+            sizes[80] = size
+
+        Writer(sim, "writer")
+        sim.create_thread(monitor, name="monitor")
+        sim.run()
+        assert sizes == {20: 0, 80: 1}

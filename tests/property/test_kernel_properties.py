@@ -1,0 +1,120 @@
+"""Property-based tests for the simulation kernel scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Module, Simulator
+from repro.kernel.simtime import TimeUnit
+
+
+class Waiter(Module):
+    """A thread performing a fixed sequence of waits, recording wake dates."""
+
+    def __init__(self, parent, name, waits, log):
+        super().__init__(parent, name)
+        self.waits = list(waits)
+        self.log = log
+        self.create_thread(self.run)
+
+    def run(self):
+        for duration in self.waits:
+            yield self.wait(duration)
+            self.log.append((self.full_name, self.now.to(TimeUnit.NS)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=8),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_wake_dates_are_cumulative_sums(wait_lists):
+    """Every thread wakes exactly at the running sum of its wait durations."""
+    sim = Simulator()
+    log = []
+    waiters = [
+        Waiter(sim, f"waiter{i}", waits, log) for i, waits in enumerate(wait_lists)
+    ]
+    sim.run()
+    for i, waits in enumerate(wait_lists):
+        expected, total = [], 0
+        for duration in waits:
+            total += duration
+            expected.append((f"waiter{i}", float(total)))
+        observed = [entry for entry in log if entry[0] == f"waiter{i}"]
+        assert observed == expected
+    del waiters
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=8),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_global_time_is_monotonic(wait_lists):
+    """Wake-up dates never decrease in emission order (time moves forward)."""
+    sim = Simulator()
+    log = []
+    for i, waits in enumerate(wait_lists):
+        Waiter(sim, f"waiter{i}", waits, log)
+    sim.run()
+    dates = [date for _, date in log]
+    assert dates == sorted(dates)
+    assert sim.now.to(TimeUnit.NS) == max(
+        (sum(waits) for waits in wait_lists), default=0
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=10))
+def test_event_notifications_fire_in_date_order(delays):
+    """Timed notifications of distinct events are observed in date order."""
+    sim = Simulator()
+    log = []
+    events = [sim.create_event(f"e{i}") for i in range(len(delays))]
+
+    def notifier():
+        for event, delay in zip(events, delays):
+            event.notify(sim.wait(delay).duration)
+        yield sim.wait(0)
+
+    sim.create_thread(notifier, name="notifier")
+
+    def make_waiter(index, event):
+        def waiter():
+            yield sim.wait(event)
+            log.append((index, sim.now.to(TimeUnit.NS)))
+
+        return waiter
+
+    for index, event in enumerate(events):
+        sim.create_thread(make_waiter(index, event), name=f"waiter{index}")
+    sim.run()
+    assert len(log) == len(delays)
+    observed_dates = [date for _, date in log]
+    assert observed_dates == sorted(observed_dates)
+    for index, date in log:
+        assert date == float(delays[index])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=30),
+)
+def test_context_switch_count_is_deterministic(n_waits, period):
+    """Running the same model twice gives the exact same kernel statistics."""
+
+    def run_once():
+        sim = Simulator()
+        log = []
+        Waiter(sim, "waiter", [period] * n_waits, log)
+        sim.run()
+        return sim.stats.snapshot()
+
+    assert run_once() == run_once()

@@ -1,0 +1,124 @@
+"""Property-based tests for the packet-aware Smart FIFO."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fifo import PacketSmartFifo
+from repro.kernel import Simulator
+from repro.kernel.simtime import TimeUnit
+from repro.td import DecoupledModule
+
+
+class WordWriter(DecoupledModule):
+    """Writes words with per-word local delays taken from a list."""
+
+    def __init__(self, parent, name, fifo, delays):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.delays = list(delays)
+        self.create_thread(self.run)
+
+    def run(self):
+        for index, delay in enumerate(self.delays):
+            yield from self.fifo.write(index)
+            self.inc(delay)
+
+
+class PacketReader(DecoupledModule):
+    """Reads packets (blocking), recording contents and completion dates."""
+
+    def __init__(self, parent, name, fifo, n_packets, gap_ns):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.n_packets = n_packets
+        self.gap_ns = gap_ns
+        self.packets = []
+        self.dates = []
+        self.create_thread(self.run)
+
+    def run(self):
+        for _ in range(self.n_packets):
+            words = yield from self.fifo.read_packet()
+            self.packets.append(tuple(words))
+            self.dates.append(self.local_time_stamp().to(TimeUnit.NS))
+            self.inc(self.gap_ns)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=4, max_size=32),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=20),
+)
+def test_packets_preserve_word_order_and_dates(delays, packet_size, gap_ns):
+    n_packets = len(delays) // packet_size
+    delays = delays[: n_packets * packet_size]
+    if not n_packets:
+        return
+
+    sim = Simulator("packet_prop")
+    fifo = PacketSmartFifo(
+        sim, "fifo", depth=max(8, packet_size * 2), packet_size=packet_size
+    )
+    WordWriter(sim, "writer", fifo, delays)
+    reader = PacketReader(sim, "reader", fifo, n_packets, gap_ns)
+    sim.run()
+
+    # Words arrive in order, grouped into consecutive packets.
+    flattened = [word for packet in reader.packets for word in packet]
+    assert flattened == list(range(n_packets * packet_size))
+    # Every packet completes no earlier than the insertion date of its last
+    # word (the insertion date of word k is the sum of the first k delays).
+    insertion_dates = []
+    total = 0
+    for delay in delays:
+        insertion_dates.append(total)
+        total += delay
+    for index, date in enumerate(reader.dates):
+        last_word = (index + 1) * packet_size - 1
+        assert date >= insertion_dates[last_word]
+    # Packet completion dates never decrease.
+    assert reader.dates == sorted(reader.dates)
+    assert fifo.packets_read == n_packets
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=25), min_size=4, max_size=24),
+    st.integers(min_value=2, max_value=4),
+)
+def test_method_packet_consumer_sees_completion_dates(delays, packet_size):
+    """An SC_METHOD consumer observes each packet exactly when its last word
+    has really arrived (never earlier)."""
+    n_packets = len(delays) // packet_size
+    delays = delays[: n_packets * packet_size]
+    if not n_packets:
+        return
+
+    sim = Simulator("packet_method_prop")
+    fifo = PacketSmartFifo(
+        sim, "fifo", depth=max(8, packet_size * 2), packet_size=packet_size
+    )
+    WordWriter(sim, "writer", fifo, delays)
+    observed = []
+
+    def ni_method():
+        while fifo.packet_available():
+            observed.append((sim.now.to(TimeUnit.NS), tuple(fifo.nb_read_packet())))
+        sim.next_trigger(fifo.not_empty_event)
+
+    sim.create_method(ni_method, name="ni", sensitivity=[fifo.not_empty_event])
+    sim.run()
+
+    assert len(observed) == n_packets
+    insertion_dates = []
+    total = 0
+    for delay in delays:
+        insertion_dates.append(total)
+        total += delay
+    for index, (date, words) in enumerate(observed):
+        assert words == tuple(
+            range(index * packet_size, (index + 1) * packet_size)
+        )
+        last_word = (index + 1) * packet_size - 1
+        assert date == insertion_dates[last_word]

@@ -1,0 +1,60 @@
+"""Property-based tests for SimTime arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.simtime import SimTime, TimeUnit, as_time
+
+femtos = st.integers(min_value=0, max_value=10 ** 18)
+
+
+@settings(max_examples=200, deadline=None)
+@given(femtos, femtos)
+def test_addition_is_commutative_and_exact(a, b):
+    ta, tb = SimTime.from_femtoseconds(a), SimTime.from_femtoseconds(b)
+    assert (ta + tb) == (tb + ta)
+    assert (ta + tb).femtoseconds == a + b
+
+
+@settings(max_examples=200, deadline=None)
+@given(femtos, femtos, femtos)
+def test_addition_is_associative(a, b, c):
+    ta, tb, tc = map(SimTime.from_femtoseconds, (a, b, c))
+    assert (ta + tb) + tc == ta + (tb + tc)
+
+
+@settings(max_examples=200, deadline=None)
+@given(femtos, femtos)
+def test_ordering_matches_integer_ordering(a, b):
+    ta, tb = SimTime.from_femtoseconds(a), SimTime.from_femtoseconds(b)
+    assert (ta < tb) == (a < b)
+    assert (ta <= tb) == (a <= b)
+    assert (ta == tb) == (a == b)
+
+
+@settings(max_examples=200, deadline=None)
+@given(femtos, femtos)
+def test_subtraction_inverts_addition(a, b):
+    ta, tb = SimTime.from_femtoseconds(a), SimTime.from_femtoseconds(b)
+    assert (ta + tb) - tb == ta
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 9))
+def test_unit_conversion_roundtrip(value_ns):
+    time = as_time(value_ns, TimeUnit.NS)
+    assert time.to(TimeUnit.NS) == value_ns
+    assert time.femtoseconds == value_ns * 10 ** 6
+
+
+@settings(max_examples=200, deadline=None)
+@given(femtos)
+def test_hash_consistency(a):
+    assert hash(SimTime.from_femtoseconds(a)) == hash(SimTime.from_femtoseconds(a))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(femtos, min_size=1, max_size=20))
+def test_sorting_matches_integer_sorting(values):
+    times = [SimTime.from_femtoseconds(v) for v in values]
+    assert [t.femtoseconds for t in sorted(times)] == sorted(values)

@@ -1,0 +1,203 @@
+"""Property-based validation of the Smart FIFO (hypothesis).
+
+The central invariant of the paper, checked on randomly generated
+producer/consumer timing patterns and FIFO depths:
+
+    A producer/consumer pair using a Smart FIFO with temporal decoupling
+    produces exactly the same write dates, read dates and data order as the
+    same pair using a regular FIFO without temporal decoupling.
+
+A second set of properties checks the monitor interface against the
+reference FIFO occupancy, and basic conservation laws (no data loss, FIFO
+order, local dates never decrease per side).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fifo import RegularFifo, SmartFifo
+from repro.kernel import Simulator
+
+from tests.unit.fifo.helpers import (
+    DecoupledReader,
+    DecoupledWriter,
+    TimedReader,
+    TimedWriter,
+)
+
+# Strategy: a list of per-item producer delays, per-item consumer delays, and
+# a FIFO depth.  Delays are integer nanoseconds (0 keeps back-to-back
+# accesses interesting).
+delays = st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=30)
+depths = st.integers(min_value=1, max_value=8)
+
+
+class VariableWriter(DecoupledWriter):
+    """Writer whose inter-write local delays are given per item."""
+
+    def __init__(self, parent, name, fifo, item_delays):
+        super().__init__(parent, name, fifo, list(range(len(item_delays))), 0)
+        self.item_delays = list(item_delays)
+
+    def run(self):
+        from repro.kernel.simtime import TimeUnit
+
+        for item, delay in zip(self.items, self.item_delays):
+            yield from self.fifo.write(item)
+            self.write_dates.append((item, self.local_time_stamp().to(TimeUnit.NS)))
+            self.inc(delay)
+
+
+class VariableTimedWriter(TimedWriter):
+    def __init__(self, parent, name, fifo, item_delays):
+        super().__init__(parent, name, fifo, list(range(len(item_delays))), 0)
+        self.item_delays = list(item_delays)
+
+    def run(self):
+        from repro.kernel.simtime import TimeUnit
+
+        for item, delay in zip(self.items, self.item_delays):
+            yield from self.fifo.write(item)
+            self.write_dates.append((item, self.now.to(TimeUnit.NS)))
+            if delay:
+                yield self.wait(delay)
+
+
+class VariableReader(DecoupledReader):
+    def __init__(self, parent, name, fifo, item_delays):
+        super().__init__(parent, name, fifo, len(item_delays), 0)
+        self.item_delays = list(item_delays)
+
+    def run(self):
+        from repro.kernel.simtime import TimeUnit
+
+        for delay in self.item_delays:
+            value = yield from self.fifo.read()
+            self.values.append(value)
+            self.read_dates.append((value, self.local_time_stamp().to(TimeUnit.NS)))
+            self.inc(delay)
+
+
+class VariableTimedReader(TimedReader):
+    def __init__(self, parent, name, fifo, item_delays):
+        super().__init__(parent, name, fifo, len(item_delays), 0)
+        self.item_delays = list(item_delays)
+
+    def run(self):
+        from repro.kernel.simtime import TimeUnit
+
+        for delay in self.item_delays:
+            value = yield from self.fifo.read()
+            self.values.append(value)
+            self.read_dates.append((value, self.now.to(TimeUnit.NS)))
+            if delay:
+                yield self.wait(delay)
+
+
+def run_both(producer_delays, consumer_delays, depth):
+    count = min(len(producer_delays), len(consumer_delays))
+    producer_delays = producer_delays[:count]
+    consumer_delays = consumer_delays[:count]
+
+    ref_sim = Simulator("reference")
+    ref_fifo = RegularFifo(ref_sim, "fifo", depth=depth)
+    ref_writer = VariableTimedWriter(ref_sim, "writer", ref_fifo, producer_delays)
+    ref_reader = VariableTimedReader(ref_sim, "reader", ref_fifo, consumer_delays)
+    ref_sim.run()
+
+    smart_sim = Simulator("smart")
+    smart_fifo = SmartFifo(smart_sim, "fifo", depth=depth)
+    smart_writer = VariableWriter(smart_sim, "writer", smart_fifo, producer_delays)
+    smart_reader = VariableReader(smart_sim, "reader", smart_fifo, consumer_delays)
+    smart_sim.run()
+
+    return (ref_writer, ref_reader, ref_sim), (smart_writer, smart_reader, smart_sim)
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays, delays, depths)
+def test_dates_identical_to_reference(producer_delays, consumer_delays, depth):
+    (ref_w, ref_r, _), (smart_w, smart_r, _) = run_both(
+        producer_delays, consumer_delays, depth
+    )
+    assert smart_w.write_dates == ref_w.write_dates
+    assert smart_r.read_dates == ref_r.read_dates
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays, delays, depths)
+def test_no_data_loss_and_fifo_order(producer_delays, consumer_delays, depth):
+    _, (smart_w, smart_r, _) = run_both(producer_delays, consumer_delays, depth)
+    count = min(len(producer_delays), len(consumer_delays))
+    assert smart_r.values == list(range(count))
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays, delays, depths)
+def test_per_side_dates_never_decrease(producer_delays, consumer_delays, depth):
+    _, (smart_w, smart_r, _) = run_both(producer_delays, consumer_delays, depth)
+    write_dates = [date for _, date in smart_w.write_dates]
+    read_dates = [date for _, date in smart_r.read_dates]
+    assert write_dates == sorted(write_dates)
+    assert read_dates == sorted(read_dates)
+    # Every item is read at or after the date it was written.
+    for (_, write_date), (_, read_date) in zip(smart_w.write_dates, smart_r.read_dates):
+        assert read_date >= write_date
+
+
+@settings(max_examples=40, deadline=None)
+@given(delays, delays, st.integers(min_value=1, max_value=6))
+def test_smart_never_uses_more_context_switches(producer_delays, consumer_delays, depth):
+    (ref_w, _, ref_sim), (_, _, smart_sim) = run_both(
+        producer_delays, consumer_delays, depth
+    )
+    assert smart_sim.stats.context_switches <= ref_sim.stats.context_switches
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=40), min_size=2, max_size=20),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=97),
+)
+def test_monitor_matches_reference_occupancy(producer_delays, depth, sample_offset_ns):
+    """The Smart FIFO real size at time T equals the regular FIFO size at T.
+
+    The consumer uses a fixed drain period; the monitor samples at an
+    off-grid date (offset + k*0.5 ns) to avoid same-date ambiguities.
+    """
+    consumer_delays = [13] * len(producer_delays)
+    sample_date = sample_offset_ns + 0.5
+
+    def reference_level():
+        sim = Simulator("reference")
+        fifo = RegularFifo(sim, "fifo", depth=depth)
+        VariableTimedWriter(sim, "writer", fifo, producer_delays)
+        VariableTimedReader(sim, "reader", fifo, consumer_delays)
+        level = {}
+
+        def monitor():
+            yield sim.wait(sample_date)
+            level["value"] = fifo.size
+
+        sim.create_thread(monitor, name="monitor")
+        sim.run()
+        return level["value"]
+
+    def smart_level():
+        sim = Simulator("smart")
+        fifo = SmartFifo(sim, "fifo", depth=depth)
+        VariableWriter(sim, "writer", fifo, producer_delays)
+        VariableReader(sim, "reader", fifo, consumer_delays)
+        level = {}
+
+        def monitor():
+            yield sim.wait(sample_date)
+            size = yield from fifo.get_size()
+            level["value"] = size
+
+        sim.create_thread(monitor, name="monitor")
+        sim.run()
+        return level["value"]
+
+    assert smart_level() == reference_level()

@@ -1,0 +1,76 @@
+"""Unit tests for the experiment command-line interface."""
+
+import os
+
+import pytest
+
+from repro.analysis import cli
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_int_list_parsing(self):
+        args = cli.build_parser().parse_args(["fig5", "--depths", "1,2,8"])
+        assert args.depths == [1, 2, 8]
+
+
+class TestCommands:
+    def test_fig2_command(self, capsys):
+        assert cli.main(["fig2", "--depth", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Smart FIFO matches the reference: True" in output
+        assert "Fig. 2/3" in output
+
+    def test_fig5_command_with_csv(self, capsys, tmp_path):
+        csv_path = os.path.join(tmp_path, "fig5.csv")
+        assert (
+            cli.main(
+                [
+                    "fig5",
+                    "--depths",
+                    "1,4",
+                    "--blocks",
+                    "2",
+                    "--words",
+                    "10",
+                    "--csv",
+                    csv_path,
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "tdfull" in output
+        with open(csv_path) as handle:
+            header = handle.readline()
+        assert "wall_seconds" in header
+
+    def test_case_study_command(self, capsys):
+        assert (
+            cli.main(["case-study", "--chains", "1", "--items", "32", "--workers", "1"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Smart FIFO" in output
+        assert "gain" in output
+
+    def test_quantum_command(self, capsys):
+        assert (
+            cli.main(["quantum", "--quanta", "0,1000", "--blocks", "2", "--words", "10"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "timing_error_ns" in output
+
+    def test_context_switches_command(self, capsys):
+        assert (
+            cli.main(
+                ["context-switches", "--depths", "1,8", "--blocks", "2", "--words", "10"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "context_switches" in output

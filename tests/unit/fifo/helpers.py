@@ -1,0 +1,94 @@
+"""Shared helper modules for the FIFO unit tests."""
+
+from __future__ import annotations
+
+from repro.kernel.simtime import TimeUnit
+from repro.td import DecoupledModule
+
+
+class DecoupledWriter(DecoupledModule):
+    """Writes ``items`` into ``fifo``, advancing local time by ``period_ns``
+    after each write; records the local date of each completed write."""
+
+    def __init__(self, parent, name, fifo, items, period_ns=0):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.items = list(items)
+        self.period_ns = period_ns
+        self.write_dates = []
+        self.create_thread(self.run)
+
+    def run(self):
+        for item in self.items:
+            yield from self.fifo.write(item)
+            self.write_dates.append((item, self.local_time_stamp().to(TimeUnit.NS)))
+            if self.period_ns:
+                self.inc(self.period_ns)
+
+
+class DecoupledReader(DecoupledModule):
+    """Reads ``count`` items from ``fifo`` with ``period_ns`` of local time
+    between reads; records values and local read dates."""
+
+    def __init__(self, parent, name, fifo, count, period_ns=0, start_delay_ns=0):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.count = count
+        self.period_ns = period_ns
+        self.start_delay_ns = start_delay_ns
+        self.read_dates = []
+        self.values = []
+        self.create_thread(self.run)
+
+    def run(self):
+        if self.start_delay_ns:
+            self.inc(self.start_delay_ns)
+        for _ in range(self.count):
+            value = yield from self.fifo.read()
+            self.values.append(value)
+            self.read_dates.append((value, self.local_time_stamp().to(TimeUnit.NS)))
+            if self.period_ns:
+                self.inc(self.period_ns)
+
+
+class TimedWriter(DecoupledModule):
+    """Non-decoupled reference writer: plain waits, records kernel dates."""
+
+    def __init__(self, parent, name, fifo, items, period_ns=0):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.items = list(items)
+        self.period_ns = period_ns
+        self.write_dates = []
+        self.create_thread(self.run)
+
+    def run(self):
+        for item in self.items:
+            yield from self.fifo.write(item)
+            self.write_dates.append((item, self.now.to(TimeUnit.NS)))
+            if self.period_ns:
+                yield self.wait(self.period_ns)
+
+
+class TimedReader(DecoupledModule):
+    """Non-decoupled reference reader: plain waits, records kernel dates."""
+
+    def __init__(self, parent, name, fifo, count, period_ns=0, start_delay_ns=0):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.count = count
+        self.period_ns = period_ns
+        self.start_delay_ns = start_delay_ns
+        self.read_dates = []
+        self.values = []
+        self.create_thread(self.run)
+
+    def run(self):
+        if self.start_delay_ns:
+            yield self.wait(self.start_delay_ns)
+        for _ in range(self.count):
+            value = yield from self.fifo.read()
+            self.values.append(value)
+            self.read_dates.append((value, self.now.to(TimeUnit.NS)))
+            if self.period_ns:
+                yield self.wait(self.period_ns)

@@ -1,0 +1,112 @@
+"""Unit tests for the timestamped cell ring (Section III internals)."""
+
+import pytest
+
+from repro.fifo.cells import Cell, CellRing, NEVER
+from repro.kernel import FifoError
+from repro.kernel.simtime import ns
+
+
+def fs(nanoseconds):
+    return ns(nanoseconds).femtoseconds
+
+
+class TestRingMechanics:
+    def test_depth_validation(self):
+        with pytest.raises(FifoError):
+            CellRing(0)
+
+    def test_push_pop_order_and_wraparound(self):
+        ring = CellRing(2)
+        ring.push("a", fs(1))
+        ring.push("b", fs(2))
+        assert ring.internally_full
+        assert ring.pop(fs(3)) == "a"
+        ring.push("c", fs(4))
+        assert ring.pop(fs(5)) == "b"
+        assert ring.pop(fs(6)) == "c"
+        assert ring.internally_empty
+
+    def test_push_full_raises(self):
+        ring = CellRing(1)
+        ring.push("a", 0)
+        with pytest.raises(FifoError):
+            ring.push("b", 0)
+
+    def test_pop_empty_raises(self):
+        ring = CellRing(1)
+        with pytest.raises(FifoError):
+            ring.pop(0)
+
+    def test_first_cells_and_counts(self):
+        ring = CellRing(3)
+        assert ring.first_busy_cell() is None
+        assert ring.first_free_cell() is not None
+        ring.push("a", fs(1))
+        ring.push("b", fs(2))
+        assert ring.busy_count == 2
+        assert ring.first_busy_cell().data == "a"
+        assert ring.second_busy_cell().data == "b"
+        assert ring.first_free_cell().insertion_fs == NEVER
+
+    def test_second_busy_cell_requires_two_items(self):
+        ring = CellRing(3)
+        ring.push("a", 0)
+        assert ring.second_busy_cell() is None
+
+    def test_timestamps_recorded(self):
+        ring = CellRing(1)
+        cell = ring.push("a", fs(10))
+        assert cell.insertion_fs == fs(10)
+        ring.pop(fs(25))
+        assert cell.freeing_fs == fs(25)
+        # Re-using the cell keeps the previous freeing date until the next pop.
+        ring.push("b", fs(40))
+        assert cell.insertion_fs == fs(40)
+        assert cell.freeing_fs == fs(25)
+
+
+class TestMonitorInterpretation:
+    """The real-occupancy rules of Section III-C."""
+
+    def test_busy_cell_with_past_insertion_counts(self):
+        cell = Cell(data="x", busy=True, insertion_fs=fs(10), freeing_fs=NEVER)
+        assert cell.really_busy_at(fs(10))
+        assert cell.really_busy_at(fs(50))
+        assert not cell.really_busy_at(fs(5))
+
+    def test_busy_cell_refilled_since_observation_counts(self):
+        # Internally the cell was freed at 30 and refilled at 40; observed at
+        # 20 the cell still holds the *previous* item -> really busy.
+        cell = Cell(data="new", busy=True, insertion_fs=fs(40), freeing_fs=fs(30))
+        assert cell.really_busy_at(fs(20))
+        # Observed between the freeing and the new insertion: really free.
+        assert not cell.really_busy_at(fs(35))
+
+    def test_free_cell_freed_in_the_future_counts(self):
+        cell = Cell(data=None, busy=False, insertion_fs=fs(10), freeing_fs=fs(50))
+        assert cell.really_busy_at(fs(20))
+        assert not cell.really_busy_at(fs(50))
+        assert not cell.really_busy_at(fs(60))
+        assert not cell.really_busy_at(fs(5))
+
+    def test_never_used_free_cell_never_counts(self):
+        cell = Cell()
+        assert not cell.really_busy_at(0)
+        assert not cell.really_busy_at(fs(100))
+
+    def test_real_size_at_mixed_ring(self):
+        ring = CellRing(3)
+        ring.push("a", fs(10))
+        ring.push("b", fs(20))
+        ring.pop(fs(30))            # "a" freed at 30
+        ring.push("c", fs(40))
+        # At t=25: "a" still there (freed at 30 in the future, inserted at 10),
+        # "b" there (inserted 20), "c" not yet (inserted 40) -> 2 items.
+        assert ring.real_size_at(fs(25)) == 2
+        # At t=35: "a" gone, "b" there, "c" not yet -> 1.
+        assert ring.real_size_at(fs(35)) == 1
+        # At t=45: "b" and "c" -> 2.
+        assert ring.real_size_at(fs(45)) == 2
+        # Before anything: empty.
+        assert ring.real_size_at(fs(5)) == 0

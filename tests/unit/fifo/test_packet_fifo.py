@@ -1,0 +1,145 @@
+"""Unit tests for the packet-aware Smart FIFO (case-study extension)."""
+
+import pytest
+
+from repro.fifo import PacketSmartFifo
+from repro.kernel import FifoError, Simulator
+from repro.kernel.simtime import TimeUnit
+from repro.td import DecoupledModule
+
+
+class PacketWriter(DecoupledModule):
+    """Writes words one by one with a fixed local-time spacing."""
+
+    def __init__(self, parent, name, fifo, words, period_ns):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.words = list(words)
+        self.period_ns = period_ns
+        self.create_thread(self.run)
+
+    def run(self):
+        for word in self.words:
+            yield from self.fifo.write(word)
+            self.inc(self.period_ns)
+
+
+class TestConstruction:
+    def test_packet_size_validation(self, sim):
+        with pytest.raises(FifoError):
+            PacketSmartFifo(sim, "f", depth=4, packet_size=0)
+        with pytest.raises(FifoError):
+            PacketSmartFifo(sim, "f2", depth=4, packet_size=8)
+
+    def test_wrong_packet_length_rejected(self, sim, host):
+        fifo = PacketSmartFifo(sim, "f", depth=8, packet_size=4)
+
+        def proc():
+            with pytest.raises(FifoError):
+                yield from fifo.write_packet([1, 2, 3])
+
+        host.add(proc)
+        sim.run()
+
+    def test_nb_write_packet_length_check(self, sim):
+        fifo = PacketSmartFifo(sim, "f", depth=8, packet_size=2)
+        with pytest.raises(FifoError):
+            fifo.nb_write_packet([1])
+
+
+class TestBlockingPacketApi:
+    def test_read_packet_lands_on_last_word_insertion_date(self, sim, host):
+        fifo = PacketSmartFifo(sim, "f", depth=8, packet_size=4)
+        PacketWriter(sim, "writer", fifo, [1, 2, 3, 4], period_ns=10)
+        dates = {}
+
+        class Reader(DecoupledModule):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.create_thread(self.run)
+
+            def run(self):
+                words = yield from fifo.read_packet()
+                dates["words"] = words
+                dates["date"] = self.local_time_stamp().to(TimeUnit.NS)
+
+        Reader(sim, "reader")
+        sim.run()
+        # Words inserted at 0/10/20/30 ns: the packet completes at 30 ns.
+        assert dates == {"words": [1, 2, 3, 4], "date": 30.0}
+        assert fifo.packets_read == 1
+
+    def test_write_packet_counts_packets(self, sim, host):
+        fifo = PacketSmartFifo(sim, "f", depth=8, packet_size=2)
+        received = []
+
+        def writer():
+            yield from fifo.write_packet(["a", "b"])
+            yield from fifo.write_packet(["c", "d"])
+
+        def reader():
+            for _ in range(2):
+                words = yield from fifo.read_packet()
+                received.append(words)
+
+        host.add(writer)
+        host.add(reader)
+        sim.run()
+        assert received == [["a", "b"], ["c", "d"]]
+        assert fifo.packets_written == 2
+
+
+class TestNonBlockingPacketApi:
+    def test_packet_available_respects_insertion_dates(self, sim, host):
+        fifo = PacketSmartFifo(sim, "f", depth=8, packet_size=3, always_notify_external=True)
+        PacketWriter(sim, "writer", fifo, [1, 2, 3], period_ns=20)
+        observations = []
+
+        def observer():
+            yield host.wait(10)     # only word 0 really arrived (t=0)
+            observations.append(("at_10", fifo.packet_available()))
+            yield host.wait(35)     # t=45: words at 0, 20, 40 all arrived
+            observations.append(("at_45", fifo.packet_available()))
+            observations.append(("words", fifo.nb_read_packet()))
+
+        host.add(observer)
+        sim.run()
+        assert observations == [("at_10", False), ("at_45", True), ("words", [1, 2, 3])]
+
+    def test_nb_read_packet_requires_full_packet(self, sim):
+        fifo = PacketSmartFifo(sim, "f", depth=8, packet_size=2)
+        fifo.nb_write(1)
+        with pytest.raises(FifoError):
+            fifo.nb_read_packet()
+
+    def test_packet_completion_wakes_method_consumer(self, sim, host):
+        """An SC_METHOD NI must be woken when the word completing a packet
+        arrives, even though the FIFO never became empty in between."""
+        fifo = PacketSmartFifo(sim, "f", depth=8, packet_size=3)
+        PacketWriter(sim, "writer", fifo, [1, 2, 3, 4, 5, 6], period_ns=10)
+        packets = []
+
+        def ni_method():
+            while fifo.packet_available():
+                packets.append((sim.now.to(TimeUnit.NS), fifo.nb_read_packet()))
+            host.next_trigger(fifo.not_empty_event)
+
+        host.add_method(ni_method, name="ni")
+        sim.run()
+        assert packets == [(20.0, [1, 2, 3]), (50.0, [4, 5, 6])]
+
+    def test_nb_write_packet_and_space_check(self, sim, host):
+        fifo = PacketSmartFifo(sim, "f", depth=4, packet_size=2)
+        results = []
+
+        def producer_method():
+            results.append(fifo.space_for_packet())
+            results.append(fifo.nb_write_packet([1, 2]))
+            results.append(fifo.nb_write_packet([3, 4]))
+            results.append(fifo.space_for_packet())
+            results.append(fifo.nb_write_packet([5, 6]))
+
+        host.add_method(producer_method, name="producer")
+        sim.run()
+        assert results == [True, True, True, False, False]
+        assert fifo.packets_written == 2

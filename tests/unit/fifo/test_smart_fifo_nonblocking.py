@@ -1,0 +1,226 @@
+"""Unit tests for the Smart FIFO non-blocking interfaces (Section III-B).
+
+These exercise the external view (``is_empty`` / ``is_full``), the delayed
+``not_empty`` / ``not_full`` notifications and the nb_read/nb_write calls
+from method processes, i.e. everything an SC_METHOD-based consumer such as
+the case-study network interface relies on.
+"""
+
+import pytest
+
+from repro.fifo import SmartFifo
+from repro.kernel import FifoError, Simulator
+from repro.kernel.simtime import TimeUnit
+from repro.td import DecoupledModule
+
+from .helpers import DecoupledReader, DecoupledWriter
+
+
+class TestExternalView:
+    def test_is_empty_sees_future_insertions_as_absent(self, sim, host):
+        fifo = SmartFifo(sim, "fifo", depth=4, always_notify_external=True)
+        observations = []
+
+        class Writer(DecoupledModule):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.create_thread(self.run)
+
+            def run(self):
+                self.inc(50)                      # local date 50 ns
+                yield from fifo.write("late")     # inserted at 50 ns
+
+        def observer():
+            yield host.wait(10)                   # global 10 ns, synchronized
+            observations.append(("at_10", fifo.is_empty()))
+            yield host.wait(50)                   # global 60 ns
+            observations.append(("at_60", fifo.is_empty()))
+
+        Writer(sim, "writer")
+        host.add(observer)
+        sim.run()
+        # At 10 ns the item exists internally but its insertion date (50 ns)
+        # is in the future: the real FIFO is still empty.
+        assert observations == [("at_10", True), ("at_60", False)]
+
+    def test_is_full_sees_future_frees_as_still_full(self, sim, host):
+        fifo = SmartFifo(sim, "fifo", depth=1, always_notify_external=True)
+        observations = []
+
+        class Reader(DecoupledModule):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.create_thread(self.run)
+
+            def run(self):
+                self.inc(40)                      # reads at local date 40 ns
+                value = yield from fifo.read()
+                assert value == "x"
+
+        def setup_and_observe():
+            fifo.nb_write("x")                    # inserted at date 0
+            yield host.wait(10)
+            observations.append(("at_10", fifo.is_full()))
+            yield host.wait(50)
+            observations.append(("at_60", fifo.is_full()))
+
+        host.add(setup_and_observe)
+        Reader(sim, "reader")
+        sim.run()
+        # Internally the cell is freed immediately (the decoupled reader ran
+        # at global time 0) but the real FIFO only frees it at 40 ns.
+        assert observations == [("at_10", True), ("at_60", False)]
+
+    def test_empty_fifo_is_empty_and_not_full(self, sim):
+        fifo = SmartFifo(sim, "fifo", depth=2)
+        assert fifo.is_empty()
+        assert not fifo.is_full()
+
+
+class TestNonBlockingAccess:
+    def test_nb_read_guarded_by_is_empty(self, sim):
+        fifo = SmartFifo(sim, "fifo", depth=2)
+        with pytest.raises(FifoError):
+            fifo.nb_read()
+        fifo.nb_write(5)
+        assert fifo.nb_read() == 5
+
+    def test_nb_write_refuses_when_externally_full(self, sim, host):
+        fifo = SmartFifo(sim, "fifo", depth=1)
+
+        class Reader(DecoupledModule):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.create_thread(self.run)
+
+            def run(self):
+                self.inc(100)
+                yield from fifo.read()
+
+        results = []
+
+        def producer():
+            results.append(fifo.nb_write("a"))    # fits
+            yield host.wait(10)
+            # The decoupled reader already popped internally, but the real
+            # FIFO stays full until 100 ns: nb_write must refuse.
+            results.append(fifo.nb_write("b"))
+            yield host.wait(100)
+            results.append(fifo.nb_write("c"))
+
+        host.add(producer)
+        Reader(sim, "reader")
+        sim.run()
+        assert results == [True, False, True]
+
+    def test_nb_read_from_method_process(self, sim, host):
+        """The canonical SC_METHOD consumer pattern from Section III-B:
+        drain while externally non-empty, then wait for ``not_empty``."""
+        fifo = SmartFifo(sim, "fifo", depth=4)
+        received = []
+
+        def consumer_method():
+            while not fifo.is_empty():
+                received.append((sim.now.to(TimeUnit.NS), fifo.nb_read()))
+            host.next_trigger(fifo.not_empty_event)
+
+        host.add_method(consumer_method, name="consumer")
+        DecoupledWriter(sim, "writer", fifo, ["a", "b", "c"], period_ns=25)
+        sim.run()
+        # Items were all written at global date 0 by the decoupled writer,
+        # but the method observes them exactly at their insertion dates.
+        assert received == [(0.0, "a"), (25.0, "b"), (50.0, "c")]
+
+
+class TestDelayedNotifications:
+    def test_not_empty_notified_at_insertion_date(self, sim, host):
+        fifo = SmartFifo(sim, "fifo", depth=4, always_notify_external=True)
+        wake_dates = []
+
+        def waiter():
+            yield host.wait(fifo.not_empty_event)
+            wake_dates.append(sim.now.to(TimeUnit.NS))
+
+        class Writer(DecoupledModule):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.create_thread(self.run)
+
+            def run(self):
+                self.inc(35)
+                yield from fifo.write("x")
+
+        host.add(waiter)
+        Writer(sim, "writer")
+        sim.run()
+        assert wake_dates == [35.0]
+
+    def test_not_full_notified_at_freeing_date(self, sim, host):
+        fifo = SmartFifo(sim, "fifo", depth=1, always_notify_external=True)
+        fifo.nb_write("occupant")
+        wake_dates = []
+
+        def waiter():
+            yield host.wait(fifo.not_full_event)
+            wake_dates.append(sim.now.to(TimeUnit.NS))
+
+        class Reader(DecoupledModule):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.create_thread(self.run)
+
+            def run(self):
+                self.inc(45)
+                yield from fifo.read()
+
+        host.add(waiter)
+        Reader(sim, "reader")
+        sim.run()
+        assert wake_dates == [45.0]
+
+    def test_notification_case2_after_decoupled_read(self, sim, host):
+        # Two items inserted at 0 and 70 ns; a decoupled reader pops the
+        # first one early.  The FIFO must notify not_empty again at 70 ns for
+        # the method-style observer (case 2 of Section III-B).
+        fifo = SmartFifo(sim, "fifo", depth=4, always_notify_external=True)
+        wake_dates = []
+
+        class Writer(DecoupledModule):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.create_thread(self.run)
+
+            def run(self):
+                yield from fifo.write("first")    # at 0 ns
+                self.inc(70)
+                yield from fifo.write("second")   # at 70 ns
+
+        class Reader(DecoupledModule):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.create_thread(self.run)
+
+            def run(self):
+                value = yield from fifo.read()    # pops "first" at 0 ns
+                assert value == "first"
+
+        def observer():
+            yield host.wait(5)                    # after the early pop
+            if fifo.is_empty():
+                yield host.wait(fifo.not_empty_event)
+            wake_dates.append(sim.now.to(TimeUnit.NS))
+
+        Writer(sim, "writer")
+        Reader(sim, "reader")
+        host.add(observer)
+        sim.run()
+        assert wake_dates == [70.0]
+
+    def test_no_notification_scheduled_without_listeners(self, sim):
+        # With the default listener optimisation the timed queue stays empty
+        # when nobody observes the external events.
+        fifo = SmartFifo(sim, "fifo", depth=4)
+        DecoupledWriter(sim, "writer", fifo, [1, 2, 3], period_ns=10)
+        DecoupledReader(sim, "reader", fifo, 3, period_ns=10)
+        sim.run()
+        assert sim.now.femtoseconds == 0  # fully decoupled run, no timed event

@@ -1,0 +1,76 @@
+"""Unit tests for the sync-per-access FIFO (Section II-B reference)."""
+
+from repro.fifo import RegularFifo, SyncFifo
+from repro.kernel import Simulator
+from repro.kernel.simtime import TimeUnit
+
+from .helpers import DecoupledReader, DecoupledWriter, TimedReader, TimedWriter
+
+
+class TestTimingEquivalence:
+    def test_dates_match_non_decoupled_reference(self):
+        items = [10, 20, 30, 40, 50]
+
+        ref_sim = Simulator("ref")
+        ref_fifo = RegularFifo(ref_sim, "fifo", depth=2)
+        ref_writer = TimedWriter(ref_sim, "writer", ref_fifo, items, period_ns=7)
+        ref_reader = TimedReader(ref_sim, "reader", ref_fifo, len(items), period_ns=13)
+        ref_sim.run()
+
+        sync_sim = Simulator("sync")
+        sync_fifo = SyncFifo(sync_sim, "fifo", depth=2)
+        sync_writer = DecoupledWriter(sync_sim, "writer", sync_fifo, items, period_ns=7)
+        sync_reader = DecoupledReader(sync_sim, "reader", sync_fifo, len(items), period_ns=13)
+        sync_sim.run()
+
+        assert sync_writer.write_dates == ref_writer.write_dates
+        assert sync_reader.read_dates == ref_reader.read_dates
+
+    def test_one_context_switch_per_access(self):
+        """Every access synchronizes, so context switches grow with the item
+        count even when the FIFO never fills up."""
+        items = list(range(10))
+        sim = Simulator()
+        fifo = SyncFifo(sim, "fifo", depth=64)
+        DecoupledWriter(sim, "writer", fifo, items, period_ns=5)
+        DecoupledReader(sim, "reader", fifo, len(items), period_ns=5)
+        sim.run()
+        # At least one synchronization wait per access on each side (minus
+        # the ones where the process is already synchronized).
+        assert sim.stats.context_switches >= len(items)
+
+    def test_global_time_advances_with_sync_fifo(self):
+        items = [1, 2, 3]
+        sim = Simulator()
+        fifo = SyncFifo(sim, "fifo", depth=4)
+        DecoupledWriter(sim, "writer", fifo, items, period_ns=20)
+        DecoupledReader(sim, "reader", fifo, len(items), period_ns=15)
+        sim.run()
+        assert sim.now.to(TimeUnit.NS) >= 40.0
+
+
+class TestInterface:
+    def test_monitor_and_counters(self, sim, host):
+        fifo = SyncFifo(sim, "fifo", depth=3)
+        sizes = {}
+
+        def proc():
+            assert fifo.is_empty()
+            assert not fifo.is_full()
+            assert fifo.nb_write(1)
+            sizes["after_write"] = yield from fifo.get_size()
+            assert fifo.nb_read() == 1
+            sizes["after_read"] = yield from fifo.get_size()
+
+        host.add(proc)
+        sim.run()
+        assert sizes == {"after_write": 1, "after_read": 0}
+        assert fifo.total_written == 1
+        assert fifo.total_read == 1
+        assert fifo.depth == 3
+        assert fifo.size == 0
+
+    def test_events_delegate_to_inner_fifo(self, sim):
+        fifo = SyncFifo(sim, "fifo", depth=3)
+        assert fifo.not_empty_event is fifo._inner.not_empty_event
+        assert fifo.not_full_event is fifo._inner.not_full_event

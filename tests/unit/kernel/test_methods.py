@@ -1,0 +1,130 @@
+"""Unit tests for method processes (SC_METHOD semantics)."""
+
+import pytest
+
+from repro.kernel import ProcessError, ns
+from repro.kernel.simtime import TimeUnit
+
+
+class TestStaticSensitivity:
+    def test_method_runs_once_at_start_then_on_events(self, sim, host):
+        event = sim.create_event("e")
+        runs = []
+
+        def method():
+            runs.append(sim.now.to(TimeUnit.NS))
+
+        host.add_method(method, sensitivity=[event])
+
+        def notifier():
+            yield host.wait(5)
+            event.notify()
+            yield host.wait(5)
+            event.notify()
+
+        host.add(notifier)
+        sim.run()
+        assert runs == [0.0, 5.0, 10.0]
+
+    def test_dont_initialize_skips_initial_run(self, sim, host):
+        event = sim.create_event("e")
+        runs = []
+
+        def method():
+            runs.append(sim.now.to(TimeUnit.NS))
+
+        host.add_method(method, sensitivity=[event], dont_initialize=True)
+
+        def notifier():
+            yield host.wait(7)
+            event.notify()
+
+        host.add(notifier)
+        sim.run()
+        assert runs == [7.0]
+
+    def test_method_invocations_counted(self, sim, host):
+        event = sim.create_event("e")
+        host.add_method(lambda: None, name="m", sensitivity=[event])
+
+        def notifier():
+            yield host.wait(1)
+            event.notify()
+
+        host.add(notifier)
+        sim.run()
+        assert sim.stats.method_invocations == 2
+
+
+class TestNextTrigger:
+    def test_next_trigger_time(self, sim, host):
+        runs = []
+
+        def method():
+            runs.append(sim.now.to(TimeUnit.NS))
+            if len(runs) < 3:
+                host.next_trigger(10)
+
+        host.add_method(method)
+        sim.run()
+        assert runs == [0.0, 10.0, 20.0]
+
+    def test_next_trigger_event_masks_static_sensitivity(self, sim, host):
+        static_event = sim.create_event("static")
+        dynamic_event = sim.create_event("dynamic")
+        runs = []
+
+        def method():
+            runs.append(sim.now.to(TimeUnit.NS))
+            if len(runs) == 1:
+                host.next_trigger(dynamic_event)
+
+        host.add_method(method, sensitivity=[static_event])
+
+        def notifier():
+            yield host.wait(5)
+            static_event.notify()      # must be ignored (dynamic trigger armed)
+            yield host.wait(5)
+            dynamic_event.notify()     # wakes the method at t=10
+            yield host.wait(5)
+            static_event.notify()      # static sensitivity restored -> t=15
+
+        host.add(notifier)
+        sim.run()
+        assert runs == [0.0, 10.0, 15.0]
+
+    def test_next_trigger_simtime_object(self, sim, host):
+        runs = []
+
+        def method():
+            runs.append(sim.now.to(TimeUnit.NS))
+            if len(runs) == 1:
+                host.next_trigger(ns(3))
+
+        host.add_method(method)
+        sim.run()
+        assert runs == [0.0, 3.0]
+
+    def test_next_trigger_outside_method_is_error(self, sim, host):
+        def thread():
+            host.next_trigger(5)
+            yield host.wait(1)
+
+        host.add(thread)
+        with pytest.raises(ProcessError):
+            sim.run()
+
+    def test_method_without_trigger_never_runs_again(self, sim, host):
+        runs = []
+
+        def method():
+            runs.append(sim.now.to(TimeUnit.NS))
+
+        host.add_method(method)
+
+        def other():
+            yield host.wait(50)
+
+        host.add(other)
+        sim.run()
+        assert runs == [0.0]

@@ -1,0 +1,142 @@
+"""Unit tests for module hierarchy and ports."""
+
+import pytest
+
+from repro.kernel import (
+    BindingError,
+    ElaborationError,
+    Module,
+    Port,
+    Simulator,
+)
+
+
+class Leaf(Module):
+    pass
+
+
+class TestHierarchy:
+    def test_full_names(self, sim):
+        top = Leaf(sim, "top")
+        child = Leaf(top, "child")
+        grandchild = Leaf(child, "grandchild")
+        assert top.full_name == "top"
+        assert child.full_name == "top.child"
+        assert grandchild.full_name == "top.child.grandchild"
+        assert child.parent is top
+        assert top.parent is None
+
+    def test_children_tracking(self, sim):
+        top = Leaf(sim, "top")
+        a = Leaf(top, "a")
+        b = Leaf(top, "b")
+        assert top.children == (a, b)
+        assert sim.children == (top,)
+
+    def test_duplicate_module_names_rejected(self, sim):
+        Leaf(sim, "dup")
+        with pytest.raises(ElaborationError):
+            Leaf(sim, "dup")
+
+    def test_duplicate_names_allowed_in_different_scopes(self, sim):
+        a = Leaf(sim, "a")
+        b = Leaf(sim, "b")
+        Leaf(a, "x")
+        Leaf(b, "x")  # same leaf name under a different parent is fine
+
+    def test_invalid_parent_rejected(self):
+        with pytest.raises(ElaborationError):
+            Leaf("not a parent", "top")  # type: ignore[arg-type]
+
+    def test_walk_modules_visits_everything(self, sim):
+        top = Leaf(sim, "top")
+        Leaf(top, "a")
+        Leaf(top, "b")
+        names = {module.full_name for module in sim.walk_modules()}
+        assert names == {"top", "top.a", "top.b"}
+
+    def test_duplicate_process_names_rejected(self, sim, host):
+        def proc():
+            yield host.wait(1)
+
+        host.add(proc, name="p")
+        with pytest.raises(ElaborationError):
+            host.add(proc, name="p")
+
+
+class TestPorts:
+    def test_bind_and_get(self, sim):
+        module = Leaf(sim, "m")
+        port = Port(module, "port")
+        target = object()
+        port.bind(target)
+        assert port.bound
+        assert port.get() is target
+
+    def test_call_syntax_binds(self, sim):
+        module = Leaf(sim, "m")
+        port = Port(module, "port")
+        target = object()
+        port(target)
+        assert port.get() is target
+
+    def test_unbound_get_raises(self, sim):
+        module = Leaf(sim, "m")
+        port = Port(module, "port")
+        with pytest.raises(BindingError):
+            port.get()
+
+    def test_double_bind_raises(self, sim):
+        module = Leaf(sim, "m")
+        port = Port(module, "port")
+        port.bind(object())
+        with pytest.raises(BindingError):
+            port.bind(object())
+
+    def test_type_checked_binding(self, sim):
+        module = Leaf(sim, "m")
+        port = Port(module, "port", interface_type=dict)
+        with pytest.raises(BindingError):
+            port.bind([1, 2, 3])
+        port.bind({"ok": True})
+
+    def test_unbound_mandatory_port_fails_elaboration(self, sim):
+        module = Leaf(sim, "m")
+        Port(module, "port")
+        with pytest.raises(BindingError):
+            sim.run()
+
+    def test_unbound_optional_port_is_fine(self, sim):
+        module = Leaf(sim, "m")
+        Port(module, "port", optional=True)
+        sim.run()  # must not raise
+
+
+class TestElaborationHooks:
+    def test_end_of_elaboration_called_once(self):
+        calls = []
+
+        class Hooked(Module):
+            def end_of_elaboration(self):
+                calls.append(self.full_name)
+
+        sim = Simulator()
+        Hooked(sim, "h")
+        sim.run()
+        sim.run()
+        assert calls == ["h"]
+
+    def test_log_records_trace(self, sim):
+        module = Leaf(sim, "m")
+
+        def proc():
+            yield module.wait(5)
+            module.log("hello")
+
+        module.create_thread(proc, name="p")
+        sim.run()
+        records = list(sim.trace)
+        assert len(records) == 1
+        assert records[0].message == "hello"
+        assert records[0].process == "m.p"
+        assert records[0].local_fs == 5 * 10 ** 6

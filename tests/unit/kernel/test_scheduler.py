@@ -1,0 +1,285 @@
+"""Unit tests for the discrete-event scheduler (repro.kernel.scheduler)."""
+
+import pytest
+
+from repro.kernel import ProcessError, Simulator, ns
+from repro.kernel.simtime import TimeUnit
+
+
+def now_ns(sim):
+    return sim.now.to(TimeUnit.NS)
+
+
+class TestTimedWaits:
+    def test_single_timeout(self, sim, host):
+        seen = []
+
+        def proc():
+            yield host.wait(10)
+            seen.append(now_ns(sim))
+
+        host.add(proc)
+        sim.run()
+        assert seen == [10.0]
+        assert now_ns(sim) == 10.0
+
+    def test_interleaving_of_two_threads(self, sim, host):
+        seen = []
+
+        def slow():
+            for _ in range(3):
+                yield host.wait(20)
+                seen.append(("slow", now_ns(sim)))
+
+        def fast():
+            for _ in range(4):
+                yield host.wait(15)
+                seen.append(("fast", now_ns(sim)))
+
+        host.add(slow)
+        host.add(fast)
+        sim.run()
+        assert seen == [
+            ("fast", 15.0),
+            ("slow", 20.0),
+            ("fast", 30.0),
+            ("slow", 40.0),
+            ("fast", 45.0),
+            ("slow", 60.0),
+            ("fast", 60.0),
+        ]
+
+    def test_zero_time_wait_is_one_delta(self, sim, host):
+        seen = []
+
+        def proc():
+            seen.append("before")
+            yield host.wait(0)
+            seen.append("after")
+
+        host.add(proc)
+        sim.run()
+        assert seen == ["before", "after"]
+        assert now_ns(sim) == 0.0
+
+    def test_fractional_nanoseconds(self, sim, host):
+        seen = []
+
+        def proc():
+            yield host.wait(1.5)
+            seen.append(sim.now.femtoseconds)
+
+        host.add(proc)
+        sim.run()
+        assert seen == [1_500_000]
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_future_events(self, sim, host):
+        seen = []
+
+        def proc():
+            yield host.wait(10)
+            seen.append("early")
+            yield host.wait(100)
+            seen.append("late")
+
+        host.add(proc)
+        sim.run(until=50)
+        assert seen == ["early"]
+        assert now_ns(sim) == 50.0
+        assert sim.pending_activity
+        sim.run()
+        assert seen == ["early", "late"]
+        assert now_ns(sim) == 110.0
+
+    def test_run_until_with_no_events_advances_time(self, sim):
+        sim.run(until=25)
+        assert now_ns(sim) == 25.0
+
+    def test_stop_request(self, sim, host):
+        seen = []
+
+        def proc():
+            for index in range(10):
+                yield host.wait(10)
+                seen.append(index)
+                if index == 2:
+                    sim.stop()
+
+        host.add(proc)
+        sim.run()
+        assert seen == [0, 1, 2]
+        assert now_ns(sim) == 30.0
+
+
+class TestEventOrTimeout:
+    def test_event_wins(self, sim, host):
+        event = sim.create_event("e")
+        seen = []
+
+        def waiter():
+            result = yield host.wait(event, timeout=ns(50))
+            seen.append((now_ns(sim), result is event))
+
+        def notifier():
+            yield host.wait(10)
+            event.notify()
+
+        host.add(waiter)
+        host.add(notifier)
+        sim.run()
+        assert seen == [(10.0, True)]
+
+    def test_timeout_wins(self, sim, host):
+        event = sim.create_event("e")
+        seen = []
+
+        def waiter():
+            result = yield host.wait(event, timeout=ns(5))
+            seen.append((now_ns(sim), result))
+
+        host.add(waiter)
+        sim.run()
+        assert seen == [(5.0, None)]
+        # The stale event registration must not wake the thread later.
+        event.notify(ns(1))
+        sim.run()
+        assert len(seen) == 1
+
+
+class TestDynamicProcesses:
+    def test_thread_spawned_during_simulation(self, sim, host):
+        seen = []
+
+        def child():
+            yield host.wait(5)
+            seen.append(("child", now_ns(sim)))
+
+        def parent():
+            yield host.wait(10)
+            host.add(child)
+            yield host.wait(20)
+            seen.append(("parent", now_ns(sim)))
+
+        host.add(parent)
+        sim.run()
+        assert ("child", 15.0) in seen
+        assert ("parent", 30.0) in seen
+
+    def test_thread_without_yield_terminates_immediately(self, sim, host):
+        seen = []
+
+        def immediate():
+            seen.append("ran")
+            return
+            yield  # pragma: no cover
+
+        host.add(immediate)
+        sim.run()
+        assert seen == ["ran"]
+
+    def test_non_generator_thread_function_is_error(self, sim, host):
+        def not_a_generator():
+            return 42
+
+        host.add(not_a_generator)
+        with pytest.raises(ProcessError):
+            sim.run()
+
+    def test_yielding_garbage_is_error(self, sim, host):
+        def bad():
+            yield "not a wait descriptor"
+
+        host.add(bad)
+        with pytest.raises(ProcessError):
+            sim.run()
+
+
+class TestStatsCounters:
+    def test_context_switches_counted_per_activation(self, sim, host):
+        def proc():
+            yield host.wait(1)
+            yield host.wait(1)
+            yield host.wait(1)
+
+        host.add(proc)
+        sim.run()
+        # 1 initial activation + 3 wake-ups.
+        assert sim.stats.thread_activations == 4
+        assert sim.stats.context_switches == 4
+
+    def test_delta_and_timed_phase_counters(self, sim, host):
+        def proc():
+            yield host.wait(1)
+            yield host.wait(1)
+
+        host.add(proc)
+        sim.run()
+        assert sim.stats.timed_phases == 2
+        assert sim.stats.delta_cycles >= 3
+
+    def test_per_process_activations(self, sim, host):
+        def proc():
+            yield host.wait(1)
+
+        host.add(proc, name="counted")
+        sim.run()
+        assert sim.stats.per_process_activations["host.counted"] == 2
+
+    def test_processes_created_counter(self, sim, host):
+        host.add_method(lambda: None, name="m")
+
+        def proc():
+            yield host.wait(1)
+
+        host.add(proc)
+        sim.run()
+        assert sim.stats.processes_created == 2
+
+
+class TestTerminatedEvent:
+    def test_waiting_on_thread_termination(self, sim, host):
+        seen = []
+
+        def worker():
+            yield host.wait(12)
+
+        worker_proc = host.add(worker)
+
+        def watcher():
+            yield host.wait(worker_proc.terminated_event)
+            seen.append(now_ns(sim))
+
+        host.add(watcher)
+        sim.run()
+        assert seen == [12.0]
+        assert worker_proc.terminated
+
+
+class TestMultipleSimulators:
+    def test_independent_simulators(self):
+        sim_a = Simulator("a")
+        seen_a = []
+
+        def proc_a():
+            yield sim_a.wait(10)
+            seen_a.append(now_ns(sim_a))
+
+        sim_a.create_thread(proc_a)
+        sim_a.run()
+
+        sim_b = Simulator("b")
+        seen_b = []
+
+        def proc_b():
+            yield sim_b.wait(20)
+            seen_b.append(now_ns(sim_b))
+
+        sim_b.create_thread(proc_b)
+        sim_b.run()
+
+        assert seen_a == [10.0]
+        assert seen_b == [20.0]
+        assert now_ns(sim_a) == 10.0
+        assert now_ns(sim_b) == 20.0

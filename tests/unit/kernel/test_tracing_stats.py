@@ -1,0 +1,107 @@
+"""Unit tests for trace collection, VCD output and kernel statistics."""
+
+import io
+
+from repro.kernel import KernelStats, TraceCollector, TraceRecord, VcdWriter
+from repro.kernel.simtime import ns
+
+
+class TestTraceCollector:
+    def test_record_and_format(self):
+        collector = TraceCollector()
+        collector.record("proc", ns(20).femtoseconds, ns(10).femtoseconds, "hello")
+        assert len(collector) == 1
+        record = list(collector)[0]
+        assert record.local_time == ns(20)
+        assert record.global_time == ns(10)
+        assert record.format() == "[20 ns] proc: hello"
+
+    def test_sorted_lines_reorder_by_local_date(self):
+        collector = TraceCollector()
+        collector.record("b", ns(30).femtoseconds, 0, "late")
+        collector.record("a", ns(10).femtoseconds, 0, "early")
+        assert collector.formatted_lines() == ["[30 ns] b: late", "[10 ns] a: early"]
+        assert collector.sorted_lines() == ["[10 ns] a: early", "[30 ns] b: late"]
+
+    def test_disable_and_clear(self):
+        collector = TraceCollector()
+        collector.enabled = False
+        collector.record("p", 0, 0, "ignored")
+        assert len(collector) == 0
+        collector.enabled = True
+        collector.record("p", 0, 0, "kept")
+        collector.clear()
+        assert len(collector) == 0
+
+    def test_write_to_stream(self):
+        collector = TraceCollector()
+        collector.record("p", ns(1).femtoseconds, 0, "x")
+        stream = io.StringIO()
+        collector.write(stream)
+        assert stream.getvalue() == "[1 ns] p: x\n"
+
+    def test_sort_key_is_stable_for_identical_records(self):
+        a = TraceRecord(5, 5, "p", "m")
+        b = TraceRecord(5, 5, "p", "m")
+        assert a.sort_key() == b.sort_key()
+        assert a == b
+
+
+class TestVcdWriter:
+    def test_header_and_changes(self):
+        stream = io.StringIO()
+        writer = VcdWriter(stream, top="dut")
+        writer.add_variable("fifo_level")
+        writer.change(0, "fifo_level", 0)
+        writer.change(1000, "fifo_level", 3)
+        output = stream.getvalue()
+        assert "$timescale 1 fs $end" in output
+        assert "$scope module dut $end" in output
+        assert "fifo_level" in output
+        assert "#0" in output and "#1000" in output
+        assert "b11 " in output  # value 3 in binary
+
+    def test_same_time_changes_share_timestamp(self):
+        stream = io.StringIO()
+        writer = VcdWriter(stream)
+        writer.add_variable("a")
+        writer.add_variable("b")
+        writer.change(500, "a", 1)
+        writer.change(500, "b", 2)
+        assert stream.getvalue().count("#500") == 1
+
+
+class TestKernelStats:
+    def test_record_helpers(self):
+        stats = KernelStats()
+        stats.record_thread_activation("t1")
+        stats.record_thread_activation("t1")
+        stats.record_method_invocation("m1")
+        assert stats.thread_activations == 2
+        assert stats.context_switches == 2
+        assert stats.method_invocations == 1
+        assert stats.per_process_activations == {"t1": 2, "m1": 1}
+
+    def test_snapshot_excludes_per_process_map(self):
+        stats = KernelStats()
+        stats.record_thread_activation("t")
+        snapshot = stats.snapshot()
+        assert snapshot["thread_activations"] == 1
+        assert snapshot["context_switches"] == 1
+        assert "per_process_activations" not in snapshot
+
+    def test_diff(self):
+        stats = KernelStats()
+        stats.record_thread_activation("t")
+        before = stats.copy()
+        stats.record_thread_activation("t")
+        stats.delta_cycles += 3
+        diff = stats.diff(before)
+        assert diff["thread_activations"] == 1
+        assert diff["delta_cycles"] == 3
+
+    def test_copy_is_independent(self):
+        stats = KernelStats()
+        clone = stats.copy()
+        stats.record_thread_activation("t")
+        assert clone.thread_activations == 0

@@ -1,0 +1,114 @@
+"""Unit tests for the hardware accelerator models."""
+
+from repro.fifo import SmartFifo
+from repro.kernel import Simulator
+from repro.kernel.simtime import TimeUnit, ns
+from repro.soc import (
+    ConsumerAccelerator,
+    ProducerAccelerator,
+    STATUS_BUSY,
+    STATUS_DONE,
+    STATUS_IDLE,
+    WorkerAccelerator,
+)
+from repro.tlm import GenericPayload
+
+
+def start(accel, items):
+    """Program ITEMS and set the CTRL start bit through the register bank."""
+    items_payload = GenericPayload.make_word_write(0x04, items)
+    accel.registers.socket.b_transport(items_payload, ns(0))
+    ctrl_payload = GenericPayload.make_word_write(0x00, 1)
+    accel.registers.socket.b_transport(ctrl_payload, ns(0))
+
+
+def build_chain(sim, items, depth=8):
+    producer = ProducerAccelerator(sim, "producer", word_time=ns(5), seed=100)
+    worker = WorkerAccelerator(sim, "worker", word_time=ns(7), transform=2)
+    consumer = ConsumerAccelerator(sim, "consumer", word_time=ns(6))
+    fifo_a = SmartFifo(sim, "fifo_a", depth=depth)
+    fifo_b = SmartFifo(sim, "fifo_b", depth=depth)
+    producer.out_port.bind(fifo_a)
+    worker.in_port.bind(fifo_a)
+    worker.out_port.bind(fifo_b)
+    consumer.in_port.bind(fifo_b)
+    return producer, worker, consumer, fifo_a, fifo_b
+
+
+class TestChainExecution:
+    def test_data_flows_and_completion(self, sim):
+        producer, worker, consumer, _, _ = build_chain(sim, items=10)
+        for accel in (producer, worker, consumer):
+            start(accel, 10)
+        sim.run()
+        assert producer.items_processed == 10
+        assert worker.items_processed == 10
+        assert consumer.items_processed == 10
+        # Producer emits 100..109; the worker adds 2 to every word.
+        expected = sum(100 + i + 2 for i in range(10)) & 0xFFFFFFFF
+        assert consumer.checksum == expected
+        assert consumer.last_word == 111
+
+    def test_status_and_irq(self, sim):
+        producer, worker, consumer, _, _ = build_chain(sim, items=4)
+        assert consumer.registers.peek("STATUS") == STATUS_IDLE
+        for accel in (producer, worker, consumer):
+            start(accel, 4)
+        sim.run()
+        for accel in (producer, worker, consumer):
+            assert accel.registers.peek("STATUS") == STATUS_DONE
+            assert accel.registers.peek("PROCESSED") == 4
+            assert accel.irq.read() == 1
+            assert accel.finish_time is not None
+
+    def test_accelerator_does_not_start_without_ctrl(self, sim):
+        producer, worker, consumer, _, _ = build_chain(sim, items=4)
+        start(producer, 4)
+        start(worker, 4)
+        # The consumer is never started: it must stay idle.
+        sim.run()
+        assert consumer.items_processed == 0
+        assert consumer.registers.peek("STATUS") == STATUS_IDLE
+
+    def test_finish_dates_reflect_pipeline_rate(self, sim):
+        producer, worker, consumer, _, _ = build_chain(sim, items=10)
+        for accel in (producer, worker, consumer):
+            start(accel, 10)
+        sim.run()
+        # The slowest stage is the worker (7 ns/word): the consumer cannot
+        # finish before roughly items * 7 ns.
+        assert consumer.finish_time.to(TimeUnit.NS) >= 70.0
+
+    def test_busy_status_while_running(self, sim):
+        producer, worker, consumer, _, _ = build_chain(sim, items=6)
+        observed = []
+
+        def prober():
+            yield sim.wait(1)
+            observed.append(worker.registers.peek("STATUS"))
+
+        sim.create_thread(prober, name="prober")
+        for accel in (producer, worker, consumer):
+            start(accel, 6)
+        sim.run()
+        assert observed == [STATUS_BUSY]
+
+
+class TestLevelRegisters:
+    def test_in_out_level_registers_report_fifo_occupancy(self, sim):
+        producer, worker, consumer, fifo_a, _ = build_chain(sim, items=6, depth=4)
+        # Pre-fill the input FIFO without starting anything.
+        for value in (1, 2, 3):
+            fifo_a.nb_write(value)
+        in_level = GenericPayload.make_word_read(0x0C)
+        worker.registers.socket.b_transport(in_level, ns(0))
+        assert in_level.word_value() == 3
+        out_level = GenericPayload.make_word_read(0x10)
+        worker.registers.socket.b_transport(out_level, ns(0))
+        assert out_level.word_value() == 0
+
+    def test_unbound_port_reports_zero_level(self, sim):
+        producer = ProducerAccelerator(sim, "solo_producer", word_time=ns(5))
+        level = GenericPayload.make_word_read(0x0C)
+        producer.registers.socket.b_transport(level, ns(0))
+        assert level.word_value() == 0

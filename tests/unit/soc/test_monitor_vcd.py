@@ -1,0 +1,50 @@
+"""Unit tests for the VCD export of the FIFO level probe."""
+
+import io
+
+from repro.fifo import SmartFifo
+from repro.kernel import ns
+from repro.soc import FifoLevelProbe
+from repro.td import DecoupledModule
+
+
+class TestProbeVcdExport:
+    def test_vcd_contains_levels_and_timestamps(self, sim):
+        fifo = SmartFifo(sim, "dut_fifo", depth=8)
+
+        class Producer(DecoupledModule):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.create_thread(self.run)
+
+            def run(self):
+                for value in range(4):
+                    yield from fifo.write(value)
+                    self.inc(10)
+
+        Producer(sim, "producer")
+        probe = FifoLevelProbe(
+            sim, "probe", [fifo], period=ns(10), samples=4, start_offset=ns(5)
+        )
+        sim.run()
+        stream = io.StringIO()
+        probe.to_vcd(stream)
+        vcd = stream.getvalue()
+        assert "$timescale 1 fs $end" in vcd
+        assert "dut_fifo" in vcd
+        assert "$enddefinitions $end" in vcd
+        # Samples at 5/15/25/35 ns with levels 1/2/3/4.
+        assert f"#{ns(5).femtoseconds}" in vcd
+        assert f"#{ns(35).femtoseconds}" in vcd
+        assert "b100 " in vcd  # level 4 in binary
+
+    def test_vcd_with_multiple_fifos(self, sim):
+        fifo_a = SmartFifo(sim, "fifo_a", depth=4)
+        fifo_b = SmartFifo(sim, "fifo_b", depth=4)
+        fifo_a.nb_write(1)
+        probe = FifoLevelProbe(sim, "probe", [fifo_a, fifo_b], period=ns(10), samples=2)
+        sim.run()
+        stream = io.StringIO()
+        probe.to_vcd(stream)
+        vcd = stream.getvalue()
+        assert "fifo_a" in vcd and "fifo_b" in vcd

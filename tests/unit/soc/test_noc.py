@@ -1,0 +1,231 @@
+"""Unit tests for the NoC routers, mesh topology and network interfaces."""
+
+import pytest
+
+from repro.fifo import PacketSmartFifo
+from repro.kernel import SimulationError, Simulator, ns
+from repro.kernel.simtime import TimeUnit
+from repro.soc.noc import DestNetworkInterface, Mesh, Packet, Router, SourceNetworkInterface
+from repro.soc.noc.router import Link
+from repro.fifo import RegularFifo
+from repro.td import DecoupledModule
+
+
+class TestPacket:
+    def test_flit_count_and_len(self):
+        packet = Packet(dest=(1, 0), dest_ni="s", source="a", sequence=0, words=(1, 2, 3))
+        assert packet.flit_count == 4
+        assert len(packet) == 3
+
+
+class TestRouterRouting:
+    def test_xy_routing_decision(self, sim):
+        router = Router(sim, "router", coords=(1, 1))
+        assert router.output_port_for((2, 1)) == "east"
+        assert router.output_port_for((0, 1)) == "west"
+        assert router.output_port_for((1, 2)) == "south"
+        assert router.output_port_for((1, 0)) == "north"
+        assert router.output_port_for((1, 1)) == "local"
+
+    def test_unknown_output_port_rejected(self, sim):
+        router = Router(sim, "router", coords=(0, 0))
+        with pytest.raises(SimulationError):
+            router.connect_output("diagonal", Link(RegularFifo(sim, "f", depth=1)))
+
+    def test_single_router_forwards_local_traffic(self, sim):
+        router = Router(sim, "router", coords=(0, 0), cycle_time=ns(2))
+        sink = RegularFifo(sim, "sink", depth=8)
+        router.connect_output("local", Link(sink))
+        # Leave other ports unconnected: they are never used here.
+        packets = [
+            Packet(dest=(0, 0), dest_ni="s", source="a", sequence=i, words=(i,))
+            for i in range(3)
+        ]
+
+        def injector():
+            for packet in packets:
+                assert router.inputs["local"].nb_write(packet)
+            yield sim.wait(100)
+
+        sim.create_thread(injector, name="injector")
+        sim.run()
+        assert sink.size == 3
+        assert router.packets_routed == 3
+        assert router.flits_routed == sum(p.flit_count for p in packets)
+
+    def test_link_occupation_spaces_forwards(self, sim):
+        """Consecutive packets through one output are spaced by the hop delay."""
+        router = Router(sim, "router", coords=(0, 0), cycle_time=ns(10))
+        sink = RegularFifo(sim, "sink", depth=8)
+        router.connect_output("local", Link(sink))
+        arrival_dates = []
+
+        def watcher():
+            for _ in range(2):
+                while sink.is_empty():
+                    yield sim.wait(sink.not_empty_event)
+                sink.nb_read()
+                arrival_dates.append(sim.now.to(TimeUnit.NS))
+
+        def injector():
+            for sequence in range(2):
+                router.inputs["local"].nb_write(
+                    Packet(dest=(0, 0), dest_ni="s", source="a", sequence=sequence, words=(1, 2, 3))
+                )
+            yield sim.wait(200)
+
+        sim.create_thread(watcher, name="watcher")
+        sim.create_thread(injector, name="injector")
+        sim.run()
+        # Both packets are delivered, the second one a full hop delay
+        # (4 flits x 10 ns) after the first.
+        assert arrival_dates == [0.0, 40.0]
+
+
+class TestMesh:
+    def test_mesh_dimensions_validated(self, sim):
+        with pytest.raises(SimulationError):
+            Mesh(sim, "bad", width=0, height=2)
+
+    def test_neighbour_wiring_and_lookup(self, sim):
+        mesh = Mesh(sim, "noc", width=2, height=2)
+        assert len(mesh.routers) == 4
+        router = mesh.router_at((0, 0))
+        assert router.outputs["east"] is not None
+        assert router.outputs["south"] is not None
+        assert router.outputs["west"] is None
+        assert router.outputs["north"] is None
+        with pytest.raises(SimulationError):
+            mesh.router_at((5, 5))
+
+    def test_packet_crosses_the_mesh(self, sim):
+        mesh = Mesh(sim, "noc", width=2, height=2, cycle_time=ns(3))
+        sink = RegularFifo(sim, "sink", depth=8)
+        mesh.attach_local_sink((1, 1), Link(sink))
+        injection = mesh.injection_link((0, 0))
+        packet = Packet(dest=(1, 1), dest_ni="s", source="a", sequence=0, words=(7, 8))
+
+        def injector():
+            injection.accept(packet)
+            yield sim.wait(100)
+
+        sim.create_thread(injector, name="injector")
+        sim.run()
+        assert sink.size == 1
+        assert sink.peek() is packet
+        # Three routers forward the packet: (0,0) east, (1,0) south, (1,1) local.
+        assert mesh.total_packets_routed == 3
+        assert mesh.total_flits_routed == 3 * packet.flit_count
+
+
+class _StreamWriter(DecoupledModule):
+    """Decoupled accelerator-like writer feeding an NI ingress FIFO."""
+
+    def __init__(self, parent, name, fifo, words, period_ns):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.words = list(words)
+        self.period_ns = period_ns
+        self.create_thread(self.run)
+
+    def run(self):
+        for word in self.words:
+            yield from self.fifo.write(word)
+            self.inc(self.period_ns)
+
+
+class TestNetworkInterfaces:
+    def test_source_ni_packetizes_and_injects(self, sim):
+        ingress = PacketSmartFifo(sim, "ingress", depth=8, packet_size=4)
+        ni = SourceNetworkInterface(sim, "ni", packet_size=4, injection_cycle=ns(1))
+        router_queue = RegularFifo(sim, "router_queue", depth=8)
+        ni.connect_router(Link(router_queue))
+        ni.add_stream("streamA", ingress, dest=(1, 0), dest_ni="streamA")
+        _StreamWriter(sim, "writer", ingress, list(range(8)), period_ns=5)
+        sim.run()
+        assert ni.packets_injected == 2
+        first = router_queue.nb_read()
+        second = router_queue.nb_read()
+        assert first.words == (0, 1, 2, 3)
+        assert second.words == (4, 5, 6, 7)
+        assert first.sequence == 0 and second.sequence == 1
+        assert first.dest == (1, 0)
+
+    def test_dest_ni_delivers_words_to_egress(self, sim):
+        ni = DestNetworkInterface(sim, "ni", word_delivery_time=ns(2))
+        egress = PacketSmartFifo(sim, "egress", depth=8, packet_size=4)
+        ni.connect_egress("streamA", egress)
+        received = []
+
+        class Consumer(DecoupledModule):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.create_thread(self.run)
+
+            def run(self):
+                for _ in range(4):
+                    word = yield from egress.read()
+                    received.append(word)
+
+        Consumer(sim, "consumer")
+        packet = Packet(dest=(0, 0), dest_ni="streamA", source="a", sequence=0, words=(9, 8, 7, 6))
+
+        def injector():
+            ni.arrival_fifo.nb_write(packet)
+            yield sim.wait(50)
+
+        sim.create_thread(injector, name="injector")
+        sim.run()
+        assert received == [9, 8, 7, 6]
+        assert ni.packets_received == 1
+        assert ni.words_delivered == 4
+        assert ni.sequences == {"a": [0]}
+
+    def test_dest_ni_unknown_stream_is_error(self, sim):
+        ni = DestNetworkInterface(sim, "ni")
+        ni.connect_egress("known", PacketSmartFifo(sim, "egress", depth=8, packet_size=4))
+        packet = Packet(dest=(0, 0), dest_ni="ghost", source="a", sequence=0, words=(1, 2, 3, 4))
+
+        def injector():
+            ni.arrival_fifo.nb_write(packet)
+            yield sim.wait(10)
+
+        sim.create_thread(injector, name="injector")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_end_to_end_stream_over_mesh(self, sim):
+        """Accelerator -> source NI -> 2x1 mesh -> dest NI -> consumer."""
+        mesh = Mesh(sim, "noc", width=2, height=1, cycle_time=ns(2))
+        ingress = PacketSmartFifo(sim, "ingress", depth=8, packet_size=4)
+        egress = PacketSmartFifo(sim, "egress", depth=8, packet_size=4)
+
+        source_ni = SourceNetworkInterface(sim, "src_ni", packet_size=4)
+        source_ni.connect_router(mesh.injection_link((0, 0)))
+        source_ni.add_stream("s", ingress, dest=(1, 0), dest_ni="s")
+
+        dest_ni = DestNetworkInterface(sim, "dst_ni")
+        mesh.attach_local_sink((1, 0), dest_ni.arrival_link())
+        dest_ni.connect_egress("s", egress)
+
+        words = list(range(16))
+        _StreamWriter(sim, "writer", ingress, words, period_ns=3)
+        received = []
+
+        class Consumer(DecoupledModule):
+            def __init__(self, parent, name):
+                super().__init__(parent, name)
+                self.create_thread(self.run)
+
+            def run(self):
+                for _ in range(len(words)):
+                    word = yield from egress.read()
+                    received.append(word)
+                    self.inc(4)
+
+        Consumer(sim, "consumer")
+        sim.run()
+        assert received == words
+        assert source_ni.packets_injected == 4
+        assert dest_ni.packets_received == 4
+        assert mesh.total_packets_routed == 4 * 2

@@ -1,0 +1,135 @@
+"""Unit tests for the bus, the sockets and DMI."""
+
+import pytest
+
+from repro.kernel import Module, TlmError, ns
+from repro.tlm import (
+    Bus,
+    DmiAllower,
+    GenericPayload,
+    InitiatorSocket,
+    Memory,
+    TargetSocket,
+    TlmResponse,
+)
+
+
+class Initiator(Module):
+    def __init__(self, parent, name):
+        super().__init__(parent, name)
+        self.socket = InitiatorSocket(self, "socket")
+
+
+class TestSockets:
+    def test_initiator_requires_transport_interface(self, sim):
+        initiator = Initiator(sim, "init")
+        with pytest.raises(TlmError):
+            initiator.socket.bind(object())
+
+    def test_target_socket_requires_callback(self, sim):
+        target_owner = Module(sim, "target")
+        socket = TargetSocket(target_owner, "socket")
+        with pytest.raises(TlmError):
+            socket.b_transport(GenericPayload.make_word_read(0), ns(0))
+
+    def test_target_callback_must_return_delay(self, sim):
+        target_owner = Module(sim, "target")
+        socket = TargetSocket(target_owner, "socket", callback=lambda p, d: None)
+        with pytest.raises(TlmError):
+            socket.b_transport(GenericPayload.make_word_read(0), ns(0))
+
+    def test_end_to_end_transaction_counting(self, sim):
+        initiator = Initiator(sim, "init")
+        memory = Memory(sim, "mem", size=64)
+        initiator.socket.bind(memory.socket)
+        payload = GenericPayload.make_word_write(0, 42)
+        initiator.socket.b_transport(payload, ns(0))
+        assert payload.ok
+        assert initiator.socket.transactions_sent == 1
+
+
+class TestBus:
+    def make_platform(self, sim):
+        bus = Bus(sim, "bus", latency=ns(5))
+        mem_a = Memory(sim, "mem_a", size=0x100, read_latency=ns(10), write_latency=ns(10))
+        mem_b = Memory(sim, "mem_b", size=0x100, read_latency=ns(20), write_latency=ns(20))
+        bus.map_target(mem_a.socket, 0x1000, 0x100, "mem_a")
+        bus.map_target(mem_b.socket, 0x2000, 0x100, "mem_b")
+        return bus, mem_a, mem_b
+
+    def test_address_decoding_and_translation(self, sim):
+        bus, mem_a, mem_b = self.make_platform(sim)
+        payload = GenericPayload.make_word_write(0x2010, 99)
+        bus.b_transport(payload, ns(0))
+        assert payload.ok
+        # The write landed at offset 0x10 of mem_b (address translated).
+        assert mem_b.dump(0x10, 4) == (99).to_bytes(4, "little")
+        assert mem_a.dump(0x10, 4) == b"\x00\x00\x00\x00"
+        # The payload address is restored after routing.
+        assert payload.address == 0x2010
+
+    def test_latency_accumulation(self, sim):
+        bus, mem_a, _ = self.make_platform(sim)
+        payload = GenericPayload.make_word_read(0x1000)
+        delay = bus.b_transport(payload, ns(3))
+        assert delay == ns(3) + ns(5) + ns(10)
+
+    def test_unmapped_address(self, sim):
+        bus, _, _ = self.make_platform(sim)
+        payload = GenericPayload.make_word_read(0x9999)
+        bus.b_transport(payload, ns(0))
+        assert payload.response is TlmResponse.ADDRESS_ERROR
+
+    def test_overlapping_ranges_rejected(self, sim):
+        bus, _, _ = self.make_platform(sim)
+        extra = Memory(sim, "extra", size=0x100)
+        with pytest.raises(TlmError):
+            bus.map_target(extra.socket, 0x1080, 0x100, "overlap")
+
+    def test_access_counters(self, sim):
+        bus, _, _ = self.make_platform(sim)
+        for _ in range(3):
+            bus.b_transport(GenericPayload.make_word_read(0x1000), ns(0))
+        bus.b_transport(GenericPayload.make_word_read(0x2000), ns(0))
+        assert bus.accesses == {"mem_a": 3, "mem_b": 1}
+        assert bus.total_accesses() == 4
+
+    def test_decode_helper(self, sim):
+        bus, _, _ = self.make_platform(sim)
+        window = bus.decode(0x10FF)
+        assert window.name == "mem_a"
+        with pytest.raises(TlmError):
+            bus.decode(0x0)
+        assert len(bus.mapped_ranges) == 2
+
+
+class TestDmi:
+    def test_grant_read_write_invalidate(self, sim):
+        memory = Memory(sim, "mem", size=64)
+        allower = DmiAllower(memory, base=0x4000)
+        region = allower.get_dmi(0x4010)
+        assert region is not None
+        region.write(0x4010, b"\x05\x06")
+        assert region.read(0x4010, 2) == b"\x05\x06"
+        assert memory.dump(0x10, 2) == b"\x05\x06"
+        allower.invalidate()
+        with pytest.raises(TlmError):
+            region.read(0x4010, 2)
+        assert allower.grants == 1
+        assert allower.invalidations == 1
+
+    def test_grant_refused_outside_range_or_disabled(self, sim):
+        memory = Memory(sim, "mem", size=64)
+        allower = DmiAllower(memory, base=0x4000)
+        assert allower.get_dmi(0x9000) is None
+        allower.enabled = False
+        assert allower.get_dmi(0x4000) is None
+
+    def test_out_of_range_direct_access(self, sim):
+        memory = Memory(sim, "mem", size=16)
+        allower = DmiAllower(memory, base=0)
+        region = allower.get_dmi(0)
+        with pytest.raises(TlmError):
+            region.read(20, 4)
+        with pytest.raises(TlmError):
+            region.write(14, b"\x00\x00\x00\x00")

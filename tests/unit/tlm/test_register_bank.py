@@ -1,0 +1,79 @@
+"""Unit tests for the register bank target."""
+
+import pytest
+
+from repro.kernel import TlmError, ns
+from repro.tlm import GenericPayload, RegisterBank, TlmResponse
+
+
+class TestRegisterDefinition:
+    def test_add_and_lookup(self, sim):
+        bank = RegisterBank(sim, "regs")
+        bank.add_register("CTRL", 0x0, reset=1)
+        bank.add_register("STATUS", 0x4)
+        assert bank["CTRL"].value == 1
+        assert bank.peek("STATUS") == 0
+        assert bank.size == 8
+        assert len(bank.registers()) == 2
+
+    def test_offset_must_be_word_aligned_and_unique(self, sim):
+        bank = RegisterBank(sim, "regs")
+        bank.add_register("A", 0x0)
+        with pytest.raises(TlmError):
+            bank.add_register("B", 0x2)
+        with pytest.raises(TlmError):
+            bank.add_register("C", 0x0)
+        with pytest.raises(TlmError):
+            bank.add_register("A", 0x8)
+
+    def test_poke_masks_to_32_bits(self, sim):
+        bank = RegisterBank(sim, "regs")
+        bank.add_register("A", 0x0)
+        bank.poke("A", 0x1_FFFF_FFFF)
+        assert bank.peek("A") == 0xFFFF_FFFF
+
+
+class TestTransportAccess:
+    def test_write_and_read_with_callbacks(self, sim):
+        bank = RegisterBank(sim, "regs")
+        writes = []
+        bank.add_register("CTRL", 0x0, on_write=writes.append)
+        bank.add_register("LEVEL", 0x4, on_read=lambda: 17)
+
+        write = GenericPayload.make_word_write(0x0, 3)
+        delay = bank.socket.b_transport(write, ns(0))
+        assert write.ok
+        assert delay == bank.access_latency
+        assert writes == [3]
+        assert bank.peek("CTRL") == 3
+        assert bank["CTRL"].write_count == 1
+
+        read = GenericPayload.make_word_read(0x4)
+        bank.socket.b_transport(read, ns(0))
+        assert read.ok
+        assert read.word_value() == 17
+        assert bank["LEVEL"].read_count == 1
+
+    def test_unknown_offset(self, sim):
+        bank = RegisterBank(sim, "regs")
+        bank.add_register("A", 0x0)
+        payload = GenericPayload.make_word_read(0x40)
+        bank.socket.b_transport(payload, ns(0))
+        assert payload.response is TlmResponse.ADDRESS_ERROR
+
+    def test_misaligned_or_wrong_size_access(self, sim):
+        bank = RegisterBank(sim, "regs")
+        bank.add_register("A", 0x0)
+        payload = GenericPayload.make_read(0x1, 4)
+        bank.socket.b_transport(payload, ns(0))
+        assert payload.response is TlmResponse.GENERIC_ERROR
+        payload = GenericPayload.make_read(0x0, 2)
+        bank.socket.b_transport(payload, ns(0))
+        assert payload.response is TlmResponse.GENERIC_ERROR
+
+    def test_ignore_command_rejected(self, sim):
+        bank = RegisterBank(sim, "regs")
+        bank.add_register("A", 0x0)
+        payload = GenericPayload(address=0x0, data=bytearray(4), length=4)
+        bank.socket.b_transport(payload, ns(0))
+        assert payload.response is TlmResponse.COMMAND_ERROR

@@ -1,0 +1,74 @@
+"""Unit tests for the random-traffic and video workloads."""
+
+from repro.kernel import Simulator
+from repro.kernel.simtime import TimeUnit
+from repro.workloads import (
+    RandomTrafficConfig,
+    RandomTrafficScenario,
+    VideoConfig,
+    VideoPipeline,
+    run_pair,
+)
+
+
+class TestRandomTraffic:
+    def test_scenario_delivers_every_item_in_order(self):
+        sim = Simulator()
+        config = RandomTrafficConfig(seed=3, item_count=25, fifo_depth=3)
+        scenario = RandomTrafficScenario(sim, decoupled=True, config=config)
+        scenario.run()
+        assert list(scenario.consumed_values) == list(range(25))
+        assert scenario.producer.items_processed == 25
+        assert scenario.consumer.items_processed == 25
+
+    def test_same_seed_gives_same_values_across_modes(self):
+        config = RandomTrafficConfig(seed=11, item_count=30, fifo_depth=2)
+        _, _, reference, decoupled = run_pair(config, with_monitor=False)
+        assert reference.consumed_values == decoupled.consumed_values
+
+    def test_monitor_samples_match_between_modes(self):
+        config = RandomTrafficConfig(seed=5, item_count=30, fifo_depth=4, monitor_samples=6)
+        _, _, reference, decoupled = run_pair(config)
+        assert reference.monitor_samples == decoupled.monitor_samples
+        assert len(reference.monitor_samples) == 6
+
+    def test_different_seeds_give_different_schedules(self):
+        config_a = RandomTrafficConfig(seed=1, item_count=20)
+        config_b = RandomTrafficConfig(seed=2, item_count=20)
+        sim_a = Simulator("a")
+        RandomTrafficScenario(sim_a, decoupled=False, config=config_a).run()
+        sim_b = Simulator("b")
+        RandomTrafficScenario(sim_b, decoupled=False, config=config_b).run()
+        assert sim_a.now != sim_b.now
+
+
+class TestVideoPipeline:
+    def test_reference_and_decoupled_have_identical_frame_dates(self):
+        config = VideoConfig(n_frames=2, macroblocks_per_frame=12, fifo_depth=4)
+        dates = {}
+        for decoupled in (False, True):
+            sim = Simulator("dec" if decoupled else "ref")
+            pipeline = VideoPipeline(sim, decoupled=decoupled, config=config)
+            pipeline.run()
+            assert pipeline.display.items_processed == config.total_items
+            dates[decoupled] = [d.to(TimeUnit.NS) for d in pipeline.frame_dates]
+        assert dates[True] == dates[False]
+        assert len(dates[True]) == 2
+
+    def test_decoupled_video_uses_fewer_context_switches(self):
+        config = VideoConfig(n_frames=2, macroblocks_per_frame=12, fifo_depth=8)
+        switches = {}
+        for decoupled in (False, True):
+            sim = Simulator("dec" if decoupled else "ref")
+            VideoPipeline(sim, decoupled=decoupled, config=config).run()
+            switches[decoupled] = sim.stats.context_switches
+        assert switches[True] < switches[False]
+
+    def test_display_rate_limits_the_pipeline(self):
+        config = VideoConfig(n_frames=1, macroblocks_per_frame=10, fifo_depth=8)
+        sim = Simulator()
+        pipeline = VideoPipeline(sim, decoupled=True, config=config)
+        pipeline.run()
+        completion = pipeline.completion_time.to(TimeUnit.NS)
+        # The display needs at least 10 x 11 ns on top of the pipeline fill.
+        assert completion >= 10 * config.display_item_time.to(TimeUnit.NS)

@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md.
+
+Runs every experiment of the reproduction (Fig. 2/3 traces, Fig. 5 depth
+sweep, the Section IV-C case study, and the two ablations), compares the
+measured shapes against the paper's claims, and writes the markdown report.
+
+Usage::
+
+    python tools/generate_experiments_report.py [--output EXPERIMENTS.md]
+                                                [--scale quick|medium|paper]
+
+The default "medium" scale keeps the full report under a few minutes of
+runtime; "paper" uses the paper-size workloads (1000 blocks of 1000 words).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import platform
+import sys
+
+from repro import __version__
+from repro.analysis import experiments
+from repro.soc import SocConfig
+from repro.workloads import PipelineModel, StreamingConfig
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="EXPERIMENTS.md")
+    parser.add_argument("--scale", choices=("quick", "medium", "paper"), default="medium")
+    return parser.parse_args()
+
+
+def scaled_configs(scale: str):
+    if scale == "paper":
+        streaming = StreamingConfig.paper_scale()
+        soc = SocConfig.benchmark(n_chains=8, items_per_chain=4096)
+        depths = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    elif scale == "medium":
+        streaming = StreamingConfig(n_blocks=50, words_per_block=100)
+        soc = SocConfig.benchmark(n_chains=4, items_per_chain=1024)
+        depths = (1, 2, 4, 8, 16, 32, 64, 128)
+    else:
+        streaming = StreamingConfig(n_blocks=20, words_per_block=50)
+        soc = SocConfig.benchmark(n_chains=2, items_per_chain=256)
+        depths = (1, 2, 4, 8, 16, 64)
+    return streaming, soc, depths
+
+
+def check(condition: bool, description: str, checks: list) -> None:
+    checks.append((condition, description))
+
+
+def fig2_section(checks) -> str:
+    result = experiments.fig2_fig3_example()
+    check(result.smart_matches_reference, "Smart FIFO reproduces the Fig. 2 dates", checks)
+    check(result.naive_differs_from_reference, "naive decoupling reproduces the Fig. 3 error", checks)
+    lines = [
+        "## EXP-FIG2 / EXP-FIG3 — execution traces of the writer/reader example",
+        "",
+        "Paper: Fig. 2 (reference dates, writes at 0/20/40 ns, reads at 0/20/40 ns)",
+        "and Fig. 3 (decoupling without synchronization: reads at 0/15/30 ns).",
+        "",
+        "```",
+        result.table(),
+        "```",
+        "",
+        f"* Smart FIFO dates identical to the reference: **{result.smart_matches_reference}**",
+        f"* Naive decoupling differs from the reference (as in Fig. 3): **{result.naive_differs_from_reference}**",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def fig5_section(streaming, depths, checks) -> str:
+    rows = experiments.fig5_depth_sweep(depths=depths, base_config=streaming)
+    series = experiments.fig5_series(rows)
+    tdless = series[PipelineModel.TDLESS.value]
+    tdfull = series[PipelineModel.TDFULL.value]
+    untimed = series[PipelineModel.UNTIMED.value]
+
+    max_depth = max(depths)
+    check(tdfull[1] > tdless[1] * 0.8, "depth 1: TDfull is not faster than TDless", checks)
+    check(
+        tdfull[max_depth] < tdless[max_depth],
+        "large depth: TDfull is faster than TDless",
+        checks,
+    )
+    check(
+        tdless[max_depth] / tdfull[max_depth] > 1.5,
+        "large depth: TDfull gain factor is well above 1",
+        checks,
+    )
+    flatness = max(tdless.values()) / max(min(tdless.values()), 1e-9)
+    check(flatness < 2.0, "TDless duration is roughly flat versus depth", checks)
+    check(
+        all(tdfull[d] <= untimed[d] * 4 for d in depths),
+        "TDfull stays within a small factor of the untimed model",
+        checks,
+    )
+    completion_sets = {}
+    for row in rows:
+        if row["model"] == PipelineModel.UNTIMED.value:
+            continue
+        completion_sets.setdefault(row["depth"], set()).add(row["completion_ns"])
+    check(
+        all(len(dates) == 1 for dates in completion_sets.values()),
+        "TDless and TDfull agree on the completion date at every depth",
+        checks,
+    )
+
+    lines = [
+        "## EXP-FIG5 — execution duration versus FIFO depth (Fig. 5)",
+        "",
+        f"Workload: {streaming.n_blocks} blocks x {streaming.words_per_block} words "
+        f"(paper: 1000 x 1000), FIFO depths {list(depths)}.",
+        "",
+        "Paper shape: TDless flat vs depth; untimed and TDfull speed up with depth;",
+        "TDfull slower than TDless at depth 1, faster from depth 2, about 2x at depth 4",
+        "and up to ~6x for large FIFOs; TDfull about 2x slower than untimed.",
+        "",
+        "```",
+        experiments.fig5_table(rows),
+        "",
+        experiments.fig5_speedup_table(rows),
+        "```",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def case_study_section(soc, checks) -> str:
+    result = experiments.case_study(soc)
+    check(result.timing_identical, "case study: both policies give identical timing", checks)
+    check(result.gain_percent > 15.0, "case study: Smart FIFO gives a substantial gain", checks)
+    check(
+        result.smart.context_switches < result.sync.context_switches / 2,
+        "case study: Smart FIFO removes most context switches",
+        checks,
+    )
+    lines = [
+        "## EXP-CASE — heterogeneous many-core SoC case study (Section IV-C)",
+        "",
+        f"Synthetic platform: {soc.n_chains} accelerator chains x "
+        f"({soc.workers_per_chain} workers + producer + consumer), "
+        f"{soc.items_per_chain} words per chain, {soc.mesh_width}x{soc.mesh_height} NoC, "
+        "one control core (quantum keeper) issuing configuration, monitoring and completion traffic.",
+        "",
+        "Paper result: 38.0 s -> 21.9 s, a gain of 42.3 %, with identical timing accuracy.",
+        "",
+        "```",
+        result.table(),
+        "```",
+        "",
+        f"Measured gain: **{result.gain_percent:.1f} %** "
+        f"({result.sync.wall_seconds:.3f} s -> {result.smart.wall_seconds:.3f} s), "
+        f"timing identical: **{result.timing_identical}**.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def quantum_section(streaming, checks) -> str:
+    config = StreamingConfig(
+        n_blocks=max(10, streaming.n_blocks // 2),
+        words_per_block=max(20, streaming.words_per_block // 2),
+        fifo_depth=8,
+    )
+    rows = experiments.quantum_ablation(quanta_ns=(0, 100, 1000, 10000, 100000), config=config)
+    smart_row = [row for row in rows if row["label"] == "smart_fifo"][0]
+    big_quantum_rows = [row for row in rows if row.get("quantum_ns") == 100000]
+    check(smart_row["timing_error_ns"] == 0.0, "ablation: Smart FIFO has zero timing error", checks)
+    check(
+        big_quantum_rows and big_quantum_rows[0]["timing_error_ns"] > 0.0,
+        "ablation: a large global quantum introduces timing errors",
+        checks,
+    )
+    lines = [
+        "## EXP-QUANTUM — ablation: global-quantum decoupling vs the Smart FIFO",
+        "",
+        "Section II-A: with a global quantum, speed and accuracy trade off against",
+        "each other and the user must pick the quantum.  The Smart FIFO needs no",
+        "quantum and keeps the exact reference timing.",
+        "",
+        "```",
+        experiments.quantum_table(rows),
+        "```",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def context_switch_section(streaming, depths, checks) -> str:
+    small_depths = tuple(d for d in depths if d <= 32)
+    rows = experiments.context_switch_sweep(depths=small_depths, base_config=streaming)
+    by_model = {}
+    for row in rows:
+        by_model.setdefault(row["model"], {})[row["depth"]] = row["context_switches"]
+    tdfull = by_model[PipelineModel.TDFULL.value]
+    tdless = by_model[PipelineModel.TDLESS.value]
+    check(
+        tdfull[max(small_depths)] < tdfull[1] / 4,
+        "context switches of TDfull shrink with the FIFO depth",
+        checks,
+    )
+    check(
+        max(tdless.values()) < 1.3 * min(tdless.values()),
+        "context switches of TDless are depth independent",
+        checks,
+    )
+    lines = [
+        "## EXP-CSW — context-switch accounting (machine-independent companion of Fig. 5)",
+        "",
+        "The wall-clock numbers above depend on the host machine; the context-switch",
+        "counts below do not, and they explain the Fig. 5 shape: TDless pays one",
+        "context switch per FIFO access while untimed and TDfull only switch when the",
+        "FIFO is internally full or empty.",
+        "",
+        "```",
+        experiments.context_switch_table(rows),
+        "```",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> None:
+    args = parse_args()
+    streaming, soc, depths = scaled_configs(args.scale)
+    checks: list = []
+
+    sections = [
+        fig2_section(checks),
+        fig5_section(streaming, depths, checks),
+        case_study_section(soc, checks),
+        quantum_section(streaming, checks),
+        context_switch_section(streaming, depths, checks),
+    ]
+
+    passed = sum(1 for ok, _ in checks if ok)
+    summary_lines = [
+        "## Shape-check summary",
+        "",
+        f"{passed} / {len(checks)} structural claims of the paper hold on this run:",
+        "",
+    ]
+    for ok, description in checks:
+        summary_lines.append(f"* {'PASS' if ok else 'FAIL'} — {description}")
+    summary_lines.append("")
+
+    header = [
+        "# EXPERIMENTS — paper versus measured",
+        "",
+        "*Fast and Accurate TLM Simulations using Temporal Decoupling for FIFO-based*",
+        "*Communications* (Helmstetter, Cornet, Galilée, Moy, Vivet — DATE 2013).",
+        "",
+        f"Generated by `python tools/generate_experiments_report.py --scale {args.scale}` "
+        f"on {datetime.date.today().isoformat()}, repro version {__version__}, "
+        f"Python {platform.python_version()} on {platform.system()} {platform.machine()}.",
+        "",
+        "Absolute durations cannot match the paper (the substrate is a pure-Python",
+        "discrete-event kernel, not the authors' C++ SystemC testbed on their",
+        "workstation); what is reproduced and checked is the *shape* of every result:",
+        "who wins, by roughly which factor, where the crossovers fall, and the strict",
+        "timing-accuracy guarantees.  Wall-clock numbers below are from this machine;",
+        "context-switch counts are machine independent.",
+        "",
+    ]
+
+    content = "\n".join(header + sections + summary_lines)
+    with open(args.output, "w") as handle:
+        handle.write(content + "\n")
+    print(f"wrote {args.output}")
+    print(f"shape checks: {passed}/{len(checks)} passed")
+    if passed != len(checks):
+        for ok, description in checks:
+            if not ok:
+                print(f"  FAILED: {description}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
