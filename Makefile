@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-quick bench-check bench
+
+# Tier-1 verification: the full unit/property/integration suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fast smoke run of the persistent benchmark harness (no file written,
+# single repeat; prints the comparison against the latest BENCH_*.json).
+bench-quick:
+	$(PYTHON) tools/run_benchmarks.py --repeats 1 --no-output
+
+# Perf gate: fails when any metric regresses >20% versus the newest
+# committed BENCH_*.json.  Best-of-9 to ride out machine noise.
+bench-check:
+	$(PYTHON) tools/run_benchmarks.py --check --no-output --repeats 9
+
+# Full measured run writing BENCH_<LABEL>.json (default LABEL=dev).
+LABEL ?= dev
+bench:
+	$(PYTHON) tools/run_benchmarks.py --label $(LABEL)

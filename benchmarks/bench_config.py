@@ -4,6 +4,16 @@ Sizes are scaled so the full suite runs in a couple of minutes while
 preserving the shape of the paper's figures.  Export
 ``REPRO_BENCH_SCALE=paper`` to run the paper-scale workloads (1000 blocks
 of 1000 words for Fig. 5, a larger SoC job for the case study).
+
+Two harnesses share these sizes:
+
+* the pytest-benchmark modules (``bench_*.py`` in this directory), for
+  interactive exploration — run them with
+  ``PYTHONPATH=src python -m pytest benchmarks/bench_micro_fifo_ops.py``;
+* the persistent harness (:mod:`bench_harness`, driven by
+  ``tools/run_benchmarks.py``), which reduces the same scenarios to the
+  committed ``BENCH_*.json`` trajectory and gates regressions — see the
+  "Performance" section of ``ROADMAP.md``.
 """
 
 from __future__ import annotations

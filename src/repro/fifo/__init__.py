@@ -19,7 +19,7 @@ Implementations:
 """
 
 from .arbiter import ReadArbiter, WriteArbiter
-from .cells import Cell, CellRing, NEVER
+from .cells import Cell, CellRing, CellView, NEVER
 from .interfaces import (
     FifoInterface,
     FifoMonitorInterface,
@@ -35,6 +35,7 @@ from .sync_fifo import SyncFifo
 __all__ = [
     "Cell",
     "CellRing",
+    "CellView",
     "FifoInterface",
     "FifoMonitorInterface",
     "FifoMonitorPort",

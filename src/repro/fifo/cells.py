@@ -9,12 +9,21 @@ cell and another to the first busy cell."*
 :class:`CellRing` implements exactly that structure plus the interpretation
 rules of the monitor interface (Section III-C), which need both dates to
 decide whether a cell is *really* busy at a given observation date.
+
+Storage layout (hot-path note): the per-cell timestamps live in two
+preallocated ``array('q')`` buffers and the busy flags in a ``bytearray``,
+indexed by the cached head/tail positions — no per-cell Python object is
+touched on the push/pop path.  The object-style views (:meth:`cells`,
+:meth:`first_busy_cell`, ...) materialise lightweight :class:`CellView`
+proxies over that storage and are meant for the (low-rate) monitor
+interface and the tests; :class:`Cell` remains available as a standalone
+value type for direct experimentation with the Section III-C rules.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from array import array
+from typing import Any, Iterator, List, Optional
 
 from ..kernel.errors import FifoError
 
@@ -22,125 +31,199 @@ from ..kernel.errors import FifoError
 NEVER = -1
 
 
-@dataclass
-class Cell:
-    """One hardware FIFO slot with its timestamp history."""
+def _really_busy(busy: int, insertion_fs: int, freeing_fs: int, date_fs: int) -> bool:
+    """The occupancy-interpretation rules of Section III-C.
 
-    data: Any = None
-    busy: bool = False
-    #: Local date of the last data insertion into this cell (NEVER if none).
-    insertion_fs: int = NEVER
-    #: Local date of the last freeing (read) of this cell (NEVER if none).
-    freeing_fs: int = NEVER
+    * an internally **busy** cell is really busy if the insertion date is
+      in the past, or if the previous freeing date is in the future
+      (internally the cell has been freed and filled again since the
+      observation date, so at the observation date it still held the
+      previous item);
+    * an internally **free** cell is really busy if the freeing date is
+      in the future and the previous insertion date is in the past (the
+      item it held at the observation date had not yet left).
+    """
+    if busy:
+        return insertion_fs <= date_fs or freeing_fs > date_fs
+    return freeing_fs > date_fs and insertion_fs <= date_fs
+
+
+class Cell:
+    """One hardware FIFO slot with its timestamp history (value type)."""
+
+    __slots__ = ("data", "busy", "insertion_fs", "freeing_fs")
+
+    def __init__(
+        self,
+        data: Any = None,
+        busy: bool = False,
+        insertion_fs: int = NEVER,
+        freeing_fs: int = NEVER,
+    ):
+        self.data = data
+        self.busy = busy
+        #: Local date of the last data insertion into this cell (NEVER if none).
+        self.insertion_fs = insertion_fs
+        #: Local date of the last freeing (read) of this cell (NEVER if none).
+        self.freeing_fs = freeing_fs
 
     def really_busy_at(self, date_fs: int) -> bool:
-        """Is this cell occupied in the *real* FIFO at ``date_fs``?
+        """Is this cell occupied in the *real* FIFO at ``date_fs``?"""
+        return _really_busy(self.busy, self.insertion_fs, self.freeing_fs, date_fs)
 
-        Interpretation rules of Section III-C:
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cell(data={self.data!r}, busy={self.busy}, "
+            f"insertion_fs={self.insertion_fs}, freeing_fs={self.freeing_fs})"
+        )
 
-        * an internally **busy** cell is really busy if the insertion date is
-          in the past, or if the previous freeing date is in the future
-          (internally the cell has been freed and filled again since the
-          observation date, so at the observation date it still held the
-          previous item);
-        * an internally **free** cell is really busy if the freeing date is
-          in the future and the previous insertion date is in the past (the
-          item it held at the observation date had not yet left).
-        """
-        if self.busy:
-            return self.insertion_fs <= date_fs or self.freeing_fs > date_fs
-        return self.freeing_fs > date_fs and self.insertion_fs <= date_fs
+
+class CellView:
+    """Live, read-only view of one slot of a :class:`CellRing`.
+
+    Unlike :class:`Cell` this proxies the ring's flat storage, so it keeps
+    reflecting later pushes/pops of the same slot.
+    """
+
+    __slots__ = ("_ring", "_index")
+
+    def __init__(self, ring: "CellRing", index: int):
+        self._ring = ring
+        self._index = index
+
+    @property
+    def data(self) -> Any:
+        return self._ring._data[self._index]
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._ring._busy[self._index])
+
+    @property
+    def insertion_fs(self) -> int:
+        return self._ring._insertion[self._index]
+
+    @property
+    def freeing_fs(self) -> int:
+        return self._ring._freeing[self._index]
+
+    def really_busy_at(self, date_fs: int) -> bool:
+        ring, index = self._ring, self._index
+        return _really_busy(
+            ring._busy[index],
+            ring._insertion[index],
+            ring._freeing[index],
+            date_fs,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CellView(#{self._index}, data={self.data!r}, busy={self.busy}, "
+            f"insertion_fs={self.insertion_fs}, freeing_fs={self.freeing_fs})"
+        )
 
 
 class CellRing:
-    """The bounded ring of timestamped cells."""
+    """The bounded ring of timestamped cells (flat-buffer storage)."""
+
+    __slots__ = (
+        "depth",
+        "busy_count",
+        "_data",
+        "_busy",
+        "_insertion",
+        "_freeing",
+        "_first_free",
+        "_first_busy",
+    )
 
     def __init__(self, depth: int):
         if depth <= 0:
             raise FifoError(f"Smart FIFO depth must be positive, got {depth}")
-        self._cells: List[Cell] = [Cell() for _ in range(depth)]
-        self._depth = depth
+        #: Number of cells (immutable after construction).
+        self.depth = depth
+        #: Number of internally busy cells (not the real FIFO size).
+        self.busy_count = 0
+        self._data: List[Any] = [None] * depth
+        self._busy = bytearray(depth)
+        self._insertion = array("q", [NEVER]) * depth
+        self._freeing = array("q", [NEVER]) * depth
         self._first_free = 0
         self._first_busy = 0
-        self._busy_count = 0
 
     # ------------------------------------------------------------------
     # State queries
     # ------------------------------------------------------------------
     @property
-    def depth(self) -> int:
-        return self._depth
-
-    @property
-    def busy_count(self) -> int:
-        """Number of internally busy cells (not the real FIFO size)."""
-        return self._busy_count
-
-    @property
     def internally_full(self) -> bool:
-        return self._busy_count == self._depth
+        return self.busy_count == self.depth
 
     @property
     def internally_empty(self) -> bool:
-        return self._busy_count == 0
+        return self.busy_count == 0
 
-    def first_free_cell(self) -> Optional[Cell]:
+    def head_free_freeing_fs(self) -> int:
+        """Freeing date of the cell the next push will fill.
+
+        Callers must have checked that the ring is not internally full.
+        """
+        return self._freeing[self._first_free]
+
+    def head_busy_insertion_fs(self) -> int:
+        """Insertion date of the cell the next pop will free.
+
+        Callers must have checked that the ring is not internally empty.
+        """
+        return self._insertion[self._first_busy]
+
+    def first_free_cell(self) -> Optional[CellView]:
         """The cell the next write will fill, or None when internally full."""
-        if self.internally_full:
+        if self.busy_count == self.depth:
             return None
-        return self._cells[self._first_free]
+        return CellView(self, self._first_free)
 
-    def first_busy_cell(self) -> Optional[Cell]:
+    def first_busy_cell(self) -> Optional[CellView]:
         """The cell the next read will empty, or None when internally empty."""
-        if self.internally_empty:
+        if self.busy_count == 0:
             return None
-        return self._cells[self._first_busy]
+        return CellView(self, self._first_busy)
 
-    def second_busy_cell(self) -> Optional[Cell]:
+    def second_busy_cell(self) -> Optional[CellView]:
         """The busy cell that will become the head after one pop."""
-        if self._busy_count < 2:
+        if self.busy_count < 2:
             return None
-        return self._cells[(self._first_busy + 1) % self._depth]
+        return CellView(self, (self._first_busy + 1) % self.depth)
 
-    def cells(self):
+    def cells(self) -> Iterator[CellView]:
         """Iterate over all cells (monitor interface)."""
-        return iter(self._cells)
+        for index in range(self.depth):
+            yield CellView(self, index)
 
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
-    def push(self, data: Any, insertion_fs: int, cell: Optional[Cell] = None) -> Cell:
-        """Fill the first free cell at ``insertion_fs``; return that cell.
+    def push(self, data: Any, insertion_fs: int) -> None:
+        """Fill the first free cell at ``insertion_fs``."""
+        if self.busy_count == self.depth:
+            raise FifoError("push on an internally full Smart FIFO")
+        index = self._first_free
+        self._data[index] = data
+        self._busy[index] = 1
+        self._insertion[index] = insertion_fs
+        self._first_free = (index + 1) % self.depth
+        self.busy_count += 1
 
-        Callers that already fetched the first free cell (to inspect its
-        freeing date) can pass it to avoid a second lookup.
-        """
-        if cell is None:
-            cell = self.first_free_cell()
-            if cell is None:
-                raise FifoError("push on an internally full Smart FIFO")
-        cell.data = data
-        cell.busy = True
-        cell.insertion_fs = insertion_fs
-        self._first_free = (self._first_free + 1) % self._depth
-        self._busy_count += 1
-        return cell
-
-    def pop(self, freeing_fs: int, cell: Optional[Cell] = None) -> Any:
-        """Free the first busy cell at ``freeing_fs``; return its data.
-
-        As for :meth:`push`, the already-fetched head cell may be passed in.
-        """
-        if cell is None:
-            cell = self.first_busy_cell()
-            if cell is None:
-                raise FifoError("pop on an internally empty Smart FIFO")
-        data = cell.data
-        cell.data = None
-        cell.busy = False
-        cell.freeing_fs = freeing_fs
-        self._first_busy = (self._first_busy + 1) % self._depth
-        self._busy_count -= 1
+    def pop(self, freeing_fs: int) -> Any:
+        """Free the first busy cell at ``freeing_fs``; return its data."""
+        if self.busy_count == 0:
+            raise FifoError("pop on an internally empty Smart FIFO")
+        index = self._first_busy
+        data = self._data[index]
+        self._data[index] = None
+        self._busy[index] = 0
+        self._freeing[index] = freeing_fs
+        self._first_busy = (index + 1) % self.depth
+        self.busy_count -= 1
         return data
 
     # ------------------------------------------------------------------
@@ -148,10 +231,66 @@ class CellRing:
     # ------------------------------------------------------------------
     def real_size_at(self, date_fs: int) -> int:
         """Number of items the modelled hardware FIFO holds at ``date_fs``."""
-        return sum(1 for cell in self._cells if cell.really_busy_at(date_fs))
+        busy = self._busy
+        insertion = self._insertion
+        freeing = self._freeing
+        count = 0
+        for index in range(self.depth):
+            if busy[index]:
+                if insertion[index] <= date_fs or freeing[index] > date_fs:
+                    count += 1
+            elif freeing[index] > date_fs and insertion[index] <= date_fs:
+                count += 1
+        return count
+
+    def count_busy_inserted_by(self, date_fs: int) -> int:
+        """Busy cells whose item is already present at ``date_fs``."""
+        busy = self._busy
+        insertion = self._insertion
+        count = 0
+        for index in range(self.depth):
+            if busy[index] and insertion[index] <= date_fs:
+                count += 1
+        return count
+
+    def busy_insertions_after(self, date_fs: int) -> List[int]:
+        """Sorted insertion dates of busy cells still in the future of
+        ``date_fs`` (packetization helper)."""
+        busy = self._busy
+        insertion = self._insertion
+        dates = [
+            insertion[index]
+            for index in range(self.depth)
+            if busy[index] and insertion[index] > date_fs
+        ]
+        dates.sort()
+        return dates
+
+    def count_free_freed_by(self, date_fs: int) -> int:
+        """Free cells whose slot is really available at ``date_fs``."""
+        busy = self._busy
+        freeing = self._freeing
+        count = 0
+        for index in range(self.depth):
+            if not busy[index] and freeing[index] <= date_fs:
+                count += 1
+        return count
+
+    def free_freeings_after(self, date_fs: int) -> List[int]:
+        """Sorted freeing dates of free cells still in the future of
+        ``date_fs`` (packetization helper)."""
+        busy = self._busy
+        freeing = self._freeing
+        dates = [
+            freeing[index]
+            for index in range(self.depth)
+            if not busy[index] and freeing[index] > date_fs
+        ]
+        dates.sort()
+        return dates
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"CellRing(depth={self._depth}, busy={self._busy_count}, "
+            f"CellRing(depth={self.depth}, busy={self.busy_count}, "
             f"head={self._first_busy}, tail={self._first_free})"
         )

@@ -60,13 +60,24 @@ class PacketSmartFifo(SmartFifo):
     # Packet-level blocking interface (decoupled threads)
     # ------------------------------------------------------------------
     def write_packet(self, words: List[Any]):
-        """Blocking write of a full packet (word by word, exact timestamps)."""
+        """Blocking write of a full packet (word by word, exact timestamps).
+
+        Words that fit without blocking bypass the word-level generator
+        machinery ("without re-entering the blocking machinery per word
+        when room is available"); only a word hitting an internally full
+        FIFO goes through the suspending :meth:`write` path.
+        """
         if len(words) != self.packet_size:
             raise FifoError(
                 f"write_packet expects {self.packet_size} words, got {len(words)}"
             )
+        cells = self._cells
+        depth = cells.depth
         for word in words:
-            yield from self.write(word)
+            if self.sync_on_access or cells.busy_count == depth:
+                yield from self.write(word)
+            else:
+                self._do_write(self._scheduler.current_process, self._manager, word)
         self.packets_written += 1
 
     def read_packet(self):
@@ -76,9 +87,13 @@ class PacketSmartFifo(SmartFifo):
         last word (or its own local date if later), i.e. the date at which
         the complete packet is available for forwarding.
         """
+        cells = self._cells
         words = []
         for _ in range(self.packet_size):
-            word = yield from self.read()
+            if self.sync_on_access or cells.busy_count == 0:
+                word = yield from self.read()
+            else:
+                word = self._do_read(self._scheduler.current_process, self._manager)
             words.append(word)
         self.packets_read += 1
         return words
@@ -89,19 +104,12 @@ class PacketSmartFifo(SmartFifo):
     def packet_available(self) -> bool:
         """True when a full packet is externally available at the caller's date."""
         date_fs = self._caller_date_fs()
-        available = 0
-        for cell in self._cells.cells():
-            if cell.busy and cell.insertion_fs <= date_fs:
-                available += 1
+        available = self._cells.count_busy_inserted_by(date_fs)
         if available >= self.packet_size:
             return True
         # Re-arm the not_empty event at the date the packet completes, if the
         # missing words are already internally present.
-        pending_dates = sorted(
-            cell.insertion_fs
-            for cell in self._cells.cells()
-            if cell.busy and cell.insertion_fs > date_fs
-        )
+        pending_dates = self._cells.busy_insertions_after(date_fs)
         missing = self.packet_size - available
         if len(pending_dates) >= missing:
             self._notify_external(
@@ -115,26 +123,31 @@ class PacketSmartFifo(SmartFifo):
             raise FifoError(
                 f"nb_read_packet on {self.full_name}: no complete packet available"
             )
-        words = [self.nb_read() for _ in range(self.packet_size)]
+        if self._enforce_side_ordering:
+            # The guard proved packet_size words are externally available at
+            # the caller's date, and side ordering makes insertion dates
+            # monotone along the ring, so the head cells can be drained
+            # directly.  Without side ordering a head cell may still carry a
+            # future date, so the per-word guarded path below applies.
+            process = self._scheduler.current_process
+            manager = self._manager
+            words = [
+                self._do_read(process, manager) for _ in range(self.packet_size)
+            ]
+        else:
+            words = [self.nb_read() for _ in range(self.packet_size)]
         self.packets_read += 1
         return words
 
     def space_for_packet(self) -> bool:
         """True when a full packet can be written without blocking."""
         date_fs = self._caller_date_fs()
-        free = 0
-        for cell in self._cells.cells():
-            if not cell.busy and cell.freeing_fs <= date_fs:
-                free += 1
+        free = self._cells.count_free_freed_by(date_fs)
         if free >= self.packet_size:
             return True
         # Arm the not_full event at the date enough cells will have been
         # freed, when those frees were already performed internally.
-        pending_dates = sorted(
-            cell.freeing_fs
-            for cell in self._cells.cells()
-            if not cell.busy and cell.freeing_fs > date_fs
-        )
+        pending_dates = self._cells.free_freeings_after(date_fs)
         missing = self.packet_size - free
         if len(pending_dates) >= missing:
             self._notify_external(
@@ -145,7 +158,7 @@ class PacketSmartFifo(SmartFifo):
     # ------------------------------------------------------------------
     # Packetization extension (Section IV-C)
     # ------------------------------------------------------------------
-    def _do_write(self, process, manager, data) -> None:
+    def _do_write(self, process, manager, data, local_fs: int = -1) -> None:
         """Write one word and notify packet-level listeners.
 
         The word-level Smart FIFO only notifies ``not_empty`` on the
@@ -157,7 +170,7 @@ class PacketSmartFifo(SmartFifo):
         notifications collapse to the earliest date and
         :meth:`packet_available` re-arms later dates as needed.
         """
-        super()._do_write(process, manager, data)
+        super()._do_write(process, manager, data, local_fs)
         self._notify_external(self._not_empty_event, self._last_write_fs)
 
     def nb_write_packet(self, words: List[Any]) -> bool:

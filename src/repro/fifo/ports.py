@@ -26,6 +26,13 @@ class FifoWritePort(Port):
     def __init__(self, owner: Module, name: str, optional: bool = False):
         super().__init__(owner, name, FifoWriterInterface, optional=optional)
 
+    def _on_bound(self, interface) -> None:
+        # Shadow the delegating methods with the channel's own bound methods
+        # so a port access costs no extra call on the word-transfer hot path.
+        self.write = interface.write
+        self.nb_write = interface.nb_write
+        self.is_full = interface.is_full
+
     def write(self, data: Any):
         """Blocking write through the bound FIFO (generator)."""
         return self.get().write(data)
@@ -46,6 +53,12 @@ class FifoReadPort(Port):
 
     def __init__(self, owner: Module, name: str, optional: bool = False):
         super().__init__(owner, name, FifoReaderInterface, optional=optional)
+
+    def _on_bound(self, interface) -> None:
+        # See FifoWritePort._on_bound.
+        self.read = interface.read
+        self.nb_read = interface.nb_read
+        self.is_empty = interface.is_empty
 
     def read(self):
         """Blocking read through the bound FIFO (generator)."""

@@ -38,7 +38,7 @@ from ..kernel.errors import FifoError, TimingError
 from ..kernel.event import Event
 from ..kernel.module import Module
 from ..kernel.process import Process, WaitEvent
-from ..kernel.simtime import SimTime, ZERO_TIME
+from ..kernel.simtime import SimTime
 from ..kernel.simulator import Simulator
 from ..td.decoupling import sync
 from ..td.local_time import LocalTimeManager, get_local_time_manager
@@ -116,13 +116,16 @@ class SmartFifo(Module, FifoInterface):
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _caller(self):
-        return self._scheduler.current_process, self._manager
-
     def _caller_date_fs(self) -> int:
-        return self._manager.local_fs_fast(
-            self._scheduler.current_process, self._scheduler.now_fs
-        )
+        # Inlined LocalTimeManager.local_fs_fast: the local date is cached
+        # on the process object, so the caller's date is one attribute read.
+        scheduler = self._scheduler
+        process = scheduler.current_process
+        now_fs = scheduler.now_fs
+        if process is None:
+            return now_fs
+        local_fs = process.local_fs
+        return local_fs if local_fs > now_fs else now_fs
 
     def _notify_external(self, event: Event, date_fs: int, forced: bool = False) -> None:
         """Schedule a delayed notification of ``event`` at ``date_fs``.
@@ -140,13 +143,10 @@ class SmartFifo(Module, FifoInterface):
         method body is still running), so the notification must always be
         scheduled.
         """
-        if not forced and not self._always_notify_external and not event.has_listeners:
+        if not forced and not self._always_notify_external and not event.listener_count:
             return
         delay_fs = date_fs - self._scheduler.now_fs
-        if delay_fs <= 0:
-            event.notify(ZERO_TIME)
-        else:
-            event.notify(SimTime.from_femtoseconds(delay_fs))
+        event.notify_fs(delay_fs if delay_fs > 0 else 0)
 
     def _ordering_error(self, side: str, date_fs: int) -> None:
         """Raise the Section-III ordering violation error for ``side``."""
@@ -212,12 +212,12 @@ class SmartFifo(Module, FifoInterface):
         ``if fifo.is_full(): next_trigger(fifo.not_full_event); return``
         cannot miss the wake-up.
         """
-        if self._cells.internally_full:
+        cells = self._cells
+        if cells.busy_count == cells.depth:
             return True
-        cell = self._cells.first_free_cell()
-        date_fs = self._caller_date_fs()
-        if cell.freeing_fs > date_fs:
-            self._notify_external(self._not_full_event, cell.freeing_fs, forced=True)
+        freeing_fs = cells.head_free_freeing_fs()
+        if freeing_fs > self._caller_date_fs():
+            self._notify_external(self._not_full_event, freeing_fs, forced=True)
             return True
         return False
 
@@ -235,19 +235,20 @@ class SmartFifo(Module, FifoInterface):
         4. wake up a blocked reader, if any, and schedule the external
            ``not_empty`` notification when the FIFO was internally empty.
         """
-        process, manager = self._caller()
         if self.sync_on_access:
             yield from sync(sim=self.sim)
-        while self._cells.internally_full:
+        cells = self._cells
+        depth = cells.depth
+        while cells.busy_count == depth:
             self.blocking_waits += 1
             self._blocked_writers += 1
             try:
                 yield from sync(sim=self.sim)
-                if self._cells.internally_full:
+                if cells.busy_count == depth:
                     yield WaitEvent(self._cell_freed)
             finally:
                 self._blocked_writers -= 1
-        self._do_write(process, manager, data)
+        self._do_write(self._scheduler.current_process, self._manager, data)
 
     def nb_write(self, data: Any) -> bool:
         """Non-blocking write for method processes.
@@ -255,39 +256,63 @@ class SmartFifo(Module, FifoInterface):
         Returns False without writing when the FIFO is externally full at
         the caller's date (guard with :meth:`is_full`).
         """
-        if self._cells.internally_full:
+        cells = self._cells
+        if cells.busy_count == cells.depth:
             return False
-        cell = self._cells.first_free_cell()
-        if cell.freeing_fs > self._caller_date_fs():
+        freeing_fs = cells.head_free_freeing_fs()
+        scheduler = self._scheduler
+        process = scheduler.current_process
+        now_fs = scheduler.now_fs
+        if process is None:
+            local_fs = now_fs
+        else:
+            local_fs = process.local_fs
+            if local_fs < now_fs:
+                local_fs = now_fs
+        if freeing_fs > local_fs:
             # Externally full until the freeing date: arm the not_full event
             # so a method process retrying on it cannot miss the wake-up.
-            self._notify_external(self._not_full_event, cell.freeing_fs, forced=True)
+            self._notify_external(self._not_full_event, freeing_fs, forced=True)
             return False
-        process, manager = self._caller()
-        self._do_write(process, manager, data)
+        self._do_write(process, self._manager, data, local_fs)
         return True
 
-    def _do_write(self, process: Optional[Process], manager: LocalTimeManager, data: Any) -> None:
+    def _do_write(
+        self,
+        process: Optional[Process],
+        manager: LocalTimeManager,
+        data: Any,
+        local_fs: int = -1,
+    ) -> None:
+        """Perform the write at the caller's date.
+
+        ``local_fs`` may carry the caller's already-computed local date
+        (guarded callers like :meth:`nb_write`); -1 means "compute it here".
+        """
         cells = self._cells
         now_fs = self._scheduler.now_fs
-        local_fs = manager.local_fs_fast(process, now_fs)
-        cell = cells.first_free_cell()
-        if cell is None:  # pragma: no cover - guarded by callers
-            raise FifoError(f"write on internally full Smart FIFO {self.full_name}")
-        if cell.freeing_fs > local_fs:
-            if process is not None:
-                local_fs = manager.advance_to(process, cell.freeing_fs)
+        if local_fs < 0:
+            if process is None:
+                local_fs = now_fs
             else:
-                local_fs = cell.freeing_fs
+                local_fs = process.local_fs
+                if local_fs < now_fs:
+                    local_fs = now_fs
+        freeing_fs = cells.head_free_freeing_fs()
+        if freeing_fs > local_fs:
+            if process is not None:
+                local_fs = manager.advance_to(process, freeing_fs)
+            else:
+                local_fs = freeing_fs
         if self._enforce_side_ordering and local_fs < self._last_write_fs:
             self._ordering_error("write", local_fs)
         was_internally_empty = cells.busy_count == 0
-        cells.push(data, local_fs, cell)
+        cells.push(data, local_fs)
         self._last_write_fs = local_fs
         self.total_written += 1
         # Wake a reader blocked inside a blocking read.
         if self._blocked_readers:
-            self._cell_filled.notify(ZERO_TIME)
+            self._cell_filled.notify_fs(0)
         # External not_empty notification, case 1 of Section III-B: all the
         # cells were free before this write.  The notification is delayed
         # until the insertion date of the new first busy cell.
@@ -296,12 +321,12 @@ class SmartFifo(Module, FifoInterface):
         # Symmetric bookkeeping for not_full: after this push, if the FIFO is
         # not internally full but the next free cell will only be freed in
         # the future, the real FIFO is full until that date.
-        if (
-            self._always_notify_external or self._not_full_event.has_listeners
-        ) and not cells.internally_full:
-            next_free = cells.first_free_cell()
-            if next_free.freeing_fs > now_fs:
-                self._notify_external(self._not_full_event, next_free.freeing_fs)
+        if cells.busy_count < cells.depth and (
+            self._always_notify_external or self._not_full_event.listener_count
+        ):
+            next_free_fs = cells.head_free_freeing_fs()
+            if next_free_fs > now_fs:
+                self._notify_external(self._not_full_event, next_free_fs)
 
     # ------------------------------------------------------------------
     # Reader-side interface (Section III-A)
@@ -317,12 +342,12 @@ class SmartFifo(Module, FifoInterface):
         first busy cell is in the caller's future.  In the latter case the
         external ``not_empty_event`` is (re)armed at that insertion date.
         """
-        cell = self._cells.first_busy_cell()
-        if cell is None:
+        cells = self._cells
+        if cells.busy_count == 0:
             return True
-        date_fs = self._caller_date_fs()
-        if cell.insertion_fs > date_fs:
-            self._notify_external(self._not_empty_event, cell.insertion_fs, forced=True)
+        insertion_fs = cells.head_busy_insertion_fs()
+        if insertion_fs > self._caller_date_fs():
+            self._notify_external(self._not_empty_event, insertion_fs, forced=True)
             return True
         return False
 
@@ -334,19 +359,19 @@ class SmartFifo(Module, FifoInterface):
         busy cell if needed, free the cell (recording the freeing date),
         notify the write side, and return the data.
         """
-        process, manager = self._caller()
         if self.sync_on_access:
             yield from sync(sim=self.sim)
-        while self._cells.internally_empty:
+        cells = self._cells
+        while cells.busy_count == 0:
             self.blocking_waits += 1
             self._blocked_readers += 1
             try:
                 yield from sync(sim=self.sim)
-                if self._cells.internally_empty:
+                if cells.busy_count == 0:
                     yield WaitEvent(self._cell_filled)
             finally:
                 self._blocked_readers -= 1
-        return self._do_read(process, manager)
+        return self._do_read(self._scheduler.current_process, self._manager)
 
     def nb_read(self):
         """Non-blocking read for method processes.
@@ -354,38 +379,57 @@ class SmartFifo(Module, FifoInterface):
         Raises :class:`FifoError` when the FIFO is externally empty at the
         caller's date (guard with :meth:`is_empty`).
         """
-        cell = self._cells.first_busy_cell()
-        if cell is None or cell.insertion_fs > self._caller_date_fs():
-            if cell is not None:
-                # Arm the not_empty event at the date the item really arrives.
-                self._notify_external(self._not_empty_event, cell.insertion_fs, forced=True)
-            raise FifoError(
-                f"nb_read on externally empty Smart FIFO {self.full_name}"
-            )
-        process, manager = self._caller()
-        return self._do_read(process, manager)
+        cells = self._cells
+        if cells.busy_count:
+            insertion_fs = cells.head_busy_insertion_fs()
+            scheduler = self._scheduler
+            process = scheduler.current_process
+            now_fs = scheduler.now_fs
+            if process is None:
+                local_fs = now_fs
+            else:
+                local_fs = process.local_fs
+                if local_fs < now_fs:
+                    local_fs = now_fs
+            if insertion_fs <= local_fs:
+                return self._do_read(process, self._manager, local_fs)
+            # Arm the not_empty event at the date the item really arrives.
+            self._notify_external(self._not_empty_event, insertion_fs, forced=True)
+        raise FifoError(
+            f"nb_read on externally empty Smart FIFO {self.full_name}"
+        )
 
-    def _do_read(self, process: Optional[Process], manager: LocalTimeManager):
+    def _do_read(
+        self,
+        process: Optional[Process],
+        manager: LocalTimeManager,
+        local_fs: int = -1,
+    ):
+        """Perform the read at the caller's date (see :meth:`_do_write`)."""
         cells = self._cells
         now_fs = self._scheduler.now_fs
-        cell = cells.first_busy_cell()
-        if cell is None:  # pragma: no cover - guarded by callers
-            raise FifoError(f"read on internally empty Smart FIFO {self.full_name}")
-        local_fs = manager.local_fs_fast(process, now_fs)
-        if cell.insertion_fs > local_fs:
-            if process is not None:
-                local_fs = manager.advance_to(process, cell.insertion_fs)
+        insertion_fs = cells.head_busy_insertion_fs()
+        if local_fs < 0:
+            if process is None:
+                local_fs = now_fs
             else:
-                local_fs = cell.insertion_fs
+                local_fs = process.local_fs
+                if local_fs < now_fs:
+                    local_fs = now_fs
+        if insertion_fs > local_fs:
+            if process is not None:
+                local_fs = manager.advance_to(process, insertion_fs)
+            else:
+                local_fs = insertion_fs
         if self._enforce_side_ordering and local_fs < self._last_read_fs:
             self._ordering_error("read", local_fs)
         was_internally_full = cells.busy_count == cells.depth
-        data = cells.pop(local_fs, cell)
+        data = cells.pop(local_fs)
         self._last_read_fs = local_fs
         self.total_read += 1
         # Wake a writer blocked inside a blocking write.
         if self._blocked_writers:
-            self._cell_freed.notify(ZERO_TIME)
+            self._cell_freed.notify_fs(0)
         # External not_full notification, case 1 (symmetric of Section III-B):
         # all the cells were busy before this read; the real FIFO stops being
         # full at the freeing date.
@@ -394,10 +438,12 @@ class SmartFifo(Module, FifoInterface):
         # External not_empty notification, case 2 of Section III-B: the next
         # busy cell exists but its insertion date is in the future; the real
         # FIFO becomes non-empty (again) only at that date.
-        if self._always_notify_external or self._not_empty_event.has_listeners:
-            next_busy = cells.first_busy_cell()
-            if next_busy is not None and next_busy.insertion_fs > now_fs:
-                self._notify_external(self._not_empty_event, next_busy.insertion_fs)
+        if cells.busy_count and (
+            self._always_notify_external or self._not_empty_event.listener_count
+        ):
+            next_insertion_fs = cells.head_busy_insertion_fs()
+            if next_insertion_fs > now_fs:
+                self._notify_external(self._not_empty_event, next_insertion_fs)
         return data
 
     # ------------------------------------------------------------------

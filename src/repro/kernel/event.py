@@ -24,19 +24,44 @@ from .errors import SchedulingError
 from .simtime import SimTime, ZERO_TIME
 
 
-class _TimedNotification:
-    """Book-keeping record for a pending timed notification.
+class _TimedRecord:
+    """Base class of the scheduler's timed-queue heap entries.
+
+    Entries are pushed directly onto the heap (no wrapping tuple): they are
+    pre-keyed by ``(time_fs, seq)``, where ``seq`` is a scheduler-assigned
+    monotonic sequence number that keeps the pop order stable for equal
+    dates.  ``is_event`` discriminates the two concrete record kinds without
+    a string comparison or an ``isinstance`` check on the pop path.
+    """
+
+    __slots__ = ("time_fs", "seq")
+
+    is_event = False
+
+    def __lt__(self, other: "_TimedRecord") -> bool:
+        if self.time_fs != other.time_fs:
+            return self.time_fs < other.time_fs
+        return self.seq < other.seq
+
+
+class _TimedNotification(_TimedRecord):
+    """Book-keeping record for a pending timed event notification.
 
     The scheduler keeps these in its timed queue; cancelling a notification
     simply marks the record, the scheduler skips cancelled records when it
-    pops them.
+    pops them.  Popped records are handed back to their event for reuse by
+    the next timed ``notify``, so a channel that keeps re-arming a delayed
+    notification (the Smart FIFO external events) allocates only once.
     """
 
-    __slots__ = ("event", "time_fs", "cancelled")
+    __slots__ = ("event", "cancelled")
+
+    is_event = True
 
     def __init__(self, event: "Event", time_fs: int):
         self.event = event
         self.time_fs = time_fs
+        self.seq = 0
         self.cancelled = False
 
 
@@ -55,15 +80,27 @@ class Event:
     def __init__(self, name: str = "event", sim=None):
         self.name = name
         self._sim = sim
+        # Scheduler of the owning simulator, resolved on first notification
+        # (one attribute read afterwards instead of a property round trip).
+        self._scheduler = None
         # Threads dynamically waiting on this event: (process, wait_id).
         self._waiting_threads: List[Tuple[object, int]] = []
         # Methods statically sensitive to this event (permanent).
         self._static_methods: List[object] = []
+        # Immutable snapshot of _static_methods handed to the scheduler on
+        # every trigger (rebuilt on the rare registration changes).
+        self._static_snapshot = ()
         # Methods dynamically waiting via next_trigger: (process, trigger_id).
         self._dynamic_methods: List[Tuple[object, int]] = []
         # Pending notification state.
         self._pending_delta = False
         self._pending_timed: Optional[_TimedNotification] = None
+        # Recycled timed-notification record (see _TimedNotification).
+        self._spare_timed: Optional[_TimedNotification] = None
+        #: Number of processes currently observing the event (threads +
+        #: static methods + dynamic methods), maintained incrementally so
+        #: hot paths can test it with one attribute read.
+        self.listener_count = 0
         # Date (in delta-cycle coordinates) of the last trigger, used by
         # Signal.event() style queries.
         self._last_trigger_marker: Optional[Tuple[int, int]] = None
@@ -78,21 +115,28 @@ class Event:
     def bind_simulator(self, sim) -> None:
         """Explicitly attach the event to a simulator (done by modules)."""
         self._sim = sim
+        self._scheduler = None
 
     # -- registration (used by the scheduler and by method processes) ----
     def add_waiting_thread(self, process, wait_id: int) -> None:
         self._waiting_threads.append((process, wait_id))
+        self.listener_count += 1
 
     def add_static_method(self, process) -> None:
         if process not in self._static_methods:
             self._static_methods.append(process)
+            self._static_snapshot = tuple(self._static_methods)
+            self.listener_count += 1
 
     def remove_static_method(self, process) -> None:
         if process in self._static_methods:
             self._static_methods.remove(process)
+            self._static_snapshot = tuple(self._static_methods)
+            self.listener_count -= 1
 
     def add_dynamic_method(self, process, trigger_id: int) -> None:
         self._dynamic_methods.append((process, trigger_id))
+        self.listener_count += 1
 
     @property
     def has_listeners(self) -> bool:
@@ -102,9 +146,7 @@ class Event:
         (e.g. the Smart FIFO external ``not_empty`` event when no method
         process monitors the FIFO), which keeps the timed queue small.
         """
-        return bool(
-            self._waiting_threads or self._static_methods or self._dynamic_methods
-        )
+        return self.listener_count > 0
 
     # -- notification ----------------------------------------------------
     def notify(self, delay: Optional[SimTime] = None) -> None:
@@ -114,17 +156,32 @@ class Event:
         delta notification and ``notify(t)`` with ``t > 0`` a timed
         notification ``t`` after the current simulated date.
         """
-        scheduler = self.sim.scheduler
-        scheduler.stats.event_notifications += 1
         if delay is None:
             # Immediate: trigger right now, do not touch pending notifications.
+            scheduler = self._scheduler
+            if scheduler is None:
+                scheduler = self._scheduler = self.sim.scheduler
+            scheduler.stats.event_notifications += 1
             scheduler.trigger_event_now(self)
             return
-        if not isinstance(delay, SimTime):
+        if delay is not ZERO_TIME and not isinstance(delay, SimTime):
             raise SchedulingError(
                 f"Event.notify expects a SimTime delay, got {delay!r}"
             )
-        if delay.is_zero:
+        self.notify_fs(delay._fs)
+
+    def notify_fs(self, delay_fs: int) -> None:
+        """Delta (``delay_fs == 0``) or timed notification, femtosecond API.
+
+        Fast-path variant of :meth:`notify` for channels that already hold
+        the delay as an integer (the Smart FIFO delayed external
+        notifications); skips the :class:`SimTime` round trip.
+        """
+        scheduler = self._scheduler
+        if scheduler is None:
+            scheduler = self._scheduler = self.sim.scheduler
+        scheduler.stats.event_notifications += 1
+        if delay_fs == 0:
             if self._pending_delta:
                 return
             self._cancel_timed()
@@ -134,12 +191,19 @@ class Event:
         # Timed notification.
         if self._pending_delta:
             return
-        target_fs = scheduler.now_fs + delay.femtoseconds
-        if self._pending_timed is not None and not self._pending_timed.cancelled:
-            if self._pending_timed.time_fs <= target_fs:
+        target_fs = scheduler.now_fs + delay_fs
+        pending = self._pending_timed
+        if pending is not None and not pending.cancelled:
+            if pending.time_fs <= target_fs:
                 return
-            self._pending_timed.cancelled = True
-        record = _TimedNotification(self, target_fs)
+            pending.cancelled = True
+        record = self._spare_timed
+        if record is None:
+            record = _TimedNotification(self, target_fs)
+        else:
+            self._spare_timed = None
+            record.time_fs = target_fs
+            record.cancelled = False
         self._pending_timed = record
         scheduler.schedule_timed_notification(record)
 
@@ -164,6 +228,19 @@ class Event:
         if self._pending_timed is record:
             self._pending_timed = None
 
+    def recycle_timed(self, record: _TimedNotification) -> None:
+        """Take back a record the scheduler popped from its timed queue.
+
+        Only records that are out of the heap may be recycled; the scheduler
+        calls this right after popping (fired or cancelled alike).
+        """
+        if record is not self._pending_timed:
+            self._spare_timed = record
+
+    def arm(self, scheduler, process, wait_id: int) -> None:
+        """Wait-descriptor protocol: a bare event can be yielded directly."""
+        self.add_waiting_thread(process, wait_id)
+
     def collect_triggered_processes(self, marker: Tuple[int, int]):
         """Return processes to wake and reset the dynamic waiting lists.
 
@@ -176,7 +253,8 @@ class Event:
         dyn_methods = self._dynamic_methods
         self._waiting_threads = []
         self._dynamic_methods = []
-        return threads, list(self._static_methods), dyn_methods
+        self.listener_count = len(self._static_methods)
+        return threads, self._static_snapshot, dyn_methods
 
     def triggered_at(self, marker: Tuple[int, int]) -> bool:
         """True if the event triggered in the evaluation phase ``marker``."""
@@ -194,6 +272,13 @@ class EventList:
         self.wait_for_all = wait_for_all
         if not self.events:
             raise SchedulingError("cannot wait on an empty event list")
+
+    def arm(self, scheduler, process, wait_id: int) -> None:
+        """Wait-descriptor protocol: an event list can be yielded directly."""
+        if self.wait_for_all:
+            process.pending_all_events = list(self.events)
+        for event in self.events:
+            event.add_waiting_thread(process, wait_id)
 
 
 def any_of(*events: Event) -> EventList:

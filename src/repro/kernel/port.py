@@ -48,6 +48,11 @@ class Port(Generic[T]):
                 f"{self.interface_type.__name__}, got {type(interface).__name__}"
             )
         self._bound = interface
+        self._on_bound(interface)
+
+    def _on_bound(self, interface: T) -> None:
+        """Hook for subclasses to cache direct references to the bound
+        interface's methods (removes a ``get()`` hop per access)."""
 
     # SystemC-style operator() binding.
     __call__ = bind

@@ -28,9 +28,20 @@ from .simtime import SimTime
 # Wait descriptors
 # ---------------------------------------------------------------------------
 class WaitDescriptor:
-    """Base class of every object a thread process may yield."""
+    """Base class of every object a thread process may yield.
+
+    Each concrete descriptor knows how to *arm* the corresponding wake-up
+    on the scheduler (``arm(scheduler, process, wait_id)``); the scheduler
+    dispatches on that method instead of walking an ``isinstance`` ladder.
+    :class:`~repro.kernel.event.Event` and
+    :class:`~repro.kernel.event.EventList` implement the same protocol so
+    they can be yielded directly.
+    """
 
     __slots__ = ()
+
+    def arm(self, scheduler, process: "ThreadProcess", wait_id: int) -> None:
+        raise NotImplementedError  # pragma: no cover - abstract
 
 
 class Timeout(WaitDescriptor):
@@ -42,6 +53,9 @@ class Timeout(WaitDescriptor):
         if not isinstance(duration, SimTime):
             raise ProcessError(f"Timeout expects a SimTime, got {duration!r}")
         self.duration = duration
+
+    def arm(self, scheduler, process, wait_id: int) -> None:
+        scheduler.arm_timeout(process, wait_id, self.duration)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Timeout({self.duration})"
@@ -57,6 +71,9 @@ class WaitEvent(WaitDescriptor):
             raise ProcessError(f"WaitEvent expects an Event, got {event!r}")
         self.event = event
 
+    def arm(self, scheduler, process, wait_id: int) -> None:
+        self.event.add_waiting_thread(process, wait_id)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"WaitEvent({self.event.name})"
 
@@ -69,6 +86,10 @@ class WaitEventList(WaitDescriptor):
     def __init__(self, event_list: EventList):
         self.events = list(event_list.events)
         self.wait_for_all = event_list.wait_for_all
+
+    # Same arming logic as a bare EventList (shared implementation; both
+    # classes expose .events and .wait_for_all).
+    arm = EventList.arm
 
 
 class WaitEventOrTimeout(WaitDescriptor):
@@ -84,6 +105,10 @@ class WaitEventOrTimeout(WaitDescriptor):
         self.event = event
         self.timeout = timeout
 
+    def arm(self, scheduler, process, wait_id: int) -> None:
+        self.event.add_waiting_thread(process, wait_id)
+        scheduler.arm_timeout(process, wait_id, self.timeout)
+
 
 # ---------------------------------------------------------------------------
 # Processes
@@ -95,6 +120,8 @@ class Process:
     """Common state of thread and method processes."""
 
     kind = "process"
+    #: Class-level discriminator, avoids ``isinstance`` on the execute path.
+    is_thread = False
 
     def __init__(self, name: str, func: Callable, sim):
         self.name = name
@@ -102,6 +129,18 @@ class Process:
         self.sim = sim
         self.pid = next(_PROCESS_IDS)
         self.terminated = False
+        #: True while the process sits in the scheduler's runnable queue.
+        self.runnable = False
+        #: Value delivered by the wake-up that made the process runnable
+        #: (e.g. the event that triggered); consumed on resumption.
+        self.resume_value = None
+        #: Absolute local date in femtoseconds of this (temporally
+        #: decoupled) process; -1 when the process never decoupled.  Owned
+        #: by :class:`~repro.td.local_time.LocalTimeManager` but stored here
+        #: so the Smart FIFO access path needs no per-access map lookup.
+        self.local_fs = -1
+        #: True once the local-time manager tracks this process.
+        self.lt_tracked = False
         #: Event notified when the process terminates (like sc_process_handle
         #: ``terminated_event``); created lazily.
         self._terminated_event: Optional[Event] = None
@@ -125,6 +164,7 @@ class ThreadProcess(Process):
     """A generator-based cooperative thread (``SC_THREAD``)."""
 
     kind = "thread"
+    is_thread = True
 
     def __init__(self, name: str, func: Callable, sim):
         super().__init__(name, func, sim)
@@ -133,8 +173,9 @@ class ThreadProcess(Process):
         #: stale identifier (e.g. the timeout half of an event-or-timeout wait
         #: that already completed) are ignored by the scheduler.
         self.wait_id = 0
-        #: For wait-for-all waits: events still missing.
-        self.pending_all_events: List[Event] = []
+        #: For wait-for-all waits: events still missing (None outside such
+        #: a wait, so the common case costs no list allocation).
+        self.pending_all_events: Optional[List[Event]] = None
         self.started = False
 
     def start(self):
@@ -168,10 +209,6 @@ class ThreadProcess(Process):
             self.mark_terminated()
             return None
         return descriptor
-
-    def new_wait_id(self) -> int:
-        self.wait_id += 1
-        return self.wait_id
 
 
 class MethodProcess(Process):

@@ -13,10 +13,22 @@ The scheduler implements the SystemC evaluation model:
    advances to the earliest pending timed notification.
 
 Threads suspend by yielding a :class:`~repro.kernel.process.WaitDescriptor`;
-the scheduler arms the corresponding wake-up and resumes the generator when
-it fires.  Every resumption is counted as a *context switch* in
+the scheduler arms the corresponding wake-up — via the descriptor's own
+``arm`` method, not an ``isinstance`` ladder — and resumes the generator
+when it fires.  Every resumption is counted as a *context switch* in
 :class:`~repro.kernel.stats.KernelStats` — the quantity the Smart FIFO is
 designed to minimise.
+
+Hot-path design notes (this loop dominates every benchmark):
+
+* the timed queue holds slotted, pre-keyed records
+  (:class:`~repro.kernel.event._TimedRecord`) directly — no per-push tuple,
+  no string kind tags; popped process-wake records are pooled and reused;
+* wake values and the runnable flag live on the process objects themselves
+  (no ``_resume_values`` / ``_runnable_pids`` dict and set churn);
+* update and delta-notification phases are skipped entirely when their
+  queues are empty, which is the common case for the single-runnable-process
+  deltas that temporally decoupled models spend their life in.
 """
 
 from __future__ import annotations
@@ -24,39 +36,36 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from .errors import ProcessError, SchedulingError
-from .event import Event, EventList, _TimedNotification
-from .process import (
-    MethodProcess,
-    Process,
-    ThreadProcess,
-    Timeout,
-    WaitDescriptor,
-    WaitEvent,
-    WaitEventList,
-    WaitEventOrTimeout,
-)
+from .event import Event, EventList, _TimedRecord
+from .process import MethodProcess, Process, ThreadProcess
 from .simtime import SimTime
 from .stats import KernelStats
 
 #: Sentinel meaning "the method body did not call next_trigger".
 _NO_TRIGGER_REQUEST = object()
 
+#: Upper bound of the recycled process-wake record pool.
+_WAKE_POOL_LIMIT = 256
 
-class _TimedEntry:
-    """Entry of the timed-notification queue."""
 
-    __slots__ = ("kind", "payload", "token")
+class _TimedWake(_TimedRecord):
+    """Timed-queue record waking a process.
 
-    EVENT = "event"
-    PROCESS = "process"
+    Covers both a thread timeout (``token`` is the wait id) and a method
+    ``next_trigger`` with a duration (``token`` is the trigger id).
+    """
 
-    def __init__(self, kind: str, payload, token: int = 0):
-        self.kind = kind
-        self.payload = payload
+    __slots__ = ("process", "token", "is_method")
+
+    def __init__(self, process, token: int, is_method: bool):
+        self.process = process
         self.token = token
+        self.is_method = is_method
+        self.time_fs = 0
+        self.seq = 0
 
 
 class Scheduler:
@@ -66,16 +75,19 @@ class Scheduler:
         self.stats = stats or KernelStats()
         self.now_fs = 0
         self.current_process: Optional[Process] = None
+        # (timed-phase, delta-cycle) pair identifying the current evaluation
+        # phase; rebuilt when either counter moves instead of allocating a
+        # tuple per triggered event.
+        self._phase_marker = (self.stats.timed_phases, self.stats.delta_cycles)
 
         self._runnable = deque()
-        self._runnable_pids = set()
-        self._resume_values: Dict[int, object] = {}
 
         self._delta_events: List[Event] = []
-        self._delta_process_wakes: List[Tuple[ThreadProcess, int]] = []
+        self._delta_process_wakes: List[tuple] = []
 
-        self._timed_queue: List[Tuple[int, int, _TimedEntry]] = []
+        self._timed_queue: List[_TimedRecord] = []
         self._seq = itertools.count()
+        self._wake_pool: List[_TimedWake] = []
 
         self._update_requests: List[object] = []
         self._update_pids = set()
@@ -121,9 +133,9 @@ class Scheduler:
     def schedule_delta_notification(self, event: Event) -> None:
         self._delta_events.append(event)
 
-    def schedule_timed_notification(self, record: _TimedNotification) -> None:
-        entry = _TimedEntry(_TimedEntry.EVENT, record)
-        heapq.heappush(self._timed_queue, (record.time_fs, next(self._seq), entry))
+    def schedule_timed_notification(self, record: _TimedRecord) -> None:
+        record.seq = next(self._seq)
+        heapq.heappush(self._timed_queue, record)
 
     def trigger_event_now(self, event: Event) -> None:
         """Immediate notification: wake waiters during the current phase."""
@@ -133,21 +145,21 @@ class Scheduler:
     # Runnable management
     # ------------------------------------------------------------------
     def _make_runnable(self, process: Process, value=None) -> None:
-        if process.terminated:
+        if process.terminated or process.runnable:
             return
-        if process.pid in self._runnable_pids:
-            return
-        self._runnable_pids.add(process.pid)
-        self._resume_values[process.pid] = value
+        process.runnable = True
+        process.resume_value = value
         self._runnable.append(process)
 
     def _wake_thread(self, process: ThreadProcess, wait_id: int, value=None) -> None:
         """Wake a thread if the wake-up matches its current wait."""
-        if process.terminated:
+        if process.terminated or process.runnable:
             return
         if wait_id != process.wait_id:
             return  # stale wake-up (e.g. the timeout half of a finished wait)
-        self._make_runnable(process, value)
+        process.runnable = True
+        process.resume_value = value
+        self._runnable.append(process)
 
     def _trigger_method(self, process: MethodProcess, dynamic: bool, token: int) -> None:
         if process.terminated:
@@ -162,17 +174,17 @@ class Scheduler:
         self._make_runnable(process)
 
     def _trigger_event(self, event: Event) -> None:
-        marker = (self.stats.timed_phases, self.stats.delta_cycles)
         threads, static_methods, dynamic_methods = event.collect_triggered_processes(
-            marker
+            self._phase_marker
         )
         for process, wait_id in threads:
-            if process.pending_all_events:
+            pending = process.pending_all_events
+            if pending:
                 if wait_id != process.wait_id:
                     continue
-                if event in process.pending_all_events:
-                    process.pending_all_events.remove(event)
-                if process.pending_all_events:
+                if event in pending:
+                    pending.remove(event)
+                if pending:
                     continue
                 self._wake_thread(process, wait_id, value=event)
             else:
@@ -185,57 +197,48 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Wait arming
     # ------------------------------------------------------------------
-    def arm_wait(self, process: ThreadProcess, descriptor: WaitDescriptor) -> None:
-        process.pending_all_events = []
-        wait_id = process.new_wait_id()
-        if isinstance(descriptor, Timeout):
-            self._arm_timeout(process, wait_id, descriptor.duration)
-        elif isinstance(descriptor, WaitEvent):
-            descriptor.event.add_waiting_thread(process, wait_id)
-        elif isinstance(descriptor, WaitEventOrTimeout):
-            descriptor.event.add_waiting_thread(process, wait_id)
-            self._arm_timeout(process, wait_id, descriptor.timeout)
-        elif isinstance(descriptor, WaitEventList):
-            if descriptor.wait_for_all:
-                process.pending_all_events = list(descriptor.events)
-            for event in descriptor.events:
-                event.add_waiting_thread(process, wait_id)
-        elif isinstance(descriptor, EventList):
-            self.arm_wait(process, WaitEventList(descriptor))
-        else:
+    def arm_wait(self, process: ThreadProcess, descriptor) -> None:
+        process.pending_all_events = None
+        process.wait_id = wait_id = process.wait_id + 1
+        try:
+            arm = descriptor.arm
+        except AttributeError:
             raise ProcessError(
                 f"thread {process.name} yielded {descriptor!r}, which is not a "
                 f"wait descriptor"
-            )
+            ) from None
+        arm(self, process, wait_id)
 
-    def _arm_timeout(self, process: ThreadProcess, wait_id: int, duration: SimTime) -> None:
-        if duration.is_zero:
+    def arm_timeout(self, process: ThreadProcess, wait_id: int, duration: SimTime) -> None:
+        """Arm a thread wake-up ``duration`` from now (descriptor callback)."""
+        duration_fs = duration.femtoseconds
+        if duration_fs == 0:
             self._delta_process_wakes.append((process, wait_id))
             return
-        entry = _TimedEntry(_TimedEntry.PROCESS, process, wait_id)
-        heapq.heappush(
-            self._timed_queue,
-            (self.now_fs + duration.femtoseconds, next(self._seq), entry),
-        )
+        self._push_wake(self.now_fs + duration_fs, process, wait_id, False)
+
+    def _push_wake(self, time_fs: int, process, token: int, is_method: bool) -> None:
+        pool = self._wake_pool
+        if pool:
+            record = pool.pop()
+            record.process = process
+            record.token = token
+            record.is_method = is_method
+        else:
+            record = _TimedWake(process, token, is_method)
+        record.time_fs = time_fs
+        record.seq = next(self._seq)
+        heapq.heappush(self._timed_queue, record)
 
     # ------------------------------------------------------------------
     # Process execution
     # ------------------------------------------------------------------
-    def _execute(self, process: Process) -> None:
-        value = self._resume_values.pop(process.pid, None)
-        self.current_process = process
-        try:
-            if isinstance(process, ThreadProcess):
-                self._execute_thread(process, value)
-            elif isinstance(process, MethodProcess):
-                self._execute_method(process)
-            else:  # pragma: no cover - defensive
-                raise ProcessError(f"unknown process kind: {process!r}")
-        finally:
-            self.current_process = None
-
     def _execute_thread(self, process: ThreadProcess, value) -> None:
-        self.stats.record_thread_activation(process.name)
+        stats = self.stats
+        stats.thread_activations += 1
+        activations = stats.per_process_activations
+        name = process.name
+        activations[name] = activations.get(name, 0) + 1
         if not process.started:
             generator = process.start()
             if generator is None:
@@ -244,14 +247,14 @@ class Scheduler:
         descriptor = process.resume(value)
         if descriptor is None:
             return
-        if isinstance(descriptor, EventList):
-            descriptor = WaitEventList(descriptor)
-        if isinstance(descriptor, Event):
-            descriptor = WaitEvent(descriptor)
         self.arm_wait(process, descriptor)
 
     def _execute_method(self, process: MethodProcess) -> None:
-        self.stats.record_method_invocation(process.name)
+        stats = self.stats
+        stats.method_invocations += 1
+        activations = stats.per_process_activations
+        name = process.name
+        activations[name] = activations.get(name, 0) + 1
         process.requested_trigger = _NO_TRIGGER_REQUEST
         process.func()
         request = process.requested_trigger
@@ -267,10 +270,8 @@ class Scheduler:
         if isinstance(request, Event):
             request.add_dynamic_method(process, token)
         elif isinstance(request, SimTime):
-            entry = _TimedEntry(_TimedEntry.PROCESS, process, token)
-            heapq.heappush(
-                self._timed_queue,
-                (self.now_fs + request.femtoseconds, next(self._seq), entry),
+            self._push_wake(
+                self.now_fs + request.femtoseconds, process, token, True
             )
         elif isinstance(request, EventList):
             for event in request.events:
@@ -319,11 +320,12 @@ class Scheduler:
         until_fs = None if until is None else until.femtoseconds
         if not self._started:
             self._initialize()
+        runnable = self._runnable
         while True:
             if self._stop_requested:
                 self._stop_requested = False
                 break
-            if self._runnable:
+            if runnable:
                 self._run_delta_cycle()
                 continue
             # Nothing runnable: process pending delta notifications (they may
@@ -336,21 +338,37 @@ class Scheduler:
                 break
 
     def _run_delta_cycle(self) -> None:
-        self.stats.delta_cycles += 1
-        # Evaluation phase.
-        while self._runnable:
-            process = self._runnable.popleft()
-            self._runnable_pids.discard(process.pid)
-            self._execute(process)
-        # Update phase.
+        stats = self.stats
+        stats.delta_cycles += 1
+        self._phase_marker = (stats.timed_phases, stats.delta_cycles)
+        runnable = self._runnable
+        # Evaluation phase.  The loop body is the scheduler's innermost hot
+        # path; resume state lives on the process object, and the
+        # thread/method dispatch is a class attribute, not an isinstance.
+        while runnable:
+            process = runnable.popleft()
+            process.runnable = False
+            value = process.resume_value
+            process.resume_value = None
+            self.current_process = process
+            try:
+                if process.is_thread:
+                    self._execute_thread(process, value)
+                else:
+                    self._execute_method(process)
+            finally:
+                self.current_process = None
+        # Update phase (skipped outright when no channel requested one).
         if self._update_requests:
             requests = self._update_requests
             self._update_requests = []
-            self._update_pids = set()
+            self._update_pids.clear()
             for channel in requests:
                 channel.update()
-        # Delta-notification phase.
-        self._delta_notification_phase()
+        # Delta-notification phase: the single-runnable fast path — nothing
+        # pending — returns without swapping (allocating) the phase lists.
+        if self._delta_events or self._delta_process_wakes:
+            self._delta_notification_phase()
 
     def _delta_notification_phase(self) -> None:
         events = self._delta_events
@@ -365,37 +383,49 @@ class Scheduler:
 
     def _advance_time(self, until_fs: Optional[int]) -> bool:
         """Advance to the next timed notification; return False to stop."""
+        queue = self._timed_queue
         # Drop cancelled event notifications sitting at the head of the queue.
-        while self._timed_queue:
-            time_fs, _seq, entry = self._timed_queue[0]
-            if entry.kind == _TimedEntry.EVENT and entry.payload.cancelled:
-                heapq.heappop(self._timed_queue)
+        while queue:
+            record = queue[0]
+            if record.is_event and record.cancelled:
+                heapq.heappop(queue)
+                record.event.recycle_timed(record)
                 continue
             break
-        if not self._timed_queue:
+        if not queue:
             if until_fs is not None and until_fs > self.now_fs:
                 self.now_fs = until_fs
             return False
-        next_time = self._timed_queue[0][0]
+        next_time = queue[0].time_fs
         if until_fs is not None and next_time > until_fs:
             self.now_fs = until_fs
             return False
         if next_time < self.now_fs:  # pragma: no cover - defensive
             raise SchedulingError("timed queue went backwards")
         self.now_fs = next_time
-        self.stats.timed_phases += 1
-        while self._timed_queue and self._timed_queue[0][0] == next_time:
-            _time, _seq, entry = heapq.heappop(self._timed_queue)
-            if entry.kind == _TimedEntry.EVENT:
-                record = entry.payload
+        stats = self.stats
+        stats.timed_phases += 1
+        self._phase_marker = (stats.timed_phases, stats.delta_cycles)
+        pool = self._wake_pool
+        while queue and queue[0].time_fs == next_time:
+            record = heapq.heappop(queue)
+            if record.is_event:
                 if record.cancelled:
+                    record.event.recycle_timed(record)
                     continue
-                record.event.clear_pending_timed(record)
-                self._trigger_event(record.event)
+                event = record.event
+                event.clear_pending_timed(record)
+                event.recycle_timed(record)
+                self._trigger_event(event)
             else:
-                process = entry.payload
-                if isinstance(process, MethodProcess):
-                    self._trigger_method(process, dynamic=True, token=entry.token)
+                process = record.process
+                token = record.token
+                is_method = record.is_method
+                record.process = None
+                if len(pool) < _WAKE_POOL_LIMIT:
+                    pool.append(record)
+                if is_method:
+                    self._trigger_method(process, dynamic=True, token=token)
                 else:
-                    self._wake_thread(process, entry.token)
+                    self._wake_thread(process, token)
         return True

@@ -33,9 +33,10 @@ from ...fifo.packet_fifo import PacketSmartFifo
 from ...fifo.regular_fifo import RegularFifo
 from ...kernel.errors import SimulationError
 from ...kernel.module import Module
-from ...kernel.simtime import SimTime, TimeUnit, ZERO_TIME, ns
+from ...kernel.simtime import SimTime, ZERO_TIME, ns
 from ...kernel.simulator import Simulator
 from ...td.decoupling import DecoupledMixin
+from ...td.local_time import get_local_time_manager
 from .packet import Packet
 from .router import Link
 
@@ -103,9 +104,7 @@ class SourceNetworkInterface(DecoupledMixin, Module):
         for name, (fifo, dest, dest_ni) in self._streams.items():
             while fifo.packet_available():
                 if self._busy_until_fs > now_fs:
-                    self._kick.notify(
-                        SimTime.from_femtoseconds(self._busy_until_fs - now_fs)
-                    )
+                    self._kick.notify_fs(self._busy_until_fs - now_fs)
                     return
                 if not self._router_link.can_accept():
                     # Re-triggered by the router drain event.
@@ -143,6 +142,10 @@ class DestNetworkInterface(DecoupledMixin, Module):
         #: Packets delivered by the local port of the attached router.
         self.arrival_fifo = RegularFifo(self, "arrivals", depth=arrival_queue_depth)
         self.word_delivery_time = word_delivery_time
+        # Hot-path caches for the per-word delivery annotation.
+        self._delivery_fs = word_delivery_time.femtoseconds
+        self._ltm = get_local_time_manager(self.sim)
+        self._scheduler = self.sim.scheduler
         self._egress: Dict[str, PacketSmartFifo] = {}
         #: Words whose delivery was refused (egress externally full), kept
         #: with their stream identifier until the egress drains.
@@ -185,7 +188,9 @@ class DestNetworkInterface(DecoupledMixin, Module):
             ) from None
 
     def _deliver(self) -> None:
-        delivery_ns = self.word_delivery_time.to(TimeUnit.NS)
+        ltm = self._ltm
+        process = self._scheduler.current_process
+        delivery_fs = self._delivery_fs
         # First flush words left over from a previous activation.
         while self._pending_words:
             stream, word = self._pending_words[0]
@@ -193,7 +198,7 @@ class DestNetworkInterface(DecoupledMixin, Module):
                 return  # re-triggered by the egress not_full event
             self._pending_words.popleft()
             self.words_delivered += 1
-            self.inc(delivery_ns)
+            ltm.advance_fs(process, delivery_fs)
         # Then unpack newly arrived packets.
         while not self.arrival_fifo.is_empty():
             packet: Packet = self.arrival_fifo.nb_read()
@@ -207,7 +212,7 @@ class DestNetworkInterface(DecoupledMixin, Module):
                     )
                     return
                 self.words_delivered += 1
-                self.inc(delivery_ns)
+                ltm.advance_fs(process, delivery_fs)
 
 
 ZERO_TIME  # convenience re-export

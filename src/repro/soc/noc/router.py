@@ -144,7 +144,7 @@ class Router(Module):
                 self.flits_routed += packet.flit_count
                 self._busy_until_fs[out_port] = now_fs + self._hop_delay_fs(packet)
         if next_kick_fs is not None:
-            self._kick.notify(SimTime.from_femtoseconds(next_kick_fs - now_fs))
+            self._kick.notify_fs(next_kick_fs - now_fs)
 
 
 ZERO_TIME  # re-exported convenience

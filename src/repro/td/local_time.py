@@ -7,9 +7,13 @@ process and its local date is kept in a map keyed by the process handle, so
 that channels such as the Smart FIFO can retrieve the caller's local date
 without it being passed explicitly.
 
-The map stores absolute local dates in femtoseconds.  A process that never
-called :func:`~repro.td.decoupling.inc` is synchronized by definition: its
-local date is the global date.
+Since PR 1 the absolute local date (in femtoseconds) is cached directly on
+the :class:`~repro.kernel.process.Process` object (``process.local_fs``),
+so the per-access "map lookup" of the paper costs a single attribute read;
+this manager owns that attribute and keeps the conceptual map interface
+(plus a registry of the processes it ever touched, for introspection).  A
+process that never called :func:`~repro.td.decoupling.inc` is synchronized
+by definition: its local date is the global date.
 """
 
 from __future__ import annotations
@@ -27,10 +31,15 @@ class LocalTimeManager:
 
     def __init__(self, sim: Simulator):
         self.sim = sim
-        # pid -> absolute local date in femtoseconds.
-        self._local_fs: Dict[int, int] = {}
-        # pid -> process name, for error messages and introspection.
-        self._names: Dict[int, str] = {}
+        self._scheduler = sim.scheduler
+        # pid -> process, for introspection over every process that ever
+        # carried a local date (the dates themselves live on the processes).
+        self._tracked: Dict[int, Process] = {}
+
+    def _track(self, process: Process) -> None:
+        if not process.lt_tracked:
+            process.lt_tracked = True
+            self._tracked[process.pid] = process
 
     # ------------------------------------------------------------------
     # Queries
@@ -45,10 +54,8 @@ class LocalTimeManager:
         now_fs = self.sim.now_fs
         if process is None:
             return now_fs
-        stored = self._local_fs.get(process.pid)
-        if stored is None or stored < now_fs:
-            return now_fs
-        return stored
+        stored = process.local_fs
+        return stored if stored > now_fs else now_fs
 
     def local_time(self, process: Optional[Process]) -> SimTime:
         return SimTime.from_femtoseconds(self.local_fs(process))
@@ -72,16 +79,17 @@ class LocalTimeManager:
 
         This is the hot function of every finely-annotated decoupled model
         (one call per timing annotation), so it avoids building
-        :class:`SimTime` objects.
+        :class:`SimTime` objects and touches only process attributes.
         """
-        pid = process.pid
-        now_fs = self.sim.scheduler.now_fs
-        stored = self._local_fs.get(pid)
-        if stored is None or stored < now_fs:
+        now_fs = self._scheduler.now_fs
+        stored = process.local_fs
+        if stored < now_fs:
             stored = now_fs
-            self._names[pid] = process.name
         new_fs = stored + delta_fs
-        self._local_fs[pid] = new_fs
+        process.local_fs = new_fs
+        if not process.lt_tracked:
+            process.lt_tracked = True
+            self._tracked[process.pid] = process
         return new_fs
 
     def advance_to(self, process: Process, target_fs: int) -> int:
@@ -98,8 +106,8 @@ class LocalTimeManager:
                 f"({SimTime.from_femtoseconds(current)} -> "
                 f"{SimTime.from_femtoseconds(target_fs)})"
             )
-        self._local_fs[process.pid] = target_fs
-        self._names[process.pid] = process.name
+        process.local_fs = target_fs
+        self._track(process)
         return target_fs
 
     def local_fs_fast(self, process: Optional[Process], now_fs: int) -> int:
@@ -107,19 +115,18 @@ class LocalTimeManager:
         global date (saves one attribute chain on the hot path)."""
         if process is None:
             return now_fs
-        stored = self._local_fs.get(process.pid)
-        if stored is None or stored < now_fs:
-            return now_fs
-        return stored
+        stored = process.local_fs
+        return stored if stored > now_fs else now_fs
 
     def set_synchronized(self, process: Process) -> None:
         """Record that ``process`` is now synchronized (after a sync wait)."""
-        self._local_fs[process.pid] = self.sim.now_fs
-        self._names[process.pid] = process.name
+        process.local_fs = self.sim.now_fs
+        self._track(process)
 
     def forget(self, process: Process) -> None:
-        self._local_fs.pop(process.pid, None)
-        self._names.pop(process.pid, None)
+        process.local_fs = -1
+        process.lt_tracked = False
+        self._tracked.pop(process.pid, None)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -127,16 +134,18 @@ class LocalTimeManager:
     def decoupled_processes(self):
         """Yield (name, local date) for every process ahead of global time."""
         now_fs = self.sim.now_fs
-        for pid, local in self._local_fs.items():
-            if local > now_fs:
-                yield self._names.get(pid, f"pid{pid}"), SimTime.from_femtoseconds(local)
+        for process in self._tracked.values():
+            if process.local_fs > now_fs:
+                yield process.name, SimTime.from_femtoseconds(process.local_fs)
 
     def max_local_fs(self) -> int:
         """The furthest local date of any process (≥ global date)."""
         now_fs = self.sim.now_fs
-        if not self._local_fs:
+        if not self._tracked:
             return now_fs
-        return max(now_fs, max(self._local_fs.values()))
+        return max(
+            now_fs, max(process.local_fs for process in self._tracked.values())
+        )
 
 
 def get_local_time_manager(sim: Simulator) -> LocalTimeManager:

@@ -91,22 +91,28 @@ class WorkloadModule(DecoupledMixin, Module):
     def advance(self, duration, unit: TimeUnit = TimeUnit.NS):
         """Spend ``duration`` of simulated time according to the timing mode.
 
-        The ``DECOUPLED`` branch is the hot path of every finely-annotated
-        model (one call per word in the Fig. 5 benchmark), so it updates the
-        local-time map directly instead of going through the generic
-        ``inc``/``SimTime`` layers.
+        Returns an iterable for the caller to ``yield from``.  The
+        ``DECOUPLED`` branch is the hot path of every finely-annotated model
+        (one call per word in the Fig. 5 benchmark): it updates the local
+        time directly — no generic ``inc``/``SimTime`` layer — and returns
+        an empty tuple, so no generator is allocated for a non-waiting
+        annotation.
         """
         timing = self.timing
         if timing is TimingMode.DECOUPLED:
-            self._ltm.advance_fs(
-                self._scheduler.current_process, round(duration * unit)
-            )
-            return
+            delta_fs = duration * unit
+            if type(delta_fs) is not int:
+                delta_fs = round(delta_fs)
+            self._ltm.advance_fs(self._scheduler.current_process, delta_fs)
+            return ()
         if timing is TimingMode.UNTIMED:
-            return
+            return ()
         if timing is TimingMode.TIMED_WAIT:
-            yield Timeout(as_time(duration, unit))
-            return
+            return (Timeout(as_time(duration, unit)),)
+        return self._advance_quantum(duration, unit)
+
+    def _advance_quantum(self, duration, unit: TimeUnit):
+        """Quantum-keeper branch of :meth:`advance` (may actually wait)."""
         self.quantum_keeper.inc(duration, unit)
         yield from self.quantum_keeper.sync_if_needed()
 

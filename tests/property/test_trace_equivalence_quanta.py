@@ -1,0 +1,138 @@
+"""Property test: Smart-FIFO date equivalence across random depths/quanta.
+
+Guards the hot-path overhaul of the kernel and the Smart FIFO against
+timing drift.  The invariant (Section IV-A of the paper): a decoupled
+producer/consumer pair over a Smart FIFO produces *exactly* the same
+write/read dates as the non-decoupled pair over a regular FIFO — for any
+FIFO depth, any producer/consumer rates, and regardless of any extra
+quantum-keeper synchronizations sprinkled into the decoupled side (a sync
+may only cost time, never change dates).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fifo import RegularFifo, SmartFifo
+from repro.kernel import Simulator
+from repro.kernel.simtime import TimeUnit, ns
+from repro.td import DecoupledModule, QuantumKeeper
+
+ITEMS = 20
+
+
+class _QuantumWriter(DecoupledModule):
+    """Decoupled writer that also syncs whenever its quantum expires."""
+
+    def __init__(self, parent, name, fifo, period_ns, quantum_ns):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.period_ns = period_ns
+        self.quantum_ns = quantum_ns
+        self.write_dates = []
+        self.create_thread(self.run)
+
+    def run(self):
+        keeper = QuantumKeeper(self, quantum=ns(self.quantum_ns))
+        for item in range(ITEMS):
+            yield from self.fifo.write(item)
+            self.write_dates.append((item, self.local_time_stamp().to(TimeUnit.NS)))
+            if self.period_ns:
+                self.inc(self.period_ns)
+            yield from keeper.sync_if_needed()
+
+
+class _QuantumReader(DecoupledModule):
+    """Decoupled reader with the same quantum-keeper discipline."""
+
+    def __init__(self, parent, name, fifo, period_ns, quantum_ns):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.period_ns = period_ns
+        self.quantum_ns = quantum_ns
+        self.read_dates = []
+        self.create_thread(self.run)
+
+    def run(self):
+        keeper = QuantumKeeper(self, quantum=ns(self.quantum_ns))
+        for _ in range(ITEMS):
+            value = yield from self.fifo.read()
+            self.read_dates.append((value, self.local_time_stamp().to(TimeUnit.NS)))
+            if self.period_ns:
+                self.inc(self.period_ns)
+            yield from keeper.sync_if_needed()
+
+
+class _TimedWriter(DecoupledModule):
+    """Non-decoupled reference writer: plain waits, kernel dates."""
+
+    def __init__(self, parent, name, fifo, period_ns):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.period_ns = period_ns
+        self.write_dates = []
+        self.create_thread(self.run)
+
+    def run(self):
+        for item in range(ITEMS):
+            yield from self.fifo.write(item)
+            self.write_dates.append((item, self.now.to(TimeUnit.NS)))
+            if self.period_ns:
+                yield self.wait(self.period_ns)
+
+
+class _TimedReader(DecoupledModule):
+    """Non-decoupled reference reader."""
+
+    def __init__(self, parent, name, fifo, period_ns):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.period_ns = period_ns
+        self.read_dates = []
+        self.create_thread(self.run)
+
+    def run(self):
+        for _ in range(ITEMS):
+            value = yield from self.fifo.read()
+            self.read_dates.append((value, self.now.to(TimeUnit.NS)))
+            if self.period_ns:
+                yield self.wait(self.period_ns)
+
+
+def _reference_dates(depth, write_period, read_period):
+    sim = Simulator("quanta_ref")
+    fifo = RegularFifo(sim, "fifo", depth=depth)
+    writer = _TimedWriter(sim, "writer", fifo, write_period)
+    reader = _TimedReader(sim, "reader", fifo, read_period)
+    sim.run()
+    return writer.write_dates, reader.read_dates
+
+
+def _smart_dates(depth, write_period, read_period, quantum):
+    sim = Simulator("quanta_smart")
+    fifo = SmartFifo(sim, "fifo", depth=depth)
+    writer = _QuantumWriter(sim, "writer", fifo, write_period, quantum)
+    reader = _QuantumReader(sim, "reader", fifo, read_period, quantum)
+    sim.run()
+    return writer.write_dates, reader.read_dates
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    depth=st.integers(min_value=1, max_value=8),
+    write_period=st.integers(min_value=0, max_value=25),
+    read_period=st.integers(min_value=0, max_value=25),
+    quantum=st.integers(min_value=1, max_value=120),
+)
+def test_smart_fifo_dates_match_reference(depth, write_period, read_period, quantum):
+    ref_writes, ref_reads = _reference_dates(depth, write_period, read_period)
+    smart_writes, smart_reads = _smart_dates(
+        depth, write_period, read_period, quantum
+    )
+    assert smart_writes == ref_writes, (
+        f"write dates drifted (depth={depth}, wp={write_period}, "
+        f"rp={read_period}, quantum={quantum})"
+    )
+    assert smart_reads == ref_reads, (
+        f"read dates drifted (depth={depth}, wp={write_period}, "
+        f"rp={read_period}, quantum={quantum})"
+    )

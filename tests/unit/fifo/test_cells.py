@@ -56,7 +56,8 @@ class TestRingMechanics:
 
     def test_timestamps_recorded(self):
         ring = CellRing(1)
-        cell = ring.push("a", fs(10))
+        ring.push("a", fs(10))
+        cell = ring.first_busy_cell()  # live view over slot 0
         assert cell.insertion_fs == fs(10)
         ring.pop(fs(25))
         assert cell.freeing_fs == fs(25)
