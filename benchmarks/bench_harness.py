@@ -37,6 +37,7 @@ import time
 from typing import Callable, Dict, List, Tuple
 
 from repro.analysis import experiments
+from repro.campaign import CampaignRunner, default_campaign
 from repro.kernel import Simulator
 from repro.kernel.simtime import TimeUnit
 from repro.soc import FifoPolicy, SocPlatform
@@ -60,7 +61,12 @@ METRICS: Dict[str, bool] = {
     "fig5.tdless_total_wall_s": False,
     "case_study.sync_wall_s": False,
     "case_study.smart_wall_s": False,
+    "campaign.specs_per_s": True,
 }
+
+#: Worker processes used by the campaign scenario (the point of the metric
+#: is pool throughput, so > 1; kept small to stay meaningful on any CI box).
+CAMPAIGN_WORKERS = 2
 
 #: Depths of the Fig. 5 sweep used by the harness (a subset of the pytest
 #: sweep, chosen to keep the committed numbers fast to regenerate).
@@ -199,12 +205,49 @@ def bench_case_study(repeats: int) -> Tuple[Dict[str, float], Dict[str, object]]
 
 
 # ---------------------------------------------------------------------------
+# Scenario: parallel experiment campaign
+# ---------------------------------------------------------------------------
+def bench_campaign(repeats: int) -> Tuple[Dict[str, float], Dict[str, object]]:
+    """Throughput of the campaign engine (repro.campaign).
+
+    One "spec" is one complete simulation; the default campaign runs every
+    spec once plus the paired reference/Smart equivalence battery (a
+    pairable spec's own-mode run doubles as half of its pair, so each pair
+    adds exactly one extra simulation), sharded over ``CAMPAIGN_WORKERS``
+    processes.  The metric is simulations per second of wall time, so both
+    the scenario cost and the pool/aggregation overhead are covered.
+    """
+    specs = default_campaign()
+    runner = CampaignRunner(workers=CAMPAIGN_WORKERS)
+
+    def run():
+        result = runner.run(specs)
+        if not result.all_pairs_equivalent:
+            raise AssertionError("campaign: a paired trace diff is not empty")
+        return result
+
+    wall, result = _best_wall(run, repeats)
+    simulations = len(result.runs) + len(result.pairs)
+    metrics = {"campaign.specs_per_s": simulations / wall}
+    detail = {
+        "workers": CAMPAIGN_WORKERS,
+        "specs": len(result.runs),
+        "pairs": len(result.pairs),
+        "simulations": simulations,
+        "wall_s": wall,
+        "fingerprint": result.fingerprint(),
+    }
+    return metrics, detail
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 SCENARIOS = {
     "bench_micro_fifo_ops": bench_micro,
     "bench_fig5_depth_sweep": bench_fig5,
     "bench_case_study_soc": bench_case_study,
+    "bench_campaign": bench_campaign,
 }
 
 

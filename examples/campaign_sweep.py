@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Campaign sweep: a fleet of simulations instead of one.
+
+The paper validates the Smart FIFO scenario by scenario: run with regular
+FIFOs and no temporal decoupling, run again with Smart FIFOs and temporal
+decoupling (same seed), and diff the locally-timestamped traces after
+reordering (Section IV-A).  The :mod:`repro.campaign` engine performs that
+methodology at campaign scale:
+
+1. the **default campaign** — one declarative ``ScenarioSpec`` per
+   (workload, depth, seed, timing) point, covering every repository
+   workload including the bursty producer and the multi-writer/multi-reader
+   arbiter contention scenario — is sharded over a pool of worker
+   processes, each building its own isolated ``Simulator``;
+2. every pairable spec is re-run in both modes and the trace diff must be
+   empty;
+3. the aggregated records carry only simulated dates, kernel counters and
+   trace digests, so the campaign **fingerprint is byte-identical for any
+   worker count** — which this example demonstrates by running the same
+   campaign sequentially and sharded.
+
+Run with::
+
+    python examples/campaign_sweep.py --workers 4
+"""
+
+import argparse
+
+from repro.campaign import CampaignRunner, default_campaign
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes for the sharded run")
+    args = parser.parse_args()
+
+    specs = default_campaign()
+    print(f"running {len(specs)} scenario specs sequentially...")
+    sequential = CampaignRunner(workers=1).run(specs)
+    print(f"running the same campaign across {args.workers} workers...")
+    sharded = CampaignRunner(workers=args.workers).run(specs)
+
+    print()
+    print(sharded.table())
+    print()
+    print(sharded.pairs_table())
+    print()
+    print(sharded.summary())
+    print()
+
+    assert sharded.all_pairs_equivalent, "a paired trace diff is not empty!"
+    assert sequential.fingerprint() == sharded.fingerprint(), (
+        "worker count changed the aggregated results!"
+    )
+    print(
+        f"worker-count transparency check passed: workers=1 and "
+        f"workers={args.workers} produced byte-identical aggregates "
+        f"({sequential.fingerprint()[:16]}...)"
+    )
+    speedup = sequential.wall_seconds / max(sharded.wall_seconds, 1e-9)
+    print(
+        f"wall time: sequential {sequential.wall_seconds:.2f}s, "
+        f"sharded {sharded.wall_seconds:.2f}s ({speedup:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

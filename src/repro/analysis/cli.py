@@ -9,9 +9,15 @@ code::
     python -m repro.analysis.cli quantum --quanta 0,100,1000
     python -m repro.analysis.cli context-switches --depths 1,4,16
     python -m repro.analysis.cli fig5 --csv fig5.csv
+    python -m repro.analysis.cli campaign --workers 4
 
 Every subcommand prints the corresponding ASCII table; ``--csv`` also dumps
 the raw rows for external plotting.
+
+The ``campaign`` subcommand runs the declarative scenario campaign of
+:mod:`repro.campaign`: every spec once (sharded over ``--workers``
+processes) plus the paired reference/Smart trace-equivalence battery; the
+printed fingerprint is byte-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -19,10 +25,11 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
+from ..campaign import CampaignRunner, default_campaign, describe_specs
 from ..soc import SocConfig
 from ..workloads import StreamingConfig
 from . import experiments
-from .reporting import write_csv
+from .reporting import dict_rows_table, write_csv
 
 
 def _int_list(text: str) -> List[int]:
@@ -37,29 +44,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_csv_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--csv", default=None, help="also write the rows to a CSV file"
+        )
+
     fig2 = subparsers.add_parser("fig2", help="Fig. 2/3 writer/reader traces")
     fig2.add_argument("--depth", type=int, default=4, help="FIFO depth of the example")
+    add_csv_flag(fig2)
 
     fig5 = subparsers.add_parser("fig5", help="Fig. 5 depth sweep")
     fig5.add_argument("--depths", type=_int_list, default=[1, 2, 4, 8, 16, 64])
     fig5.add_argument("--blocks", type=int, default=20)
     fig5.add_argument("--words", type=int, default=50)
-    fig5.add_argument("--csv", default=None, help="also write the rows to a CSV file")
+    add_csv_flag(fig5)
 
     case = subparsers.add_parser("case-study", help="Section IV-C SoC case study")
     case.add_argument("--chains", type=int, default=4)
     case.add_argument("--items", type=int, default=512)
     case.add_argument("--workers", type=int, default=3)
+    add_csv_flag(case)
 
     quantum = subparsers.add_parser("quantum", help="global-quantum ablation")
     quantum.add_argument("--quanta", type=_int_list, default=[0, 100, 1000, 10000])
     quantum.add_argument("--blocks", type=int, default=20)
     quantum.add_argument("--words", type=int, default=50)
+    add_csv_flag(quantum)
 
     csw = subparsers.add_parser("context-switches", help="context-switch sweep")
     csw.add_argument("--depths", type=_int_list, default=[1, 2, 4, 8, 32])
     csw.add_argument("--blocks", type=int, default=20)
     csw.add_argument("--words", type=int, default=50)
+    add_csv_flag(csw)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="parallel scenario campaign + paired equivalence"
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = inline)"
+    )
+    campaign.add_argument(
+        "--specs",
+        default=None,
+        help="comma-separated spec names (default: the whole default campaign)",
+    )
+    campaign.add_argument(
+        "--no-paired",
+        action="store_true",
+        help="skip the paired reference/Smart equivalence runs",
+    )
+    campaign.add_argument(
+        "--list", action="store_true", help="list the specs and exit"
+    )
+    add_csv_flag(campaign)
 
     return parser
 
@@ -70,6 +107,8 @@ def _streaming_config(args: argparse.Namespace) -> StreamingConfig:
 
 def run_fig2(args: argparse.Namespace) -> str:
     result = experiments.fig2_fig3_example(fifo_depth=args.depth)
+    if args.csv:
+        write_csv(result.rows(), args.csv)
     lines = [
         result.table(),
         "",
@@ -95,6 +134,8 @@ def run_case_study(args: argparse.Namespace) -> str:
     config.workers_per_chain = args.workers
     config.validate()
     result = experiments.case_study(config)
+    if args.csv:
+        write_csv(result.rows(), args.csv)
     return result.table()
 
 
@@ -102,6 +143,8 @@ def run_quantum(args: argparse.Namespace) -> str:
     rows = experiments.quantum_ablation(
         quanta_ns=args.quanta, config=_streaming_config(args)
     )
+    if args.csv:
+        write_csv(rows, args.csv)
     return experiments.quantum_table(rows)
 
 
@@ -109,7 +152,43 @@ def run_context_switches(args: argparse.Namespace) -> str:
     rows = experiments.context_switch_sweep(
         depths=args.depths, base_config=_streaming_config(args)
     )
+    if args.csv:
+        write_csv(rows, args.csv)
     return experiments.context_switch_table(rows)
+
+
+def run_campaign(args: argparse.Namespace) -> str:
+    specs = default_campaign()
+    if args.specs:
+        wanted = [name.strip() for name in args.specs.split(",") if name.strip()]
+        by_name = {spec.name: spec for spec in specs}
+        unknown = [name for name in wanted if name not in by_name]
+        if unknown:
+            raise SystemExit(
+                f"unknown spec name(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(by_name))}"
+            )
+        specs = [by_name[name] for name in wanted]
+    if args.list:
+        rows = describe_specs(specs)
+        if args.csv:
+            write_csv(rows, args.csv)
+        return dict_rows_table(
+            rows,
+            ["name", "workload", "mode", "depth", "quantum_ns", "seed",
+             "timing", "pairable", "params"],
+            title="Campaign specs",
+        )
+    runner = CampaignRunner(workers=args.workers, paired=not args.no_paired)
+    result = runner.run(specs)
+    if args.csv:
+        write_csv(result.run_rows(), args.csv)
+    sections = [result.table()]
+    if result.pairs:
+        sections.append(result.pairs_table())
+    sections.append(result.summary())
+    output = "\n\n".join(sections)
+    return (output, 0) if result.all_pairs_equivalent else (output, 1)
 
 
 _COMMANDS = {
@@ -118,15 +197,19 @@ _COMMANDS = {
     "case-study": run_case_study,
     "quantum": run_quantum,
     "context-switches": run_context_switches,
+    "campaign": run_campaign,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point.  Command handlers return either the output string
+    (exit code 0) or an ``(output, exit_code)`` tuple."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    output = _COMMANDS[args.command](args)
+    result = _COMMANDS[args.command](args)
+    output, code = result if isinstance(result, tuple) else (result, 0)
     print(output)
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised through main()

@@ -49,6 +49,26 @@ class ExampleResult:
     def naive_differs_from_reference(self) -> bool:
         return self.naive_decoupled != self.reference
 
+    def rows(self) -> List[Dict[str, object]]:
+        """One dict row per transferred value (CSV-friendly counterpart of
+        :meth:`table`)."""
+        rows: List[Dict[str, object]] = []
+        for (value, ref_w, ref_r), (_, naive_w, naive_r), (_, smart_w, smart_r) in zip(
+            self.reference, self.naive_decoupled, self.smart
+        ):
+            rows.append(
+                {
+                    "value": value,
+                    "reference_write_ns": ref_w,
+                    "reference_read_ns": ref_r,
+                    "naive_write_ns": naive_w,
+                    "naive_read_ns": naive_r,
+                    "smart_write_ns": smart_w,
+                    "smart_read_ns": smart_r,
+                }
+            )
+        return rows
+
     def table(self) -> str:
         headers = ["value", "reference wr/rd (ns)", "naive wr/rd (ns)", "smart wr/rd (ns)"]
         rows = []
@@ -195,6 +215,16 @@ class CaseStudyResult:
     @property
     def gain_percent(self) -> float:
         return self.smart.gain_percent_vs(self.sync)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One dict row per policy (CSV-friendly counterpart of :meth:`table`)."""
+        rows = []
+        for result in (self.sync, self.smart):
+            row = result.as_row()
+            row["gain_percent"] = round(self.gain_percent, 2)
+            row["timing_identical"] = self.timing_identical
+            rows.append(row)
+        return rows
 
     def table(self) -> str:
         rows = [

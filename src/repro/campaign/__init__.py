@@ -1,0 +1,74 @@
+"""Parallel experiment-campaign engine.
+
+The paper validates the Smart FIFO by running every scenario in two modes
+(regular FIFO without temporal decoupling, Smart FIFO with temporal
+decoupling) and diffing the locally-timestamped traces (Section IV-A).
+This package turns that one-simulation-at-a-time methodology into a
+campaign-scale engine:
+
+* :mod:`repro.campaign.spec` — declarative :class:`ScenarioSpec`
+  descriptions (workload kind, FIFO policy/mode, depth, quantum, seed,
+  timing mode, workload params; the field reference lives in that module's
+  docstring) and the workload registry;
+* :mod:`repro.campaign.scenarios` — builders for every repository workload
+  (writer/reader, streaming, video, random traffic, bursty, arbiter
+  contention, SoC case study) plus :func:`default_campaign`;
+* :mod:`repro.campaign.runner` — the :class:`CampaignRunner`, which shards
+  specs across a :mod:`multiprocessing` pool (each worker owns a private
+  :class:`~repro.kernel.simulator.Simulator`), and the paired
+  reference/Smart equivalence campaign built on
+  :mod:`repro.analysis.trace_diff`.
+
+The aggregated result is **byte-identical for any worker count** — the
+deterministic rows carry simulated dates, kernel counters and trace digests
+only — so ``CampaignResult.fingerprint()`` is a stable handle for
+regression tracking.
+
+Entry points: ``python -m repro.analysis.cli campaign --workers 4`` and the
+``campaign.*`` metric of ``benchmarks/bench_harness.py``.
+"""
+
+from .runner import (
+    CampaignResult,
+    CampaignRunner,
+    PairRecord,
+    SpecRunRecord,
+    execute_pair,
+    execute_paired_spec,
+    execute_spec,
+)
+from .scenarios import build_scenario, default_campaign
+from .spec import (
+    MODE_REFERENCE,
+    MODE_SMART,
+    BuiltScenario,
+    ScenarioSpec,
+    WorkloadEntry,
+    describe_specs,
+    register_workload,
+    registered_workloads,
+    spec_is_pairable,
+    workload_entry,
+)
+
+__all__ = [
+    "BuiltScenario",
+    "CampaignResult",
+    "CampaignRunner",
+    "MODE_REFERENCE",
+    "MODE_SMART",
+    "PairRecord",
+    "ScenarioSpec",
+    "SpecRunRecord",
+    "WorkloadEntry",
+    "build_scenario",
+    "default_campaign",
+    "describe_specs",
+    "execute_pair",
+    "execute_paired_spec",
+    "execute_spec",
+    "register_workload",
+    "registered_workloads",
+    "spec_is_pairable",
+    "workload_entry",
+]

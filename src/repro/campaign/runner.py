@@ -1,0 +1,400 @@
+"""The parallel campaign engine.
+
+A campaign is a list of :class:`~repro.campaign.spec.ScenarioSpec`; the
+:class:`CampaignRunner` shards it across a :mod:`multiprocessing` pool.
+Each worker process builds its **own** :class:`~repro.kernel.simulator
+.Simulator` from the spec — runs are fully isolated and deterministic per
+seed — and sends back a small picklable record.  Two guarantees matter:
+
+* **Worker-count transparency** — the aggregated result (every field of
+  :meth:`CampaignResult.aggregate_rows` and therefore
+  :meth:`CampaignResult.fingerprint`) is byte-identical for any
+  ``workers`` value, because the deterministic rows carry only simulated
+  dates, counters and trace digests, never wall-clock values or PIDs, and
+  are sorted by spec name.
+* **Paired validation** — the Section IV-A methodology is a first-class
+  campaign mode: every pairable spec is re-run in ``reference`` and
+  ``smart`` modes inside one worker and the locally-timestamped traces are
+  diffed with :mod:`repro.analysis.trace_diff`; an empty diff means the
+  Smart FIFO changed neither the behaviour nor the timing of that spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.reporting import dict_rows_table
+from ..analysis.trace_diff import compare_collectors
+from ..kernel.simulator import Simulator
+from .scenarios import build_scenario
+from .spec import MODE_REFERENCE, MODE_SMART, ScenarioSpec, spec_is_pairable
+
+
+def _trace_digest(sim: Simulator) -> str:
+    """Digest of the *reordered* trace (the paper's comparison key)."""
+    payload = "\n".join(sim.trace.sorted_lines()).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass
+class SpecRunRecord:
+    """Outcome of one spec executed in one mode."""
+
+    name: str
+    workload: str
+    mode: str
+    depth: int
+    quantum_ns: Optional[int]
+    seed: int
+    timing: Optional[str]
+    sim_end_fs: int
+    context_switches: int
+    method_invocations: int
+    delta_cycles: int
+    trace_lines: int
+    trace_digest: str
+    extra: Dict[str, object] = field(default_factory=dict)
+    #: Wall-clock and process provenance: informative only, excluded from
+    #: the deterministic aggregation.
+    wall_seconds: float = 0.0
+    worker_pid: int = 0
+
+    def deterministic_row(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "mode": self.mode,
+            "depth": self.depth,
+            "quantum_ns": self.quantum_ns,
+            "seed": self.seed,
+            "timing": self.timing,
+            "sim_end_fs": self.sim_end_fs,
+            "context_switches": self.context_switches,
+            "method_invocations": self.method_invocations,
+            "delta_cycles": self.delta_cycles,
+            "trace_lines": self.trace_lines,
+            "trace_digest": self.trace_digest,
+            "extra": self.extra,
+        }
+
+
+@dataclass
+class PairRecord:
+    """Outcome of one paired reference/Smart equivalence run."""
+
+    name: str
+    equivalent: bool
+    reference_digest: str
+    smart_digest: str
+    reference_lines: int
+    candidate_lines: int
+    #: Whether the deterministic extras (completion dates, checksums...)
+    #: also matched — the observable the paper compares for workloads that
+    #: do not emit trace lines.
+    extras_match: bool = True
+    #: Human-readable mismatch summary; empty when the diff is empty.
+    report: str = ""
+    wall_seconds: float = 0.0
+    worker_pid: int = 0
+
+    def deterministic_row(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "equivalent": self.equivalent,
+            "reference_digest": self.reference_digest,
+            "smart_digest": self.smart_digest,
+            "reference_lines": self.reference_lines,
+            "candidate_lines": self.candidate_lines,
+            "extras_match": self.extras_match,
+            "report": self.report,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points (top-level functions: they must be picklable)
+# ---------------------------------------------------------------------------
+def _run_one(spec: ScenarioSpec):
+    """Build and run ``spec`` in a fresh simulator; return (sim, built, wall)."""
+    sim = Simulator(f"campaign_{spec.label}")
+    built = build_scenario(sim, spec)
+    start = time.perf_counter()
+    built.scenario.run()
+    wall = time.perf_counter() - start
+    if built.verify is not None:
+        built.verify()
+    return sim, built, wall
+
+
+def _record_from(spec: ScenarioSpec, sim: Simulator, built, wall: float) -> SpecRunRecord:
+    return SpecRunRecord(
+        name=spec.name,
+        workload=spec.workload,
+        mode=spec.mode,
+        depth=spec.depth,
+        quantum_ns=spec.quantum_ns,
+        seed=spec.seed,
+        timing=spec.timing,
+        sim_end_fs=sim.now_fs,
+        context_switches=sim.stats.context_switches,
+        method_invocations=sim.stats.method_invocations,
+        delta_cycles=sim.stats.delta_cycles,
+        trace_lines=len(sim.trace),
+        trace_digest=_trace_digest(sim),
+        extra=built.extras() if built.extras is not None else {},
+        wall_seconds=wall,
+        worker_pid=os.getpid(),
+    )
+
+
+def execute_spec(spec: ScenarioSpec) -> SpecRunRecord:
+    """Worker body of the single-mode campaign."""
+    sim, built, wall = _run_one(spec)
+    return _record_from(spec, sim, built, wall)
+
+
+def execute_paired_spec(spec: ScenarioSpec):
+    """Worker body of the paired equivalence campaign.
+
+    Runs ``spec`` in reference and Smart mode inside this worker (traces
+    are too large to ship back) and diffs the trace collectors *and* the
+    deterministic extras: the traces implement the Section IV-A
+    reorder-and-compare check, the extras (completion dates, checksums,
+    monitor samples) cover workloads whose modules do not emit trace lines.
+
+    Returns ``(SpecRunRecord, PairRecord)``: the run record is taken from
+    the execution matching ``spec.mode``, so a paired campaign never
+    simulates the same (spec, mode) twice — both simulations here are also
+    the spec's single-mode result.  Runs are deterministic per seed, so the
+    record is bit-identical to what :func:`execute_spec` would produce.
+    """
+    ref_spec = spec.with_mode(MODE_REFERENCE)
+    smart_spec = spec.with_mode(MODE_SMART)
+    ref_sim, ref_built, ref_wall = _run_one(ref_spec)
+    smart_sim, smart_built, smart_wall = _run_one(smart_spec)
+    comparison = compare_collectors(ref_sim.trace, smart_sim.trace)
+    ref_extras = ref_built.extras() if ref_built.extras is not None else {}
+    smart_extras = smart_built.extras() if smart_built.extras is not None else {}
+    extras_match = ref_extras == smart_extras
+    report = ""
+    if not comparison.equivalent:
+        report = comparison.report()
+    if not extras_match:
+        report = (report + "\n" if report else "") + (
+            f"extras differ: reference={ref_extras!r} smart={smart_extras!r}"
+        )
+    pair = PairRecord(
+        name=spec.name,
+        equivalent=comparison.equivalent and extras_match,
+        reference_digest=_trace_digest(ref_sim),
+        smart_digest=_trace_digest(smart_sim),
+        reference_lines=comparison.reference_count,
+        candidate_lines=comparison.candidate_count,
+        extras_match=extras_match,
+        report=report,
+        wall_seconds=ref_wall + smart_wall,
+        worker_pid=os.getpid(),
+    )
+    if spec.mode == MODE_REFERENCE:
+        record = _record_from(ref_spec, ref_sim, ref_built, ref_wall)
+    else:
+        record = _record_from(smart_spec, smart_sim, smart_built, smart_wall)
+    return record, pair
+
+
+def execute_pair(spec: ScenarioSpec) -> PairRecord:
+    """Just the :class:`PairRecord` of :func:`execute_paired_spec`."""
+    return execute_paired_spec(spec)[1]
+
+
+def _execute_job(job):
+    """Dispatch one tagged campaign job (see ``CampaignRunner._execute``)."""
+    paired, spec = job
+    return execute_paired_spec(spec) if paired else execute_spec(spec)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of one campaign execution."""
+
+    runs: List[SpecRunRecord]
+    pairs: List[PairRecord]
+    workers: int
+    wall_seconds: float
+
+    @property
+    def all_pairs_equivalent(self) -> bool:
+        return all(pair.equivalent for pair in self.pairs)
+
+    def worker_pids(self) -> List[int]:
+        """Distinct worker PIDs that executed work (provenance only)."""
+        pids = {record.worker_pid for record in self.runs}
+        pids.update(pair.worker_pid for pair in self.pairs)
+        return sorted(pids)
+
+    def aggregate_rows(self) -> Dict[str, List[Dict[str, object]]]:
+        """The deterministic aggregate: identical for any worker count."""
+        return {
+            "runs": [
+                record.deterministic_row()
+                for record in sorted(self.runs, key=lambda r: (r.name, r.mode))
+            ],
+            "pairs": [
+                pair.deterministic_row()
+                for pair in sorted(self.pairs, key=lambda p: p.name)
+            ],
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.aggregate_rows(), sort_keys=True, separators=(",", ":")
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical aggregate (the comparison handle)."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    def run_rows(self) -> List[Dict[str, object]]:
+        """Printable per-run rows (wall times included, for humans)."""
+        rows = []
+        for record in sorted(self.runs, key=lambda r: (r.name, r.mode)):
+            row = record.deterministic_row()
+            row["extra"] = json.dumps(row["extra"], sort_keys=True)
+            row["trace_digest"] = record.trace_digest[:12]
+            row["wall_s"] = round(record.wall_seconds, 4)
+            rows.append(row)
+        return rows
+
+    def pair_rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for pair in sorted(self.pairs, key=lambda p: p.name):
+            rows.append(
+                {
+                    "name": pair.name,
+                    "equivalent": pair.equivalent,
+                    "trace_lines": pair.reference_lines,
+                    "reference_digest": pair.reference_digest[:12],
+                    "smart_digest": pair.smart_digest[:12],
+                    "wall_s": round(pair.wall_seconds, 4),
+                }
+            )
+        return rows
+
+    def table(self) -> str:
+        columns = [
+            "name", "workload", "mode", "depth", "seed", "context_switches",
+            "trace_lines", "trace_digest", "wall_s",
+        ]
+        return dict_rows_table(self.run_rows(), columns, title="Campaign runs")
+
+    def pairs_table(self) -> str:
+        return dict_rows_table(
+            self.pair_rows(),
+            ["name", "equivalent", "trace_lines", "reference_digest",
+             "smart_digest", "wall_s"],
+            title="Paired reference/Smart equivalence (Section IV-A)",
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.runs)} runs, {len(self.pairs)} pairs, "
+            f"workers={self.workers}, wall={self.wall_seconds:.2f}s",
+            f"worker processes used: {len(self.worker_pids())}",
+            f"all pairs equivalent: {self.all_pairs_equivalent}",
+            f"campaign fingerprint: {self.fingerprint()}",
+        ]
+        for pair in self.pairs:
+            if not pair.equivalent:
+                lines.append(f"PAIR MISMATCH {pair.name}:\n{pair.report}")
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Shards specs across worker processes and aggregates the records.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (the default) runs inline in
+        the calling process — no pool, bit-identical aggregate.
+    paired:
+        When True (default) every pairable spec additionally runs the
+        reference/Smart equivalence diff.
+    mp_start_method:
+        Optional :mod:`multiprocessing` start method ("fork", "spawn", ...);
+        ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        paired: bool = True,
+        mp_start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.paired = paired
+        self.mp_start_method = mp_start_method
+
+    # ------------------------------------------------------------------
+    def _execute(self, specs: Sequence[ScenarioSpec], mapper):
+        """Run the campaign body with a ``map``-shaped executor.
+
+        All work goes through one ``mapper`` call (one pool barrier), as a
+        list of ``(paired, spec)`` jobs.  When ``paired`` is on, pairable
+        specs go through :func:`execute_paired_spec` only — their own-mode
+        simulation is one of the two runs of the equivalence pair, so no
+        (spec, mode) simulates twice.
+        """
+        jobs = [
+            (self.paired and spec_is_pairable(spec), spec) for spec in specs
+        ]
+        runs, pairs = [], []
+        for (paired, _), outcome in zip(jobs, mapper(_execute_job, jobs)):
+            if paired:
+                record, pair = outcome
+                runs.append(record)
+                pairs.append(pair)
+            else:
+                runs.append(outcome)
+        return runs, pairs
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> CampaignResult:
+        specs = list(specs)
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate spec names in campaign: {duplicates}")
+        for spec in specs:
+            spec.validate()
+        start = time.perf_counter()
+        if self.workers == 1 or not specs:
+            runs, pairs = self._execute(
+                specs, lambda func, items: [func(item) for item in items]
+            )
+        else:
+            import multiprocessing
+
+            context = multiprocessing.get_context(self.mp_start_method)
+            processes = min(self.workers, len(specs))
+            # One pool serves every map of the campaign, so with workers > 1
+            # all simulations run in worker processes (the parent only
+            # aggregates) and the pool is spun up exactly once.
+            with context.Pool(processes=processes) as pool:
+                runs, pairs = self._execute(
+                    specs,
+                    lambda func, items: pool.map(func, items) if items else [],
+                )
+        wall = time.perf_counter() - start
+        return CampaignResult(
+            runs=runs, pairs=pairs, workers=self.workers, wall_seconds=wall
+        )

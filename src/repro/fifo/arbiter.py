@@ -13,12 +13,23 @@ date is behind the last access date is simply delayed (its local date is
 raised) until the port is free again.  This keeps the per-side dates
 monotonic while preserving temporal decoupling (no context switch is
 introduced by the arbiter itself).
+
+Blocking accesses wait for FIFO capacity *before* taking their grant (via
+``SmartFifo.wait_writable`` / ``wait_readable`` when available): the real
+hardware arbiter only grants the port when the transfer can proceed, and
+granting earlier would let later-granted processes overtake a sleeping
+one, producing decreasing per-side dates.  One restriction follows: do not
+front a ``SmartFifo(sync_on_access=True)`` with an arbiter — its
+unconditional sync *after* the grant reopens that window.  Sync-per-access
+callers are synchronized anyway, so their kernel dates are naturally
+monotonic and they need no date arbitration in the first place.
 """
 
 from __future__ import annotations
 
-from typing import Any, Union
+from typing import Any, List, Optional, Union
 
+from ..kernel.errors import FifoError
 from ..kernel.module import Module
 from ..kernel.simtime import SimTime, ZERO_TIME, as_time
 from ..kernel.simulator import Simulator
@@ -36,8 +47,18 @@ class _SideArbiter(Module):
         name: str,
         fifo,
         access_duration: SimTime = ZERO_TIME,
+        record_grants: bool = False,
     ):
         super().__init__(parent, name)
+        if getattr(fifo, "sync_on_access", False):
+            # See the module docstring: the unconditional sync *after* the
+            # grant reopens the block-after-grant window, and sync-per-access
+            # callers need no date arbitration anyway.
+            raise FifoError(
+                f"arbiter {name!r}: cannot front a sync_on_access FIFO "
+                f"({getattr(fifo, 'full_name', fifo)!r}); sync-per-access "
+                "callers are synchronized and need no date arbitration"
+            )
         self.fifo = fifo
         #: Minimum time the port stays busy after a granted access; models
         #: the arbitration/transfer cycle of the real hardware port.
@@ -46,6 +67,16 @@ class _SideArbiter(Module):
         #: Number of accesses whose caller had to be delayed by arbitration.
         self.arbitrated_accesses = 0
         self.total_accesses = 0
+        #: Monotonicity bookkeeping is O(1): the Section III invariant —
+        #: time must go forward on each side — is tracked with the date of
+        #: the last grant only.  Pass ``record_grants=True`` to additionally
+        #: keep the full grant history in :attr:`grant_dates_fs` (one int
+        #: per access: oracle/debug use, not for long production runs).
+        self._last_grant_fs = NEVER
+        self._grants_monotonic = True
+        #: Local dates (fs) at which accesses were granted, in grant order;
+        #: ``None`` unless ``record_grants`` was requested.
+        self.grant_dates_fs: Optional[List[int]] = [] if record_grants else None
 
     def set_access_duration(self, duration, unit=None) -> None:
         self.access_duration = as_time(duration) if unit is None else as_time(duration, unit)
@@ -62,19 +93,78 @@ class _SideArbiter(Module):
                 local_fs = manager.advance_to(process, self._port_free_fs)
             else:
                 local_fs = self._port_free_fs
+        if local_fs < self._last_grant_fs:
+            self._grants_monotonic = False
+        self._last_grant_fs = local_fs
+        if self.grant_dates_fs is not None:
+            self.grant_dates_fs.append(local_fs)
         self._port_free_fs = local_fs + self.access_duration.femtoseconds
+
+    def _grant_snapshot(self):
+        """State to restore with :meth:`_rollback_grant` if a non-blocking
+        access is refused after its grant."""
+        return (
+            self._port_free_fs,
+            self.total_accesses,
+            self.arbitrated_accesses,
+            self._last_grant_fs,
+            self._grants_monotonic,
+            len(self.grant_dates_fs) if self.grant_dates_fs is not None else 0,
+        )
+
+    def _rollback_grant(self, snapshot) -> None:
+        """Undo the bookkeeping of the last :meth:`_grant`.
+
+        A refused non-blocking access never occupied the port, so it must
+        not appear in the counters or the grant-date oracle, nor keep the
+        port busy.  (The caller's local date, if the grant raised it, stays
+        raised — time cannot go backwards for a process.)
+        """
+        (
+            self._port_free_fs,
+            self.total_accesses,
+            self.arbitrated_accesses,
+            self._last_grant_fs,
+            self._grants_monotonic,
+            grants,
+        ) = snapshot
+        if self.grant_dates_fs is not None:
+            del self.grant_dates_fs[grants:]
+
+    @property
+    def last_grant_fs(self) -> int:
+        """Local date (fs) of the last granted access (NEVER before any)."""
+        return self._last_grant_fs
+
+    def grants_monotonic(self) -> bool:
+        """True when the granted dates never decreased (the invariant the
+        arbiter exists to enforce).  Tracked in O(1), available whether or
+        not the full grant history is recorded."""
+        return self._grants_monotonic
 
 
 class WriteArbiter(_SideArbiter, FifoWriterInterface):
     """Serializes several writer processes in front of one FIFO write side."""
 
     def write(self, data: Any):
+        # Block for a free cell *before* granting the port: a grant taken
+        # while the FIFO is full would be overtaken (at a later date) by
+        # writers granted afterwards while this one sleeps, and the write
+        # side would see decreasing dates.  The real hardware arbiter only
+        # grants the port when the transfer can actually proceed.
+        waiter = getattr(self.fifo, "wait_writable", None)
+        if waiter is not None:
+            yield from waiter()
         self._grant()
         yield from self.fifo.write(data)
 
     def nb_write(self, data: Any) -> bool:
+        snapshot = self._grant_snapshot()
         self._grant()
-        return self.fifo.nb_write(data)
+        if self.fifo.nb_write(data):
+            return True
+        self._rollback_grant(snapshot)
+        return False
 
     def is_full(self) -> bool:
         return self.fifo.is_full()
@@ -88,13 +178,24 @@ class ReadArbiter(_SideArbiter, FifoReaderInterface):
     """Serializes several reader processes in front of one FIFO read side."""
 
     def read(self):
+        # Symmetric to WriteArbiter.write: wait for a busy cell first, then
+        # grant, so grant order equals actual access order even when the
+        # FIFO runs internally empty.
+        waiter = getattr(self.fifo, "wait_readable", None)
+        if waiter is not None:
+            yield from waiter()
         self._grant()
         data = yield from self.fifo.read()
         return data
 
     def nb_read(self):
+        snapshot = self._grant_snapshot()
         self._grant()
-        return self.fifo.nb_read()
+        try:
+            return self.fifo.nb_read()
+        except Exception:
+            self._rollback_grant(snapshot)
+            raise
 
     def is_empty(self) -> bool:
         return self.fifo.is_empty()

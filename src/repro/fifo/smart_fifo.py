@@ -250,6 +250,31 @@ class SmartFifo(Module, FifoInterface):
                 self._blocked_writers -= 1
         self._do_write(self._scheduler.current_process, self._manager, data)
 
+    def wait_writable(self):
+        """Block (sync + wait) until the FIFO is not *internally* full.
+
+        Mirror of the blocking loop at the head of :meth:`write`, exposed so
+        arbiters can wait for a free cell *before* granting the shared port:
+        granting first and blocking afterwards would let a later-granted
+        process slip its item in at a later date while the earlier-granted
+        one is still asleep, breaking the per-side date ordering the arbiter
+        exists to enforce.  (The loop is intentionally duplicated rather
+        than shared with :meth:`write`: the write path is the hottest
+        generator of the whole model and must not pay for an extra
+        delegation frame.)
+        """
+        cells = self._cells
+        depth = cells.depth
+        while cells.busy_count == depth:
+            self.blocking_waits += 1
+            self._blocked_writers += 1
+            try:
+                yield from sync(sim=self.sim)
+                if cells.busy_count == depth:
+                    yield WaitEvent(self._cell_freed)
+            finally:
+                self._blocked_writers -= 1
+
     def nb_write(self, data: Any) -> bool:
         """Non-blocking write for method processes.
 
@@ -372,6 +397,23 @@ class SmartFifo(Module, FifoInterface):
             finally:
                 self._blocked_readers -= 1
         return self._do_read(self._scheduler.current_process, self._manager)
+
+    def wait_readable(self):
+        """Block (sync + wait) until the FIFO is not *internally* empty.
+
+        Mirror of the blocking loop at the head of :meth:`read`; see
+        :meth:`wait_writable` for why arbiters need it.
+        """
+        cells = self._cells
+        while cells.busy_count == 0:
+            self.blocking_waits += 1
+            self._blocked_readers += 1
+            try:
+                yield from sync(sim=self.sim)
+                if cells.busy_count == 0:
+                    yield WaitEvent(self._cell_filled)
+            finally:
+                self._blocked_readers -= 1
 
     def nb_read(self):
         """Non-blocking read for method processes.

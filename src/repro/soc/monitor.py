@@ -55,8 +55,19 @@ class FifoLevelProbe(DecoupledMixin, Module):
         for _ in range(self.sample_count):
             for fifo in self.fifos:
                 level = yield from fifo.get_size()
+                # Stamp the *local* date of the sampling process, not the
+                # global date: the validation methodology compares locally
+                # timestamped observations between the reference and the
+                # decoupled run (cf. the 500 ps offset convention in
+                # workloads/random_traffic.py), and the two only agree when
+                # the sample carries the date at which the probe really
+                # observed the level.
                 self.samples.append(
-                    LevelSample(self.now, getattr(fifo, "full_name", str(fifo)), level)
+                    LevelSample(
+                        self.local_time_stamp(),
+                        getattr(fifo, "full_name", str(fifo)),
+                        level,
+                    )
                 )
             yield self.wait(self.period.to(TimeUnit.NS))
 

@@ -5,10 +5,27 @@
 * :mod:`repro.workloads.video` — a video-decoder-like accelerator chain;
 * :mod:`repro.workloads.random_traffic` — seeded random producer/consumer
   scenarios with monitor sampling, used by the trace-equivalence
-  validation (Section IV-A).
+  validation (Section IV-A);
+* :mod:`repro.workloads.bursty` — seeded bursty producer with a steady
+  consumer, swinging the FIFO between full and empty;
+* :mod:`repro.workloads.contention` — multi-writer/multi-reader arbiter
+  contention around one Smart FIFO (Section III arbiters).
 """
 
 from .base import TimingMode, WorkloadModule
+from .bursty import (
+    BurstyConfig,
+    BurstyConsumer,
+    BurstyProducer,
+    BurstyScenario,
+    run_bursty_pair,
+)
+from .contention import (
+    ArbiterContentionScenario,
+    ContentionConfig,
+    ContentionReader,
+    ContentionWriter,
+)
 from .random_traffic import (
     FillLevelMonitor,
     RandomConsumer,
@@ -36,7 +53,15 @@ from .video import (
 )
 
 __all__ = [
+    "ArbiterContentionScenario",
     "BitstreamParser",
+    "BurstyConfig",
+    "BurstyConsumer",
+    "BurstyProducer",
+    "BurstyScenario",
+    "ContentionConfig",
+    "ContentionReader",
+    "ContentionWriter",
     "ComputeStage",
     "Display",
     "ExampleMode",
@@ -56,5 +81,6 @@ __all__ = [
     "VideoPipeline",
     "WorkloadModule",
     "WriterReaderExample",
+    "run_bursty_pair",
     "run_pair",
 ]

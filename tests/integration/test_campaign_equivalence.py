@@ -1,0 +1,85 @@
+"""Integration test: the full default campaign, sequential vs sharded.
+
+This is the acceptance scenario of the campaign engine: the stock campaign
+(>= 12 specs covering every registered workload) must
+
+* produce **byte-identical aggregated results** for ``workers=1`` and
+  ``workers=4`` (wall-clock and PIDs are provenance, not results);
+* really shard across >= 2 worker processes when asked to;
+* pass the paired reference/Smart equivalence check (Section IV-A) with an
+  empty trace diff for every pairable spec.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    default_campaign,
+    spec_is_pairable,
+)
+
+
+@pytest.fixture(scope="module")
+def sequential_result():
+    return CampaignRunner(workers=1).run(default_campaign())
+
+
+@pytest.fixture(scope="module")
+def sharded_result():
+    return CampaignRunner(workers=4).run(default_campaign())
+
+
+class TestDefaultCampaignShape:
+    def test_at_least_twelve_specs_ran(self, sequential_result):
+        assert len(sequential_result.runs) >= 12
+
+    def test_every_pairable_spec_was_paired(self, sequential_result):
+        pairable = [s.name for s in default_campaign() if spec_is_pairable(s)]
+        assert sorted(p.name for p in sequential_result.pairs) == sorted(pairable)
+
+
+class TestWorkerCountTransparency:
+    def test_sharded_run_used_multiple_processes(self, sharded_result):
+        pids = sharded_result.worker_pids()
+        assert len(pids) >= 2
+        assert os.getpid() not in pids
+
+    def test_aggregates_are_byte_identical(self, sequential_result, sharded_result):
+        assert (
+            sequential_result.canonical_json() == sharded_result.canonical_json()
+        )
+        assert sequential_result.fingerprint() == sharded_result.fingerprint()
+
+
+class TestPairedEquivalence:
+    def test_every_pair_diff_is_empty(self, sequential_result):
+        for pair in sequential_result.pairs:
+            assert pair.equivalent, f"{pair.name}:\n{pair.report}"
+            assert pair.extras_match, pair.name
+            assert pair.reference_digest == pair.smart_digest, pair.name
+        assert sequential_result.all_pairs_equivalent
+
+    def test_smart_runs_are_cheaper_in_context_switches(self, sequential_result):
+        """Campaign-level sanity: for specs whose reference twin exists and
+        blocks a lot, decoupling must reduce context switches (the paper's
+        whole point)."""
+        by_name = {r.name: r for r in sequential_result.runs}
+        # The streaming pipeline at depth 8 is the Fig. 5 workhorse.
+        smart = by_name["streaming_d8"]
+        reference = CampaignRunner(workers=1, paired=False).run(
+            [s.with_mode("reference") for s in default_campaign()
+             if s.name == "streaming_d8"]
+        ).runs[0]
+        assert smart.context_switches < reference.context_switches
+
+
+class TestCliCampaignCommand:
+    def test_cli_matches_runner_fingerprint(self, capsys, sequential_result):
+        from repro.analysis import cli
+
+        assert cli.main(["campaign", "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "all pairs equivalent: True" in output
+        assert sequential_result.fingerprint() in output

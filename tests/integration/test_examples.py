@@ -51,10 +51,21 @@ class TestExamples:
         assert "frame dates identical in both modes" in output
         assert "level=" in output
 
+    def test_campaign_sweep(self):
+        output = run_example("campaign_sweep.py", "--workers", "2")
+        assert "all pairs equivalent: True" in output
+        assert "worker-count transparency check passed" in output
+
 
 @pytest.mark.parametrize(
     "name",
-    ["quickstart.py", "streaming_pipeline.py", "soc_case_study.py", "monitor_and_methods.py"],
+    [
+        "quickstart.py",
+        "streaming_pipeline.py",
+        "soc_case_study.py",
+        "monitor_and_methods.py",
+        "campaign_sweep.py",
+    ],
 )
 def test_example_exists_and_is_documented(name):
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))

@@ -74,3 +74,83 @@ class TestCommands:
         )
         output = capsys.readouterr().out
         assert "context_switches" in output
+
+
+class TestCsvOnEverySubcommand:
+    """The module docstring promises ``--csv`` for every subcommand."""
+
+    def run_with_csv(self, tmp_path, argv):
+        csv_path = os.path.join(tmp_path, "out.csv")
+        assert cli.main(argv + ["--csv", csv_path]) == 0
+        with open(csv_path) as handle:
+            return handle.readline(), handle.read()
+
+    def test_fig2_csv(self, capsys, tmp_path):
+        header, body = self.run_with_csv(tmp_path, ["fig2", "--depth", "2"])
+        assert "reference_write_ns" in header and "smart_read_ns" in header
+        assert body.strip()
+
+    def test_case_study_csv(self, capsys, tmp_path):
+        header, body = self.run_with_csv(
+            tmp_path, ["case-study", "--chains", "1", "--items", "32", "--workers", "1"]
+        )
+        assert "wall_seconds" in header and "gain_percent" in header
+        assert len(body.strip().splitlines()) == 2  # sync + smart rows
+
+    def test_quantum_csv(self, capsys, tmp_path):
+        header, body = self.run_with_csv(
+            tmp_path, ["quantum", "--quanta", "0,1000", "--blocks", "2", "--words", "10"]
+        )
+        assert "quantum_ns" in header and "timing_error_ns" in header
+        assert body.strip()
+
+    def test_context_switches_csv(self, capsys, tmp_path):
+        header, body = self.run_with_csv(
+            tmp_path,
+            ["context-switches", "--depths", "1,8", "--blocks", "2", "--words", "10"],
+        )
+        assert "context_switches" in header
+        assert body.strip()
+
+
+class TestCampaignCommand:
+    def test_list_prints_specs_without_running(self, capsys):
+        assert cli.main(["campaign", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "Campaign specs" in output
+        assert "contention_3w3r" in output
+        assert "pairable" in output
+
+    def test_spec_filter_and_csv(self, capsys, tmp_path):
+        csv_path = os.path.join(tmp_path, "campaign.csv")
+        assert (
+            cli.main(
+                [
+                    "campaign",
+                    "--specs",
+                    "writer_reader_d4,bursty_s3_d4",
+                    "--csv",
+                    csv_path,
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "all pairs equivalent: True" in output
+        assert "campaign fingerprint:" in output
+        with open(csv_path) as handle:
+            header = handle.readline()
+            body = handle.read()
+        assert "trace_digest" in header
+        assert len(body.strip().splitlines()) == 2
+
+    def test_unknown_spec_name_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown spec"):
+            cli.main(["campaign", "--specs", "no_such_spec"])
+
+    def test_no_paired_skips_the_equivalence_battery(self, capsys):
+        assert (
+            cli.main(["campaign", "--specs", "writer_reader_d1", "--no-paired"]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "0 pairs" in output

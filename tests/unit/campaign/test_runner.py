@@ -1,0 +1,103 @@
+"""Unit tests for the campaign runner and its deterministic aggregation."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    ScenarioSpec,
+    execute_pair,
+    execute_spec,
+)
+
+SMALL_CAMPAIGN = [
+    ScenarioSpec("writer_reader_d2", "writer_reader", depth=2),
+    ScenarioSpec("bursty_s3", "bursty", depth=3, seed=3,
+                 params={"n_bursts": 4, "max_burst": 5}),
+    ScenarioSpec("random_s5_d2", "random_traffic", depth=2, seed=5,
+                 params={"item_count": 20, "monitor_samples": 4}),
+    ScenarioSpec("contention_small", "contention", depth=4, seed=2,
+                 params={"items_per_writer": 8}),
+]
+
+
+class TestExecuteSpec:
+    def test_record_carries_identity_and_counters(self):
+        record = execute_spec(SMALL_CAMPAIGN[0])
+        assert record.name == "writer_reader_d2"
+        assert record.workload == "writer_reader"
+        assert record.mode == "smart"
+        assert record.sim_end_fs > 0
+        assert record.trace_digest and len(record.trace_digest) == 64
+        assert record.worker_pid > 0
+
+    def test_repeated_execution_is_deterministic(self):
+        first = execute_spec(SMALL_CAMPAIGN[1]).deterministic_row()
+        second = execute_spec(SMALL_CAMPAIGN[1]).deterministic_row()
+        assert first == second
+
+    def test_deterministic_row_excludes_wall_clock(self):
+        row = execute_spec(SMALL_CAMPAIGN[0]).deterministic_row()
+        assert "wall_seconds" not in row and "worker_pid" not in row
+        json.dumps(row)  # must be JSON-serializable
+
+    def test_verify_failures_propagate(self):
+        # depth < packet_size makes SocConfig.validate raise.
+        spec = ScenarioSpec("soc_bad", "soc", depth=2,
+                            params={"packet_size": 4})
+        with pytest.raises(Exception):
+            execute_spec(spec)
+
+
+class TestExecutePair:
+    def test_pairable_spec_produces_empty_diff(self):
+        pair = execute_pair(SMALL_CAMPAIGN[1])
+        assert pair.equivalent
+        assert pair.extras_match
+        assert pair.report == ""
+        assert pair.reference_digest == pair.smart_digest
+        assert pair.reference_lines == pair.candidate_lines > 0
+
+
+class TestCampaignRunner:
+    def test_rejects_bad_worker_counts_and_duplicate_names(self):
+        with pytest.raises(ValueError, match="workers"):
+            CampaignRunner(workers=0)
+        runner = CampaignRunner()
+        with pytest.raises(ValueError, match="duplicate"):
+            runner.run([SMALL_CAMPAIGN[0], SMALL_CAMPAIGN[0]])
+
+    def test_inline_run_collects_runs_and_pairs(self):
+        result = CampaignRunner(workers=1).run(SMALL_CAMPAIGN)
+        assert len(result.runs) == 4
+        # contention is not pairable, the three others are.
+        assert len(result.pairs) == 3
+        assert result.all_pairs_equivalent
+        assert result.workers == 1
+
+    def test_paired_false_skips_pairs(self):
+        result = CampaignRunner(workers=1, paired=False).run(SMALL_CAMPAIGN)
+        assert result.pairs == []
+
+    def test_worker_count_does_not_change_the_aggregate(self):
+        inline = CampaignRunner(workers=1).run(SMALL_CAMPAIGN)
+        pooled = CampaignRunner(workers=2).run(SMALL_CAMPAIGN)
+        assert inline.canonical_json() == pooled.canonical_json()
+        assert inline.fingerprint() == pooled.fingerprint()
+
+    def test_pool_really_uses_other_processes(self):
+        import os
+
+        result = CampaignRunner(workers=2).run(SMALL_CAMPAIGN)
+        pids = result.worker_pids()
+        assert len(pids) >= 2
+        assert os.getpid() not in pids
+
+    def test_tables_and_summary_render(self):
+        result = CampaignRunner(workers=1).run(SMALL_CAMPAIGN)
+        assert "Campaign runs" in result.table()
+        assert "equivalence" in result.pairs_table()
+        summary = result.summary()
+        assert "fingerprint" in summary
+        assert "all pairs equivalent: True" in summary

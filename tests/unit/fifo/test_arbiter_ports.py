@@ -14,6 +14,7 @@ from repro.fifo import (
 from repro.kernel import BindingError, Module, Simulator, ns
 from repro.kernel.simtime import TimeUnit
 from repro.td import DecoupledModule
+from repro.workloads import ArbiterContentionScenario, ContentionConfig
 
 from .helpers import DecoupledReader
 
@@ -69,6 +70,34 @@ class TestWriteArbiter:
         assert arbiter.nb_write("x")
         assert arbiter.is_full()
 
+    def test_sync_on_access_fifos_are_rejected(self, sim):
+        from repro.kernel.errors import FifoError
+
+        fifo = SmartFifo(sim, "fifo", depth=4, sync_on_access=True)
+        with pytest.raises(FifoError, match="sync_on_access"):
+            WriteArbiter(sim, "warb", fifo)
+        with pytest.raises(FifoError, match="sync_on_access"):
+            ReadArbiter(sim, "rarb", fifo)
+
+    def test_refused_nb_writes_do_not_pollute_the_grant_oracle(self, sim):
+        fifo = SmartFifo(sim, "fifo", depth=1)
+        arbiter = WriteArbiter(
+            sim, "arbiter", fifo, access_duration=ns(5), record_grants=True
+        )
+        assert arbiter.nb_write("a")
+        # The FIFO is now full: polling must be refused without occupying
+        # the port, growing the counters or the grant-date history.
+        for _ in range(3):
+            assert not arbiter.nb_write("b")
+        assert arbiter.total_accesses == 1
+        assert arbiter.arbitrated_accesses == 0
+        assert len(arbiter.grant_dates_fs) == 1
+        # After the reader frees the cell the next write is granted at the
+        # end of the first access, not after 3 phantom arbitration cycles.
+        assert fifo.nb_read() == "a"
+        assert arbiter.nb_write("b")
+        assert arbiter.grant_dates_fs == [0, ns(5).femtoseconds]
+
 
 class TestReadArbiter:
     def test_two_readers_share_a_fifo(self, sim):
@@ -103,6 +132,77 @@ class TestReadArbiter:
         assert arbiter.nb_read() == "x"
         assert arbiter.is_empty()
         assert arbiter.not_empty_event is fifo.not_empty_event
+
+    def test_refused_nb_reads_do_not_pollute_the_grant_oracle(self, sim):
+        from repro.kernel.errors import FifoError
+
+        fifo = SmartFifo(sim, "fifo", depth=2)
+        arbiter = ReadArbiter(
+            sim, "arbiter", fifo, access_duration=ns(3), record_grants=True
+        )
+        for _ in range(2):
+            with pytest.raises(FifoError):
+                arbiter.nb_read()
+        assert arbiter.total_accesses == 0
+        assert arbiter.grant_dates_fs == []
+        fifo.nb_write("x")
+        assert arbiter.nb_read() == "x"
+        assert arbiter.total_accesses == 1
+        assert arbiter.grant_dates_fs == [0]
+
+
+class TestMultiWriterMultiReaderContention:
+    """Section III arbiters under real contention: at least three decoupled
+    writers and three decoupled readers share one Smart FIFO.  This is also
+    the oracle reused by the campaign's ``contention`` scenario."""
+
+    def run_scenario(self, sim, **overrides):
+        config = ContentionConfig(**overrides)
+        scenario = ArbiterContentionScenario(sim, config)
+        scenario.run()
+        return scenario
+
+    def test_three_by_three_contention_invariants(self, sim):
+        scenario = self.run_scenario(
+            sim, seed=5, n_writers=3, n_readers=3, items_per_writer=20
+        )
+        # The full oracle: accounting, per-side monotonicity, conservation.
+        scenario.verify()
+        # Decoupling ran the first writer far ahead, so later writers MUST
+        # have been delayed by arbitration (the scenario is not degenerate).
+        assert scenario.arbitration_happened
+        assert scenario.write_arbiter.arbitrated_accesses > 0
+
+    def test_per_side_dates_are_monotonic(self, sim):
+        scenario = self.run_scenario(
+            sim, seed=11, n_writers=4, n_readers=3, items_per_writer=15
+        )
+        for arbiter in (scenario.write_arbiter, scenario.read_arbiter):
+            dates = arbiter.grant_dates_fs
+            assert len(dates) == scenario.config.total_items
+            assert dates == sorted(dates)
+            assert arbiter.grants_monotonic()
+
+    def test_access_counters_account_for_every_item(self, sim):
+        scenario = self.run_scenario(
+            sim, seed=2, n_writers=3, n_readers=4, items_per_writer=12
+        )
+        total = scenario.config.total_items
+        assert scenario.write_arbiter.total_accesses == total
+        assert scenario.read_arbiter.total_accesses == total
+        assert 0 < scenario.write_arbiter.arbitrated_accesses <= total
+        assert scenario.read_arbiter.arbitrated_accesses <= total
+        # Every token written was read exactly once.
+        assert len(scenario.all_tokens()) == total
+
+    def test_uneven_reader_shares_sum_to_total(self, sim):
+        scenario = self.run_scenario(
+            sim, seed=7, n_writers=3, n_readers=3, items_per_writer=13
+        )
+        shares = scenario.config.reader_shares()
+        assert sum(shares) == scenario.config.total_items
+        assert [len(r.tokens) for r in scenario.readers] == shares
+        scenario.verify()
 
 
 class TestFifoPorts:

@@ -60,6 +60,34 @@ class TestQuantumKeeper:
         assert initiator.sync_dates == [120.0, 240.0]
         assert sim.now.to(TimeUnit.NS) == 300.0
 
+    def test_set_quantum_none_returns_to_global(self, sim):
+        GlobalQuantum.instance(sim).set(100, TimeUnit.NS)
+        initiator = self.Initiator(sim, "init", step_ns=30, steps=10, quantum=ns(50))
+        keeper = initiator.keeper
+        assert keeper.has_local_quantum
+        assert keeper.quantum == ns(50)
+        keeper.set_quantum(None)
+        assert not keeper.has_local_quantum
+        assert keeper.quantum == ns(100)
+        # With the override gone the run behaves exactly like a keeper that
+        # always followed the 100 ns global quantum.
+        sim.run()
+        assert initiator.sync_dates == [120.0, 240.0]
+
+    def test_reset_quantum_alias(self, sim):
+        GlobalQuantum.instance(sim).set(1000, TimeUnit.NS)
+        initiator = self.Initiator(sim, "init", step_ns=10, steps=1, quantum=ns(70))
+        keeper = initiator.keeper
+        assert keeper.quantum == ns(70)
+        keeper.reset_quantum()
+        assert keeper.quantum == us(1)
+        # The override can be set again after a reset (set/reset round trips).
+        keeper.set_quantum(25)
+        assert keeper.has_local_quantum and keeper.quantum == ns(25)
+        keeper.reset_quantum()
+        assert not keeper.has_local_quantum
+        sim.run()
+
     def test_local_quantum_overrides_global(self, sim):
         GlobalQuantum.instance(sim).set(1000, TimeUnit.NS)
         initiator = self.Initiator(sim, "init", step_ns=30, steps=4, quantum=ns(50))
