@@ -1,11 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick bench-check bench
+.PHONY: test bench-quick bench-check bench campaign-smoke
 
 # Tier-1 verification: the full unit/property/integration suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Campaign scale-out gate: run a 2-shard, 2-worker mini-campaign with
+# JSONL persistence and assert the merged fingerprint matches the
+# unsharded run byte for byte (leaves campaign-smoke/shard*.jsonl behind).
+campaign-smoke:
+	$(PYTHON) tools/campaign_smoke.py
 
 # Fast smoke run of the persistent benchmark harness (no file written,
 # single repeat; prints the comparison against the latest BENCH_*.json).

@@ -9,24 +9,37 @@ methodology at campaign scale:
 
 1. the **default campaign** — one declarative ``ScenarioSpec`` per
    (workload, depth, seed, timing) point, covering every repository
-   workload including the bursty producer and the multi-writer/multi-reader
-   arbiter contention scenario — is sharded over a pool of worker
-   processes, each building its own isolated ``Simulator``;
-2. every pairable spec is re-run in both modes and the trace diff must be
-   empty;
+   workload including the NoC router stress, the packet-granularity FIFO
+   stream and the mixed smart/regular topology — is sharded over a pool of
+   worker processes, each building its own isolated ``Simulator``;
+2. every pairable spec is re-run in both modes (the two halves are
+   *independent* worker jobs, recombined at aggregation) and the trace
+   diff must be empty;
 3. the aggregated records carry only simulated dates, kernel counters and
    trace digests, so the campaign **fingerprint is byte-identical for any
    worker count** — which this example demonstrates by running the same
-   campaign sequentially and sharded.
+   campaign sequentially and sharded;
+4. for multi-machine campaigns, ``--shard i/N`` runs a deterministic slice
+   of the spec list and ``--jsonl`` streams one row per completed run/pair;
+   merging the per-shard files reproduces the unsharded fingerprint —
+   demonstrated below with two in-process "machines".
 
 Run with::
 
     python examples/campaign_sweep.py --workers 4
+
+The equivalent CLI invocations::
+
+    python -m repro.analysis.cli campaign --shard 0/2 --jsonl s0.jsonl
+    python -m repro.analysis.cli campaign --shard 1/2 --jsonl s1.jsonl
+    python -m repro.analysis.cli campaign --merge-jsonl s0.jsonl,s1.jsonl
 """
 
 import argparse
+import os
+import tempfile
 
-from repro.campaign import CampaignRunner, default_campaign
+from repro.campaign import CampaignRunner, default_campaign, merge_jsonl
 
 
 def main() -> None:
@@ -62,6 +75,32 @@ def main() -> None:
     print(
         f"wall time: sequential {sequential.wall_seconds:.2f}s, "
         f"sharded {sharded.wall_seconds:.2f}s ({speedup:.2f}x)"
+    )
+
+    # Multi-machine mode: two shards, each persisting JSONL rows, merged
+    # back into the unsharded fingerprint (here both "machines" are local).
+    print()
+    print("running the campaign as 2 shards with JSONL persistence...")
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        paths = []
+        for index in range(2):
+            path = os.path.join(tmp_dir, f"shard{index}.jsonl")
+            paths.append(path)
+            shard_result = CampaignRunner(
+                workers=max(args.workers // 2, 1), shard=(index, 2)
+            ).run(specs, jsonl=path)
+            rows = sum(1 for _ in open(path))
+            print(
+                f"  shard {index}/2: {len(shard_result.runs)} runs, "
+                f"{len(shard_result.pairs)} pairs -> {rows} JSONL rows"
+            )
+        merged = merge_jsonl(paths)
+    assert merged.fingerprint() == sequential.fingerprint(), (
+        "merging the shard JSONL files changed the aggregate!"
+    )
+    print(
+        f"shard-merge transparency check passed: 2 shards merged via JSONL "
+        f"reproduce the unsharded fingerprint ({merged.fingerprint()[:16]}...)"
     )
 
 

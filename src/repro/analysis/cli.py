@@ -17,15 +17,28 @@ the raw rows for external plotting.
 The ``campaign`` subcommand runs the declarative scenario campaign of
 :mod:`repro.campaign`: every spec once (sharded over ``--workers``
 processes) plus the paired reference/Smart trace-equivalence battery; the
-printed fingerprint is byte-identical for any worker count.
+printed fingerprint is byte-identical for any worker count.  Multi-machine
+campaigns split the spec list with ``--shard i/N`` and stream deterministic
+result rows with ``--jsonl out.jsonl``; the shard files are recombined with
+``--merge-jsonl a.jsonl,b.jsonl``, whose fingerprint is byte-identical to
+the unsharded run::
+
+    python -m repro.analysis.cli campaign --shard 0/2 --jsonl s0.jsonl
+    python -m repro.analysis.cli campaign --shard 1/2 --jsonl s1.jsonl
+    python -m repro.analysis.cli campaign --merge-jsonl s0.jsonl,s1.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from ..campaign import CampaignRunner, default_campaign, describe_specs
+from ..campaign import (
+    CampaignRunner,
+    default_campaign,
+    describe_specs,
+    merge_jsonl,
+)
 from ..soc import SocConfig
 from ..workloads import StreamingConfig
 from . import experiments
@@ -34,6 +47,41 @@ from .reporting import dict_rows_table, write_csv
 
 def _int_list(text: str) -> List[int]:
     return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1 (e.g. ``--workers``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _shard(text: str) -> Tuple[int, int]:
+    """argparse type for ``--shard i/N`` (0 <= i < N, N >= 1)."""
+    parts = text.split("/")
+    try:
+        if len(parts) != 2:
+            raise ValueError
+        index, count = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected i/N (e.g. 0/2), got {text!r}"
+        )
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"shard count must be >= 1, got {count}"
+        )
+    if not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must be in [0, {count}), got {index}"
+        )
+    return index, count
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,7 +129,10 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="parallel scenario campaign + paired equivalence"
     )
     campaign.add_argument(
-        "--workers", type=int, default=1, help="worker processes (1 = inline)"
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes (1 = inline; must be >= 1)",
     )
     campaign.add_argument(
         "--specs",
@@ -92,6 +143,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-paired",
         action="store_true",
         help="skip the paired reference/Smart equivalence runs",
+    )
+    campaign.add_argument(
+        "--shard",
+        type=_shard,
+        default=None,
+        metavar="i/N",
+        help="run only the i-th of N deterministic spec shards (for "
+        "multi-machine campaigns; merge the per-shard --jsonl files with "
+        "--merge-jsonl to reproduce the unsharded fingerprint)",
+    )
+    campaign.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="OUT.JSONL",
+        help="stream one deterministic JSONL row per completed run/pair "
+        "(plus a campaign header row) to this file",
+    )
+    campaign.add_argument(
+        "--merge-jsonl",
+        default=None,
+        metavar="A.JSONL,B.JSONL",
+        help="merge previously written campaign JSONL files (e.g. one per "
+        "shard) and print the merged tables/fingerprint instead of running",
     )
     campaign.add_argument(
         "--list", action="store_true", help="list the specs and exit"
@@ -157,7 +231,40 @@ def run_context_switches(args: argparse.Namespace) -> str:
     return experiments.context_switch_table(rows)
 
 
+def _campaign_output(result) -> tuple:
+    sections = [result.table()]
+    if result.pairs:
+        sections.append(result.pairs_table())
+    sections.append(result.summary())
+    output = "\n\n".join(sections)
+    return (output, 0) if result.all_pairs_equivalent else (output, 1)
+
+
 def run_campaign(args: argparse.Namespace) -> str:
+    if args.merge_jsonl:
+        conflicting = [
+            flag for flag, active in (
+                ("--jsonl", args.jsonl is not None),
+                ("--shard", args.shard is not None),
+                ("--specs", args.specs is not None),
+                ("--workers", args.workers != 1),
+                ("--no-paired", args.no_paired),
+                ("--list", args.list),
+            ) if active
+        ]
+        if conflicting:
+            raise SystemExit(
+                f"--merge-jsonl only merges previously written files and "
+                f"cannot be combined with {', '.join(conflicting)}"
+            )
+        paths = [p.strip() for p in args.merge_jsonl.split(",") if p.strip()]
+        try:
+            result = merge_jsonl(paths)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot merge campaign JSONL: {exc}")
+        if args.csv:
+            write_csv(result.run_rows(), args.csv)
+        return _campaign_output(result)
     specs = default_campaign()
     if args.specs:
         wanted = [name.strip() for name in args.specs.split(",") if name.strip()]
@@ -179,16 +286,13 @@ def run_campaign(args: argparse.Namespace) -> str:
              "timing", "pairable", "params"],
             title="Campaign specs",
         )
-    runner = CampaignRunner(workers=args.workers, paired=not args.no_paired)
-    result = runner.run(specs)
+    runner = CampaignRunner(
+        workers=args.workers, paired=not args.no_paired, shard=args.shard
+    )
+    result = runner.run(specs, jsonl=args.jsonl)
     if args.csv:
         write_csv(result.run_rows(), args.csv)
-    sections = [result.table()]
-    if result.pairs:
-        sections.append(result.pairs_table())
-    sections.append(result.summary())
-    output = "\n\n".join(sections)
-    return (output, 0) if result.all_pairs_equivalent else (output, 1)
+    return _campaign_output(result)
 
 
 _COMMANDS = {

@@ -66,12 +66,15 @@ def _multiset_diff(left: Sequence[str], right: Sequence[str]) -> List[str]:
     return missing
 
 
-def compare_traces(
-    reference: Iterable[TraceRecord], candidate: Iterable[TraceRecord]
+def compare_sorted_lines(
+    ref_lines: Sequence[str], cand_lines: Sequence[str]
 ) -> TraceComparison:
-    """Compare two record streams after reordering (multiset equality)."""
-    ref_lines = sorted_lines(reference)
-    cand_lines = sorted_lines(candidate)
+    """Compare two already-reordered line lists (multiset equality).
+
+    This is the building block of the split-pair campaign aggregation: the
+    worker that ran each half of a reference/Smart pair ships back its
+    reordered trace lines, and the parent process diffs them here.
+    """
     missing = _multiset_diff(ref_lines, cand_lines)
     unexpected = _multiset_diff(cand_lines, ref_lines)
     return TraceComparison(
@@ -81,6 +84,13 @@ def compare_traces(
         reference_count=len(ref_lines),
         candidate_count=len(cand_lines),
     )
+
+
+def compare_traces(
+    reference: Iterable[TraceRecord], candidate: Iterable[TraceRecord]
+) -> TraceComparison:
+    """Compare two record streams after reordering (multiset equality)."""
+    return compare_sorted_lines(sorted_lines(reference), sorted_lines(candidate))
 
 
 def compare_collectors(

@@ -31,11 +31,17 @@ Entry points: ``python -m repro.analysis.cli campaign --workers 4`` and the
 from .runner import (
     CampaignResult,
     CampaignRunner,
+    JsonlSink,
+    PairHalf,
     PairRecord,
     SpecRunRecord,
+    combine_pair,
+    execute_half,
     execute_pair,
     execute_paired_spec,
     execute_spec,
+    merge_jsonl,
+    parse_jsonl_rows,
 )
 from .scenarios import build_scenario, default_campaign
 from .spec import (
@@ -55,18 +61,24 @@ __all__ = [
     "BuiltScenario",
     "CampaignResult",
     "CampaignRunner",
+    "JsonlSink",
     "MODE_REFERENCE",
     "MODE_SMART",
+    "PairHalf",
     "PairRecord",
     "ScenarioSpec",
     "SpecRunRecord",
     "WorkloadEntry",
     "build_scenario",
+    "combine_pair",
     "default_campaign",
     "describe_specs",
+    "execute_half",
     "execute_pair",
     "execute_paired_spec",
     "execute_spec",
+    "merge_jsonl",
+    "parse_jsonl_rows",
     "register_workload",
     "registered_workloads",
     "spec_is_pairable",

@@ -4,7 +4,7 @@ A campaign is a list of :class:`~repro.campaign.spec.ScenarioSpec`; the
 :class:`CampaignRunner` shards it across a :mod:`multiprocessing` pool.
 Each worker process builds its **own** :class:`~repro.kernel.simulator
 .Simulator` from the spec — runs are fully isolated and deterministic per
-seed — and sends back a small picklable record.  Two guarantees matter:
+seed — and sends back a small picklable record.  Three guarantees matter:
 
 * **Worker-count transparency** — the aggregated result (every field of
   :meth:`CampaignResult.aggregate_rows` and therefore
@@ -14,9 +14,31 @@ seed — and sends back a small picklable record.  Two guarantees matter:
   are sorted by spec name.
 * **Paired validation** — the Section IV-A methodology is a first-class
   campaign mode: every pairable spec is re-run in ``reference`` and
-  ``smart`` modes inside one worker and the locally-timestamped traces are
-  diffed with :mod:`repro.analysis.trace_diff`; an empty diff means the
-  Smart FIFO changed neither the behaviour nor the timing of that spec.
+  ``smart`` modes and the locally-timestamped traces are diffed with
+  :mod:`repro.analysis.trace_diff`; an empty diff means the Smart FIFO
+  changed neither the behaviour nor the timing of that spec.  The two
+  halves of a pair are **independent jobs**: each worker ships back its
+  reordered trace lines (:class:`PairHalf`) and the diff happens at
+  aggregation, so a mostly-pairable campaign keeps every worker busy
+  instead of serializing both runs inside one job.
+* **Shard transparency** — :meth:`CampaignRunner.shard_specs` partitions a
+  campaign deterministically into ``N`` shards; running each shard on its
+  own machine (``--shard i/N``), streaming the rows to JSONL and merging
+  the files with :func:`merge_jsonl` reproduces the unsharded
+  ``fingerprint()`` byte for byte.
+
+JSONL persistence (``--jsonl out.jsonl``) streams one row per *completed*
+run/pair, so a long campaign can be tailed while running and merged across
+machines afterwards (resuming from a partially written file is future
+work — see the ROADMAP).  The schema (one JSON object per line)::
+
+    {"type": "campaign", "schema": 1, "specs": [...], "workers": N,
+     "paired": true, "shard": "0/2" | null}          # header, first line
+    {"type": "run", ...SpecRunRecord.deterministic_row()}
+    {"type": "pair", ...PairRecord.deterministic_row()}
+
+Rows carry deterministic fields only (never wall clock or PIDs), so the
+merge of shard files is byte-identical to the unsharded aggregate.
 """
 
 from __future__ import annotations
@@ -26,19 +48,22 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, IO, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.reporting import dict_rows_table
-from ..analysis.trace_diff import compare_collectors
+from ..analysis.trace_diff import compare_sorted_lines
 from ..kernel.simulator import Simulator
 from .scenarios import build_scenario
 from .spec import MODE_REFERENCE, MODE_SMART, ScenarioSpec, spec_is_pairable
 
 
+def _lines_digest(lines: Sequence[str]) -> str:
+    """Digest of a reordered trace (the paper's comparison key)."""
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
 def _trace_digest(sim: Simulator) -> str:
-    """Digest of the *reordered* trace (the paper's comparison key)."""
-    payload = "\n".join(sim.trace.sorted_lines()).encode()
-    return hashlib.sha256(payload).hexdigest()
+    return _lines_digest(sim.trace.sorted_lines())
 
 
 @dataclass
@@ -82,6 +107,15 @@ class SpecRunRecord:
             "extra": self.extra,
         }
 
+    @classmethod
+    def from_row(cls, row: Dict[str, object]) -> "SpecRunRecord":
+        """Rebuild a record from a persisted deterministic row."""
+        return cls(**{key: row[key] for key in (
+            "name", "workload", "mode", "depth", "quantum_ns", "seed",
+            "timing", "sim_end_fs", "context_switches", "method_invocations",
+            "delta_cycles", "trace_lines", "trace_digest", "extra",
+        )})
+
 
 @dataclass
 class PairRecord:
@@ -100,7 +134,9 @@ class PairRecord:
     #: Human-readable mismatch summary; empty when the diff is empty.
     report: str = ""
     wall_seconds: float = 0.0
-    worker_pid: int = 0
+    #: PIDs of the workers that ran the (reference, smart) halves —
+    #: provenance only, like ``SpecRunRecord.worker_pid``.
+    worker_pids: Tuple[int, int] = (0, 0)
 
     def deterministic_row(self) -> Dict[str, object]:
         return {
@@ -113,6 +149,83 @@ class PairRecord:
             "extras_match": self.extras_match,
             "report": self.report,
         }
+
+    @classmethod
+    def from_row(cls, row: Dict[str, object]) -> "PairRecord":
+        """Rebuild a record from a persisted deterministic row."""
+        return cls(**{key: row[key] for key in (
+            "name", "equivalent", "reference_digest", "smart_digest",
+            "reference_lines", "candidate_lines", "extras_match", "report",
+        )})
+
+
+@dataclass
+class PairHalf:
+    """One half of a split paired run, shipped back by its worker.
+
+    Carries everything the parent needs to recombine the pair without
+    re-simulating: the run record of this mode (whose ``trace_digest`` is
+    the SHA-256 of the *reordered* trace — the Section IV-A comparison
+    key) and the deterministic extras.  ``sorted_lines`` is populated only
+    on request (:func:`execute_half` with ``with_lines=True``): because
+    :meth:`~repro.kernel.tracing.TraceRecord.sort_key` and ``format`` are
+    both injective on (local date, process, message), digest equality is
+    exactly reordered-trace equality, so the (potentially large) lines
+    never need to cross the process boundary on the happy path.
+    """
+
+    name: str
+    mode: str
+    record: SpecRunRecord
+    extras: Dict[str, object]
+    sorted_lines: Optional[List[str]] = None
+    wall_seconds: float = 0.0
+    worker_pid: int = 0
+
+
+def combine_pair(ref: PairHalf, smart: PairHalf) -> PairRecord:
+    """Recombine the two halves of a split pair: trace diff + extras check.
+
+    When both halves carry their reordered trace lines, the full
+    line-level multiset diff runs (bit-identical to the legacy
+    run-both-in-one-worker path).  Otherwise the digests decide — an
+    equivalent outcome is identical either way; a mismatching one carries
+    a digest-level report (the campaign runner upgrades it to the full
+    line diff by re-running the pair, see ``CampaignRunner._execute``).
+    """
+    extras_match = ref.extras == smart.extras
+    if ref.sorted_lines is not None and smart.sorted_lines is not None:
+        comparison = compare_sorted_lines(ref.sorted_lines, smart.sorted_lines)
+        traces_equal = comparison.equivalent
+        reference_lines = comparison.reference_count
+        candidate_lines = comparison.candidate_count
+        report = "" if traces_equal else comparison.report()
+    else:
+        traces_equal = ref.record.trace_digest == smart.record.trace_digest
+        reference_lines = ref.record.trace_lines
+        candidate_lines = smart.record.trace_lines
+        report = "" if traces_equal else (
+            f"traces differ: {reference_lines} reference lines, "
+            f"{candidate_lines} candidate lines (sorted-trace digests "
+            f"{ref.record.trace_digest[:12]} != "
+            f"{smart.record.trace_digest[:12]})"
+        )
+    if not extras_match:
+        report = (report + "\n" if report else "") + (
+            f"extras differ: reference={ref.extras!r} smart={smart.extras!r}"
+        )
+    return PairRecord(
+        name=ref.name,
+        equivalent=traces_equal and extras_match,
+        reference_digest=ref.record.trace_digest,
+        smart_digest=smart.record.trace_digest,
+        reference_lines=reference_lines,
+        candidate_lines=candidate_lines,
+        extras_match=extras_match,
+        report=report,
+        wall_seconds=ref.wall_seconds + smart.wall_seconds,
+        worker_pids=(ref.worker_pid, smart.worker_pid),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -157,52 +270,46 @@ def execute_spec(spec: ScenarioSpec) -> SpecRunRecord:
     return _record_from(spec, sim, built, wall)
 
 
-def execute_paired_spec(spec: ScenarioSpec):
-    """Worker body of the paired equivalence campaign.
+def execute_half(spec: ScenarioSpec, mode: str, with_lines: bool = True) -> PairHalf:
+    """Worker body of one half of a split pair: run ``spec`` in ``mode``.
 
-    Runs ``spec`` in reference and Smart mode inside this worker (traces
-    are too large to ship back) and diffs the trace collectors *and* the
-    deterministic extras: the traces implement the Section IV-A
-    reorder-and-compare check, the extras (completion dates, checksums,
-    monitor samples) cover workloads whose modules do not emit trace lines.
-
-    Returns ``(SpecRunRecord, PairRecord)``: the run record is taken from
-    the execution matching ``spec.mode``, so a paired campaign never
-    simulates the same (spec, mode) twice — both simulations here are also
-    the spec's single-mode result.  Runs are deterministic per seed, so the
-    record is bit-identical to what :func:`execute_spec` would produce.
+    Runs are deterministic per seed, so the embedded record is bit-identical
+    to what :func:`execute_spec` would produce for ``spec.with_mode(mode)``.
+    ``with_lines=False`` omits the reordered trace lines from the returned
+    half (the pool jobs use this: the digest embedded in the record is a
+    faithful stand-in, and the lines would dominate the IPC payload).
     """
-    ref_spec = spec.with_mode(MODE_REFERENCE)
-    smart_spec = spec.with_mode(MODE_SMART)
-    ref_sim, ref_built, ref_wall = _run_one(ref_spec)
-    smart_sim, smart_built, smart_wall = _run_one(smart_spec)
-    comparison = compare_collectors(ref_sim.trace, smart_sim.trace)
-    ref_extras = ref_built.extras() if ref_built.extras is not None else {}
-    smart_extras = smart_built.extras() if smart_built.extras is not None else {}
-    extras_match = ref_extras == smart_extras
-    report = ""
-    if not comparison.equivalent:
-        report = comparison.report()
-    if not extras_match:
-        report = (report + "\n" if report else "") + (
-            f"extras differ: reference={ref_extras!r} smart={smart_extras!r}"
-        )
-    pair = PairRecord(
+    mode_spec = spec.with_mode(mode)
+    sim, built, wall = _run_one(mode_spec)
+    record = _record_from(mode_spec, sim, built, wall)
+    return PairHalf(
         name=spec.name,
-        equivalent=comparison.equivalent and extras_match,
-        reference_digest=_trace_digest(ref_sim),
-        smart_digest=_trace_digest(smart_sim),
-        reference_lines=comparison.reference_count,
-        candidate_lines=comparison.candidate_count,
-        extras_match=extras_match,
-        report=report,
-        wall_seconds=ref_wall + smart_wall,
+        mode=mode,
+        record=record,
+        extras=built.extras() if built.extras is not None else {},
+        sorted_lines=sim.trace.sorted_lines() if with_lines else None,
+        wall_seconds=wall,
         worker_pid=os.getpid(),
     )
-    if spec.mode == MODE_REFERENCE:
-        record = _record_from(ref_spec, ref_sim, ref_built, ref_wall)
-    else:
-        record = _record_from(smart_spec, smart_sim, smart_built, smart_wall)
+
+
+def execute_paired_spec(spec: ScenarioSpec):
+    """Run both halves of a pair inline and recombine them.
+
+    Kept as the one-process entry point (and for API compatibility): the
+    campaign itself schedules the two halves as independent jobs — see
+    :meth:`CampaignRunner._execute` — and recombines with
+    :func:`combine_pair`, which this function reuses, so the records are
+    bit-identical either way.
+
+    Returns ``(SpecRunRecord, PairRecord)``: the run record is taken from
+    the half matching ``spec.mode``, so a paired campaign never simulates
+    the same (spec, mode) twice — both halves double as single-mode results.
+    """
+    ref_half = execute_half(spec, MODE_REFERENCE)
+    smart_half = execute_half(spec, MODE_SMART)
+    pair = combine_pair(ref_half, smart_half)
+    record = ref_half.record if spec.mode == MODE_REFERENCE else smart_half.record
     return record, pair
 
 
@@ -211,10 +318,228 @@ def execute_pair(spec: ScenarioSpec) -> PairRecord:
     return execute_paired_spec(spec)[1]
 
 
+#: Job kinds (second element of a job tuple).  ``None`` marks a single-mode
+#: job; a mode string marks one half of a split pair.
+_JOB_SINGLE = None
+
+
 def _execute_job(job):
-    """Dispatch one tagged campaign job (see ``CampaignRunner._execute``)."""
-    paired, spec = job
-    return execute_paired_spec(spec) if paired else execute_spec(spec)
+    """Dispatch one tagged campaign job (see ``CampaignRunner._execute``).
+
+    ``job`` is ``(spec_index, half_mode, spec)``; the index rides along so
+    completion-order mappers (``imap_unordered``) can be matched back to
+    their spec without relying on submission order.
+    """
+    index, half_mode, spec = job
+    if half_mode is _JOB_SINGLE:
+        return index, half_mode, execute_spec(spec)
+    return index, half_mode, execute_half(spec, half_mode, with_lines=False)
+
+
+# ---------------------------------------------------------------------------
+# JSONL persistence
+# ---------------------------------------------------------------------------
+JSONL_SCHEMA = 1
+
+
+class JsonlSink:
+    """Streams one deterministic JSONL row per completed run/pair.
+
+    The first line is a campaign header row; each subsequent line is a
+    ``run`` or ``pair`` row.  Rows are flushed as they complete so a
+    multi-machine campaign can be tailed and partially merged while still
+    running.  The header records the *whole* campaign's spec names (before
+    shard partitioning), so :func:`merge_jsonl` can tell shards of the same
+    campaign from shards of different ones.
+    """
+
+    def __init__(
+        self,
+        stream: IO[str],
+        campaign_specs: Sequence[ScenarioSpec],
+        workers: int,
+        paired: bool,
+        shard: Optional[Tuple[int, int]] = None,
+    ):
+        self._stream = stream
+        header = {
+            "type": "campaign",
+            "schema": JSONL_SCHEMA,
+            "specs": [spec.name for spec in campaign_specs],
+            "workers": workers,
+            "paired": paired,
+            "shard": f"{shard[0]}/{shard[1]}" if shard else None,
+        }
+        self._write(header)
+
+    def _write(self, row: Dict[str, object]) -> None:
+        self._stream.write(json.dumps(row, sort_keys=True, separators=(",", ":")))
+        self._stream.write("\n")
+        self._stream.flush()
+
+    def run_completed(self, record: SpecRunRecord) -> None:
+        self._write({"type": "run", **record.deterministic_row()})
+
+    def pair_completed(self, pair: PairRecord) -> None:
+        self._write({"type": "pair", **pair.deterministic_row()})
+
+
+def parse_jsonl_rows(lines: Iterable[str]):
+    """Yield ``(type, row)`` for every non-empty line of a campaign JSONL."""
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"JSONL line {number} is not valid JSON: {exc}") from None
+        kind = row.get("type")
+        if kind not in ("campaign", "run", "pair"):
+            raise ValueError(f"JSONL line {number} has unknown type {kind!r}")
+        yield kind, row
+
+
+def _check_merge_completeness(
+    headers: List[Dict[str, object]],
+    runs: List[SpecRunRecord],
+    pairs: List[PairRecord],
+) -> None:
+    """Reject incomplete merges: a missing shard, a truncated file or a
+    dropped pair row must fail loudly instead of yielding a plausible
+    partial fingerprint."""
+    shards = [h.get("shard") for h in headers]
+    if any(shards) and not all(shards):
+        raise ValueError(
+            "cannot mix sharded and unsharded campaign JSONL files in one merge"
+        )
+    if any(shards):
+        # Shards are slices of ONE campaign: the headers record the whole
+        # (pre-partitioning) spec list, which must be identical everywhere —
+        # shards of different campaigns would otherwise merge into a
+        # plausible fingerprint that corresponds to no real campaign.
+        spec_lists = {tuple(h.get("specs", [])) for h in headers}
+        if len(spec_lists) != 1:
+            raise ValueError(
+                "merged shard headers describe different campaigns "
+                "(their spec lists differ)"
+            )
+        parsed = set()
+        counts = set()
+        for shard in shards:
+            index_text, _, count_text = str(shard).partition("/")
+            parsed.add(int(index_text))
+            counts.add(int(count_text))
+        if len(counts) != 1:
+            raise ValueError(
+                f"merged shard headers disagree on the shard count: {sorted(counts)}"
+            )
+        count = counts.pop()
+        missing = sorted(set(range(count)) - parsed)
+        if missing:
+            raise ValueError(
+                f"incomplete shard set: missing shard(s) "
+                f"{', '.join(f'{m}/{count}' for m in missing)}"
+            )
+    run_names = {record.name for record in runs}
+    expected = [str(name) for h in headers for name in h.get("specs", [])]
+    missing_runs = sorted(set(expected) - run_names)
+    if missing_runs:
+        raise ValueError(
+            f"no run row for spec(s) {', '.join(missing_runs)} — a shard "
+            f"file is truncated or a campaign did not finish"
+        )
+    if headers and all(h.get("paired") for h in headers):
+        pair_names = {pair.name for pair in pairs}
+        missing_pairs = []
+        for record in runs:
+            spec = ScenarioSpec(
+                name=record.name,
+                workload=record.workload,
+                mode=record.mode,
+                depth=record.depth,
+                quantum_ns=record.quantum_ns,
+                seed=record.seed,
+                timing=record.timing,
+            )
+            try:
+                pairable = spec_is_pairable(spec)
+            except KeyError:  # workload unknown to this checkout
+                continue
+            if pairable and record.name not in pair_names:
+                missing_pairs.append(record.name)
+        if missing_pairs:
+            raise ValueError(
+                f"no pair row for pairable spec(s) "
+                f"{', '.join(sorted(missing_pairs))} — a shard file is "
+                f"truncated or a campaign did not finish"
+            )
+
+
+def merge_jsonl(paths: Sequence[str]) -> "CampaignResult":
+    """Merge campaign JSONL files (e.g. one per shard) into one result.
+
+    The merged :meth:`CampaignResult.fingerprint` is byte-identical to what
+    an unsharded run of the union of the shards would produce: the rows
+    carry only deterministic fields and the aggregate sorts by spec name.
+    Duplicate (name, mode) runs — the same spec in two shards — are
+    rejected, as they would be in an unsharded campaign; so are incomplete
+    merges (a missing shard of an ``i/N`` set, a header spec without its
+    run row, a pairable run without its pair row), which would otherwise
+    produce a plausible-looking partial fingerprint.
+    """
+    runs: List[SpecRunRecord] = []
+    pairs: List[PairRecord] = []
+    headers: List[Dict[str, object]] = []
+    for path in paths:
+        first = True
+        with open(path) as handle:
+            for kind, row in parse_jsonl_rows(handle):
+                if first and kind != "campaign":
+                    raise ValueError(
+                        f"{path} does not start with a campaign header row"
+                    )
+                first = False
+                try:
+                    if kind == "campaign":
+                        schema = row.get("schema")
+                        if schema != JSONL_SCHEMA:
+                            raise ValueError(
+                                f"{path} uses campaign JSONL schema "
+                                f"{schema!r}; this version reads schema "
+                                f"{JSONL_SCHEMA}"
+                            )
+                        headers.append(row)
+                    elif kind == "run":
+                        runs.append(SpecRunRecord.from_row(row))
+                    else:
+                        pairs.append(PairRecord.from_row(row))
+                except KeyError as exc:
+                    raise ValueError(
+                        f"{path}: {kind} row is missing field {exc}"
+                    ) from None
+        if first:
+            raise ValueError(f"{path} contains no campaign rows")
+    seen_runs = set()
+    for record in runs:
+        key = (record.name, record.mode)
+        if key in seen_runs:
+            raise ValueError(
+                f"duplicate run row for spec {record.name!r} mode "
+                f"{record.mode!r} across the merged JSONL files"
+            )
+        seen_runs.add(key)
+    seen_pairs = set()
+    for pair in pairs:
+        if pair.name in seen_pairs:
+            raise ValueError(
+                f"duplicate pair row for spec {pair.name!r} across the "
+                f"merged JSONL files"
+            )
+        seen_pairs.add(pair.name)
+    _check_merge_completeness(headers, runs, pairs)
+    workers = max((int(h.get("workers", 0)) for h in headers), default=0)
+    return CampaignResult(runs=runs, pairs=pairs, workers=workers, wall_seconds=0.0)
 
 
 # ---------------------------------------------------------------------------
@@ -228,15 +553,22 @@ class CampaignResult:
     pairs: List[PairRecord]
     workers: int
     wall_seconds: float
+    #: ``(index, count)`` when this result covers one shard of a campaign.
+    shard: Optional[Tuple[int, int]] = None
 
     @property
     def all_pairs_equivalent(self) -> bool:
         return all(pair.equivalent for pair in self.pairs)
 
     def worker_pids(self) -> List[int]:
-        """Distinct worker PIDs that executed work (provenance only)."""
+        """Distinct worker PIDs that executed work (provenance only).
+
+        Pairs contribute the PIDs of both of their halves; records rebuilt
+        from JSONL carry PID 0, which is filtered out."""
         pids = {record.worker_pid for record in self.runs}
-        pids.update(pair.worker_pid for pair in self.pairs)
+        for pair in self.pairs:
+            pids.update(pair.worker_pids)
+        pids.discard(0)
         return sorted(pids)
 
     def aggregate_rows(self) -> Dict[str, List[Dict[str, object]]]:
@@ -304,9 +636,12 @@ class CampaignResult:
         )
 
     def summary(self) -> str:
+        shard = (
+            f", shard={self.shard[0]}/{self.shard[1]}" if self.shard else ""
+        )
         lines = [
             f"{len(self.runs)} runs, {len(self.pairs)} pairs, "
-            f"workers={self.workers}, wall={self.wall_seconds:.2f}s",
+            f"workers={self.workers}{shard}, wall={self.wall_seconds:.2f}s",
             f"worker processes used: {len(self.worker_pids())}",
             f"all pairs equivalent: {self.all_pairs_equivalent}",
             f"campaign fingerprint: {self.fingerprint()}",
@@ -327,10 +662,17 @@ class CampaignRunner:
         the calling process — no pool, bit-identical aggregate.
     paired:
         When True (default) every pairable spec additionally runs the
-        reference/Smart equivalence diff.
+        reference/Smart equivalence diff.  The two runs of a pair are
+        scheduled as independent jobs and recombined at aggregation, so
+        they can execute on two different workers.
     mp_start_method:
         Optional :mod:`multiprocessing` start method ("fork", "spawn", ...);
         ``None`` uses the platform default.
+    shard:
+        Optional ``(index, count)``: run only the ``index``-th deterministic
+        shard of the spec list (see :meth:`shard_specs`).  Merging the JSONL
+        of all ``count`` shards with :func:`merge_jsonl` reproduces the
+        unsharded fingerprint.
     """
 
     def __init__(
@@ -338,37 +680,90 @@ class CampaignRunner:
         workers: int = 1,
         paired: bool = True,
         mp_start_method: Optional[str] = None,
+        shard: Optional[Tuple[int, int]] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if shard is not None:
+            index, count = shard
+            if count < 1:
+                raise ValueError(f"shard count must be >= 1, got {count}")
+            if not 0 <= index < count:
+                raise ValueError(
+                    f"shard index must be in [0, {count}), got {index}"
+                )
+            shard = (index, count)
         self.workers = workers
         self.paired = paired
         self.mp_start_method = mp_start_method
+        self.shard = shard
 
     # ------------------------------------------------------------------
-    def _execute(self, specs: Sequence[ScenarioSpec], mapper):
-        """Run the campaign body with a ``map``-shaped executor.
+    @staticmethod
+    def shard_specs(
+        specs: Sequence[ScenarioSpec], index: int, count: int
+    ) -> List[ScenarioSpec]:
+        """Deterministic shard ``index`` of ``count``: every ``count``-th
+        spec starting at ``index`` (round-robin over the spec list order,
+        so shards are balanced regardless of how the campaign groups
+        expensive specs)."""
+        return list(specs[index::count])
 
-        All work goes through one ``mapper`` call (one pool barrier), as a
-        list of ``(paired, spec)`` jobs.  When ``paired`` is on, pairable
-        specs go through :func:`execute_paired_spec` only — their own-mode
-        simulation is one of the two runs of the equivalence pair, so no
-        (spec, mode) simulates twice.
+    # ------------------------------------------------------------------
+    def _execute(self, specs: Sequence[ScenarioSpec], mapper, sink=None):
+        """Run the campaign body with a completion-order job executor.
+
+        Each spec becomes either one ``single`` job, or — when ``paired``
+        is on and the spec is pairable — two independent half jobs (one per
+        mode) whose results are recombined here; the half matching
+        ``spec.mode`` doubles as the spec's single-mode run, so no
+        (spec, mode) simulates twice.  ``mapper`` yields completed
+        ``(spec_index, half_mode, outcome)`` triples in any order, which is
+        what lets pool workers stream results back as they finish (and the
+        JSONL sink persist them immediately).
         """
-        jobs = [
-            (self.paired and spec_is_pairable(spec), spec) for spec in specs
-        ]
-        runs, pairs = [], []
-        for (paired, _), outcome in zip(jobs, mapper(_execute_job, jobs)):
-            if paired:
-                record, pair = outcome
-                runs.append(record)
-                pairs.append(pair)
+        jobs = []
+        for index, spec in enumerate(specs):
+            if self.paired and spec_is_pairable(spec):
+                jobs.append((index, MODE_REFERENCE, spec))
+                jobs.append((index, MODE_SMART, spec))
             else:
+                jobs.append((index, _JOB_SINGLE, spec))
+        runs, pairs = [], []
+        halves: Dict[int, Dict[str, PairHalf]] = {}
+        for index, half_mode, outcome in mapper(_execute_job, jobs):
+            spec = specs[index]
+            if half_mode is _JOB_SINGLE:
                 runs.append(outcome)
+                if sink is not None:
+                    sink.run_completed(outcome)
+                continue
+            half = outcome
+            if half.mode == spec.mode:
+                runs.append(half.record)
+                if sink is not None:
+                    sink.run_completed(half.record)
+            pending = halves.setdefault(index, {})
+            pending[half.mode] = half
+            if len(pending) == 2:
+                pair = combine_pair(
+                    pending[MODE_REFERENCE], pending[MODE_SMART]
+                )
+                if not pair.equivalent:
+                    # Failure path: the pool halves carry digests only, so
+                    # re-run the pair inline to upgrade the report to the
+                    # full line-level diff (deterministic, hence identical
+                    # for any worker count).
+                    pair = execute_paired_spec(spec)[1]
+                pairs.append(pair)
+                if sink is not None:
+                    sink.pair_completed(pair)
+                del halves[index]
         return runs, pairs
 
-    def run(self, specs: Sequence[ScenarioSpec]) -> CampaignResult:
+    def run(
+        self, specs: Sequence[ScenarioSpec], jsonl: Optional[str] = None
+    ) -> CampaignResult:
         specs = list(specs)
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
@@ -376,25 +771,54 @@ class CampaignRunner:
             raise ValueError(f"duplicate spec names in campaign: {duplicates}")
         for spec in specs:
             spec.validate()
+        campaign_specs = specs
+        if self.shard is not None:
+            specs = self.shard_specs(specs, *self.shard)
         start = time.perf_counter()
-        if self.workers == 1 or not specs:
-            runs, pairs = self._execute(
-                specs, lambda func, items: [func(item) for item in items]
+        sink_file = open(jsonl, "w") if jsonl else None
+        try:
+            sink = (
+                JsonlSink(
+                    sink_file, campaign_specs, self.workers, self.paired,
+                    self.shard,
+                )
+                if sink_file
+                else None
             )
-        else:
-            import multiprocessing
-
-            context = multiprocessing.get_context(self.mp_start_method)
-            processes = min(self.workers, len(specs))
-            # One pool serves every map of the campaign, so with workers > 1
-            # all simulations run in worker processes (the parent only
-            # aggregates) and the pool is spun up exactly once.
-            with context.Pool(processes=processes) as pool:
+            if self.workers == 1 or not specs:
                 runs, pairs = self._execute(
                     specs,
-                    lambda func, items: pool.map(func, items) if items else [],
+                    lambda func, items: (func(item) for item in items),
+                    sink=sink,
                 )
+            else:
+                import multiprocessing
+
+                context = multiprocessing.get_context(self.mp_start_method)
+                # Up to two jobs per spec (the split pair halves).
+                processes = max(1, min(self.workers, 2 * len(specs)))
+                # One pool serves the whole campaign, so with workers > 1 all
+                # simulations run in worker processes (the parent only
+                # aggregates).  chunksize=1 keeps the load balanced: batching
+                # jobs would strand queued specs behind one slow spec, and
+                # imap_unordered streams results back in completion order so
+                # the JSONL sink persists each row as soon as it exists.
+                with context.Pool(processes=processes) as pool:
+                    runs, pairs = self._execute(
+                        specs,
+                        lambda func, items: pool.imap_unordered(
+                            func, items, chunksize=1
+                        ),
+                        sink=sink,
+                    )
+        finally:
+            if sink_file is not None:
+                sink_file.close()
         wall = time.perf_counter() - start
         return CampaignResult(
-            runs=runs, pairs=pairs, workers=self.workers, wall_seconds=wall
+            runs=runs,
+            pairs=pairs,
+            workers=self.workers,
+            wall_seconds=wall,
+            shard=self.shard,
         )

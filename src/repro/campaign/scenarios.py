@@ -23,7 +23,13 @@ contract:
 * ``contention`` — any :class:`ContentionConfig` field except
   ``seed``/``fifo_depth``;
 * ``soc`` — ``n_chains``, ``workers_per_chain``, ``items_per_chain``,
-  ``packet_size``.
+  ``packet_size``;
+* ``noc_stress`` — any :class:`NocStressConfig` field except
+  ``seed``/``fifo_depth``;
+* ``packet_stream`` — any :class:`PacketStreamConfig` field except
+  ``seed``/``fifo_depth``;
+* ``mixed`` — any :class:`MixedTopologyConfig` field except
+  ``seed``/``fifo_depth``.
 """
 
 from __future__ import annotations
@@ -36,6 +42,9 @@ from ..soc.platform import FifoPolicy, SocConfig, SocPlatform
 from ..td.quantum import GlobalQuantum
 from ..workloads.bursty import BurstyConfig, BurstyScenario
 from ..workloads.contention import ArbiterContentionScenario, ContentionConfig
+from ..workloads.mixed import MixedTopologyConfig, MixedTopologyScenario
+from ..workloads.noc_stress import NocStressConfig, NocStressScenario
+from ..workloads.packet_stream import PacketStreamConfig, PacketStreamScenario
 from ..workloads.random_traffic import RandomTrafficConfig, RandomTrafficScenario
 from ..workloads.streaming import (
     ExampleMode,
@@ -248,6 +257,75 @@ def build_contention(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
 
 
 @register_workload(
+    "noc_stress",
+    description="NoC-only router stress: mesh cross-traffic, arbitration oracle",
+    param_keys=_config_param_keys(NocStressConfig),
+)
+def build_noc_stress(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
+    _reject_timing_override(spec)
+    config = _config_from_spec(NocStressConfig, spec)
+    scenario = NocStressScenario(
+        sim, config, sync_on_access=spec.mode != MODE_SMART
+    )
+    return BuiltScenario(
+        scenario=scenario,
+        verify=scenario.verify,
+        extras=lambda: {
+            "packets_routed": scenario.total_packets_routed,
+            "router_packets": {
+                f"{x}_{y}": router.packets_routed
+                for (x, y), router in sorted(scenario.mesh.routers.items())
+            },
+            "checksums": scenario.checksums(),
+            "finish_dates_ns": scenario.consumer_finish_dates_ns(),
+        },
+    )
+
+
+@register_workload(
+    "packet_stream",
+    description="packet-granularity Smart FIFO API vs a word-level oracle",
+    param_keys=_config_param_keys(PacketStreamConfig),
+)
+def build_packet_stream(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
+    _reject_timing_override(spec)
+    config = _config_from_spec(PacketStreamConfig, spec)
+    scenario = PacketStreamScenario(
+        sim, config, sync_on_access=spec.mode != MODE_SMART
+    )
+    return BuiltScenario(
+        scenario=scenario,
+        verify=scenario.verify,
+        extras=lambda: {
+            "checksum": scenario.checksum(),
+            "packet_dates_ns": list(scenario.consumer.packet_dates_ns),
+            "packets_relayed": scenario.relay.packets_relayed,
+        },
+    )
+
+
+@register_workload(
+    "mixed",
+    description="mixed smart/regular topology with one domain boundary",
+    param_keys=_config_param_keys(MixedTopologyConfig),
+)
+def build_mixed(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
+    _reject_timing_override(spec)
+    config = _config_from_spec(MixedTopologyConfig, spec)
+    scenario = MixedTopologyScenario(
+        sim, decoupled=spec.mode == MODE_SMART, config=config
+    )
+    return BuiltScenario(
+        scenario=scenario,
+        verify=scenario.verify,
+        extras=lambda: {
+            "checksum": scenario.checksum(),
+            "completion_ns": scenario.completion_ns(),
+        },
+    )
+
+
+@register_workload(
     "soc",
     pairable=False,
     description="Section IV-C heterogeneous many-core SoC case study",
@@ -301,13 +379,16 @@ def build_scenario(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
 def default_campaign() -> List[ScenarioSpec]:
     """The stock sweep: every registered workload, several depths/seeds.
 
-    14 specs; the 10 pairable ones double as the Section IV-A equivalence
-    battery (reference vs Smart trace diff).  The four non-pairable ones
-    carry their own oracles: the contention specs are checked by the
-    arbiter invariants, the quantum spec by its completion bookkeeping,
-    and the SoC spec by ``SocPlatform.verify`` (its cross-policy timing
-    equivalence is asserted by the integration suite and the case-study
-    benchmark, which compare finish dates rather than traces).
+    19 specs; the 15 pairable ones double as the Section IV-A equivalence
+    battery (reference vs Smart trace diff) — including the NoC router
+    stress, the packet-granularity FIFO stream and the mixed smart/regular
+    topology, which cover the case-study half of the paper.  The four
+    non-pairable ones carry their own oracles: the contention specs are
+    checked by the arbiter invariants, the quantum spec by its completion
+    bookkeeping, and the SoC spec by ``SocPlatform.verify`` (its
+    cross-policy timing equivalence is asserted by the integration suite
+    and the case-study benchmark, which compare finish dates rather than
+    traces).
     """
     return [
         ScenarioSpec("writer_reader_d1", "writer_reader", depth=1),
@@ -331,6 +412,15 @@ def default_campaign() -> List[ScenarioSpec]:
         ScenarioSpec("contention_3w3r", "contention", depth=8, seed=5),
         ScenarioSpec("contention_4w3r", "contention", depth=6, seed=9,
                      params={"n_writers": 4, "items_per_writer": 15}),
+        ScenarioSpec("noc_stress_2x2", "noc_stress", depth=4, seed=5,
+                     params={"packets_per_stream": 4}),
+        ScenarioSpec("noc_stress_3x2", "noc_stress", depth=4, seed=11,
+                     params={"mesh_width": 3, "packets_per_stream": 4}),
+        ScenarioSpec("packet_stream_p2", "packet_stream", depth=4, seed=7),
+        ScenarioSpec("packet_stream_p4", "packet_stream", depth=4, seed=13,
+                     params={"packet_size": 4, "n_packets": 8}),
+        ScenarioSpec("mixed_d3", "mixed", depth=3, seed=6,
+                     params={"item_count": 24}),
         ScenarioSpec("soc_2x64", "soc", depth=8,
                      params={"n_chains": 2, "items_per_chain": 64}),
     ]

@@ -16,7 +16,8 @@ processes, each worker builds a fresh :class:`~repro.kernel.simulator
     Key into the workload registry (see :func:`register_workload`); one of
     :func:`registered_workloads`, e.g. ``"streaming"``, ``"video"``,
     ``"random_traffic"``, ``"bursty"``, ``"contention"``, ``"soc"``,
-    ``"writer_reader"``.
+    ``"writer_reader"``, ``"noc_stress"``, ``"packet_stream"``,
+    ``"mixed"``.
 ``mode``
     FIFO policy / decoupling mode: ``"reference"`` (regular or
     sync-per-access FIFOs, no temporal decoupling — the paper's timing
@@ -47,7 +48,9 @@ spec supports that: quantum/untimed runs change the timing *by design*, and
 the arbiter-contention scenario has no reference twin (arbitration delays
 are a property of the decoupled schedule — its oracle is
 :meth:`~repro.workloads.contention.ArbiterContentionScenario.verify`).
-:func:`spec_is_pairable` encodes the rule.
+:func:`spec_is_pairable` encodes the rule.  Since PR 3 the two runs of a
+pair are scheduled as independent worker jobs and recombined at
+aggregation (see :func:`repro.campaign.runner.combine_pair`).
 """
 
 from __future__ import annotations

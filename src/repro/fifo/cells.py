@@ -289,6 +289,73 @@ class CellRing:
         dates.sort()
         return dates
 
+    def head_busy_inserted_by(self, count: int, date_fs: int) -> bool:
+        """True when the first ``count`` busy cells *in pop order* all hold
+        items inserted by ``date_fs``.
+
+        This is the atomicity guard of packet-granularity reads: without
+        side ordering, :meth:`count_busy_inserted_by` can be satisfied by
+        non-head cells while a head cell still carries a future date, and a
+        word-by-word drain would raise after consuming part of the packet.
+        """
+        if count > self.busy_count:
+            return False
+        busy = self._busy
+        insertion = self._insertion
+        index = self._first_busy
+        for _ in range(count):
+            if not busy[index] or insertion[index] > date_fs:
+                return False
+            index = (index + 1) % self.depth
+        return True
+
+    def head_free_freed_by(self, count: int, date_fs: int) -> bool:
+        """True when the first ``count`` free cells *in push order* are all
+        really available (freed) by ``date_fs`` — the symmetric guard of
+        packet-granularity writes."""
+        if count > self.depth - self.busy_count:
+            return False
+        busy = self._busy
+        freeing = self._freeing
+        index = self._first_free
+        for _ in range(count):
+            if busy[index] or freeing[index] > date_fs:
+                return False
+            index = (index + 1) % self.depth
+        return True
+
+    def head_busy_completion_fs(self, count: int) -> int:
+        """Latest insertion date among the first ``count`` busy cells (pop
+        order), or ``NEVER`` when fewer than ``count`` cells are busy — the
+        date at which a ``count``-word packet at the head becomes fully
+        externally available."""
+        if count > self.busy_count:
+            return NEVER
+        insertion = self._insertion
+        index = self._first_busy
+        latest = NEVER
+        for _ in range(count):
+            if insertion[index] > latest:
+                latest = insertion[index]
+            index = (index + 1) % self.depth
+        return latest
+
+    def head_free_ready_fs(self, count: int) -> int:
+        """Latest freeing date among the first ``count`` free cells (push
+        order), or ``NEVER`` when fewer than ``count`` cells are free — the
+        date at which room for a ``count``-word packet at the head becomes
+        really available."""
+        if count > self.depth - self.busy_count:
+            return NEVER
+        freeing = self._freeing
+        index = self._first_free
+        latest = NEVER
+        for _ in range(count):
+            if freeing[index] > latest:
+                latest = freeing[index]
+            index = (index + 1) % self.depth
+        return latest
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CellRing(depth={self.depth}, busy={self.busy_count}, "

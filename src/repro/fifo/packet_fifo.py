@@ -78,6 +78,9 @@ class PacketSmartFifo(SmartFifo):
                 yield from self.write(word)
             else:
                 self._do_write(self._scheduler.current_process, self._manager, word)
+        # Count the packet only once the last word has landed: an exception
+        # (or an abandoned generator) mid-packet must not leave the counter
+        # claiming a full transfer.
         self.packets_written += 1
 
     def read_packet(self):
@@ -102,57 +105,70 @@ class PacketSmartFifo(SmartFifo):
     # Packet-level non-blocking interface (method processes)
     # ------------------------------------------------------------------
     def packet_available(self) -> bool:
-        """True when a full packet is externally available at the caller's date."""
+        """True when a full packet is externally available at the caller's date.
+
+        "Available" means the *head* ``packet_size`` cells (pop order) all
+        hold words inserted by the caller's date, so a True guard promises
+        that :meth:`nb_read_packet` succeeds — also without side ordering,
+        where counting any ``packet_size`` available cells would overlook a
+        future-dated head cell and break the guard-then-act pattern.  (With
+        side ordering, insertion dates are monotone along the ring and the
+        head-first check coincides with the count.)
+        """
         date_fs = self._caller_date_fs()
-        available = self._cells.count_busy_inserted_by(date_fs)
-        if available >= self.packet_size:
+        cells = self._cells
+        size = self.packet_size
+        if cells.head_busy_inserted_by(size, date_fs):
             return True
-        # Re-arm the not_empty event at the date the packet completes, if the
-        # missing words are already internally present.
-        pending_dates = self._cells.busy_insertions_after(date_fs)
-        missing = self.packet_size - available
-        if len(pending_dates) >= missing:
+        # Re-arm the not_empty event at the date the head packet completes,
+        # if all of its words are already internally present.
+        completion_fs = cells.head_busy_completion_fs(size)
+        if completion_fs > date_fs:
             self._notify_external(
-                self._not_empty_event, pending_dates[missing - 1], forced=True
+                self._not_empty_event, completion_fs, forced=True
             )
         return False
 
     def nb_read_packet(self) -> List[Any]:
-        """Non-blocking read of a full packet (guard with :meth:`packet_available`)."""
+        """Non-blocking read of a full packet (guard with :meth:`packet_available`).
+
+        The read is **atomic**: it either returns all ``packet_size`` words
+        or raises without consuming anything (and without touching
+        ``packets_read``).  The :meth:`packet_available` guard checks the
+        *head* cells specifically, so a True guard can never be followed by
+        a torn word-by-word drain — also without side ordering.
+        """
         if not self.packet_available():
             raise FifoError(
                 f"nb_read_packet on {self.full_name}: no complete packet available"
             )
-        if self._enforce_side_ordering:
-            # The guard proved packet_size words are externally available at
-            # the caller's date, and side ordering makes insertion dates
-            # monotone along the ring, so the head cells can be drained
-            # directly.  Without side ordering a head cell may still carry a
-            # future date, so the per-word guarded path below applies.
-            process = self._scheduler.current_process
-            manager = self._manager
-            words = [
-                self._do_read(process, manager) for _ in range(self.packet_size)
-            ]
-        else:
-            words = [self.nb_read() for _ in range(self.packet_size)]
+        process = self._scheduler.current_process
+        manager = self._manager
+        words = [
+            self._do_read(process, manager) for _ in range(self.packet_size)
+        ]
+        # Count the packet only once the last word is out: a raise above
+        # must never leave the counters claiming a transfer.
         self.packets_read += 1
         return words
 
     def space_for_packet(self) -> bool:
-        """True when a full packet can be written without blocking."""
+        """True when a full packet can be written without blocking.
+
+        Mirror of :meth:`packet_available`: the *head* ``packet_size`` free
+        cells (push order) must all be really freed at the caller's date,
+        so a True guard promises that :meth:`nb_write_packet` succeeds.
+        """
         date_fs = self._caller_date_fs()
-        free = self._cells.count_free_freed_by(date_fs)
-        if free >= self.packet_size:
+        cells = self._cells
+        size = self.packet_size
+        if cells.head_free_freed_by(size, date_fs):
             return True
-        # Arm the not_full event at the date enough cells will have been
-        # freed, when those frees were already performed internally.
-        pending_dates = self._cells.free_freeings_after(date_fs)
-        missing = self.packet_size - free
-        if len(pending_dates) >= missing:
-            self._notify_external(
-                self._not_full_event, pending_dates[missing - 1], forced=True
-            )
+        # Arm the not_full event at the date the head room really exists,
+        # when those frees were already performed internally.
+        ready_fs = cells.head_free_ready_fs(size)
+        if ready_fs > date_fs:
+            self._notify_external(self._not_full_event, ready_fs, forced=True)
         return False
 
     # ------------------------------------------------------------------
@@ -174,7 +190,14 @@ class PacketSmartFifo(SmartFifo):
         self._notify_external(self._not_empty_event, self._last_write_fs)
 
     def nb_write_packet(self, words: List[Any]) -> bool:
-        """Non-blocking write of a full packet; False when not enough room."""
+        """Non-blocking write of a full packet; False when not enough room.
+
+        Symmetric atomicity guarantee of :meth:`nb_read_packet`: either the
+        whole packet is written and counted, or nothing is — a length
+        mismatch or insufficient room raises/returns before the first word
+        lands (the :meth:`space_for_packet` guard checks the *head* free
+        cells), so ``packets_written`` can never claim a torn transfer.
+        """
         if len(words) != self.packet_size:
             raise FifoError(
                 f"nb_write_packet expects {self.packet_size} words, got {len(words)}"

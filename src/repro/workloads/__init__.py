@@ -9,7 +9,14 @@
 * :mod:`repro.workloads.bursty` — seeded bursty producer with a steady
   consumer, swinging the FIFO between full and empty;
 * :mod:`repro.workloads.contention` — multi-writer/multi-reader arbiter
-  contention around one Smart FIFO (Section III arbiters).
+  contention around one Smart FIFO (Section III arbiters);
+* :mod:`repro.workloads.noc_stress` — NoC-only router stress: a mesh of
+  method-process routers under cross traffic, per-router arbitration
+  oracle (Section IV-C infrastructure in isolation);
+* :mod:`repro.workloads.packet_stream` — the packet-granularity Smart FIFO
+  API driven end to end against a word-level oracle;
+* :mod:`repro.workloads.mixed` — a mixed smart/regular FIFO topology with
+  one decoupled-to-regular domain boundary.
 """
 
 from .base import TimingMode, WorkloadModule
@@ -25,6 +32,27 @@ from .contention import (
     ContentionConfig,
     ContentionReader,
     ContentionWriter,
+)
+from .mixed import (
+    BackConsumer,
+    DomainBridge,
+    FrontProducer,
+    MixedTopologyConfig,
+    MixedTopologyScenario,
+)
+from .noc_stress import (
+    NocStressConfig,
+    NocStressScenario,
+    StreamConsumer,
+    StreamProducer,
+    xy_route,
+)
+from .packet_stream import (
+    PacketConsumer,
+    PacketProducer,
+    PacketStreamConfig,
+    PacketStreamScenario,
+    RelayInterface,
 )
 from .random_traffic import (
     FillLevelMonitor,
@@ -54,6 +82,7 @@ from .video import (
 
 __all__ = [
     "ArbiterContentionScenario",
+    "BackConsumer",
     "BitstreamParser",
     "BurstyConfig",
     "BurstyConsumer",
@@ -64,15 +93,28 @@ __all__ = [
     "ContentionWriter",
     "ComputeStage",
     "Display",
+    "DomainBridge",
     "ExampleMode",
     "FillLevelMonitor",
+    "FrontProducer",
+    "MixedTopologyConfig",
+    "MixedTopologyScenario",
+    "NocStressConfig",
+    "NocStressScenario",
+    "PacketConsumer",
+    "PacketProducer",
+    "PacketStreamConfig",
+    "PacketStreamScenario",
     "PipelineModel",
     "RandomConsumer",
     "RandomProducer",
     "RandomTrafficConfig",
     "RandomTrafficScenario",
+    "RelayInterface",
     "Sink",
     "Source",
+    "StreamConsumer",
+    "StreamProducer",
     "StreamingConfig",
     "StreamingPipeline",
     "TimingMode",
@@ -83,4 +125,5 @@ __all__ = [
     "WriterReaderExample",
     "run_bursty_pair",
     "run_pair",
+    "xy_route",
 ]

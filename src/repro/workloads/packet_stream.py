@@ -1,0 +1,203 @@
+"""Packet-granularity Smart FIFO stream (the Section IV-C extension, alone).
+
+Drives every access of the :class:`~repro.fifo.packet_fifo.PacketSmartFifo`
+packet API through one pipeline::
+
+    PacketProducer ──write_packet──> fifo_in ──┐
+                                               │ RelayInterface (SC_METHOD:
+                                               │ packet_available /
+                                               │ nb_read_packet /
+                                               │ space_for_packet /
+                                               │ nb_write_packet)
+    PacketConsumer <──read_packet── fifo_out <─┘
+
+The producer is a decoupled thread emitting seeded packets with seeded
+local-time gaps; the relay is a method process (no thread, as the paper's
+network interfaces) moving complete packets between the two FIFOs; the
+consumer is a decoupled thread whose local date after each ``read_packet``
+is the date the packet really completed.
+
+The oracle is **word-level**: the seeded word sequence is recomputed
+outside the simulation and the consumer must deliver exactly that sequence,
+in order, with all four packet counters (``packets_written``/
+``packets_read`` on both FIFOs) equal to the packet count — so a packet
+API that dropped, duplicated or tore a word cannot pass.
+
+Pairability: ``reference`` mode builds both FIFOs with ``sync_on_access``
+(one synchronization per access, the case-study reference policy), which
+changes the context-switch count but none of the dates; the
+locally-timestamped traces of the two modes diff empty after reordering.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..fifo.packet_fifo import PacketSmartFifo
+from ..kernel.simtime import TimeUnit
+from ..kernel.simulator import Simulator
+from .base import TimingMode, WorkloadModule
+
+
+@dataclass
+class PacketStreamConfig:
+    """Parameters of one packet-stream scenario (timing in integer ns)."""
+
+    seed: int = 1
+    n_packets: int = 10
+    packet_size: int = 2
+    fifo_depth: int = 4
+    max_producer_gap_ns: int = 14
+    max_consumer_gap_ns: int = 10
+
+    def __post_init__(self) -> None:
+        for name in ("n_packets", "packet_size", "fifo_depth",
+                     "max_producer_gap_ns", "max_consumer_gap_ns"):
+            if getattr(self, name) <= 0:
+                raise ValueError(
+                    f"PacketStreamConfig.{name} must be positive, "
+                    f"got {getattr(self, name)}"
+                )
+        if self.packet_size > self.fifo_depth:
+            raise ValueError("packet_size cannot exceed fifo_depth")
+
+    @property
+    def total_words(self) -> int:
+        return self.n_packets * self.packet_size
+
+    def packets(self) -> List[Tuple[int, ...]]:
+        """The seeded packet payloads (the word-level oracle)."""
+        rng = random.Random(self.seed * 131071)
+        return [
+            tuple(rng.randrange(0, 1 << 16) for _ in range(self.packet_size))
+            for _ in range(self.n_packets)
+        ]
+
+
+class PacketProducer(WorkloadModule):
+    """Decoupled thread writing whole packets with ``write_packet``."""
+
+    def __init__(self, parent, name, fifo, config: PacketStreamConfig):
+        super().__init__(parent, name, TimingMode.DECOUPLED)
+        self.fifo = fifo
+        self.config = config
+        self.rng = random.Random(config.seed * 75041 + 1)
+        self.create_thread(self.run)
+
+    def run(self):
+        for index, words in enumerate(self.config.packets()):
+            yield from self.fifo.write_packet(list(words))
+            self.items_processed += len(words)
+            self.checkpoint(f"packet {index} written")
+            yield from self.advance(
+                self.rng.randint(1, self.config.max_producer_gap_ns)
+            )
+        self.mark_finished()
+
+
+class RelayInterface(WorkloadModule):
+    """Method process moving complete packets between the two FIFOs.
+
+    Models the paper's no-thread network interface: non-blocking packet
+    reads guarded by :meth:`~repro.fifo.packet_fifo.PacketSmartFifo
+    .packet_available`, non-blocking packet writes guarded by
+    :meth:`~repro.fifo.packet_fifo.PacketSmartFifo.space_for_packet`; both
+    guards re-arm the events the method is sensitive to, so it can never
+    miss the date a packet completes or room appears.
+    """
+
+    def __init__(self, parent, name, fifo_in, fifo_out):
+        super().__init__(parent, name, TimingMode.UNTIMED)
+        self.fifo_in = fifo_in
+        self.fifo_out = fifo_out
+        self.packets_relayed = 0
+        self.create_method(
+            self._relay,
+            name="relay",
+            sensitivity=[fifo_in.not_empty_event, fifo_out.not_full_event],
+        )
+
+    def _relay(self) -> None:
+        while self.fifo_in.packet_available():
+            if not self.fifo_out.space_for_packet():
+                return  # re-triggered by fifo_out.not_full_event
+            words = self.fifo_in.nb_read_packet()
+            if not self.fifo_out.nb_write_packet(words):  # pragma: no cover
+                raise AssertionError("space_for_packet lied to the relay")
+            self.packets_relayed += 1
+            self.items_processed += len(words)
+
+
+class PacketConsumer(WorkloadModule):
+    """Decoupled thread draining whole packets with ``read_packet``."""
+
+    def __init__(self, parent, name, fifo, config: PacketStreamConfig):
+        super().__init__(parent, name, TimingMode.DECOUPLED)
+        self.fifo = fifo
+        self.config = config
+        self.rng = random.Random(config.seed * 86243 + 2)
+        self.packets: List[Tuple[int, ...]] = []
+        self.packet_dates_ns: List[float] = []
+        self.create_thread(self.run)
+
+    def run(self):
+        for index in range(self.config.n_packets):
+            words = yield from self.fifo.read_packet()
+            self.packets.append(tuple(words))
+            self.items_processed += len(words)
+            self.packet_dates_ns.append(self.local_time_stamp().to(TimeUnit.NS))
+            self.checkpoint(f"packet {index} read (sum {sum(words)})")
+            yield from self.advance(
+                self.rng.randint(1, self.config.max_consumer_gap_ns)
+            )
+        self.mark_finished()
+
+
+class PacketStreamScenario:
+    """Producer -> packet FIFO -> method relay -> packet FIFO -> consumer."""
+
+    def __init__(self, sim: Simulator, config: PacketStreamConfig = None,
+                 sync_on_access: bool = False):
+        self.sim = sim
+        self.config = config or PacketStreamConfig()
+        cfg = self.config
+        self.fifo_in = PacketSmartFifo(
+            sim, "fifo_in", depth=cfg.fifo_depth,
+            packet_size=cfg.packet_size, sync_on_access=sync_on_access,
+        )
+        self.fifo_out = PacketSmartFifo(
+            sim, "fifo_out", depth=cfg.fifo_depth,
+            packet_size=cfg.packet_size, sync_on_access=sync_on_access,
+        )
+        self.producer = PacketProducer(sim, "producer", self.fifo_in, cfg)
+        self.relay = RelayInterface(sim, "relay", self.fifo_in, self.fifo_out)
+        self.consumer = PacketConsumer(sim, "consumer", self.fifo_out, cfg)
+
+    def run(self) -> None:
+        self.sim.run()
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Word-level oracle (see the module docstring)."""
+        cfg = self.config
+        expected = cfg.packets()
+        assert self.consumer.packets == expected, (
+            f"consumer delivered {len(self.consumer.packets)} packets, "
+            f"mismatch with the seeded sequence"
+        )
+        assert self.relay.packets_relayed == cfg.n_packets
+        # Packet counters on every leg of the pipeline.
+        assert self.fifo_in.packets_written == cfg.n_packets   # write_packet
+        assert self.fifo_in.packets_read == cfg.n_packets      # nb_read_packet
+        assert self.fifo_out.packets_written == cfg.n_packets  # nb_write_packet
+        assert self.fifo_out.packets_read == cfg.n_packets     # read_packet
+        assert self.fifo_in.total_written == cfg.total_words
+        assert self.fifo_out.total_read == cfg.total_words
+        # Packet completion dates never decrease for the single consumer.
+        dates = self.consumer.packet_dates_ns
+        assert dates == sorted(dates)
+
+    def checksum(self) -> int:
+        return sum(sum(packet) for packet in self.consumer.packets)

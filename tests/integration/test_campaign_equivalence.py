@@ -83,3 +83,41 @@ class TestCliCampaignCommand:
         output = capsys.readouterr().out
         assert "all pairs equivalent: True" in output
         assert sequential_result.fingerprint() in output
+
+
+class TestCaseStudyScenariosRegistered:
+    """PR 3: the campaign must exercise the case-study half of the paper."""
+
+    def test_noc_packet_and_mixed_specs_are_pairable(self):
+        specs = {spec.name: spec for spec in default_campaign()}
+        for name in ("noc_stress_2x2", "noc_stress_3x2", "packet_stream_p2",
+                     "packet_stream_p4", "mixed_d3"):
+            assert name in specs, name
+            assert spec_is_pairable(specs[name]), name
+
+    def test_new_specs_pass_the_paired_equivalence(self, sequential_result):
+        pairs = {pair.name: pair for pair in sequential_result.pairs}
+        for name in ("noc_stress_2x2", "noc_stress_3x2", "packet_stream_p2",
+                     "packet_stream_p4", "mixed_d3"):
+            assert pairs[name].equivalent, f"{name}:\n{pairs[name].report}"
+            assert pairs[name].reference_lines > 0
+
+
+class TestShardMergeTransparency:
+    """--shard i/N + JSONL merge reproduces the unsharded fingerprint."""
+
+    def test_two_shards_merge_to_the_unsharded_fingerprint(
+        self, tmp_path, sequential_result
+    ):
+        from repro.campaign import CampaignRunner, merge_jsonl
+
+        paths = []
+        for index in range(2):
+            path = str(tmp_path / f"shard{index}.jsonl")
+            CampaignRunner(workers=2, shard=(index, 2)).run(
+                default_campaign(), jsonl=path
+            )
+            paths.append(path)
+        merged = merge_jsonl(paths)
+        assert merged.canonical_json() == sequential_result.canonical_json()
+        assert merged.fingerprint() == sequential_result.fingerprint()

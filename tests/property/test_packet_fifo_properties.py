@@ -1,8 +1,11 @@
 """Property-based tests for the packet-aware Smart FIFO."""
 
+import random
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.trace_diff import compare_collectors
 from repro.fifo import PacketSmartFifo
 from repro.kernel import Simulator
 from repro.kernel.simtime import TimeUnit
@@ -122,3 +125,119 @@ def test_method_packet_consumer_sees_completion_dates(delays, packet_size):
         )
         last_word = (index + 1) * packet_size - 1
         assert date == insertion_dates[last_word]
+
+
+# ---------------------------------------------------------------------------
+# Packet API vs word-by-word equivalence (the Section IV-C extension must
+# not change a single date with respect to the plain word-level interface)
+# ---------------------------------------------------------------------------
+class _StreamEnd(DecoupledModule):
+    """Shared machinery of the four driver flavours below."""
+
+    def __init__(self, parent, name, fifo, packets, quantum_ns):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.packets = [list(packet) for packet in packets]
+        self.quantum_ns = quantum_ns
+        self.final_date_ns = None
+        self.create_thread(self.run)
+
+    def finish(self):
+        self.final_date_ns = self.local_time_stamp().to(TimeUnit.NS)
+
+
+class PacketApiWriter(_StreamEnd):
+    def run(self):
+        for index, words in enumerate(self.packets):
+            yield from self.fifo.write_packet(words)
+            self.log(f"wrote packet {index}")
+            self.inc(self.quantum_ns)
+        self.finish()
+
+
+class WordByWordWriter(_StreamEnd):
+    def run(self):
+        for index, words in enumerate(self.packets):
+            for word in words:
+                yield from self.fifo.write(word)
+            self.log(f"wrote packet {index}")
+            self.inc(self.quantum_ns)
+        self.finish()
+
+
+class PacketApiReader(_StreamEnd):
+    def run(self):
+        for index in range(len(self.packets)):
+            words = yield from self.fifo.read_packet()
+            self.log(f"read packet {index}: {list(words)}")
+            self.inc(self.quantum_ns)
+        self.finish()
+
+
+class WordByWordReader(_StreamEnd):
+    def run(self):
+        size = len(self.packets[0])
+        for index in range(len(self.packets)):
+            words = []
+            for _ in range(size):
+                word = yield from self.fifo.read()
+                words.append(word)
+            self.log(f"read packet {index}: {words}")
+            self.inc(self.quantum_ns)
+        self.finish()
+
+
+def _drive(seed, depth, packet_size, quantum_ns, sync_on_access, use_packet_api):
+    rng = random.Random(seed)
+    n_packets = 3 + rng.randrange(4)
+    packets = [
+        [rng.randrange(0, 1 << 10) for _ in range(packet_size)]
+        for _ in range(n_packets)
+    ]
+    sim = Simulator(f"pkt_eq_{use_packet_api}_{sync_on_access}")
+    fifo = PacketSmartFifo(
+        sim, "fifo", depth=depth, packet_size=packet_size,
+        sync_on_access=sync_on_access,
+    )
+    writer_cls = PacketApiWriter if use_packet_api else WordByWordWriter
+    reader_cls = PacketApiReader if use_packet_api else WordByWordReader
+    writer = writer_cls(sim, "writer", fifo, packets, quantum_ns)
+    reader = reader_cls(sim, "reader", fifo, packets, 2 * quantum_ns + 1)
+    sim.run()
+    return sim, writer, reader, fifo
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=1000),
+    st.booleans(),
+)
+def test_packet_api_equals_word_by_word(seed, depth, packet_size, quantum_ns,
+                                        sync_on_access):
+    """A PacketSmartFifo driven through the packet API produces the same
+    locally-timestamped trace and the same final dates as the same workload
+    driven word by word — in both reference (sync-per-access) and Smart
+    modes, for any depth/packet-size/quantum combination, including
+    ``packet_size == depth``."""
+    packet_size = min(packet_size, depth)  # keeps packet_size == depth likely
+    packet_sim, packet_writer, packet_reader, packet_fifo = _drive(
+        seed, depth, packet_size, quantum_ns, sync_on_access, True
+    )
+    word_sim, word_writer, word_reader, word_fifo = _drive(
+        seed, depth, packet_size, quantum_ns, sync_on_access, False
+    )
+
+    comparison = compare_collectors(word_sim.trace, packet_sim.trace)
+    assert comparison.equivalent, comparison.report()
+    assert packet_writer.final_date_ns == word_writer.final_date_ns
+    assert packet_reader.final_date_ns == word_reader.final_date_ns
+    assert packet_sim.now_fs == word_sim.now_fs
+    # Only the packet-API run moves whole packets (and counts them).
+    n_packets = len(packet_writer.packets)
+    assert packet_fifo.packets_written == n_packets
+    assert packet_fifo.packets_read == n_packets
+    assert word_fifo.packets_written == 0 and word_fifo.packets_read == 0
+    assert packet_fifo.total_written == word_fifo.total_written

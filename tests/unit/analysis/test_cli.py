@@ -154,3 +154,61 @@ class TestCampaignCommand:
         )
         output = capsys.readouterr().out
         assert "0 pairs" in output
+
+
+class TestCampaignScaleOutFlags:
+    """``--workers``/``--shard`` validation and ``--jsonl``/``--merge-jsonl``."""
+
+    @pytest.mark.parametrize("argv", [
+        ["campaign", "--workers", "0"],
+        ["campaign", "--workers", "-3"],
+        ["campaign", "--workers", "two"],
+    ])
+    def test_bad_workers_fail_at_the_argparse_layer(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(argv)
+        assert excinfo.value.code == 2  # argparse usage error, no traceback
+        assert "--workers" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("shard", ["2/2", "3/2", "-1/2", "0/0", "1", "a/b", "1/2/3"])
+    def test_bad_shards_fail_at_the_argparse_layer(self, capsys, shard):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["campaign", "--shard", shard])
+        assert excinfo.value.code == 2
+        assert "--shard" in capsys.readouterr().err
+
+    def test_shard_jsonl_merge_round_trip(self, capsys, tmp_path):
+        specs = "writer_reader_d1,writer_reader_d4,bursty_s3_d4,mixed_d3"
+        paths = []
+        for index in range(2):
+            path = os.path.join(tmp_path, f"shard{index}.jsonl")
+            paths.append(path)
+            assert cli.main([
+                "campaign", "--specs", specs,
+                "--shard", f"{index}/2", "--jsonl", path,
+            ]) == 0
+        shard_output = capsys.readouterr().out
+        assert "shard=0/2" in shard_output and "shard=1/2" in shard_output
+
+        assert cli.main(["campaign", "--specs", specs]) == 0
+        unsharded = capsys.readouterr().out
+
+        assert cli.main(["campaign", "--merge-jsonl", ",".join(paths)]) == 0
+        merged = capsys.readouterr().out
+        fingerprint = [
+            line for line in unsharded.splitlines() if "fingerprint" in line
+        ]
+        assert fingerprint and fingerprint[0] in merged
+
+    def test_merge_jsonl_failure_is_friendly(self, tmp_path):
+        missing = os.path.join(tmp_path, "missing.jsonl")
+        with pytest.raises(SystemExit, match="cannot merge campaign JSONL"):
+            cli.main(["campaign", "--merge-jsonl", missing])
+
+    def test_merge_jsonl_rejects_conflicting_flags(self, tmp_path):
+        path = os.path.join(tmp_path, "s.jsonl")
+        with pytest.raises(SystemExit, match="cannot be combined with --jsonl"):
+            cli.main(["campaign", "--merge-jsonl", path, "--jsonl", path])
+        with pytest.raises(SystemExit, match="--shard, --workers"):
+            cli.main(["campaign", "--merge-jsonl", path, "--shard", "0/2",
+                      "--workers", "2"])

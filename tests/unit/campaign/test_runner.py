@@ -101,3 +101,220 @@ class TestCampaignRunner:
         summary = result.summary()
         assert "fingerprint" in summary
         assert "all pairs equivalent: True" in summary
+
+
+class TestSplitPairs:
+    """The two halves of a pair are independent jobs, recombined exactly."""
+
+    def test_execute_half_matches_execute_spec(self):
+        from repro.campaign import execute_half
+
+        spec = SMALL_CAMPAIGN[1]
+        for mode in ("reference", "smart"):
+            half = execute_half(spec, mode)
+            direct = execute_spec(spec.with_mode(mode))
+            assert half.record.deterministic_row() == direct.deterministic_row()
+            assert half.mode == mode
+            assert half.sorted_lines  # the reordered trace rides along
+
+    def test_combine_pair_matches_legacy_pair(self):
+        from repro.campaign import combine_pair, execute_half
+
+        spec = SMALL_CAMPAIGN[2]
+        ref = execute_half(spec, "reference")
+        smart = execute_half(spec, "smart")
+        combined = combine_pair(ref, smart)
+        legacy = execute_pair(spec)
+        assert combined.deterministic_row() == legacy.deterministic_row()
+        assert combined.equivalent
+
+    def test_combine_pair_reports_mismatches(self):
+        from repro.campaign import combine_pair, execute_half
+
+        spec = SMALL_CAMPAIGN[1]
+        ref = execute_half(spec, "reference")
+        smart = execute_half(spec, "smart")
+        smart.sorted_lines = smart.sorted_lines[:-1]
+        smart.extras = {"tampered": True}
+        pair = combine_pair(ref, smart)
+        assert not pair.equivalent
+        assert not pair.extras_match
+        assert "missing in candidate" in pair.report
+        assert "extras differ" in pair.report
+
+
+class TestSharding:
+    def test_shard_specs_partition_is_deterministic_and_complete(self):
+        shards = [
+            CampaignRunner.shard_specs(SMALL_CAMPAIGN, index, 3)
+            for index in range(3)
+        ]
+        names = sorted(s.name for shard in shards for s in shard)
+        assert names == sorted(s.name for s in SMALL_CAMPAIGN)
+        # Round-robin: shard 0 gets specs 0 and 3.
+        assert [s.name for s in shards[0]] == [
+            SMALL_CAMPAIGN[0].name, SMALL_CAMPAIGN[3].name
+        ]
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ValueError, match="shard count"):
+            CampaignRunner(shard=(0, 0))
+        with pytest.raises(ValueError, match="shard index"):
+            CampaignRunner(shard=(2, 2))
+        with pytest.raises(ValueError, match="shard index"):
+            CampaignRunner(shard=(-1, 2))
+
+    def test_sharded_union_reproduces_unsharded_fingerprint(self, tmp_path):
+        from repro.campaign import merge_jsonl
+
+        unsharded = CampaignRunner(workers=1).run(SMALL_CAMPAIGN)
+        paths = []
+        for index in range(2):
+            path = str(tmp_path / f"shard{index}.jsonl")
+            result = CampaignRunner(workers=2, shard=(index, 2)).run(
+                SMALL_CAMPAIGN, jsonl=path
+            )
+            assert result.shard == (index, 2)
+            assert f"shard={index}/2" in result.summary()
+            paths.append(path)
+        merged = merge_jsonl(paths)
+        assert merged.canonical_json() == unsharded.canonical_json()
+        assert merged.fingerprint() == unsharded.fingerprint()
+
+
+class TestJsonlPersistence:
+    def test_jsonl_rows_cover_every_run_and_pair(self, tmp_path):
+        import json as json_mod
+
+        path = str(tmp_path / "campaign.jsonl")
+        result = CampaignRunner(workers=1).run(SMALL_CAMPAIGN, jsonl=path)
+        rows = [json_mod.loads(line) for line in open(path)]
+        assert rows[0]["type"] == "campaign"
+        assert rows[0]["schema"] == 1
+        assert rows[0]["specs"] == [s.name for s in SMALL_CAMPAIGN]
+        assert rows[0]["shard"] is None
+        kinds = [row["type"] for row in rows[1:]]
+        assert kinds.count("run") == len(result.runs)
+        assert kinds.count("pair") == len(result.pairs)
+        for row in rows[1:]:
+            assert "wall_seconds" not in row and "worker_pid" not in row
+
+    def test_merge_round_trips_the_fingerprint(self, tmp_path):
+        from repro.campaign import merge_jsonl
+
+        path = str(tmp_path / "campaign.jsonl")
+        result = CampaignRunner(workers=2).run(SMALL_CAMPAIGN, jsonl=path)
+        merged = merge_jsonl([path])
+        assert merged.fingerprint() == result.fingerprint()
+        assert merged.all_pairs_equivalent == result.all_pairs_equivalent
+
+    def test_merge_rejects_duplicates_and_garbage(self, tmp_path):
+        from repro.campaign import merge_jsonl
+
+        path = str(tmp_path / "campaign.jsonl")
+        CampaignRunner(workers=1).run(SMALL_CAMPAIGN[:2], jsonl=path)
+        with pytest.raises(ValueError, match="duplicate run row"):
+            merge_jsonl([path, path])
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            merge_jsonl([str(bad)])
+        unknown = tmp_path / "unknown.jsonl"
+        unknown.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown type"):
+            merge_jsonl([str(unknown)])
+
+
+class TestMergeCompleteness:
+    """Incomplete merges must fail loudly, not fingerprint a partial set."""
+
+    def _shard_files(self, tmp_path):
+        paths = []
+        for index in range(2):
+            path = str(tmp_path / f"shard{index}.jsonl")
+            CampaignRunner(workers=1, shard=(index, 2)).run(
+                SMALL_CAMPAIGN, jsonl=path
+            )
+            paths.append(path)
+        return paths
+
+    def test_missing_shard_is_rejected(self, tmp_path):
+        from repro.campaign import merge_jsonl
+
+        paths = self._shard_files(tmp_path)
+        with pytest.raises(ValueError, match="missing shard"):
+            merge_jsonl(paths[:1])
+        merge_jsonl(paths)  # the full set still merges
+
+    def test_truncated_shard_file_is_rejected(self, tmp_path):
+        from repro.campaign import merge_jsonl
+
+        paths = self._shard_files(tmp_path)
+        lines = open(paths[1]).read().splitlines(keepends=True)
+        # Drop the last row (a run or pair of the second shard).
+        with open(paths[1], "w") as handle:
+            handle.writelines(lines[:-1])
+        with pytest.raises(ValueError, match="truncated|missing"):
+            merge_jsonl(paths)
+
+    def test_headerless_file_is_rejected(self, tmp_path):
+        from repro.campaign import merge_jsonl
+
+        path = str(tmp_path / "solo.jsonl")
+        CampaignRunner(workers=1).run(SMALL_CAMPAIGN[:1], jsonl=path)
+        lines = open(path).read().splitlines(keepends=True)
+        headerless = tmp_path / "headerless.jsonl"
+        headerless.write_text("".join(lines[1:]))
+        with pytest.raises(ValueError, match="campaign header"):
+            merge_jsonl([str(headerless)])
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="no campaign rows"):
+            merge_jsonl([str(empty)])
+
+    def test_worker_pids_cover_both_pair_halves(self):
+        import os
+
+        result = CampaignRunner(workers=3).run(SMALL_CAMPAIGN)
+        pids = result.worker_pids()
+        assert os.getpid() not in pids
+        # All pair halves ran somewhere real.
+        for pair in result.pairs:
+            assert all(pid in pids for pid in pair.worker_pids)
+
+    def test_shards_of_different_campaigns_do_not_merge(self, tmp_path):
+        from repro.campaign import merge_jsonl
+
+        path_a = str(tmp_path / "a.jsonl")
+        path_b = str(tmp_path / "b.jsonl")
+        CampaignRunner(workers=1, shard=(0, 2)).run(
+            SMALL_CAMPAIGN, jsonl=path_a
+        )
+        CampaignRunner(workers=1, shard=(1, 2)).run(
+            SMALL_CAMPAIGN[:3], jsonl=path_b
+        )
+        with pytest.raises(ValueError, match="different campaigns"):
+            merge_jsonl([path_a, path_b])
+
+    def test_schema_and_missing_fields_fail_cleanly(self, tmp_path):
+        import json as json_mod
+
+        from repro.campaign import merge_jsonl
+
+        path = str(tmp_path / "campaign.jsonl")
+        CampaignRunner(workers=1).run(SMALL_CAMPAIGN[:1], jsonl=path)
+        rows = [json_mod.loads(line) for line in open(path)]
+
+        future = tmp_path / "future.jsonl"
+        header = dict(rows[0], schema=99)
+        future.write_text(json_mod.dumps(header) + "\n")
+        with pytest.raises(ValueError, match="schema 99"):
+            merge_jsonl([str(future)])
+
+        clipped = tmp_path / "clipped.jsonl"
+        run_row = {k: v for k, v in rows[1].items() if k != "trace_digest"}
+        clipped.write_text(
+            json_mod.dumps(rows[0]) + "\n" + json_mod.dumps(run_row) + "\n"
+        )
+        with pytest.raises(ValueError, match="missing field"):
+            merge_jsonl([str(clipped)])

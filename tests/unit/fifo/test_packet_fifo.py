@@ -143,3 +143,131 @@ class TestNonBlockingPacketApi:
         sim.run()
         assert results == [True, True, True, False, False]
         assert fifo.packets_written == 2
+
+
+class TestCounterAtomicity:
+    """Raising/partial paths must never bump the packet counters."""
+
+    def test_raising_nb_calls_leave_counters_untouched(self, sim):
+        fifo = PacketSmartFifo(sim, "f", depth=4, packet_size=2)
+        with pytest.raises(FifoError):
+            fifo.nb_read_packet()          # no packet available
+        with pytest.raises(FifoError):
+            fifo.nb_write_packet([1])      # wrong length
+        assert fifo.nb_write_packet([1, 2])
+        assert fifo.nb_write_packet([3, 4])
+        assert not fifo.nb_write_packet([5, 6])  # full: False, not counted
+        assert fifo.packets_written == 2
+        assert fifo.packets_read == 0
+
+    def test_write_packet_length_error_does_not_count(self, sim, host):
+        fifo = PacketSmartFifo(sim, "f", depth=8, packet_size=4)
+
+        def proc():
+            with pytest.raises(FifoError):
+                yield from fifo.write_packet([1, 2])
+            yield from fifo.write_packet([1, 2, 3, 4])
+
+        host.add(proc)
+        sim.run()
+        assert fifo.packets_written == 1
+        assert fifo.total_written == 4
+
+    def test_unordered_heads_do_not_tear_nb_read_packet(self, sim, host):
+        """Without side ordering, enough words exist to *count* a packet
+        while its head cells still carry future dates; the guard must say
+        False and an unguarded read must fail atomically instead of
+        consuming part of the packet."""
+        fifo = PacketSmartFifo(
+            sim, "f", depth=8, packet_size=2, enforce_side_ordering=False
+        )
+        from repro.td import inc
+
+        def early_writer():
+            yield from fifo.write("w0")          # head word at 0 ns
+
+        def late_writer():
+            inc(100, sim=sim)
+            yield from fifo.write("w1")          # second word at 100 ns
+
+        def third_writer():
+            yield from fifo.write("w2")          # third word back at 0 ns
+
+        observations = []
+
+        def consumer():
+            # At 1 ns two words (w0, w2) exist with past dates, but the
+            # packet's second *head* cell only arrives at 100 ns: the guard
+            # answers False and the unguarded read raises without popping.
+            yield host.wait(1)
+            observations.append(fifo.packet_available())
+            try:
+                fifo.nb_read_packet()
+            except FifoError:
+                observations.append("raised")
+            observations.append((fifo.total_read, fifo.packets_read))
+            # Once the late head word really arrives, the packet reads whole.
+            yield host.wait(100)
+            observations.append(fifo.packet_available())
+            observations.append(fifo.nb_read_packet())
+
+        host.add(early_writer, name="early")
+        host.add(late_writer, name="late")
+        host.add(third_writer, name="third")
+        host.add(consumer, name="consumer")
+        sim.run()
+        assert observations == [
+            False, "raised", (0, 0), True, ["w0", "w1"],
+        ]
+
+    def test_unordered_frees_do_not_tear_nb_write_packet(self, sim, host):
+        """Symmetric guard on the write side: counted-free cells whose head
+        slots free only in the future must fail the whole packet write."""
+        fifo = PacketSmartFifo(
+            sim, "f", depth=3, packet_size=2, enforce_side_ordering=False
+        )
+        from repro.td import inc
+
+        for word in ("a", "b", "c"):
+            assert fifo.nb_write(word)
+        order = []
+
+        def reader_now():
+            value = yield from fifo.read()       # frees cell 0 at 0 ns
+            order.append(value)
+
+        def reader_late():
+            inc(100, sim=sim)
+            value = yield from fifo.read()       # frees cell 1 at 100 ns
+            order.append(value)
+
+        def reader_again():
+            value = yield from fifo.read()       # frees cell 2 at 0 ns
+            order.append(value)
+
+        observations = []
+
+        def producer():
+            # At 1 ns two cells exist with past freeing dates, but the
+            # second cell the next writes would fill (popped by the late
+            # reader) frees only at 100 ns: the guard answers False and the
+            # unguarded write declines whole, writing nothing.
+            yield host.wait(1)
+            observations.append(fifo.space_for_packet())
+            observations.append(fifo.nb_write_packet(["x", "y"]))
+            observations.append((fifo.total_written, fifo.packets_written))
+            # Once the head room really frees, the packet writes whole.
+            yield host.wait(100)
+            observations.append(fifo.nb_write_packet(["x", "y"]))
+
+        host.add(reader_now, name="now")
+        host.add(reader_late, name="late")
+        host.add(reader_again, name="again")
+        host.add(producer, name="producer")
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert observations[0] is False    # the guard itself says no
+        assert observations[1] is False    # ... and the write declines whole
+        assert observations[2] == (3, 0)
+        assert observations[3] is True
+        assert fifo.packets_written == 1

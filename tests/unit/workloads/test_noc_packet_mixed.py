@@ -1,0 +1,137 @@
+"""Unit tests for the PR 3 scenario-diversity workloads.
+
+The paired reference/Smart equivalence of these workloads is covered by the
+campaign integration suite; these tests pin the oracles and configs.
+"""
+
+import pytest
+
+from repro.analysis.trace_diff import compare_collectors
+from repro.kernel import Simulator
+from repro.workloads import (
+    MixedTopologyConfig,
+    MixedTopologyScenario,
+    NocStressConfig,
+    NocStressScenario,
+    PacketStreamConfig,
+    PacketStreamScenario,
+    xy_route,
+)
+
+
+class TestNocStress:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            NocStressConfig(packets_per_stream=0)
+        with pytest.raises(ValueError, match="packet_size"):
+            NocStressConfig(packet_size=8, fifo_depth=4)
+        with pytest.raises(ValueError, match="two routers"):
+            NocStressConfig(mesh_width=1, mesh_height=1)
+
+    def test_xy_route_moves_x_then_y(self):
+        assert xy_route((0, 0), (2, 1)) == [(0, 0), (1, 0), (2, 0), (2, 1)]
+        assert xy_route((1, 1), (1, 1)) == [(1, 1)]
+
+    def test_oracle_passes_and_counts_router_traffic(self):
+        sim = Simulator("noc_unit")
+        scenario = NocStressScenario(sim, NocStressConfig(seed=3))
+        scenario.run()
+        scenario.verify()
+        cfg = scenario.config
+        # Every stream crosses at least its source and destination router.
+        assert scenario.total_packets_routed >= (
+            cfg.n_streams * cfg.packets_per_stream
+        )
+        assert scenario.checksums() == [
+            sum(cfg.stream_words(stream)) for stream in range(cfg.n_streams)
+        ]
+
+    def test_router_accounting_catches_lost_packets(self):
+        sim = Simulator("noc_tamper")
+        scenario = NocStressScenario(sim, NocStressConfig(seed=3))
+        scenario.run()
+        router = next(iter(scenario.mesh.routers.values()))
+        router.packets_routed += 1
+        with pytest.raises(AssertionError, match="forwarded"):
+            scenario.verify()
+
+    def test_reference_mode_costs_more_context_switches(self):
+        cfg = NocStressConfig(seed=7)
+        walls = {}
+        for sync in (False, True):
+            sim = Simulator(f"noc_ctx_{sync}")
+            scenario = NocStressScenario(sim, cfg, sync_on_access=sync)
+            scenario.run()
+            scenario.verify()
+            walls[sync] = sim.stats.context_switches
+        assert walls[True] > walls[False]
+
+
+class TestPacketStream:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            PacketStreamConfig(n_packets=0)
+        with pytest.raises(ValueError, match="packet_size"):
+            PacketStreamConfig(packet_size=5, fifo_depth=4)
+
+    def test_oracle_checks_counters_on_every_leg(self):
+        sim = Simulator("ps_unit")
+        scenario = PacketStreamScenario(sim, PacketStreamConfig(seed=5))
+        scenario.run()
+        scenario.verify()
+        cfg = scenario.config
+        assert scenario.relay.packets_relayed == cfg.n_packets
+        assert scenario.checksum() == sum(
+            sum(packet) for packet in cfg.packets()
+        )
+
+    def test_packet_size_equal_to_depth(self):
+        sim = Simulator("ps_edge")
+        scenario = PacketStreamScenario(
+            sim, PacketStreamConfig(seed=2, packet_size=4, fifo_depth=4)
+        )
+        scenario.run()
+        scenario.verify()
+
+    def test_tampered_stream_fails_the_word_oracle(self):
+        sim = Simulator("ps_tamper")
+        scenario = PacketStreamScenario(sim, PacketStreamConfig(seed=5))
+        scenario.run()
+        scenario.consumer.packets[0] = (0, 0)
+        with pytest.raises(AssertionError, match="mismatch"):
+            scenario.verify()
+
+
+class TestMixedTopology:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            MixedTopologyConfig(item_count=0)
+
+    def test_both_modes_verify_and_diff_empty(self):
+        cfg = MixedTopologyConfig(seed=9, fifo_depth=3)
+        sims = {}
+        for decoupled in (False, True):
+            sim = Simulator(f"mixed_{decoupled}")
+            scenario = MixedTopologyScenario(sim, decoupled=decoupled, config=cfg)
+            scenario.run()
+            scenario.verify()
+            sims[decoupled] = (sim, scenario)
+        comparison = compare_collectors(sims[False][0].trace, sims[True][0].trace)
+        assert comparison.equivalent, comparison.report()
+        assert sims[False][1].completion_ns() == sims[True][1].completion_ns()
+        # The smart build mixes FIFO kinds: SmartFifo front, RegularFifo back.
+        from repro.fifo import RegularFifo, SmartFifo
+
+        _, smart = sims[True]
+        assert isinstance(smart.front_fifo, SmartFifo)
+        assert isinstance(smart.back_fifo, RegularFifo)
+
+    def test_corrupted_delivery_fails_verify(self):
+        sim = Simulator("mixed_tamper")
+        scenario = MixedTopologyScenario(
+            sim, decoupled=True, config=MixedTopologyConfig(seed=9)
+        )
+        scenario.run()
+        scenario.consumer.values[0] ^= 1
+        with pytest.raises(AssertionError, match="reordered or corrupted"):
+            scenario.verify()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Campaign shard/merge smoke gate (used by ``make campaign-smoke`` and CI).
+
+Runs a small campaign three ways and asserts the scale-out invariant:
+
+1. unsharded, inline (the reference fingerprint);
+2. shard 0/2 and shard 1/2, each across 2 worker processes, streaming
+   their rows to JSONL files;
+3. the merge of the two JSONL files.
+
+The merged fingerprint must equal the unsharded one byte for byte — that
+is the property that makes multi-machine campaigns trustworthy.  The JSONL
+files are left on disk (default ``campaign-smoke/``) so CI can upload them
+as workflow artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.campaign import CampaignRunner, default_campaign, merge_jsonl  # noqa: E402
+
+#: A fast subset of the default campaign covering old and new workloads.
+SMOKE_SPECS = (
+    "writer_reader_d4",
+    "streaming_d2",
+    "bursty_s3_d4",
+    "noc_stress_2x2",
+    "packet_stream_p2",
+    "mixed_d3",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir",
+        default=os.path.join(REPO_ROOT, "campaign-smoke"),
+        help="directory receiving the per-shard JSONL files",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker processes per shard"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="smoke the whole default campaign instead of the fast subset",
+    )
+    args = parser.parse_args(argv)
+
+    specs = default_campaign()
+    if not args.full:
+        specs = [spec for spec in specs if spec.name in SMOKE_SPECS]
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    print(f"[smoke] unsharded reference run ({len(specs)} specs)...")
+    reference = CampaignRunner(workers=1).run(specs)
+    print(f"[smoke] reference fingerprint: {reference.fingerprint()}")
+
+    paths = []
+    for index in range(2):
+        path = os.path.join(args.out_dir, f"shard{index}.jsonl")
+        paths.append(path)
+        print(f"[smoke] shard {index}/2 across {args.workers} workers -> {path}")
+        result = CampaignRunner(
+            workers=args.workers, shard=(index, 2)
+        ).run(specs, jsonl=path)
+        if not result.all_pairs_equivalent:
+            print(result.summary())
+            print("FAIL: a paired trace diff is not empty", file=sys.stderr)
+            return 1
+
+    merged = merge_jsonl(paths)
+    print(f"[smoke] merged fingerprint:    {merged.fingerprint()}")
+    if merged.fingerprint() != reference.fingerprint():
+        print(
+            "FAIL: merged shard fingerprint differs from the unsharded run",
+            file=sys.stderr,
+        )
+        return 1
+    if not merged.all_pairs_equivalent:
+        print("FAIL: merged result contains a non-equivalent pair", file=sys.stderr)
+        return 1
+    print(
+        f"[smoke] OK: {len(merged.runs)} runs + {len(merged.pairs)} pairs "
+        f"merge byte-identically across 2 shards"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
