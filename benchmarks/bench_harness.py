@@ -47,9 +47,12 @@ from repro.workloads import PipelineModel, StreamingPipeline
 from bench_config import SCALE, soc_config, streaming_config
 from bench_micro_fifo_ops import (
     ITEMS,
+    TRACE_EMITS,
     regular_fifo_nb_ops,
     smart_fifo_decoupled_stream,
     smart_fifo_nb_ops,
+    trace_emit_off_ops,
+    trace_emit_ops,
 )
 
 #: Direction of each exported metric: True when higher is better.
@@ -57,6 +60,8 @@ METRICS: Dict[str, bool] = {
     "micro.regular_nb_ops_per_s": True,
     "micro.smart_nb_ops_per_s": True,
     "micro.smart_blocking_ops_per_s": True,
+    "micro.trace_emit_ops_per_s": True,
+    "micro.trace_emit_off_ops_per_s": True,
     "fig5.tdfull_total_wall_s": False,
     "fig5.tdless_total_wall_s": False,
     "case_study.sync_wall_s": False,
@@ -100,16 +105,26 @@ def bench_micro(repeats: int) -> Tuple[Dict[str, float], Dict[str, object]]:
     nb_wall, _ = _best_wall(regular_fifo_nb_ops, repeats)
     smart_nb_wall, _ = _best_wall(smart_fifo_nb_ops, repeats)
     blocking_wall, _ = _best_wall(smart_fifo_decoupled_stream, repeats)
+    # Trace emit path: one "op" is one Simulator.log call, once through
+    # the campaign-default DigestSink and once with tracing off (the
+    # NullSink one-attribute-check fast path of the streaming refactor).
+    emit_wall, _ = _best_wall(trace_emit_ops, repeats)
+    emit_off_wall, _ = _best_wall(trace_emit_off_ops, repeats)
     metrics = {
         "micro.regular_nb_ops_per_s": ITEMS / nb_wall,
         "micro.smart_nb_ops_per_s": ITEMS / smart_nb_wall,
         "micro.smart_blocking_ops_per_s": ITEMS / blocking_wall,
+        "micro.trace_emit_ops_per_s": TRACE_EMITS / emit_wall,
+        "micro.trace_emit_off_ops_per_s": TRACE_EMITS / emit_off_wall,
     }
     detail = {
         "items": ITEMS,
         "regular_nb_wall_s": nb_wall,
         "smart_nb_wall_s": smart_nb_wall,
         "smart_blocking_wall_s": blocking_wall,
+        "trace_emits": TRACE_EMITS,
+        "trace_emit_wall_s": emit_wall,
+        "trace_emit_off_wall_s": emit_off_wall,
     }
     return metrics, detail
 

@@ -73,6 +73,37 @@ def smart_fifo_decoupled_stream():
     return fifo.total_read
 
 
+#: Trace lines emitted per trace-path micro-benchmark run.
+TRACE_EMITS = 2000
+
+
+def trace_emit_ops(sink=None):
+    """Emit ``TRACE_EMITS`` lines through the campaign-default digest sink.
+
+    Measures the full hot emit path (``Simulator.log`` -> sink) the way a
+    checkpoint-heavy workload drives it; the returned count pins the
+    number of records that actually reached the sink.
+    """
+    from repro.kernel.tracing import DigestSink
+
+    sim = Simulator("micro_trace_emit", trace_sink=sink or DigestSink())
+    for index in range(TRACE_EMITS):
+        sim.log(f"checkpoint {index}")
+    count = len(sim.trace)
+    sim.trace.close()
+    return count
+
+
+def trace_emit_off_ops():
+    """Same loop with tracing off: the one-attribute-check fast path."""
+    from repro.kernel.tracing import NullSink
+
+    sim = Simulator("micro_trace_off", trace_sink=NullSink())
+    for index in range(TRACE_EMITS):
+        sim.log(f"checkpoint {index}")
+    return TRACE_EMITS - len(sim.trace)
+
+
 def test_regular_fifo_nonblocking(benchmark):
     benchmark.group = "word transfer"
     assert benchmark(regular_fifo_nb_ops) == ITEMS
@@ -86,6 +117,16 @@ def test_smart_fifo_nonblocking(benchmark):
 def test_smart_fifo_decoupled_blocking_stream(benchmark):
     benchmark.group = "word transfer"
     assert benchmark(smart_fifo_decoupled_stream) == ITEMS
+
+
+def test_trace_emit(benchmark):
+    benchmark.group = "trace emit"
+    assert benchmark(trace_emit_ops) == TRACE_EMITS
+
+
+def test_trace_emit_off(benchmark):
+    benchmark.group = "trace emit"
+    assert benchmark(trace_emit_off_ops) == TRACE_EMITS
 
 
 @pytest.mark.parametrize("depth", (4, 64, 1024))

@@ -16,6 +16,8 @@ from .trace_diff import (
     TraceComparison,
     assert_equivalent,
     compare_collectors,
+    compare_sorted_lines,
+    compare_spools,
     compare_traces,
     emission_order_changed,
     sorted_lines,
@@ -27,6 +29,8 @@ __all__ = [
     "ascii_table",
     "assert_equivalent",
     "compare_collectors",
+    "compare_sorted_lines",
+    "compare_spools",
     "compare_traces",
     "csv_text",
     "dict_rows_table",

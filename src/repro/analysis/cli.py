@@ -26,6 +26,16 @@ the unsharded run::
     python -m repro.analysis.cli campaign --shard 0/2 --jsonl s0.jsonl
     python -m repro.analysis.cli campaign --shard 1/2 --jsonl s1.jsonl
     python -m repro.analysis.cli campaign --merge-jsonl s0.jsonl,s1.jsonl
+
+An interrupted campaign is picked up with ``--resume`` (skips the specs
+whose rows already sit in the JSONL file and reproduces the uninterrupted
+fingerprint); ``--trace-sink`` selects the worker trace pipeline (the
+default ``digest`` sink streams traces into their digests with bounded
+memory) and ``--trace-sink spool --trace-out DIR`` exports the reordered
+per-run trace files::
+
+    python -m repro.analysis.cli campaign --jsonl out.jsonl --resume
+    python -m repro.analysis.cli campaign --trace-sink spool --trace-out traces/
 """
 
 from __future__ import annotations
@@ -34,11 +44,14 @@ import argparse
 from typing import List, Optional, Sequence, Tuple
 
 from ..campaign import (
+    DEFAULT_TRACE_SINK,
+    CampaignResumeError,
     CampaignRunner,
     default_campaign,
     describe_specs,
     merge_jsonl,
 )
+from ..kernel.tracing import SINK_KINDS
 from ..soc import SocConfig
 from ..workloads import StreamingConfig
 from . import experiments
@@ -161,11 +174,36 @@ def build_parser() -> argparse.ArgumentParser:
         "(plus a campaign header row) to this file",
     )
     campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --jsonl: re-read the file, skip the specs whose rows "
+        "are already present and append only the missing ones (the file "
+        "must carry the same campaign header; the final fingerprint is "
+        "identical to an uninterrupted run)",
+    )
+    campaign.add_argument(
         "--merge-jsonl",
         default=None,
         metavar="A.JSONL,B.JSONL",
         help="merge previously written campaign JSONL files (e.g. one per "
         "shard) and print the merged tables/fingerprint instead of running",
+    )
+    campaign.add_argument(
+        "--trace-sink",
+        choices=SINK_KINDS,
+        default=DEFAULT_TRACE_SINK,
+        help="trace sink every worker simulation emits into: 'digest' "
+        "(default) streams the trace into its digest with bounded memory, "
+        "'list' materializes records (historical behaviour), 'spool' keeps "
+        "a sorted on-disk spool (enables --trace-out), 'null' disables "
+        "tracing and with it trace validation",
+    )
+    campaign.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="with --trace-sink spool: export one reordered trace file "
+        "per run to DIR (<spec>.<mode>.trace)",
     )
     campaign.add_argument(
         "--list", action="store_true", help="list the specs and exit"
@@ -241,15 +279,21 @@ def _campaign_output(result) -> tuple:
 
 
 def run_campaign(args: argparse.Namespace) -> str:
+    if args.resume and not args.jsonl:
+        raise SystemExit("--resume requires --jsonl (the file to resume from)")
+    if args.trace_out and args.trace_sink != "spool":
+        raise SystemExit("--trace-out requires --trace-sink spool")
     if args.merge_jsonl:
         conflicting = [
             flag for flag, active in (
                 ("--jsonl", args.jsonl is not None),
+                ("--resume", args.resume),
                 ("--shard", args.shard is not None),
                 ("--specs", args.specs is not None),
                 ("--workers", args.workers != 1),
                 ("--no-paired", args.no_paired),
                 ("--list", args.list),
+                ("--trace-out", args.trace_out is not None),
             ) if active
         ]
         if conflicting:
@@ -287,9 +331,15 @@ def run_campaign(args: argparse.Namespace) -> str:
             title="Campaign specs",
         )
     runner = CampaignRunner(
-        workers=args.workers, paired=not args.no_paired, shard=args.shard
+        workers=args.workers, paired=not args.no_paired, shard=args.shard,
+        trace_sink=args.trace_sink, trace_out=args.trace_out,
     )
-    result = runner.run(specs, jsonl=args.jsonl)
+    try:
+        result = runner.run(specs, jsonl=args.jsonl, resume=args.resume)
+    except CampaignResumeError as exc:
+        # Only resume problems get the friendly one-liner; a ValueError
+        # from inside a simulation is a real bug and keeps its traceback.
+        raise SystemExit(f"cannot resume campaign: {exc}")
     if args.csv:
         write_csv(result.run_rows(), args.csv)
     return _campaign_output(result)

@@ -8,6 +8,16 @@ are not emitted in the same order — dates may even decrease between
 consecutive lines of the decoupled run — so the comparison is done *after
 reordering*: a test passes iff the two sorted traces are identical, meaning
 neither the behaviour nor the timing changed at all.
+
+Two implementations of the reorder-and-compare check coexist:
+
+* the historical in-memory one (:func:`compare_traces` and friends), which
+  sorts full line lists — fine for unit tests and small runs;
+* :func:`compare_spools`, which merge-walks two
+  :class:`~repro.kernel.tracing.SpoolSink` spools in sorted order and
+  never materializes either trace, so campaign-sized mismatch diffs stay
+  memory-bounded.  Both produce identical :class:`TraceComparison`
+  contents for the same records.
 """
 
 from __future__ import annotations
@@ -15,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
-from ..kernel.tracing import TraceCollector, TraceRecord
+from ..kernel.tracing import SpoolSink, TraceCollector, TraceRecord, format_entry
 
 
 @dataclass
@@ -91,6 +101,47 @@ def compare_traces(
 ) -> TraceComparison:
     """Compare two record streams after reordering (multiset equality)."""
     return compare_sorted_lines(sorted_lines(reference), sorted_lines(candidate))
+
+
+def compare_spools(reference: SpoolSink, candidate: SpoolSink) -> TraceComparison:
+    """Streaming reorder-and-compare over two trace spools.
+
+    Both spools stream their encoded entries in sort-key order, so one
+    merge walk finds the multiset difference without materializing either
+    trace: equal heads cancel, the smaller head is exclusive to its side.
+    The resulting :class:`TraceComparison` is identical (contents and line
+    order) to running :func:`compare_traces` on the same records — only
+    the diff lines themselves are ever held in memory.
+    """
+    missing: List[str] = []
+    unexpected: List[str] = []
+    ref_iter = reference.iter_encoded()
+    cand_iter = candidate.iter_encoded()
+    ref_entry = next(ref_iter, None)
+    cand_entry = next(cand_iter, None)
+    while ref_entry is not None and cand_entry is not None:
+        if ref_entry == cand_entry:
+            ref_entry = next(ref_iter, None)
+            cand_entry = next(cand_iter, None)
+        elif ref_entry < cand_entry:
+            missing.append(format_entry(ref_entry))
+            ref_entry = next(ref_iter, None)
+        else:
+            unexpected.append(format_entry(cand_entry))
+            cand_entry = next(cand_iter, None)
+    while ref_entry is not None:
+        missing.append(format_entry(ref_entry))
+        ref_entry = next(ref_iter, None)
+    while cand_entry is not None:
+        unexpected.append(format_entry(cand_entry))
+        cand_entry = next(cand_iter, None)
+    return TraceComparison(
+        equivalent=not missing and not unexpected,
+        missing_in_candidate=missing,
+        unexpected_in_candidate=unexpected,
+        reference_count=len(reference),
+        candidate_count=len(candidate),
+    )
 
 
 def compare_collectors(

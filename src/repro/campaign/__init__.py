@@ -29,6 +29,8 @@ Entry points: ``python -m repro.analysis.cli campaign --workers 4`` and the
 """
 
 from .runner import (
+    DEFAULT_TRACE_SINK,
+    CampaignResumeError,
     CampaignResult,
     CampaignRunner,
     JsonlSink,
@@ -36,10 +38,12 @@ from .runner import (
     PairRecord,
     SpecRunRecord,
     combine_pair,
+    diff_pair_streaming,
     execute_half,
     execute_pair,
     execute_paired_spec,
     execute_spec,
+    load_resume_state,
     merge_jsonl,
     parse_jsonl_rows,
 )
@@ -59,6 +63,7 @@ from .spec import (
 
 __all__ = [
     "BuiltScenario",
+    "CampaignResumeError",
     "CampaignResult",
     "CampaignRunner",
     "JsonlSink",
@@ -70,10 +75,13 @@ __all__ = [
     "SpecRunRecord",
     "WorkloadEntry",
     "build_scenario",
+    "DEFAULT_TRACE_SINK",
     "combine_pair",
     "default_campaign",
     "describe_specs",
+    "diff_pair_streaming",
     "execute_half",
+    "load_resume_state",
     "execute_pair",
     "execute_paired_spec",
     "execute_spec",

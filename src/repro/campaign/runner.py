@@ -29,8 +29,10 @@ seed — and sends back a small picklable record.  Three guarantees matter:
 
 JSONL persistence (``--jsonl out.jsonl``) streams one row per *completed*
 run/pair, so a long campaign can be tailed while running and merged across
-machines afterwards (resuming from a partially written file is future
-work — see the ROADMAP).  The schema (one JSON object per line)::
+machines afterwards; ``resume=True`` re-reads a partially written file,
+skips the specs whose rows are already present and appends only the
+missing ones (rejecting a file whose campaign header does not match).  The
+schema (one JSON object per line)::
 
     {"type": "campaign", "schema": 1, "specs": [...], "workers": N,
      "paired": true, "shard": "0/2" | null}          # header, first line
@@ -39,6 +41,22 @@ work — see the ROADMAP).  The schema (one JSON object per line)::
 
 Rows carry deterministic fields only (never wall clock or PIDs), so the
 merge of shard files is byte-identical to the unsharded aggregate.
+
+Trace memory model
+------------------
+
+Since the streaming-trace refactor the campaign never materializes trace
+record lists: every worker runs its simulation on a
+:class:`~repro.kernel.tracing.DigestSink`, which streams the reordered
+trace into the ``trace_digest``/``trace_lines`` row fields with bounded
+memory, and a pair is equivalent iff the two digests (and deterministic
+extras) match — digest equality is exactly reordered-trace equality
+because record formatting is injective.  Only when a pair *mismatches* is
+it re-run on :class:`~repro.kernel.tracing.SpoolSink` spools, which
+:func:`repro.analysis.trace_diff.compare_spools` merge-diffs into the full
+line-level report without an in-memory sort.  ``trace_sink`` can override
+the worker sink kind (``"list"`` restores the historical collector,
+``"null"`` disables tracing — and with it trace validation — entirely).
 """
 
 from __future__ import annotations
@@ -48,22 +66,18 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, IO, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, IO, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.reporting import dict_rows_table
-from ..analysis.trace_diff import compare_sorted_lines
+from ..analysis.trace_diff import compare_spools
 from ..kernel.simulator import Simulator
+from ..kernel.tracing import SINK_KINDS, make_sink
 from .scenarios import build_scenario
 from .spec import MODE_REFERENCE, MODE_SMART, ScenarioSpec, spec_is_pairable
 
-
-def _lines_digest(lines: Sequence[str]) -> str:
-    """Digest of a reordered trace (the paper's comparison key)."""
-    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
-
-
-def _trace_digest(sim: Simulator) -> str:
-    return _lines_digest(sim.trace.sorted_lines())
+#: Sink kind run by campaign workers unless overridden: digests stream out
+#: of the simulation without the trace ever being materialized.
+DEFAULT_TRACE_SINK = "digest"
 
 
 @dataclass
@@ -166,54 +180,50 @@ class PairHalf:
     Carries everything the parent needs to recombine the pair without
     re-simulating: the run record of this mode (whose ``trace_digest`` is
     the SHA-256 of the *reordered* trace — the Section IV-A comparison
-    key) and the deterministic extras.  ``sorted_lines`` is populated only
-    on request (:func:`execute_half` with ``with_lines=True``): because
+    key) and the deterministic extras.  The trace itself never crosses the
+    process boundary: because
     :meth:`~repro.kernel.tracing.TraceRecord.sort_key` and ``format`` are
     both injective on (local date, process, message), digest equality is
-    exactly reordered-trace equality, so the (potentially large) lines
-    never need to cross the process boundary on the happy path.
+    exactly reordered-trace equality, and a mismatching pair is upgraded
+    to the full line-level report by :func:`diff_pair_streaming`.
     """
 
     name: str
     mode: str
     record: SpecRunRecord
     extras: Dict[str, object]
-    sorted_lines: Optional[List[str]] = None
     wall_seconds: float = 0.0
     worker_pid: int = 0
 
 
-def combine_pair(ref: PairHalf, smart: PairHalf) -> PairRecord:
-    """Recombine the two halves of a split pair: trace diff + extras check.
+def _append_extras_report(report: str, extras_match: bool, ref_extras, smart_extras) -> str:
+    if extras_match:
+        return report
+    return (report + "\n" if report else "") + (
+        f"extras differ: reference={ref_extras!r} smart={smart_extras!r}"
+    )
 
-    When both halves carry their reordered trace lines, the full
-    line-level multiset diff runs (bit-identical to the legacy
-    run-both-in-one-worker path).  Otherwise the digests decide — an
-    equivalent outcome is identical either way; a mismatching one carries
-    a digest-level report (the campaign runner upgrades it to the full
-    line diff by re-running the pair, see ``CampaignRunner._execute``).
+
+def combine_pair(ref: PairHalf, smart: PairHalf) -> PairRecord:
+    """Recombine the two halves of a split pair: digest diff + extras check.
+
+    The digests decide trace equivalence — an equivalent outcome is
+    bit-identical to the historical line-level diff; a mismatching one
+    carries a digest-level report, which the campaign runner upgrades to
+    the full line diff by re-running the pair on trace spools (see
+    :func:`diff_pair_streaming`).
     """
     extras_match = ref.extras == smart.extras
-    if ref.sorted_lines is not None and smart.sorted_lines is not None:
-        comparison = compare_sorted_lines(ref.sorted_lines, smart.sorted_lines)
-        traces_equal = comparison.equivalent
-        reference_lines = comparison.reference_count
-        candidate_lines = comparison.candidate_count
-        report = "" if traces_equal else comparison.report()
-    else:
-        traces_equal = ref.record.trace_digest == smart.record.trace_digest
-        reference_lines = ref.record.trace_lines
-        candidate_lines = smart.record.trace_lines
-        report = "" if traces_equal else (
-            f"traces differ: {reference_lines} reference lines, "
-            f"{candidate_lines} candidate lines (sorted-trace digests "
-            f"{ref.record.trace_digest[:12]} != "
-            f"{smart.record.trace_digest[:12]})"
-        )
-    if not extras_match:
-        report = (report + "\n" if report else "") + (
-            f"extras differ: reference={ref.extras!r} smart={smart.extras!r}"
-        )
+    traces_equal = ref.record.trace_digest == smart.record.trace_digest
+    reference_lines = ref.record.trace_lines
+    candidate_lines = smart.record.trace_lines
+    report = "" if traces_equal else (
+        f"traces differ: {reference_lines} reference lines, "
+        f"{candidate_lines} candidate lines (sorted-trace digests "
+        f"{ref.record.trace_digest[:12]} != "
+        f"{smart.record.trace_digest[:12]})"
+    )
+    report = _append_extras_report(report, extras_match, ref.extras, smart.extras)
     return PairRecord(
         name=ref.name,
         equivalent=traces_equal and extras_match,
@@ -231,9 +241,14 @@ def combine_pair(ref: PairHalf, smart: PairHalf) -> PairRecord:
 # ---------------------------------------------------------------------------
 # Worker entry points (top-level functions: they must be picklable)
 # ---------------------------------------------------------------------------
-def _run_one(spec: ScenarioSpec):
-    """Build and run ``spec`` in a fresh simulator; return (sim, built, wall)."""
-    sim = Simulator(f"campaign_{spec.label}")
+def _run_one(spec: ScenarioSpec, trace_sink: str = DEFAULT_TRACE_SINK):
+    """Build and run ``spec`` in a fresh simulator; return (sim, built, wall).
+
+    ``trace_sink`` names the :mod:`repro.kernel.tracing` sink kind the
+    simulation emits into (``"digest"`` on the campaign happy path, so no
+    trace record list ever exists).
+    """
+    sim = Simulator(f"campaign_{spec.label}", trace_sink=make_sink(trace_sink))
     built = build_scenario(sim, spec)
     start = time.perf_counter()
     built.scenario.run()
@@ -241,6 +256,21 @@ def _run_one(spec: ScenarioSpec):
     if built.verify is not None:
         built.verify()
     return sim, built, wall
+
+
+def _export_trace(sim: Simulator, spec: ScenarioSpec, trace_out: Optional[str]) -> None:
+    """Write the reordered spool of a finished run to ``trace_out``."""
+    if trace_out is None:
+        return
+    writer = getattr(sim.trace, "write_sorted", None)
+    if writer is None:
+        raise ValueError(
+            f"--trace-out needs a spool-backed sink, got {sim.trace.kind!r}"
+        )
+    os.makedirs(trace_out, exist_ok=True)
+    path = os.path.join(trace_out, f"{spec.name}.{spec.mode}.trace")
+    with open(path, "w") as stream:
+        writer(stream)
 
 
 def _record_from(spec: ScenarioSpec, sim: Simulator, built, wall: float) -> SpecRunRecord:
@@ -257,58 +287,114 @@ def _record_from(spec: ScenarioSpec, sim: Simulator, built, wall: float) -> Spec
         method_invocations=sim.stats.method_invocations,
         delta_cycles=sim.stats.delta_cycles,
         trace_lines=len(sim.trace),
-        trace_digest=_trace_digest(sim),
+        trace_digest=sim.trace.digest(),
         extra=built.extras() if built.extras is not None else {},
         wall_seconds=wall,
         worker_pid=os.getpid(),
     )
 
 
-def execute_spec(spec: ScenarioSpec) -> SpecRunRecord:
+def execute_spec(
+    spec: ScenarioSpec,
+    trace_sink: str = DEFAULT_TRACE_SINK,
+    trace_out: Optional[str] = None,
+) -> SpecRunRecord:
     """Worker body of the single-mode campaign."""
-    sim, built, wall = _run_one(spec)
-    return _record_from(spec, sim, built, wall)
+    sim, built, wall = _run_one(spec, trace_sink)
+    record = _record_from(spec, sim, built, wall)
+    _export_trace(sim, spec, trace_out)
+    sim.trace.close()
+    return record
 
 
-def execute_half(spec: ScenarioSpec, mode: str, with_lines: bool = True) -> PairHalf:
+def execute_half(
+    spec: ScenarioSpec,
+    mode: str,
+    trace_sink: str = DEFAULT_TRACE_SINK,
+    trace_out: Optional[str] = None,
+) -> PairHalf:
     """Worker body of one half of a split pair: run ``spec`` in ``mode``.
 
     Runs are deterministic per seed, so the embedded record is bit-identical
     to what :func:`execute_spec` would produce for ``spec.with_mode(mode)``.
-    ``with_lines=False`` omits the reordered trace lines from the returned
-    half (the pool jobs use this: the digest embedded in the record is a
-    faithful stand-in, and the lines would dominate the IPC payload).
+    Only the digest travels back to the parent — the streamed
+    ``trace_digest`` is a faithful stand-in for the reordered trace, and
+    the lines would dominate the IPC payload.
     """
     mode_spec = spec.with_mode(mode)
-    sim, built, wall = _run_one(mode_spec)
+    sim, built, wall = _run_one(mode_spec, trace_sink)
     record = _record_from(mode_spec, sim, built, wall)
+    _export_trace(sim, mode_spec, trace_out)
+    sim.trace.close()
     return PairHalf(
         name=spec.name,
         mode=mode,
         record=record,
         extras=built.extras() if built.extras is not None else {},
-        sorted_lines=sim.trace.sorted_lines() if with_lines else None,
         wall_seconds=wall,
         worker_pid=os.getpid(),
     )
 
 
-def execute_paired_spec(spec: ScenarioSpec):
+def diff_pair_streaming(spec: ScenarioSpec) -> PairRecord:
+    """Full line-level diff of a pair over two bounded-memory trace spools.
+
+    The mismatch path of the paired campaign: both modes re-run with a
+    :class:`~repro.kernel.tracing.SpoolSink` and the two spools are
+    merge-diffed in sorted order (:func:`compare_spools`), producing the
+    same report the historical in-memory reorder-and-compare produced —
+    without ever materializing either trace.  Deterministic, hence
+    identical for any worker count.
+    """
+    ref_spec = spec.with_mode(MODE_REFERENCE)
+    smart_spec = spec.with_mode(MODE_SMART)
+    ref_sim, ref_built, ref_wall = _run_one(ref_spec, "spool")
+    smart_sim, smart_built, smart_wall = _run_one(smart_spec, "spool")
+    comparison = compare_spools(ref_sim.trace, smart_sim.trace)
+    ref_extras = ref_built.extras() if ref_built.extras is not None else {}
+    smart_extras = smart_built.extras() if smart_built.extras is not None else {}
+    extras_match = ref_extras == smart_extras
+    report = "" if comparison.equivalent else comparison.report()
+    report = _append_extras_report(report, extras_match, ref_extras, smart_extras)
+    pair = PairRecord(
+        name=spec.name,
+        equivalent=comparison.equivalent and extras_match,
+        reference_digest=ref_sim.trace.digest(),
+        smart_digest=smart_sim.trace.digest(),
+        reference_lines=comparison.reference_count,
+        candidate_lines=comparison.candidate_count,
+        extras_match=extras_match,
+        report=report,
+        wall_seconds=ref_wall + smart_wall,
+        worker_pids=(os.getpid(), os.getpid()),
+    )
+    ref_sim.trace.close()
+    smart_sim.trace.close()
+    return pair
+
+
+def execute_paired_spec(spec: ScenarioSpec, trace_sink: str = DEFAULT_TRACE_SINK):
     """Run both halves of a pair inline and recombine them.
 
     Kept as the one-process entry point (and for API compatibility): the
     campaign itself schedules the two halves as independent jobs — see
     :meth:`CampaignRunner._execute` — and recombines with
     :func:`combine_pair`, which this function reuses, so the records are
-    bit-identical either way.
+    bit-identical either way.  A digest mismatch is upgraded to the full
+    line-level report by re-running the pair on trace spools.
 
     Returns ``(SpecRunRecord, PairRecord)``: the run record is taken from
     the half matching ``spec.mode``, so a paired campaign never simulates
     the same (spec, mode) twice — both halves double as single-mode results.
     """
-    ref_half = execute_half(spec, MODE_REFERENCE)
-    smart_half = execute_half(spec, MODE_SMART)
+    ref_half = execute_half(spec, MODE_REFERENCE, trace_sink)
+    smart_half = execute_half(spec, MODE_SMART, trace_sink)
     pair = combine_pair(ref_half, smart_half)
+    if not pair.equivalent and trace_sink != "null":
+        # With tracing off there is no trace to diff (the mismatch can only
+        # come from the extras), so the spool upgrade would reintroduce the
+        # trace validation the caller disabled.
+        pair = diff_pair_streaming(spec)
     record = ref_half.record if spec.mode == MODE_REFERENCE else smart_half.record
     return record, pair
 
@@ -326,20 +412,37 @@ _JOB_SINGLE = None
 def _execute_job(job):
     """Dispatch one tagged campaign job (see ``CampaignRunner._execute``).
 
-    ``job`` is ``(spec_index, half_mode, spec)``; the index rides along so
-    completion-order mappers (``imap_unordered``) can be matched back to
-    their spec without relying on submission order.
+    ``job`` is ``(spec_index, half_mode, spec, trace_sink, trace_out)``;
+    the index rides along so completion-order mappers (``imap_unordered``)
+    can be matched back to their spec without relying on submission order.
     """
-    index, half_mode, spec = job
+    index, half_mode, spec, trace_sink, trace_out = job
     if half_mode is _JOB_SINGLE:
-        return index, half_mode, execute_spec(spec)
-    return index, half_mode, execute_half(spec, half_mode, with_lines=False)
+        return index, half_mode, execute_spec(spec, trace_sink, trace_out)
+    return index, half_mode, execute_half(spec, half_mode, trace_sink, trace_out)
 
 
 # ---------------------------------------------------------------------------
 # JSONL persistence
 # ---------------------------------------------------------------------------
 JSONL_SCHEMA = 1
+
+
+def campaign_header_row(
+    campaign_specs: Sequence[ScenarioSpec],
+    workers: int,
+    paired: bool,
+    shard: Optional[Tuple[int, int]] = None,
+) -> Dict[str, object]:
+    """The campaign header row of a JSONL file (first line)."""
+    return {
+        "type": "campaign",
+        "schema": JSONL_SCHEMA,
+        "specs": [spec.name for spec in campaign_specs],
+        "workers": workers,
+        "paired": paired,
+        "shard": f"{shard[0]}/{shard[1]}" if shard else None,
+    }
 
 
 class JsonlSink:
@@ -351,6 +454,11 @@ class JsonlSink:
     running.  The header records the *whole* campaign's spec names (before
     shard partitioning), so :func:`merge_jsonl` can tell shards of the same
     campaign from shards of different ones.
+
+    The resume path :meth:`replay`\\ s the rows recovered from a partially
+    written file and marks them seen, so a re-executed spec whose run row
+    survived a previous invocation does not produce a duplicate (which
+    :func:`merge_jsonl` would rightly reject).
     """
 
     def __init__(
@@ -360,27 +468,50 @@ class JsonlSink:
         workers: int,
         paired: bool,
         shard: Optional[Tuple[int, int]] = None,
+        header_row: Optional[Dict[str, object]] = None,
     ):
         self._stream = stream
-        header = {
-            "type": "campaign",
-            "schema": JSONL_SCHEMA,
-            "specs": [spec.name for spec in campaign_specs],
-            "workers": workers,
-            "paired": paired,
-            "shard": f"{shard[0]}/{shard[1]}" if shard else None,
-        }
-        self._write(header)
+        self._skip_runs: Set[Tuple[str, str]] = set()
+        self._skip_pairs: Set[str] = set()
+        self._write(
+            header_row
+            if header_row is not None
+            else campaign_header_row(campaign_specs, workers, paired, shard)
+        )
 
     def _write(self, row: Dict[str, object]) -> None:
         self._stream.write(json.dumps(row, sort_keys=True, separators=(",", ":")))
         self._stream.write("\n")
         self._stream.flush()
 
+    def reattach(self, stream: IO[str]) -> None:
+        """Continue writing rows to another stream.
+
+        Used by the resume path: the recovered prefix is written to a
+        temporary file that atomically replaces the original, then the
+        sink reattaches to the real file opened in append mode — so there
+        is never a moment where the only copy of the campaign is
+        truncated.
+        """
+        self._stream = stream
+
+    def replay(self, runs: Sequence[SpecRunRecord], pairs: Sequence[PairRecord]) -> None:
+        """Persist rows recovered from a resumed file and mark them seen."""
+        for record in runs:
+            self.run_completed(record)
+            self._skip_runs.add((record.name, record.mode))
+        for pair in pairs:
+            self.pair_completed(pair)
+            self._skip_pairs.add(pair.name)
+
     def run_completed(self, record: SpecRunRecord) -> None:
+        if (record.name, record.mode) in self._skip_runs:
+            return
         self._write({"type": "run", **record.deterministic_row()})
 
     def pair_completed(self, pair: PairRecord) -> None:
+        if pair.name in self._skip_pairs:
+            return
         self._write({"type": "pair", **pair.deterministic_row()})
 
 
@@ -398,6 +529,134 @@ def parse_jsonl_rows(lines: Iterable[str]):
         if kind not in ("campaign", "run", "pair"):
             raise ValueError(f"JSONL line {number} has unknown type {kind!r}")
         yield kind, row
+
+
+class CampaignResumeError(ValueError):
+    """A ``resume=True`` request that cannot be honoured (wrong header,
+    corrupt file, missing path).  Distinct from the :class:`ValueError`\\ s
+    a broken simulation may raise, so CLIs can report resume problems
+    without swallowing genuine model bugs."""
+
+
+def load_resume_state(
+    path: str,
+    campaign_specs: Sequence[ScenarioSpec],
+    paired: bool,
+    shard: Optional[Tuple[int, int]],
+):
+    """Parse a partially written campaign JSONL for ``resume=True``.
+
+    Returns ``(header_row, runs, pairs)``.  The header must describe the
+    *same* campaign as the one being resumed — identical spec list, paired
+    flag, shard and schema — otherwise the resume is rejected: silently
+    appending rows of one campaign to the file of another would merge into
+    a plausible-looking fingerprint that corresponds to no real run.  (A
+    differing ``workers`` value is fine: worker count never affects the
+    rows.)  Every recovered row must belong to a known spec, and run rows
+    must match the spec's identity columns (workload, mode, depth,
+    quantum_ns, seed, timing).  Rows do **not** record ``params`` or the
+    trace-sink kind, so a resume cannot detect those changing between
+    invocations — resuming assumes both are unchanged, like sharding does.
+    A truncated *final* line — the signature of a run that died mid-write
+    — is dropped; corruption anywhere else still raises.
+    """
+    header: Optional[Dict[str, object]] = None
+    runs: List[SpecRunRecord] = []
+    pairs: List[PairRecord] = []
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+            kind = row.get("type")
+            if kind == "run":
+                parsed = SpecRunRecord.from_row(row)
+            elif kind == "pair":
+                parsed = PairRecord.from_row(row)
+            elif kind == "campaign":
+                parsed = row
+                if header is not None:
+                    raise CampaignResumeError(
+                        f"{path} contains more than one campaign header row"
+                    )
+            else:
+                raise ValueError(f"unknown row type {kind!r}")
+        except CampaignResumeError:
+            raise
+        except (ValueError, KeyError, TypeError) as exc:
+            if number == len(lines):
+                break  # torn final line: the interrupted write, drop it
+            raise CampaignResumeError(
+                f"{path} line {number} is not a valid campaign row ({exc}); "
+                f"cannot resume from a corrupt file"
+            ) from None
+        if kind == "campaign":
+            if runs or pairs:
+                raise CampaignResumeError(
+                    f"{path} does not start with a campaign header row"
+                )
+            header = parsed
+        elif kind == "run":
+            runs.append(parsed)
+        else:
+            pairs.append(parsed)
+    if header is None:
+        raise CampaignResumeError(
+            f"{path} does not start with a campaign header row"
+        )
+    expected = campaign_header_row(campaign_specs, 0, paired, shard)
+    for key in ("schema", "specs", "paired", "shard"):
+        if header.get(key) != expected[key]:
+            raise CampaignResumeError(
+                f"cannot resume {path}: its campaign header differs on "
+                f"{key!r} ({header.get(key)!r} != {expected[key]!r}) — the "
+                f"file belongs to a different campaign"
+            )
+    by_name = {spec.name: spec for spec in campaign_specs}
+    seen_runs: Set[Tuple[str, str]] = set()
+    for record in runs:
+        spec = by_name.get(record.name)
+        if spec is None:
+            raise CampaignResumeError(
+                f"cannot resume {path}: run row for unknown spec {record.name!r}"
+            )
+        expected_identity = spec.with_mode(record.mode).identity_row()
+        row_identity = {
+            key: getattr(record, key) for key in expected_identity
+        }
+        if row_identity != expected_identity:
+            raise CampaignResumeError(
+                f"cannot resume {path}: run row for spec {record.name!r} was "
+                f"written by a different spec definition "
+                f"({row_identity} != {expected_identity})"
+            )
+        key = (record.name, record.mode)
+        if key in seen_runs:
+            raise CampaignResumeError(
+                f"cannot resume {path}: duplicate run row for spec "
+                f"{record.name!r} mode {record.mode!r}"
+            )
+        seen_runs.add(key)
+    seen_pairs: Set[str] = set()
+    for pair in pairs:
+        spec = by_name.get(pair.name)
+        if spec is None:
+            raise CampaignResumeError(
+                f"cannot resume {path}: pair row for unknown spec {pair.name!r}"
+            )
+        if not spec_is_pairable(spec):
+            raise CampaignResumeError(
+                f"cannot resume {path}: pair row for non-pairable spec "
+                f"{pair.name!r}"
+            )
+        if pair.name in seen_pairs:
+            raise CampaignResumeError(
+                f"cannot resume {path}: duplicate pair row for spec {pair.name!r}"
+            )
+        seen_pairs.add(pair.name)
+    return header, runs, pairs
 
 
 def _check_merge_completeness(
@@ -673,6 +932,19 @@ class CampaignRunner:
         shard of the spec list (see :meth:`shard_specs`).  Merging the JSONL
         of all ``count`` shards with :func:`merge_jsonl` reproduces the
         unsharded fingerprint.
+    trace_sink:
+        Kind of :class:`~repro.kernel.tracing.TraceSink` every worker
+        simulation emits into (one of
+        :data:`~repro.kernel.tracing.SINK_KINDS`).  The default
+        ``"digest"`` streams the trace into its digest without ever
+        materializing records; ``"list"`` restores the historical
+        collector; ``"null"`` disables tracing — digests degenerate to the
+        empty-trace digest on both sides of a pair, so trace validation is
+        off and only the deterministic extras are compared.
+    trace_out:
+        Optional directory receiving one reordered trace file per run
+        (``<spec>.<mode>.trace``); requires a spool-backed sink
+        (``trace_sink="spool"``).
     """
 
     def __init__(
@@ -681,6 +953,8 @@ class CampaignRunner:
         paired: bool = True,
         mp_start_method: Optional[str] = None,
         shard: Optional[Tuple[int, int]] = None,
+        trace_sink: str = DEFAULT_TRACE_SINK,
+        trace_out: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -693,10 +967,21 @@ class CampaignRunner:
                     f"shard index must be in [0, {count}), got {index}"
                 )
             shard = (index, count)
+        if trace_sink not in SINK_KINDS:
+            raise ValueError(
+                f"trace_sink must be one of {', '.join(SINK_KINDS)}, "
+                f"got {trace_sink!r}"
+            )
+        if trace_out is not None and trace_sink != "spool":
+            raise ValueError(
+                f"trace_out requires trace_sink='spool', got {trace_sink!r}"
+            )
         self.workers = workers
         self.paired = paired
         self.mp_start_method = mp_start_method
         self.shard = shard
+        self.trace_sink = trace_sink
+        self.trace_out = trace_out
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -725,10 +1010,10 @@ class CampaignRunner:
         jobs = []
         for index, spec in enumerate(specs):
             if self.paired and spec_is_pairable(spec):
-                jobs.append((index, MODE_REFERENCE, spec))
-                jobs.append((index, MODE_SMART, spec))
+                jobs.append((index, MODE_REFERENCE, spec, self.trace_sink, self.trace_out))
+                jobs.append((index, MODE_SMART, spec, self.trace_sink, self.trace_out))
             else:
-                jobs.append((index, _JOB_SINGLE, spec))
+                jobs.append((index, _JOB_SINGLE, spec, self.trace_sink, self.trace_out))
         runs, pairs = [], []
         halves: Dict[int, Dict[str, PairHalf]] = {}
         for index, half_mode, outcome in mapper(_execute_job, jobs):
@@ -749,12 +1034,15 @@ class CampaignRunner:
                 pair = combine_pair(
                     pending[MODE_REFERENCE], pending[MODE_SMART]
                 )
-                if not pair.equivalent:
+                if not pair.equivalent and self.trace_sink != "null":
                     # Failure path: the pool halves carry digests only, so
-                    # re-run the pair inline to upgrade the report to the
-                    # full line-level diff (deterministic, hence identical
-                    # for any worker count).
-                    pair = execute_paired_spec(spec)[1]
+                    # re-run the pair inline over trace spools to upgrade
+                    # the report to the full line-level diff
+                    # (deterministic, hence identical for any worker
+                    # count).  Not with tracing off: a null-sink mismatch
+                    # is extras-only and the spool re-run would
+                    # reintroduce the disabled trace validation.
+                    pair = diff_pair_streaming(spec)
                 pairs.append(pair)
                 if sink is not None:
                     sink.pair_completed(pair)
@@ -762,8 +1050,22 @@ class CampaignRunner:
         return runs, pairs
 
     def run(
-        self, specs: Sequence[ScenarioSpec], jsonl: Optional[str] = None
+        self,
+        specs: Sequence[ScenarioSpec],
+        jsonl: Optional[str] = None,
+        resume: bool = False,
     ) -> CampaignResult:
+        """Execute the campaign; see the class docstring.
+
+        ``resume=True`` (requires ``jsonl``) re-reads an existing JSONL
+        file of the *same* campaign (identical header; anything else is
+        rejected), skips every spec whose run row — and pair row, when one
+        is due — is already present, rewrites the file with the recovered
+        rows and appends only the missing ones.  The aggregated result
+        covers the whole campaign either way, so the final
+        :meth:`CampaignResult.fingerprint` is byte-identical to an
+        uninterrupted run.
+        """
         specs = list(specs)
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
@@ -774,17 +1076,56 @@ class CampaignRunner:
         campaign_specs = specs
         if self.shard is not None:
             specs = self.shard_specs(specs, *self.shard)
+        if resume and not jsonl:
+            raise CampaignResumeError(
+                "resume=True requires a jsonl path to resume from"
+            )
+        header_row = None
+        done_runs: List[SpecRunRecord] = []
+        done_pairs: List[PairRecord] = []
+        resuming_existing = resume and os.path.exists(jsonl)
+        if resuming_existing:
+            header_row, done_runs, done_pairs = load_resume_state(
+                jsonl, campaign_specs, self.paired, self.shard
+            )
+        seen_runs = {(record.name, record.mode) for record in done_runs}
+        seen_pairs = {pair.name for pair in done_pairs}
+        todo = []
+        for spec in specs:
+            needs_pair = self.paired and spec_is_pairable(spec)
+            if (spec.name, spec.mode) in seen_runs and (
+                not needs_pair or spec.name in seen_pairs
+            ):
+                continue
+            todo.append(spec)
         start = time.perf_counter()
-        sink_file = open(jsonl, "w") if jsonl else None
+        sink_file = None
+        sink = None
         try:
-            sink = (
-                JsonlSink(
+            if jsonl and resuming_existing:
+                # Rewrite the recovered prefix (healing a torn final line)
+                # into a sibling temp file and atomically replace the
+                # original, so the completed work is never the only copy
+                # in a truncated file; then append the new rows.  The
+                # replayed rows are marked seen so a partially complete
+                # spec cannot persist a duplicate row.
+                tmp_path = jsonl + ".resume-tmp"
+                with open(tmp_path, "w") as tmp_file:
+                    sink = JsonlSink(
+                        tmp_file, campaign_specs, self.workers, self.paired,
+                        self.shard, header_row=header_row,
+                    )
+                    sink.replay(done_runs, done_pairs)
+                os.replace(tmp_path, jsonl)
+                sink_file = open(jsonl, "a")
+                sink.reattach(sink_file)
+            elif jsonl:
+                sink_file = open(jsonl, "w")
+                sink = JsonlSink(
                     sink_file, campaign_specs, self.workers, self.paired,
                     self.shard,
                 )
-                if sink_file
-                else None
-            )
+            specs = todo
             if self.workers == 1 or not specs:
                 runs, pairs = self._execute(
                     specs,
@@ -815,6 +1156,17 @@ class CampaignRunner:
             if sink_file is not None:
                 sink_file.close()
         wall = time.perf_counter() - start
+        # Recovered rows and freshly executed rows are interchangeable
+        # (runs are deterministic); keep the recovered copies so the
+        # aggregate matches the persisted file exactly, and drop the
+        # re-executed duplicates of partially complete specs.
+        runs = done_runs + [
+            record for record in runs
+            if (record.name, record.mode) not in seen_runs
+        ]
+        pairs = done_pairs + [
+            pair for pair in pairs if pair.name not in seen_pairs
+        ]
         return CampaignResult(
             runs=runs,
             pairs=pairs,

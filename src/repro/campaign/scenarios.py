@@ -42,6 +42,7 @@ from ..soc.platform import FifoPolicy, SocConfig, SocPlatform
 from ..td.quantum import GlobalQuantum
 from ..workloads.bursty import BurstyConfig, BurstyScenario
 from ..workloads.contention import ArbiterContentionScenario, ContentionConfig
+from ..workloads.fault_drop import FaultDropConfig, FaultDropScenario
 from ..workloads.mixed import MixedTopologyConfig, MixedTopologyScenario
 from ..workloads.noc_stress import NocStressConfig, NocStressScenario
 from ..workloads.packet_stream import PacketStreamConfig, PacketStreamScenario
@@ -252,6 +253,35 @@ def build_contention(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
             "read_arbitrated": scenario.read_arbiter.arbitrated_accesses,
             "last_write_grant_fs": scenario.write_arbiter.last_grant_fs,
             "last_read_grant_fs": scenario.read_arbiter.last_grant_fs,
+        },
+    )
+
+
+@register_workload(
+    "fault_drop",
+    description="seeded dropped-packet fault the paired diff must flag",
+    param_keys=_config_param_keys(FaultDropConfig),
+)
+def build_fault_drop(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
+    """Negative-path coverage for the Section IV-A methodology.
+
+    Pairable on purpose: the smart run drops one seeded value, so a paired
+    campaign containing a ``fault_drop`` spec must come back with
+    ``equivalent=False`` for it (trace diff *and* checksum extras) — if it
+    ever reports equivalence, the validation pipeline itself is broken.
+    Not part of :func:`default_campaign` for exactly that reason.
+    """
+    _reject_timing_override(spec)
+    config = _config_from_spec(FaultDropConfig, spec)
+    scenario = FaultDropScenario(
+        sim, decoupled=spec.mode == MODE_SMART, config=config
+    )
+    return BuiltScenario(
+        scenario=scenario,
+        verify=scenario.verify,
+        extras=lambda: {
+            "consumed_checksum": scenario.checksum(),
+            "consumed_count": len(scenario.consumer.values),
         },
     )
 

@@ -59,7 +59,19 @@ from .simtime import (
 )
 from .simulator import Simulator, simulate
 from .stats import KernelStats
-from .tracing import TraceCollector, TraceRecord, VcdWriter
+from .tracing import (
+    DigestSink,
+    ListSink,
+    NullSink,
+    SINK_KINDS,
+    SpoolSink,
+    TraceCollector,
+    TraceRecord,
+    TraceSink,
+    VcdWriter,
+    make_sink,
+    trace_lines_digest,
+)
 
 __all__ = [
     "BindingError",
@@ -83,6 +95,14 @@ __all__ = [
     "SimTime",
     "SimulationError",
     "Simulator",
+    "DigestSink",
+    "ListSink",
+    "NullSink",
+    "SINK_KINDS",
+    "SpoolSink",
+    "TraceSink",
+    "make_sink",
+    "trace_lines_digest",
     "ThreadProcess",
     "Timeout",
     "TimeUnit",

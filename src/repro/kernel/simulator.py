@@ -32,17 +32,25 @@ from .process import (
 from .scheduler import Scheduler
 from .simtime import SimTime, TimeUnit, as_time
 from .stats import KernelStats
-from .tracing import TraceCollector
+from .tracing import ListSink, TraceSink
 
 
 class Simulator:
-    """A self-contained simulation context."""
+    """A self-contained simulation context.
 
-    def __init__(self, name: str = "sim"):
+    ``trace_sink`` selects where trace records go (see
+    :mod:`repro.kernel.tracing`): the default :class:`ListSink` keeps the
+    historical materialize-every-record behaviour for tests and debugging;
+    campaign-scale runs pass a streaming sink (``DigestSink``/``SpoolSink``)
+    or :class:`~repro.kernel.tracing.NullSink` to turn tracing off, in
+    which case the emit path collapses to one attribute check.
+    """
+
+    def __init__(self, name: str = "sim", trace_sink: Optional[TraceSink] = None):
         self.name = name
         self.stats = KernelStats()
         self.scheduler = Scheduler(self.stats)
-        self.trace = TraceCollector()
+        self.trace: TraceSink = ListSink() if trace_sink is None else trace_sink
         self._names = set()
         self._children = []
         self._elaborated = False
@@ -181,9 +189,18 @@ class Simulator:
     # Tracing
     # ------------------------------------------------------------------
     def log(self, message: str, local_time: Optional[SimTime] = None) -> None:
-        """Record a timestamped trace line for the current process."""
-        local = self.now_fs if local_time is None else local_time.femtoseconds
-        self.trace.record(self.current_process_name(), local, self.now_fs, message)
+        """Record a timestamped trace line for the current process.
+
+        The hot emit path: one ``enabled`` check gates everything, so a
+        :class:`~repro.kernel.tracing.NullSink` run pays (almost) nothing
+        for the trace statements sprinkled through the workloads.
+        """
+        trace = self.trace
+        if not trace.enabled:
+            return
+        now_fs = self.now_fs
+        local = now_fs if local_time is None else local_time.femtoseconds
+        trace.emit(self.current_process_name(), local, now_fs, message)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Simulator({self.name!r}, now={self.now})"

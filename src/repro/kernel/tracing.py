@@ -1,4 +1,4 @@
-"""Trace recording.
+"""Trace recording: the pluggable streaming sink pipeline.
 
 The validation methodology of the paper (Section IV-A) relies on traces:
 each test prints timestamped messages, once with regular FIFOs and no
@@ -8,16 +8,50 @@ decoupling changes the process schedule (dates may decrease between
 consecutive lines) but must not change the set of (date, process, message)
 records.
 
-:class:`TraceCollector` stores :class:`TraceRecord` objects; helpers in
-:mod:`repro.analysis.trace_diff` implement the reorder-and-compare check.
+Every simulation emits its records into a :class:`TraceSink`; the sink
+decides what happens to them, which is what lets trace-based validation
+scale from unit tests to campaign-sized sweeps without materializing every
+record in memory:
+
+* :class:`NullSink` — tracing off; the kernel emit path collapses to one
+  attribute check (``sink.enabled``) and nothing else runs.
+* :class:`ListSink` — accumulates :class:`TraceRecord` objects in a Python
+  list (the historical behaviour; ``TraceCollector`` is an alias).  Used by
+  tests and interactive debugging, where random access to records matters
+  more than memory.
+* :class:`DigestSink` — streams records into an order-insensitive SHA-256
+  digest plus a record count, never holding more than a bounded buffer of
+  encoded entries in memory (overflow spills sorted runs to temporary
+  files).  ``DigestSink.digest()`` is byte-identical to hashing the
+  reordered, formatted lines of a :class:`ListSink` holding the same
+  records, so campaign rows keep their historical ``trace_digest`` values.
+* :class:`SpoolSink` — the same bounded-memory external spool, kept around
+  after the run so consumers can stream the *reordered* lines back out:
+  :func:`repro.analysis.trace_diff.compare_spools` merge-diffs two spools
+  without a full in-memory sort, and :meth:`SpoolSink.write_sorted` exports
+  the reordered trace file.
+
+Ordering is defined by :meth:`TraceRecord.sort_key` — the tuple
+``(local_fs, process, message)``.  The streaming sinks encode each record
+as one text line whose lexicographic order equals the tuple order (fixed
+width zero-padded date, ``\\x1f``-separated fields), so spilled runs can be
+merged with :func:`heapq.merge` and formatted lines are only rebuilt while
+streaming the final merge.  The encoding requires ``process`` and
+``message`` to stay free of ``\\n`` and ``\\x1f`` — which single-line trace
+messages already are — and dates to fit 20 decimal digits of femtoseconds
+(about three simulated years).
+
 A lightweight VCD writer is also provided for waveform-style inspection of
 signals and FIFO fill levels.
 """
 
 from __future__ import annotations
 
+import hashlib
+import heapq
+import tempfile
 from dataclasses import dataclass
-from typing import Dict, List, Optional, TextIO
+from typing import Dict, IO, Iterable, Iterator, List, Optional, TextIO, Tuple
 
 from .simtime import SimTime
 
@@ -53,14 +87,138 @@ class TraceRecord:
         return f"[{self.local_time}] {self.process}: {self.message}"
 
 
-class TraceCollector:
-    """Accumulates trace records for one simulation run."""
+def trace_lines_digest(lines: Iterable[str]) -> str:
+    """SHA-256 of reordered trace ``lines`` (the Section IV-A comparison key).
+
+    Defined as the hash of ``"\\n".join(lines)``; :meth:`DigestSink.digest`
+    computes the same value incrementally.
+    """
+    digest = hashlib.sha256()
+    first = True
+    for line in lines:
+        if not first:
+            digest.update(b"\n")
+        digest.update(line.encode())
+        first = False
+    return digest.hexdigest()
+
+
+#: Digest of a run that emitted no trace lines at all.
+EMPTY_TRACE_DIGEST = hashlib.sha256(b"").hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Sort-key encoding shared by the streaming sinks
+# ---------------------------------------------------------------------------
+#: Fixed decimal width of the encoded local date: lexicographic order of the
+#: zero-padded text equals numeric order for dates in [0, 10**20) fs.
+_FS_WIDTH = 20
+_FS_LIMIT = 10 ** _FS_WIDTH
+#: Field separator, below every character allowed in names/messages so the
+#: concatenation sorts exactly like the (local_fs, process, message) tuple.
+_SEP = "\x1f"
+
+
+def encode_entry(process: str, local_fs: int, message: str) -> str:
+    """Encode a record as one line whose string order equals its sort key."""
+    if not 0 <= local_fs < _FS_LIMIT:
+        raise ValueError(
+            f"trace date {local_fs} fs outside the streamable range "
+            f"[0, {_FS_LIMIT})"
+        )
+    if _SEP in process or "\n" in process:
+        raise ValueError(f"process name {process!r} contains reserved characters")
+    if _SEP in message or "\n" in message:
+        raise ValueError(
+            f"trace message {message!r} contains reserved characters "
+            r"(\x1f or newline); trace lines must be single-line"
+        )
+    return f"{local_fs:0{_FS_WIDTH}d}{_SEP}{process}{_SEP}{message}"
+
+
+def decode_entry(entry: str) -> Tuple[int, str, str]:
+    """Inverse of :func:`encode_entry`: ``(local_fs, process, message)``."""
+    date_text, process, message = entry.split(_SEP, 2)
+    return int(date_text), process, message
+
+
+def format_entry(entry: str) -> str:
+    """The formatted trace line of an encoded entry."""
+    local_fs, process, message = decode_entry(entry)
+    return f"[{SimTime.from_femtoseconds(local_fs)}] {process}: {message}"
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+class TraceSink:
+    """Protocol of a trace consumer.
+
+    The kernel emit path (:meth:`repro.kernel.simulator.Simulator.log`)
+    checks :attr:`enabled` once and, when true, calls :meth:`emit` — that is
+    the whole contract of the hot path.  ``record`` is kept as an alias of
+    ``emit`` for code written against the historical ``TraceCollector``
+    API.
+    """
+
+    #: Checked (once) by every emit call site; ``False`` short-circuits the
+    #: whole trace path.
+    enabled: bool = True
+    #: Registry key of the sink kind (see :func:`make_sink`).
+    kind: str = "base"
+
+    def emit(self, process: str, local_fs: int, global_fs: int, message: str) -> None:
+        raise NotImplementedError
+
+    def record(self, process: str, local_fs: int, global_fs: int, message: str) -> None:
+        """Historical name of :meth:`emit`."""
+        self.emit(process, local_fs, global_fs, message)
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def digest(self) -> str:
+        """SHA-256 of the reordered formatted lines (see module docstring)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any external resources (spool files); idempotent."""
+
+
+class NullSink(TraceSink):
+    """Tracing off: emits are dropped before any formatting happens."""
+
+    enabled = False
+    kind = "null"
+
+    def emit(self, process: str, local_fs: int, global_fs: int, message: str) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def digest(self) -> str:
+        return EMPTY_TRACE_DIGEST
+
+    def sorted_lines(self) -> List[str]:
+        return []
+
+
+class ListSink(TraceSink):
+    """Accumulates :class:`TraceRecord` objects (the historical collector).
+
+    Keeps every record addressable, which tests and interactive debugging
+    want; campaign-scale runs use :class:`DigestSink`/:class:`SpoolSink`
+    instead, which never materialize the record list.
+    """
+
+    kind = "list"
 
     def __init__(self):
         self.records: List[TraceRecord] = []
         self.enabled = True
 
-    def record(self, process: str, local_fs: int, global_fs: int, message: str) -> None:
+    def emit(self, process: str, local_fs: int, global_fs: int, message: str) -> None:
         if not self.enabled:
             return
         self.records.append(TraceRecord(local_fs, global_fs, process, message))
@@ -82,23 +240,179 @@ class TraceCollector:
         """Trace lines after the reordering step of the paper's validation."""
         return [r.format() for r in sorted(self.records, key=TraceRecord.sort_key)]
 
+    def digest(self) -> str:
+        return trace_lines_digest(self.sorted_lines())
+
     def write(self, stream: TextIO) -> None:
         for line in self.formatted_lines():
             stream.write(line + "\n")
 
 
+#: Historical name of the list-accumulating sink.
+TraceCollector = ListSink
+
+
+#: Encoded entries buffered in memory before a streaming sink spills a
+#: sorted run to disk; bounds the trace memory of any run at roughly
+#: ``DEFAULT_MAX_BUFFERED * average-entry-length`` bytes.
+DEFAULT_MAX_BUFFERED = 16384
+
+
+class _StreamingSortSink(TraceSink):
+    """Shared external-merge-sort machinery of the streaming sinks.
+
+    Records are kept as encoded entry lines (see :func:`encode_entry`) in a
+    bounded buffer; when the buffer fills up, it is sorted and appended to a
+    temporary spill file as one run.  Iterating the sink merges the spilled
+    runs with the sorted remainder of the buffer (``heapq.merge``), so the
+    reordered trace streams out in sorted order while memory stays bounded
+    by the buffer size — emission order never matters, only the multiset of
+    records.
+    """
+
+    def __init__(self, max_buffered: int = DEFAULT_MAX_BUFFERED):
+        if max_buffered < 1:
+            raise ValueError(f"max_buffered must be >= 1, got {max_buffered}")
+        self.enabled = True
+        self._max_buffered = max_buffered
+        self._buffer: List[str] = []
+        self._runs: List[IO[str]] = []
+        self._count = 0
+
+    # -- emit path ------------------------------------------------------
+    def emit(self, process: str, local_fs: int, global_fs: int, message: str) -> None:
+        if not self.enabled:
+            return
+        buffer = self._buffer
+        buffer.append(encode_entry(process, local_fs, message))
+        self._count += 1
+        if len(buffer) >= self._max_buffered:
+            self._spill()
+
+    def _spill(self) -> None:
+        """Write the buffer out as one sorted run and empty it."""
+        self._buffer.sort()
+        run = tempfile.TemporaryFile(mode="w+", prefix="trace_spool_")
+        run.writelines(line + "\n" for line in self._buffer)
+        run.flush()
+        self._runs.append(run)
+        self._buffer = []
+
+    # -- streaming consumers -------------------------------------------
+    @staticmethod
+    def _iter_run(run: IO[str]) -> Iterator[str]:
+        run.seek(0)
+        for line in run:
+            yield line[:-1] if line.endswith("\n") else line
+
+    def iter_encoded(self) -> Iterator[str]:
+        """All encoded entries in sort-key order (one pass at a time)."""
+        pending = sorted(self._buffer)
+        if not self._runs:
+            return iter(pending)
+        streams = [self._iter_run(run) for run in self._runs]
+        if pending:
+            streams.append(iter(pending))
+        return heapq.merge(*streams)
+
+    def iter_sorted_lines(self) -> Iterator[str]:
+        """The reordered formatted lines, streamed in sorted order."""
+        return map(format_entry, self.iter_encoded())
+
+    def sorted_lines(self) -> List[str]:
+        """Convenience materialization (tests, small traces)."""
+        return list(self.iter_sorted_lines())
+
+    def digest(self) -> str:
+        """Digest of the reordered trace, computed from the streamed merge.
+
+        Byte-identical to ``trace_lines_digest(ListSink.sorted_lines())``
+        for the same records.
+        """
+        return trace_lines_digest(self.iter_sorted_lines())
+
+    def write_sorted(self, stream: TextIO) -> None:
+        """Export the reordered trace file (one formatted line per row)."""
+        for line in self.iter_sorted_lines():
+            stream.write(line + "\n")
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def spilled_runs(self) -> int:
+        """How many sorted runs went to disk (observability/testing)."""
+        return len(self._runs)
+
+    def close(self) -> None:
+        runs, self._runs = self._runs, []
+        for run in runs:
+            run.close()
+        self._buffer = []
+
+
+class DigestSink(_StreamingSortSink):
+    """Streams records into the order-insensitive trace digest + count.
+
+    The campaign happy path runs entirely on this sink: ``digest()`` and
+    ``len()`` provide the ``trace_digest``/``trace_lines`` row fields with
+    bounded memory, and the values are byte-identical to what the
+    list-materializing pipeline produced.
+    """
+
+    kind = "digest"
+
+
+class SpoolSink(_StreamingSortSink):
+    """Bounded-memory spool kept around for streaming consumers.
+
+    Same machinery as :class:`DigestSink`; the distinct type documents the
+    intent: the spool outlives the run so
+    :func:`repro.analysis.trace_diff.compare_spools` can merge-diff two
+    runs line by line, and ``write_sorted`` can export the reordered trace.
+    """
+
+    kind = "spool"
+
+
+_SINK_FACTORIES = {
+    "null": NullSink,
+    "list": ListSink,
+    "digest": DigestSink,
+    "spool": SpoolSink,
+}
+
+#: Sink kinds selectable by name (CLI ``--trace-sink``, campaign runner).
+SINK_KINDS = tuple(sorted(_SINK_FACTORIES))
+
+
+def make_sink(kind: str) -> TraceSink:
+    """Build a fresh sink of the named kind (see :data:`SINK_KINDS`)."""
+    try:
+        factory = _SINK_FACTORIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace sink kind {kind!r}; known: {', '.join(SINK_KINDS)}"
+        ) from None
+    return factory()
+
+
 class VcdWriter:
     """A minimal Value Change Dump writer.
 
-    Only integer/real valued variables are supported, which is enough to
-    dump FIFO fill levels and simple signals for debugging the case-study
-    platform.  Times are written in femtoseconds.
+    Only integer valued variables are supported, which is enough to dump
+    FIFO fill levels and simple signals for debugging the case-study
+    platform.  Times are written in femtoseconds.  Each variable carries
+    the bit width declared in :meth:`add_variable`; values are emitted as
+    two's-complement bit vectors of that width, so negative values are
+    representable and oversized values are truncated to the declared width
+    (standard VCD semantics).
     """
 
     def __init__(self, stream: TextIO, top: str = "repro"):
         self._stream = stream
         self._top = top
-        self._variables: Dict[str, str] = {}
+        self._variables: Dict[str, Tuple[str, int]] = {}
         self._next_code = 33  # printable ASCII identifiers start at '!'
         self._header_done = False
         self._last_time: Optional[int] = None
@@ -106,18 +420,19 @@ class VcdWriter:
     def add_variable(self, name: str, width: int = 32) -> None:
         if self._header_done:
             raise RuntimeError("cannot add VCD variables after the header was written")
+        if width < 1:
+            raise ValueError(f"VCD variable width must be >= 1, got {width}")
         code = chr(self._next_code)
         self._next_code += 1
-        self._variables[name] = code
-        self._pending_width = width
+        self._variables[name] = (code, width)
 
     def write_header(self) -> None:
         out = self._stream
         out.write("$timescale 1 fs $end\n")
         out.write(f"$scope module {self._top} $end\n")
-        for name, code in self._variables.items():
+        for name, (code, width) in self._variables.items():
             safe = name.replace(" ", "_")
-            out.write(f"$var integer 32 {code} {safe} $end\n")
+            out.write(f"$var integer {width} {code} {safe} $end\n")
         out.write("$upscope $end\n$enddefinitions $end\n")
         self._header_done = True
 
@@ -127,5 +442,6 @@ class VcdWriter:
         if self._last_time != time_fs:
             self._stream.write(f"#{time_fs}\n")
             self._last_time = time_fs
-        code = self._variables[name]
-        self._stream.write(f"b{value:b} {code}\n")
+        code, width = self._variables[name]
+        encoded = value & ((1 << width) - 1)
+        self._stream.write(f"b{encoded:b} {code}\n")

@@ -140,9 +140,12 @@ class DecoupledMixin:
         return is_synchronized(sim=self.sim)
 
     def log(self, message: str, local_time: Optional[SimTime] = None) -> None:
+        sim = self.sim
+        if not sim.trace.enabled:
+            return
         if local_time is None:
             local_time = self.local_time_stamp()
-        self.sim.log(message, local_time=local_time)
+        sim.log(message, local_time=local_time)
 
     def timed_wait(self, duration, unit: TimeUnit = TimeUnit.NS):
         """``inc`` followed by ``sync``: equivalent to a plain ``wait``.

@@ -16,7 +16,10 @@
 * :mod:`repro.workloads.packet_stream` — the packet-granularity Smart FIFO
   API driven end to end against a word-level oracle;
 * :mod:`repro.workloads.mixed` — a mixed smart/regular FIFO topology with
-  one decoupled-to-regular domain boundary.
+  one decoupled-to-regular domain boundary;
+* :mod:`repro.workloads.fault_drop` — seeded dropped-packet fault
+  injection: the paired trace diff must flag the divergence
+  (negative-path coverage of the Section IV-A methodology).
 """
 
 from .base import TimingMode, WorkloadModule
@@ -32,6 +35,13 @@ from .contention import (
     ContentionConfig,
     ContentionReader,
     ContentionWriter,
+)
+from .fault_drop import (
+    FaultConsumer,
+    FaultDropConfig,
+    FaultDropScenario,
+    FaultProducer,
+    FaultyRelay,
 )
 from .mixed import (
     BackConsumer,
@@ -95,6 +105,11 @@ __all__ = [
     "Display",
     "DomainBridge",
     "ExampleMode",
+    "FaultConsumer",
+    "FaultDropConfig",
+    "FaultDropScenario",
+    "FaultProducer",
+    "FaultyRelay",
     "FillLevelMonitor",
     "FrontProducer",
     "MixedTopologyConfig",

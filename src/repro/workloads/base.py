@@ -124,7 +124,14 @@ class WorkloadModule(DecoupledMixin, Module):
             self.finish_time = self.now
 
     def checkpoint(self, message: str) -> None:
-        """Trace helper stamping the local date in decoupled mode."""
+        """Trace helper stamping the local date in decoupled mode.
+
+        Emits through whatever :class:`~repro.kernel.tracing.TraceSink`
+        the simulator carries; with tracing off, the date bookkeeping is
+        skipped entirely.
+        """
+        if not self.sim.trace.enabled:
+            return
         if self.timing.is_decoupled:
             self.log(message)
         else:

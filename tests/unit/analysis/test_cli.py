@@ -212,3 +212,62 @@ class TestCampaignScaleOutFlags:
         with pytest.raises(SystemExit, match="--shard, --workers"):
             cli.main(["campaign", "--merge-jsonl", path, "--shard", "0/2",
                       "--workers", "2"])
+
+
+class TestCampaignTracePipelineFlags:
+    """``--trace-sink``/``--trace-out``/``--resume``."""
+
+    def test_trace_sink_choices_are_validated(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["campaign", "--trace-sink", "csv"])
+        assert excinfo.value.code == 2
+        assert "--trace-sink" in capsys.readouterr().err
+
+    def test_trace_out_requires_spool_sink(self):
+        with pytest.raises(SystemExit, match="--trace-sink spool"):
+            cli.main(["campaign", "--trace-out", "traces"])
+
+    def test_spool_sink_exports_reordered_traces(self, capsys, tmp_path):
+        out_dir = os.path.join(tmp_path, "traces")
+        assert cli.main([
+            "campaign", "--specs", "writer_reader_d1",
+            "--trace-sink", "spool", "--trace-out", out_dir,
+        ]) == 0
+        files = sorted(os.listdir(out_dir))
+        assert files == [
+            "writer_reader_d1.reference.trace",
+            "writer_reader_d1.smart.trace",
+        ]
+        reference = open(os.path.join(out_dir, files[0])).read()
+        smart = open(os.path.join(out_dir, files[1])).read()
+        # The exported files are *reordered*, so the equivalent pair's
+        # files are identical.
+        assert reference == smart
+        assert reference.count("\n") > 0
+
+    def test_resume_requires_jsonl(self):
+        with pytest.raises(SystemExit, match="--resume requires --jsonl"):
+            cli.main(["campaign", "--resume"])
+
+    def test_resume_round_trip(self, capsys, tmp_path):
+        path = os.path.join(tmp_path, "campaign.jsonl")
+        specs = "writer_reader_d1,writer_reader_d4"
+        assert cli.main(["campaign", "--specs", specs, "--jsonl", path]) == 0
+        first = capsys.readouterr().out
+        assert cli.main([
+            "campaign", "--specs", specs, "--jsonl", path, "--resume",
+        ]) == 0
+        resumed = capsys.readouterr().out
+        fingerprint = [l for l in first.splitlines() if "fingerprint" in l]
+        assert fingerprint and fingerprint[0] in resumed
+
+    def test_resume_against_foreign_header_fails_cleanly(self, tmp_path):
+        path = os.path.join(tmp_path, "campaign.jsonl")
+        assert cli.main([
+            "campaign", "--specs", "writer_reader_d1", "--jsonl", path,
+        ]) == 0
+        with pytest.raises(SystemExit, match="different campaign"):
+            cli.main([
+                "campaign", "--specs", "writer_reader_d4",
+                "--jsonl", path, "--resume",
+            ])

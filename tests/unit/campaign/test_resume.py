@@ -1,0 +1,173 @@
+"""Campaign JSONL resume: skip persisted rows, reproduce the fingerprint."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, ScenarioSpec, load_resume_state, merge_jsonl
+
+CAMPAIGN = [
+    ScenarioSpec("writer_reader_d2", "writer_reader", depth=2),
+    ScenarioSpec("bursty_s3", "bursty", depth=3, seed=3,
+                 params={"n_bursts": 4, "max_burst": 5}),
+    ScenarioSpec("contention_small", "contention", depth=4, seed=2,
+                 params={"items_per_writer": 8}),
+    ScenarioSpec("random_s5_d2", "random_traffic", depth=2, seed=5,
+                 params={"item_count": 20, "monitor_samples": 4}),
+]
+
+
+def run_full(tmp_path, name="full.jsonl"):
+    path = tmp_path / name
+    result = CampaignRunner(workers=1).run(CAMPAIGN, jsonl=str(path))
+    return path, result
+
+
+def truncate_file(path, keep_lines, torn_tail=None):
+    lines = path.read_text().splitlines()
+    body = "\n".join(lines[:keep_lines]) + "\n"
+    if torn_tail is not None:
+        body += torn_tail
+    path.write_text(body)
+
+
+class TestResume:
+    def test_resume_missing_file_behaves_like_a_fresh_run(self, tmp_path):
+        path = tmp_path / "fresh.jsonl"
+        resumed = CampaignRunner(workers=1).run(
+            CAMPAIGN, jsonl=str(path), resume=True
+        )
+        full = CampaignRunner(workers=1).run(CAMPAIGN)
+        assert resumed.fingerprint() == full.fingerprint()
+
+    def test_resume_skips_completed_specs_and_matches_fingerprint(self, tmp_path):
+        path, full = run_full(tmp_path)
+        # Keep the header and the rows of the first completed spec only.
+        truncate_file(path, keep_lines=3)
+        executed = []
+
+        import repro.campaign.runner as runner_module
+        original = runner_module._run_one
+
+        def spying_run_one(spec, trace_sink="digest"):
+            executed.append((spec.name, spec.mode))
+            return original(spec, trace_sink)
+
+        runner_module._run_one = spying_run_one
+        try:
+            resumed = CampaignRunner(workers=1).run(
+                CAMPAIGN, jsonl=str(path), resume=True
+            )
+        finally:
+            runner_module._run_one = original
+        assert resumed.fingerprint() == full.fingerprint()
+        # The recovered spec must not have been re-simulated.
+        assert ("writer_reader_d2", "reference") not in executed
+        assert ("writer_reader_d2", "smart") not in executed
+        assert ("bursty_s3", "smart") in executed
+        # The healed file is a complete campaign again.
+        assert merge_jsonl([str(path)]).fingerprint() == full.fingerprint()
+
+    def test_resume_of_a_complete_file_re_runs_nothing(self, tmp_path):
+        path, full = run_full(tmp_path)
+        before = path.read_text()
+        resumed = CampaignRunner(workers=1).run(
+            CAMPAIGN, jsonl=str(path), resume=True
+        )
+        assert resumed.fingerprint() == full.fingerprint()
+        # Same rows, just rewritten in replay order (runs before pairs).
+        assert sorted(before.splitlines()) == sorted(path.read_text().splitlines())
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path, full = run_full(tmp_path)
+        truncate_file(path, keep_lines=3, torn_tail='{"type":"run","name":"bur')
+        resumed = CampaignRunner(workers=1).run(
+            CAMPAIGN, jsonl=str(path), resume=True
+        )
+        assert resumed.fingerprint() == full.fingerprint()
+        assert merge_jsonl([str(path)]).fingerprint() == full.fingerprint()
+
+    def test_partial_spec_does_not_duplicate_its_run_row(self, tmp_path):
+        path, full = run_full(tmp_path)
+        lines = path.read_text().splitlines()
+        # Keep the header, spec 0's run+pair, and spec 1's run row but NOT
+        # its pair row: the spec must re-run without duplicating the row.
+        assert json.loads(lines[3])["type"] == "run"
+        truncate_file(path, keep_lines=4)
+        resumed = CampaignRunner(workers=1).run(
+            CAMPAIGN, jsonl=str(path), resume=True
+        )
+        assert resumed.fingerprint() == full.fingerprint()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        run_keys = [(r["name"], r["mode"]) for r in rows if r["type"] == "run"]
+        assert len(run_keys) == len(set(run_keys))
+        merge_jsonl([str(path)])  # duplicates would be rejected here
+
+    def test_resume_requires_jsonl(self):
+        with pytest.raises(ValueError, match="resume"):
+            CampaignRunner(workers=1).run(CAMPAIGN, resume=True)
+
+    def test_corruption_in_the_middle_is_rejected(self, tmp_path):
+        path, _ = run_full(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[2] = '{"type":"run","broken":tru'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            CampaignRunner(workers=1).run(CAMPAIGN, jsonl=str(path), resume=True)
+
+
+class TestHeaderValidation:
+    def test_different_spec_list_rejected(self, tmp_path):
+        path, _ = run_full(tmp_path)
+        with pytest.raises(ValueError, match="different campaign"):
+            CampaignRunner(workers=1).run(
+                CAMPAIGN[:-1], jsonl=str(path), resume=True
+            )
+
+    def test_different_paired_flag_rejected(self, tmp_path):
+        path, _ = run_full(tmp_path)
+        with pytest.raises(ValueError, match="different campaign"):
+            CampaignRunner(workers=1, paired=False).run(
+                CAMPAIGN, jsonl=str(path), resume=True
+            )
+
+    def test_different_shard_rejected(self, tmp_path):
+        path, _ = run_full(tmp_path)
+        with pytest.raises(ValueError, match="different campaign"):
+            CampaignRunner(workers=1, shard=(0, 2)).run(
+                CAMPAIGN, jsonl=str(path), resume=True
+            )
+
+    def test_different_worker_count_is_fine(self, tmp_path):
+        path, full = run_full(tmp_path)
+        truncate_file(path, keep_lines=3)
+        resumed = CampaignRunner(workers=2).run(
+            CAMPAIGN, jsonl=str(path), resume=True
+        )
+        assert resumed.fingerprint() == full.fingerprint()
+
+    def test_changed_spec_definition_rejected(self, tmp_path):
+        path, _ = run_full(tmp_path)
+        changed = list(CAMPAIGN)
+        changed[0] = ScenarioSpec("writer_reader_d2", "writer_reader", depth=8)
+        with pytest.raises(ValueError, match="different spec definition"):
+            CampaignRunner(workers=1).run(changed, jsonl=str(path), resume=True)
+
+    def test_pair_row_for_unknown_spec_rejected(self, tmp_path):
+        path, _ = run_full(tmp_path)
+        with open(path) as handle:
+            pair_line = next(
+                line for line in handle if '"type":"pair"' in line
+            )
+        foreign = pair_line.replace("writer_reader_d2", "no_such_spec")
+        with open(path, "a") as handle:
+            handle.write(foreign)
+        with pytest.raises(ValueError, match="unknown spec"):
+            CampaignRunner(workers=1).run(CAMPAIGN, jsonl=str(path), resume=True)
+
+    def test_load_resume_state_returns_rows(self, tmp_path):
+        path, full = run_full(tmp_path)
+        header, runs, pairs = load_resume_state(str(path), CAMPAIGN, True, None)
+        assert header["specs"] == [spec.name for spec in CAMPAIGN]
+        assert {record.name for record in runs} == {spec.name for spec in CAMPAIGN}
+        assert len(pairs) == 3  # contention is not pairable

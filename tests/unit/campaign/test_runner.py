@@ -115,7 +115,9 @@ class TestSplitPairs:
             direct = execute_spec(spec.with_mode(mode))
             assert half.record.deterministic_row() == direct.deterministic_row()
             assert half.mode == mode
-            assert half.sorted_lines  # the reordered trace rides along
+            # Only the digest travels: no trace lines ride along anymore.
+            assert len(half.record.trace_digest) == 64
+            assert not hasattr(half, "sorted_lines")
 
     def test_combine_pair_matches_legacy_pair(self):
         from repro.campaign import combine_pair, execute_half
@@ -129,18 +131,35 @@ class TestSplitPairs:
         assert combined.equivalent
 
     def test_combine_pair_reports_mismatches(self):
+        from dataclasses import replace
+
         from repro.campaign import combine_pair, execute_half
 
         spec = SMALL_CAMPAIGN[1]
         ref = execute_half(spec, "reference")
         smart = execute_half(spec, "smart")
-        smart.sorted_lines = smart.sorted_lines[:-1]
+        smart.record = replace(
+            smart.record, trace_digest="0" * 64, trace_lines=smart.record.trace_lines - 1
+        )
         smart.extras = {"tampered": True}
         pair = combine_pair(ref, smart)
         assert not pair.equivalent
         assert not pair.extras_match
-        assert "missing in candidate" in pair.report
+        assert "sorted-trace digests" in pair.report
         assert "extras differ" in pair.report
+
+    def test_streaming_diff_upgrades_digest_mismatch(self):
+        from repro.campaign import diff_pair_streaming
+
+        # An equivalent pair diffs empty through the spool path too, and
+        # the digests match the digest-sink halves bit for bit.
+        from repro.campaign import execute_half
+
+        spec = SMALL_CAMPAIGN[2]
+        pair = diff_pair_streaming(spec)
+        assert pair.equivalent
+        assert pair.report == ""
+        assert pair.reference_digest == execute_half(spec, "reference").record.trace_digest
 
 
 class TestSharding:

@@ -100,7 +100,9 @@ class TestDefaultCampaign:
 
     def test_covers_every_registered_workload(self):
         used = {spec.workload for spec in default_campaign()}
-        assert used == set(registered_workloads())
+        # fault_drop is deliberately excluded: its pair MUST diverge, and
+        # the default campaign gates on every pair being equivalent.
+        assert used == set(registered_workloads()) - {"fault_drop"}
 
     def test_includes_the_two_new_workloads(self):
         used = {spec.workload for spec in default_campaign()}

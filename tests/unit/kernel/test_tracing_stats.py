@@ -2,6 +2,8 @@
 
 import io
 
+import pytest
+
 from repro.kernel import KernelStats, TraceCollector, TraceRecord, VcdWriter
 from repro.kernel.simtime import ns
 
@@ -69,6 +71,47 @@ class TestVcdWriter:
         writer.change(500, "a", 1)
         writer.change(500, "b", 2)
         assert stream.getvalue().count("#500") == 1
+
+    def test_declared_width_lands_in_the_header(self):
+        stream = io.StringIO()
+        writer = VcdWriter(stream)
+        writer.add_variable("narrow", width=8)
+        writer.add_variable("wide", width=48)
+        writer.add_variable("default")
+        writer.write_header()
+        output = stream.getvalue()
+        assert "$var integer 8 ! narrow $end" in output
+        assert '$var integer 48 " wide $end' in output
+        assert "$var integer 32 # default $end" in output
+
+    def test_negative_values_are_twos_complement_encoded(self):
+        stream = io.StringIO()
+        writer = VcdWriter(stream)
+        writer.add_variable("level", width=8)
+        writer.change(0, "level", -1)
+        writer.change(10, "level", -128)
+        body = stream.getvalue()
+        assert "b11111111 !" in body  # -1 in 8 bits
+        assert "b10000000 !" in body  # -128 in 8 bits
+
+    def test_oversized_values_truncate_to_the_declared_width(self):
+        stream = io.StringIO()
+        writer = VcdWriter(stream)
+        writer.add_variable("bit", width=1)
+        writer.change(0, "bit", 3)  # 0b11 -> truncated to 1 bit
+        assert "b1 !" in stream.getvalue()
+
+    def test_invalid_width_rejected(self):
+        writer = VcdWriter(io.StringIO())
+        with pytest.raises(ValueError, match="width"):
+            writer.add_variable("broken", width=0)
+
+    def test_adding_variables_after_the_header_fails(self):
+        writer = VcdWriter(io.StringIO())
+        writer.add_variable("a")
+        writer.write_header()
+        with pytest.raises(RuntimeError, match="header"):
+            writer.add_variable("b")
 
 
 class TestKernelStats:

@@ -35,6 +35,14 @@ SMOKE_SPECS = (
     "mixed_d3",
 )
 
+#: Fingerprint of the SMOKE_SPECS campaign as recorded by the PR 3
+#: (pre-streaming-trace) pipeline.  The DigestSink-based campaign must
+#: keep reproducing it byte for byte — this is the digest-compatibility
+#: guarantee of the trace refactor (see ROADMAP "Trace pipeline").
+PR3_SMOKE_FINGERPRINT = (
+    "3f1ed06c3a5c3b0f1b1c3ef8af147bcbc7740e6fd401e3ea717a82ed579f71a5"
+)
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -61,6 +69,15 @@ def main(argv=None) -> int:
     print(f"[smoke] unsharded reference run ({len(specs)} specs)...")
     reference = CampaignRunner(workers=1).run(specs)
     print(f"[smoke] reference fingerprint: {reference.fingerprint()}")
+    if not args.full:
+        if reference.fingerprint() != PR3_SMOKE_FINGERPRINT:
+            print(
+                "FAIL: DigestSink fingerprint drifted from the PR 3 "
+                f"recorded one ({PR3_SMOKE_FINGERPRINT})",
+                file=sys.stderr,
+            )
+            return 1
+        print("[smoke] fingerprint matches the PR 3 recorded value")
 
     paths = []
     for index in range(2):
