@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick bench-check bench campaign-smoke
+.PHONY: test bench-quick bench-check bench campaign-smoke orchestrate-smoke
 
 # Tier-1 verification: the full unit/property/integration suite.
 test:
@@ -12,6 +12,13 @@ test:
 # unsharded run byte for byte (leaves campaign-smoke/shard*.jsonl behind).
 campaign-smoke:
 	$(PYTHON) tools/campaign_smoke.py
+
+# Distributed-orchestrator gate: record a COSTS.json, drive 2 local
+# subprocess hosts x 2 workers through a cost-sharded campaign, and
+# assert the merged fingerprint equals the pinned unsharded one (leaves
+# orchestrate-smoke/{shard*,merged}.jsonl behind for CI artifacts).
+orchestrate-smoke:
+	$(PYTHON) tools/orchestrator_smoke.py
 
 # Fast smoke run of the persistent benchmark harness (no file written,
 # single repeat; prints the comparison against the latest BENCH_*.json).

@@ -36,6 +36,27 @@ per-run trace files::
 
     python -m repro.analysis.cli campaign --jsonl out.jsonl --resume
     python -m repro.analysis.cli campaign --trace-sink spool --trace-out traces/
+
+Production-scale campaigns use the orchestrator layer
+(:mod:`repro.campaign.orchestrator`): ``--record-costs`` writes observed
+per-spec wall times to a ``COSTS.json`` sideband (never into the
+deterministic rows), ``--shard-by-cost i/N`` partitions the campaign with
+the cost-balanced LPT partitioner instead of round-robin, and
+``--spec-timeout`` / ``--campaign-budget`` kill overrunning jobs,
+persisting deterministic ``timeout`` rows that ``--resume`` re-runs::
+
+    python -m repro.analysis.cli campaign --record-costs COSTS.json
+    python -m repro.analysis.cli campaign --shard-by-cost 0/2 --costs COSTS.json \
+        --jsonl s0.jsonl --spec-timeout 120 --campaign-budget 3600
+
+The ``orchestrate`` subcommand drives the whole flow across N hosts (local
+subprocesses by default, ssh hosts via ``--hosts-file``), each running one
+cost-balanced shard, then collects and merges the shard JSONLs — the
+merged fingerprint is byte-identical to an unsharded single-pool run::
+
+    python -m repro.analysis.cli orchestrate --hosts 2 --workers-per-host 2
+    python -m repro.analysis.cli orchestrate --hosts-file hosts.json \
+        --costs COSTS.json --record-costs COSTS.json --merged-jsonl merged.jsonl
 """
 
 from __future__ import annotations
@@ -47,9 +68,17 @@ from ..campaign import (
     DEFAULT_TRACE_SINK,
     CampaignResumeError,
     CampaignRunner,
+    CostModel,
+    RunBudget,
     default_campaign,
     describe_specs,
     merge_jsonl,
+)
+from ..campaign.orchestrator import (
+    Orchestrator,
+    OrchestratorError,
+    local_hosts,
+    parse_hosts_file,
 )
 from ..kernel.tracing import SINK_KINDS
 from ..soc import SocConfig
@@ -71,6 +100,19 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for wall-clock limits (seconds, must be > 0)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number of seconds, got {value}"
         )
     return value
 
@@ -167,6 +209,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--merge-jsonl to reproduce the unsharded fingerprint)",
     )
     campaign.add_argument(
+        "--shard-by-cost",
+        type=_shard,
+        default=None,
+        metavar="i/N",
+        help="like --shard, but partition with the cost-balanced LPT "
+        "partitioner over the estimates in --costs (cold start falls back "
+        "to a static per-workload heuristic); shard files still merge to "
+        "the byte-identical unsharded fingerprint",
+    )
+    campaign.add_argument(
+        "--costs",
+        default=None,
+        metavar="COSTS.JSON",
+        help="with --shard-by-cost: the recorded wall-time sideband to "
+        "partition by (ship the same file to every shard of a campaign)",
+    )
+    campaign.add_argument(
+        "--record-costs",
+        default=None,
+        metavar="COSTS.JSON",
+        help="after the campaign, fold the observed per-spec wall times "
+        "into this COSTS.json sideband (created if missing; wall clock "
+        "never enters the deterministic JSONL rows)",
+    )
+    campaign.add_argument(
+        "--spec-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="kill any single worker job (one spec in one mode) running "
+        "longer than this and persist a deterministic timeout row; "
+        "--resume re-runs timed-out specs",
+    )
+    campaign.add_argument(
+        "--campaign-budget",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon the whole campaign once it has run this long; every "
+        "incomplete spec gets a timeout row (heal with --resume)",
+    )
+    campaign.add_argument(
         "--jsonl",
         default=None,
         metavar="OUT.JSONL",
@@ -209,6 +293,101 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list the specs and exit"
     )
     add_csv_flag(campaign)
+
+    orchestrate = subparsers.add_parser(
+        "orchestrate",
+        help="drive a cost-sharded campaign across N hosts and merge the "
+        "shard JSONLs (fingerprint identical to an unsharded run)",
+    )
+    orchestrate.add_argument(
+        "--hosts",
+        type=_positive_int,
+        default=2,
+        help="number of local-subprocess hosts (ignored with --hosts-file)",
+    )
+    orchestrate.add_argument(
+        "--hosts-file",
+        default=None,
+        metavar="HOSTS.JSON",
+        help="JSON host declarations (local and/or ssh hosts; see "
+        "repro.campaign.orchestrator.hosts)",
+    )
+    orchestrate.add_argument(
+        "--workers-per-host",
+        type=_positive_int,
+        default=1,
+        help="worker processes each shard campaign runs with",
+    )
+    orchestrate.add_argument(
+        "--specs",
+        default=None,
+        help="comma-separated spec names (default: the whole default "
+        "campaign; hosts rebuild specs by name)",
+    )
+    orchestrate.add_argument(
+        "--no-paired",
+        action="store_true",
+        help="skip the paired reference/Smart equivalence runs",
+    )
+    orchestrate.add_argument(
+        "--out-dir",
+        default="orchestrate-out",
+        metavar="DIR",
+        help="local directory for host workdirs, logs and collected shard "
+        "JSONLs",
+    )
+    orchestrate.add_argument(
+        "--costs",
+        default=None,
+        metavar="COSTS.JSON",
+        help="wall-time sideband shipped to every host so they compute "
+        "the identical cost partition (missing file = cold-start "
+        "heuristic)",
+    )
+    orchestrate.add_argument(
+        "--record-costs",
+        default=None,
+        metavar="COSTS.JSON",
+        help="have every host record its shard's wall times; the per-host "
+        "cost files are collected and merged into this local path",
+    )
+    orchestrate.add_argument(
+        "--round-robin",
+        action="store_true",
+        help="partition round-robin (--shard) instead of by cost — for "
+        "comparing shard makespans against --shard-by-cost",
+    )
+    orchestrate.add_argument(
+        "--spec-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="forwarded to every shard campaign (see campaign "
+        "--spec-timeout)",
+    )
+    orchestrate.add_argument(
+        "--campaign-budget",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="forwarded to every shard campaign (see campaign "
+        "--campaign-budget)",
+    )
+    orchestrate.add_argument(
+        "--merged-jsonl",
+        default=None,
+        metavar="OUT.JSONL",
+        help="also write the merged rows as one unsharded campaign JSONL "
+        "(itself re-mergeable; what CI uploads as an artifact)",
+    )
+    orchestrate.add_argument(
+        "--expect-fingerprint",
+        default=None,
+        metavar="SHA256",
+        help="fail unless the merged fingerprint equals this value (the "
+        "pinned-fingerprint gate of the orchestrator smoke)",
+    )
+    add_csv_flag(orchestrate)
 
     return parser
 
@@ -275,7 +454,8 @@ def _campaign_output(result) -> tuple:
         sections.append(result.pairs_table())
     sections.append(result.summary())
     output = "\n\n".join(sections)
-    return (output, 0) if result.all_pairs_equivalent else (output, 1)
+    ok = result.all_pairs_equivalent and result.complete
+    return (output, 0) if ok else (output, 1)
 
 
 def run_campaign(args: argparse.Namespace) -> str:
@@ -283,12 +463,23 @@ def run_campaign(args: argparse.Namespace) -> str:
         raise SystemExit("--resume requires --jsonl (the file to resume from)")
     if args.trace_out and args.trace_sink != "spool":
         raise SystemExit("--trace-out requires --trace-sink spool")
+    if args.shard and args.shard_by_cost:
+        raise SystemExit(
+            "--shard and --shard-by-cost are two partitioners of the same "
+            "campaign; pick one"
+        )
+    if args.costs and not args.shard_by_cost:
+        raise SystemExit("--costs is only read by --shard-by-cost")
     if args.merge_jsonl:
         conflicting = [
             flag for flag, active in (
                 ("--jsonl", args.jsonl is not None),
                 ("--resume", args.resume),
                 ("--shard", args.shard is not None),
+                ("--shard-by-cost", args.shard_by_cost is not None),
+                ("--record-costs", args.record_costs is not None),
+                ("--spec-timeout", args.spec_timeout is not None),
+                ("--campaign-budget", args.campaign_budget is not None),
                 ("--specs", args.specs is not None),
                 ("--workers", args.workers != 1),
                 ("--no-paired", args.no_paired),
@@ -330,8 +521,23 @@ def run_campaign(args: argparse.Namespace) -> str:
              "timing", "pairable", "params"],
             title="Campaign specs",
         )
+    budget = None
+    if args.spec_timeout is not None or args.campaign_budget is not None:
+        budget = RunBudget(
+            spec_timeout_s=args.spec_timeout,
+            campaign_budget_s=args.campaign_budget,
+        )
+    cost_model = None
+    if args.shard_by_cost is not None:
+        try:
+            cost_model = CostModel.load(args.costs)
+        except ValueError as exc:
+            raise SystemExit(f"cannot read --costs: {exc}")
     runner = CampaignRunner(
-        workers=args.workers, paired=not args.no_paired, shard=args.shard,
+        workers=args.workers, paired=not args.no_paired,
+        shard=args.shard if args.shard else args.shard_by_cost,
+        shard_by_cost=args.shard_by_cost is not None,
+        cost_model=cost_model, budget=budget,
         trace_sink=args.trace_sink, trace_out=args.trace_out,
     )
     try:
@@ -340,9 +546,66 @@ def run_campaign(args: argparse.Namespace) -> str:
         # Only resume problems get the friendly one-liner; a ValueError
         # from inside a simulation is a real bug and keeps its traceback.
         raise SystemExit(f"cannot resume campaign: {exc}")
+    if args.record_costs:
+        try:
+            recorded = CostModel.load(args.record_costs)
+        except ValueError as exc:
+            raise SystemExit(f"cannot read --record-costs: {exc}")
+        recorded.observe_result(result)
+        recorded.save(args.record_costs)
     if args.csv:
         write_csv(result.run_rows(), args.csv)
     return _campaign_output(result)
+
+
+def run_orchestrate(args: argparse.Namespace) -> tuple:
+    if args.round_robin and args.costs:
+        raise SystemExit(
+            "--costs is only read by the cost partitioner and has no "
+            "effect with --round-robin"
+        )
+    if args.hosts_file:
+        try:
+            hosts = parse_hosts_file(args.hosts_file)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read --hosts-file: {exc}")
+    else:
+        hosts = local_hosts(args.hosts)
+    spec_names = None
+    if args.specs:
+        spec_names = [
+            name.strip() for name in args.specs.split(",") if name.strip()
+        ]
+    orchestrator = Orchestrator(
+        hosts,
+        args.out_dir,
+        workers_per_host=args.workers_per_host,
+        paired=not args.no_paired,
+        shard_by_cost=not args.round_robin,
+        costs_path=args.costs,
+        spec_timeout_s=args.spec_timeout,
+        campaign_budget_s=args.campaign_budget,
+        record_costs_path=args.record_costs,
+    )
+    try:
+        outcome = orchestrator.run(spec_names, merged_jsonl=args.merged_jsonl)
+    except OrchestratorError as exc:
+        raise SystemExit(f"orchestrated campaign failed: {exc}")
+    result = outcome.result
+    if args.csv:
+        write_csv(result.run_rows(), args.csv)
+    sections = [outcome.hosts_table(), result.table()]
+    if result.pairs:
+        sections.append(result.pairs_table())
+    sections.append(outcome.summary())
+    code = 0 if result.all_pairs_equivalent and result.complete else 1
+    if args.expect_fingerprint and outcome.fingerprint() != args.expect_fingerprint:
+        sections.append(
+            f"FINGERPRINT MISMATCH: merged {outcome.fingerprint()} != "
+            f"expected {args.expect_fingerprint}"
+        )
+        code = 1
+    return "\n\n".join(sections), code
 
 
 _COMMANDS = {
@@ -352,6 +615,7 @@ _COMMANDS = {
     "quantum": run_quantum,
     "context-switches": run_context_switches,
     "campaign": run_campaign,
+    "orchestrate": run_orchestrate,
 }
 
 

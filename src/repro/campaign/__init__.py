@@ -17,7 +17,13 @@ campaign-scale engine:
   specs across a :mod:`multiprocessing` pool (each worker owns a private
   :class:`~repro.kernel.simulator.Simulator`), and the paired
   reference/Smart equivalence campaign built on
-  :mod:`repro.analysis.trace_diff`.
+  :mod:`repro.analysis.trace_diff`;
+* :mod:`repro.campaign.orchestrator` — the distributed layer: the
+  ``COSTS.json`` wall-time cost model, the cost-balanced
+  ``--shard-by-cost`` partitioner, wall-clock run budgets with
+  deterministic ``timeout`` rows, and the multi-host
+  :class:`~repro.campaign.orchestrator.Orchestrator` driving local or
+  ssh hosts through the same launch/poll/collect protocol.
 
 The aggregated result is **byte-identical for any worker count** — the
 deterministic rows carry simulated dates, kernel counters and trace digests
@@ -28,6 +34,8 @@ Entry points: ``python -m repro.analysis.cli campaign --workers 4`` and the
 ``campaign.*`` metric of ``benchmarks/bench_harness.py``.
 """
 
+from .orchestrator.budget import RunBudget, TimeoutRecord
+from .orchestrator.costs import CostModel
 from .runner import (
     DEFAULT_TRACE_SINK,
     CampaignResumeError,
@@ -66,7 +74,10 @@ __all__ = [
     "CampaignResumeError",
     "CampaignResult",
     "CampaignRunner",
+    "CostModel",
     "JsonlSink",
+    "RunBudget",
+    "TimeoutRecord",
     "MODE_REFERENCE",
     "MODE_SMART",
     "PairHalf",

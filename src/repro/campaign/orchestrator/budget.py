@@ -1,0 +1,296 @@
+"""Run budgets: wall-clock limits a campaign is held to at execution time.
+
+The campaign's deterministic rows never carry wall-clock values, but the
+*scheduling* of a production campaign is all about wall clock: a stuck or
+pathologically slow spec must not hold a shard hostage.  This module
+provides the two pieces the :class:`~repro.campaign.runner.CampaignRunner`
+threads through its execution path when a budget is set:
+
+* :class:`RunBudget` — the declarative limits: a per-spec timeout (each
+  worker job is killed once it has run that long) and a whole-campaign
+  budget (when the campaign has run that long, every outstanding and
+  queued job is abandoned).
+* :func:`run_with_budget` — a process-per-job executor that can actually
+  *kill* an overrunning job.  A :mod:`multiprocessing` pool cannot
+  terminate a single task without poisoning the pool, so budgeted
+  execution launches one (bounded-concurrency) child process per job,
+  each reporting back over its own pipe; an overrun is enforced with
+  ``Process.terminate``.  Because each job has a private pipe, killing
+  one job can never corrupt another job's result channel.
+* :class:`TimeoutRecord` — the deterministic outcome of a killed job.
+  The row records the spec identity, the killed mode, the *configured*
+  limit and the scope (``"spec"`` or ``"campaign"``) — never the elapsed
+  wall time, which would break the byte-identical-aggregation guarantee.
+  Timeout rows are first-class JSONL citizens: ``merge_jsonl`` accepts a
+  timed-out spec in place of its run/pair rows, and ``--resume`` drops
+  the timeout row and re-executes the spec, healing the file back to the
+  uninterrupted fingerprint.
+
+Determinism: *whether* a spec times out depends on the machine, so a
+budgeted campaign is only reproducible when the overrun is deterministic
+(the test suite seeds one with the ``slow_spin_ms`` knob of the bursty
+workload).  A budgeted campaign in which nothing times out produces
+byte-identical rows to an unbudgeted one.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..spec import ScenarioSpec
+
+#: Scope values of a :class:`TimeoutRecord`.
+SCOPE_SPEC = "spec"
+SCOPE_CAMPAIGN = "campaign"
+SCOPES = (SCOPE_SPEC, SCOPE_CAMPAIGN)
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Wall-clock limits of one campaign execution.
+
+    ``spec_timeout_s``
+        A single worker job (one spec in one mode) is terminated once it
+        has run this long; the campaign continues with the other jobs.
+    ``campaign_budget_s``
+        Once the campaign as a whole has run this long, every running job
+        is terminated and every queued job abandoned; each incomplete
+        spec gets a ``scope="campaign"`` timeout row.
+    """
+
+    spec_timeout_s: Optional[float] = None
+    campaign_budget_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("spec_timeout_s", "campaign_budget_s"):
+            value = getattr(self, name)
+            if value is not None and not value > 0:
+                raise ValueError(
+                    f"RunBudget.{name} must be positive, got {value!r}"
+                )
+
+    @property
+    def active(self) -> bool:
+        """True when at least one limit is set."""
+        return self.spec_timeout_s is not None or self.campaign_budget_s is not None
+
+
+@dataclass
+class TimeoutRecord:
+    """Deterministic outcome of a job killed by a :class:`RunBudget`.
+
+    Carries the spec identity columns (so a resume can validate the row
+    against the campaign definition exactly like a run row), the mode of
+    the killed job, the scope of the limit that fired and the configured
+    limit itself.  Elapsed wall time is deliberately absent.
+    """
+
+    name: str
+    workload: str
+    mode: str
+    depth: int
+    quantum_ns: Optional[int]
+    seed: int
+    timing: Optional[str]
+    scope: str
+    limit_s: float
+
+    def deterministic_row(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "mode": self.mode,
+            "depth": self.depth,
+            "quantum_ns": self.quantum_ns,
+            "seed": self.seed,
+            "timing": self.timing,
+            "scope": self.scope,
+            "limit_s": self.limit_s,
+        }
+
+    @classmethod
+    def from_row(cls, row: Dict[str, object]) -> "TimeoutRecord":
+        """Rebuild a record from a persisted deterministic row."""
+        return cls(**{key: row[key] for key in (
+            "name", "workload", "mode", "depth", "quantum_ns", "seed",
+            "timing", "scope", "limit_s",
+        )})
+
+    @classmethod
+    def for_spec(
+        cls, spec: ScenarioSpec, mode: str, scope: str, limit_s: float
+    ) -> "TimeoutRecord":
+        if scope not in SCOPES:
+            raise ValueError(f"scope must be one of {SCOPES}, got {scope!r}")
+        return cls(
+            name=spec.name,
+            workload=spec.workload,
+            mode=mode,
+            depth=spec.depth,
+            quantum_ns=spec.quantum_ns,
+            seed=spec.seed,
+            timing=spec.timing,
+            scope=scope,
+            limit_s=limit_s,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The budgeted executor
+# ---------------------------------------------------------------------------
+def _budget_worker(conn, func, job) -> None:
+    """Child-process body: run one job, ship the outcome over the pipe.
+
+    Top-level so it is picklable under any start method.  Exceptions are
+    shipped back (falling back to a stringified ``RuntimeError`` when the
+    original exception does not pickle) so the parent re-raises them
+    exactly like a :mod:`multiprocessing` pool would.
+    """
+    try:
+        payload = ("ok", func(job))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        import pickle
+
+        try:
+            pickle.dumps(exc)
+            payload = ("error", exc)
+        except Exception:
+            payload = ("error", RuntimeError(f"{type(exc).__name__}: {exc}"))
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+def _kill(proc) -> None:
+    """Terminate a child, escalating to SIGKILL if it ignores SIGTERM."""
+    proc.terminate()
+    proc.join(timeout=2.0)
+    if proc.is_alive():  # pragma: no cover - needs a SIGTERM-ignoring child
+        proc.kill()
+        proc.join()
+
+
+def run_with_budget(
+    func,
+    jobs,
+    *,
+    budget: RunBudget,
+    processes: int,
+    mp_context,
+    poll_interval: float = 0.05,
+) -> Iterator[Tuple]:
+    """Run ``func(job)`` for every job in bounded, killable child processes.
+
+    Yields events in completion order:
+
+    * ``("result", value)`` — the job finished; ``value`` is its return.
+    * ``("timeout", job, scope)`` — the job was killed (``scope="spec"``)
+      or abandoned before/while running because the whole-campaign budget
+      expired (``scope="campaign"``).
+
+    At most ``processes`` children run concurrently.  A child that raises
+    re-raises in the caller (after terminating the remaining children), a
+    child that dies without reporting raises :class:`RuntimeError`.  Each
+    job owns a private one-way pipe, so terminating one job cannot wedge
+    or corrupt the others' result channels.
+    """
+    queue = deque(jobs)
+    #: conn -> (process, job, absolute spec deadline or None)
+    running: Dict[object, Tuple] = {}
+    start = time.monotonic()
+    campaign_deadline = (
+        start + budget.campaign_budget_s
+        if budget.campaign_budget_s is not None
+        else None
+    )
+    try:
+        while queue or running:
+            while queue and len(running) < processes:
+                job = queue.popleft()
+                parent_conn, child_conn = mp_context.Pipe(duplex=False)
+                proc = mp_context.Process(
+                    target=_budget_worker, args=(child_conn, func, job),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                deadline = (
+                    time.monotonic() + budget.spec_timeout_s
+                    if budget.spec_timeout_s is not None
+                    else None
+                )
+                running[parent_conn] = (proc, job, deadline)
+            # Sleep until a result arrives or the nearest deadline, capped
+            # at poll_interval so new slots are refilled promptly.
+            now = time.monotonic()
+            wait_s = poll_interval
+            deadlines = [d for (_, _, d) in running.values() if d is not None]
+            if campaign_deadline is not None:
+                deadlines.append(campaign_deadline)
+            if deadlines:
+                wait_s = min(wait_s, max(0.0, min(deadlines) - now))
+            for conn in _connection_wait(list(running), timeout=wait_s):
+                proc, job, _ = running.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except EOFError:
+                    status, payload = "error", RuntimeError(
+                        f"budgeted worker for job {job!r} died without "
+                        f"reporting a result"
+                    )
+                conn.close()
+                proc.join()
+                if status == "error":
+                    raise payload
+                yield ("result", payload)
+            now = time.monotonic()
+            if campaign_deadline is not None and now >= campaign_deadline:
+                for conn, (proc, job, _) in list(running.items()):
+                    # A job whose result is already in the pipe finished
+                    # within budget: honour it instead of mislabelling it
+                    # a timeout (the child is alive mid-write at worst,
+                    # so the recv completes).
+                    if conn.poll():
+                        try:
+                            status, payload = conn.recv()
+                        except EOFError:
+                            status = "gone"
+                        if status == "ok":
+                            conn.close()
+                            proc.join()
+                            yield ("result", payload)
+                            continue
+                        if status == "error":
+                            conn.close()
+                            proc.join()
+                            raise payload
+                    _kill(proc)
+                    conn.close()
+                    yield ("timeout", job, SCOPE_CAMPAIGN)
+                running.clear()
+                while queue:
+                    yield ("timeout", queue.popleft(), SCOPE_CAMPAIGN)
+                return
+            for conn in list(running):
+                proc, job, deadline = running[conn]
+                if deadline is not None and now >= deadline:
+                    if conn.poll():
+                        # Finished at deadline-epsilon: the next
+                        # _connection_wait pass drains it as a result.
+                        continue
+                    _kill(proc)
+                    conn.close()
+                    del running[conn]
+                    yield ("timeout", job, SCOPE_SPEC)
+    finally:
+        # Caller abandoned the generator (or a child raised): reap
+        # everything still running so no orphan keeps simulating.
+        for conn, (proc, _, _) in list(running.items()):
+            _kill(proc)
+            conn.close()
+        running.clear()

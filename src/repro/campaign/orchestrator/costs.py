@@ -1,0 +1,309 @@
+"""Per-spec wall-time cost model (the ``COSTS.json`` sideband).
+
+The campaign's JSONL rows are deterministic by contract — they never carry
+wall-clock values, which is what makes shard files merge byte-for-byte.
+But a *scheduler* needs wall times: balancing shards over hosts of a
+multi-machine campaign is a bin-packing problem over per-spec costs.  The
+:class:`CostModel` squares that circle with a sideband file: observed wall
+times are recorded to ``COSTS.json`` (``campaign --record-costs``), a file
+that lives next to — never inside — the JSONL results, so fingerprints
+and merges are untouched.
+
+File format (JSON, schema 1)::
+
+    {
+      "schema": 1,
+      "costs": {
+        "<spec name>": {
+          "workload": "soc",            # null when unknown
+          "modes": {
+            "<mode>": {"wall_s": 0.1234, "samples": 3},
+            ...
+          }
+        },
+        ...
+      }
+    }
+
+Observations are folded in with an exponential moving average
+(``EWMA_ALPHA``), so the model tracks a drifting machine without being
+whipsawed by one noisy run.  Wall times are machine-specific: a
+``COSTS.json`` recorded on one class of host partitions best for that
+class (ship the same file to every host of an orchestrated campaign — the
+partition must be computed identically everywhere).
+
+Cold start: a spec the model has never seen falls back to a static
+per-workload heuristic (:data:`HEURISTIC_WEIGHTS`, in arbitrary relative
+units).  The heuristic only has to *rank* workloads roughly — one warm
+recorded campaign replaces it with real numbers.  A *partially* warm
+model (a timed-out spec never records a wall time; a new spec has none
+yet) must not mix raw heuristic units with recorded seconds inside one
+partition, so the heuristic is calibrated: the recorded entries (whose
+workloads the file remembers) establish a seconds-per-weight scale, and
+cold specs are estimated at ``weight * scale`` — commensurate with their
+warm neighbours.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from ..spec import MODE_REFERENCE, MODE_SMART, ScenarioSpec, spec_is_pairable
+
+COSTS_SCHEMA = 1
+
+#: Weight of a fresh observation against the running estimate.
+EWMA_ALPHA = 0.5
+
+#: Cold-start relative weights per workload (arbitrary units — only the
+#: ranking matters).  Roughly calibrated against the default campaign on
+#: the reference container; an unknown workload weighs 1.0.
+HEURISTIC_WEIGHTS: Dict[str, float] = {
+    "soc": 8.0,
+    "noc_stress": 3.0,
+    "video": 2.0,
+    "contention": 1.5,
+    "streaming": 1.0,
+    "packet_stream": 1.0,
+    "mixed": 1.0,
+    "random_traffic": 0.8,
+    "bursty": 0.8,
+    "fault_drop": 0.8,
+    "writer_reader": 0.2,
+}
+
+#: Heuristic cost of a workload absent from :data:`HEURISTIC_WEIGHTS`.
+DEFAULT_WEIGHT = 1.0
+
+
+class CostModel:
+    """Learned per-(spec, mode) wall-time estimates with a static fallback.
+
+    ``costs`` maps ``name -> {"workload": str | None, "modes": {mode ->
+    {"wall_s": float, "samples": int}}}``.  An empty model is a
+    pure-heuristic model — exactly what a cold-start ``--shard-by-cost``
+    run uses.
+    """
+
+    def __init__(self, costs: Optional[Dict[str, Dict[str, object]]] = None):
+        self._costs: Dict[str, Dict[str, object]] = {}
+        for name, spec_entry in (costs or {}).items():
+            if not isinstance(spec_entry, dict) or "modes" not in spec_entry:
+                # Reject rather than degrade: a hand-written or
+                # wrong-shape entry silently read as "no recorded modes"
+                # would quietly fall back to the heuristic.
+                raise ValueError(
+                    f"COSTS entry for {name!r} is not of the form "
+                    f'{{"workload": ..., "modes": {{mode: {{"wall_s": ...'
+                    f'}}}}}}'
+                )
+            modes = spec_entry["modes"]
+            if not isinstance(modes, dict) or not all(
+                isinstance(entry, dict) and "wall_s" in entry
+                for entry in modes.values()
+            ):
+                raise ValueError(
+                    f"COSTS entry for {name!r}: 'modes' must map mode "
+                    f'names to {{"wall_s": seconds, ...}} objects'
+                )
+            parsed = {
+                mode: {
+                    "wall_s": float(entry["wall_s"]),
+                    "samples": int(entry.get("samples", 1)),
+                }
+                for mode, entry in modes.items()
+            }
+            self._costs[name] = {
+                "workload": spec_entry.get("workload"),
+                "modes": parsed,
+            }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Optional[str]) -> "CostModel":
+        """Read ``path``; a missing path (or ``None``) is an empty model,
+        so cold starts need no special casing at the call site."""
+        if path is None or not os.path.exists(path):
+            return cls()
+        with open(path) as handle:
+            try:
+                document = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path} is not valid JSON: {exc}") from None
+        if not isinstance(document, dict):
+            raise ValueError(f"{path} is not a COSTS.json document")
+        schema = document.get("schema")
+        if schema != COSTS_SCHEMA:
+            raise ValueError(
+                f"{path} uses COSTS schema {schema!r}; this version reads "
+                f"schema {COSTS_SCHEMA}"
+            )
+        return cls(document.get("costs", {}))
+
+    def save(self, path: str) -> None:
+        """Atomically write the model (tmp file + rename)."""
+        document = {"schema": COSTS_SCHEMA, "costs": self._costs}
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(document, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        name: str,
+        mode: str,
+        wall_s: float,
+        workload: Optional[str] = None,
+    ) -> None:
+        """Fold one observed wall time into the (name, mode) estimate.
+
+        ``workload`` (when known) is remembered so the model can
+        calibrate the cold-start heuristic against recorded seconds —
+        see :meth:`heuristic_scale`.
+        """
+        if wall_s <= 0:
+            return
+        spec_entry = self._costs.setdefault(
+            name, {"workload": None, "modes": {}}
+        )
+        if workload is not None:
+            spec_entry["workload"] = workload
+        entry = spec_entry["modes"].get(mode)
+        if entry is None:
+            spec_entry["modes"][mode] = {"wall_s": float(wall_s), "samples": 1}
+        else:
+            entry["wall_s"] = (
+                (1.0 - EWMA_ALPHA) * entry["wall_s"] + EWMA_ALPHA * wall_s
+            )
+            entry["samples"] = int(entry["samples"]) + 1
+
+    def observe_result(self, result) -> None:
+        """Record every wall time of a finished in-process campaign.
+
+        Only freshly executed records carry wall times (records rebuilt
+        from JSONL have ``wall_seconds == 0`` and are skipped — wall
+        clock never crosses the JSONL boundary).  For a paired spec the
+        run list holds only the spec's own mode; the other half's wall
+        time is recovered from the pair record, whose ``wall_seconds``
+        is the sum of both halves.
+        """
+        own_records = {}
+        for record in result.runs:
+            if record.wall_seconds > 0:
+                self.observe(
+                    record.name, record.mode, record.wall_seconds,
+                    workload=record.workload,
+                )
+                own_records[record.name] = record
+        for pair in result.pairs:
+            own = own_records.get(pair.name)
+            if own is None or pair.wall_seconds <= 0:
+                continue
+            other_mode = (
+                MODE_SMART if own.mode == MODE_REFERENCE else MODE_REFERENCE
+            )
+            other_wall = pair.wall_seconds - own.wall_seconds
+            if other_wall > 0:
+                self.observe(
+                    pair.name, other_mode, other_wall, workload=own.workload
+                )
+
+    def merge(self, other: "CostModel") -> None:
+        """Fold another model's estimates in as observations.
+
+        Used by the orchestrator to recombine the per-shard cost files a
+        ``--record-costs`` campaign left behind on every host.
+        """
+        for name, spec_entry in other._costs.items():
+            for mode, entry in spec_entry["modes"].items():
+                self.observe(
+                    name, mode, entry["wall_s"],
+                    workload=spec_entry.get("workload"),
+                )
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def recorded(self, name: str, mode: str) -> Optional[float]:
+        entry = self._costs.get(name, {"modes": {}})["modes"].get(mode)
+        return float(entry["wall_s"]) if entry is not None else None
+
+    def heuristic_scale(self) -> float:
+        """Seconds per heuristic-weight unit, calibrated on the recorded
+        entries whose workload the file remembers.
+
+        A partially warm model (a spec that always times out records no
+        wall time; a newly added spec has none yet) must not mix raw
+        heuristic units with recorded seconds inside one LPT partition —
+        an 8.0-unit cold spec would dwarf 0.05 s warm neighbours.  With
+        no calibratable entries the scale is 1.0 (pure-heuristic cold
+        start, where only the ranking matters).  Pure function of the
+        file contents, so every host computes the same partition.
+        """
+        total_wall = 0.0
+        total_weight = 0.0
+        for spec_entry in self._costs.values():
+            workload = spec_entry.get("workload")
+            if workload is None:
+                continue
+            weight = HEURISTIC_WEIGHTS.get(workload, DEFAULT_WEIGHT)
+            for entry in spec_entry["modes"].values():
+                total_wall += entry["wall_s"]
+                total_weight += weight
+        if total_weight <= 0:
+            return 1.0
+        return total_wall / total_weight
+
+    def estimate(self, spec: ScenarioSpec, mode: Optional[str] = None) -> float:
+        """Estimated wall seconds of running ``spec`` in ``mode``.
+
+        Recorded estimate when one exists; otherwise the static workload
+        heuristic scaled into seconds by :meth:`heuristic_scale`, so warm
+        and cold specs stay commensurate within one partition.
+        """
+        mode = mode or spec.mode
+        recorded = self.recorded(spec.name, mode)
+        if recorded is not None:
+            return recorded
+        weight = HEURISTIC_WEIGHTS.get(spec.workload, DEFAULT_WEIGHT)
+        return weight * self.heuristic_scale()
+
+    def spec_cost(self, spec: ScenarioSpec, paired: bool) -> float:
+        """Total cost of scheduling ``spec`` in a campaign.
+
+        A pairable spec of a paired campaign runs both modes (two worker
+        jobs), so its scheduling weight is the sum of both estimates.
+        """
+        if paired and spec_is_pairable(spec):
+            return self.estimate(spec, MODE_REFERENCE) + self.estimate(
+                spec, MODE_SMART
+            )
+        return self.estimate(spec, spec.mode)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self._costs
+
+    def names(self):
+        return sorted(self._costs)
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        return {
+            name: {
+                "workload": spec_entry.get("workload"),
+                "modes": {
+                    mode: dict(entry)
+                    for mode, entry in spec_entry["modes"].items()
+                },
+            }
+            for name, spec_entry in self._costs.items()
+        }

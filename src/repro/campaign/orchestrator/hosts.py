@@ -1,0 +1,154 @@
+"""Host descriptions for the multi-host campaign orchestrator.
+
+A :class:`HostSpec` is a small declarative record of one machine that can
+run a campaign shard: how to reach it (``kind``: a local subprocess or an
+ssh target), which python to invoke, and where the repository checkout
+lives on it.  Host specs are deliberately transport-agnostic data — the
+matching :class:`~repro.campaign.orchestrator.transport.HostTransport`
+turns them into launch/poll/collect operations.
+
+Hosts files (``orchestrate --hosts-file hosts.json``) are plain JSON::
+
+    {
+      "hosts": [
+        {"name": "local0", "kind": "local"},
+        {"name": "big-box", "kind": "ssh", "address": "big-box.example.com",
+         "user": "bench", "port": 2222,
+         "workdir": "/srv/repro", "python": "python3"}
+      ]
+    }
+
+A bare top-level list is accepted too.  Unknown keys are rejected so a
+typoed field fails loudly instead of silently running with defaults.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional
+
+KIND_LOCAL = "local"
+KIND_SSH = "ssh"
+KINDS = (KIND_LOCAL, KIND_SSH)
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One machine of an orchestrated campaign.
+
+    ``name``
+        Unique label; doubles as the host's working-directory name under
+        the orchestrator's output directory.
+    ``kind``
+        ``"local"`` (a subprocess on this machine — the fully tested
+        transport, used by CI and the benchmarks) or ``"ssh"``.
+    ``address`` / ``user`` / ``port``
+        ssh coordinates (``kind="ssh"`` only); ``address`` is required.
+    ``python``
+        Interpreter to invoke on the host; empty means
+        ``sys.executable`` locally and ``python3`` over ssh.
+    ``workdir``
+        Repository root on the host (``kind="ssh"`` only): the launched
+        command is ``cd <workdir> && PYTHONPATH=src <python> -m ...``.
+    ``env``
+        Extra environment variables for the launched campaign.
+    """
+
+    name: str
+    kind: str = KIND_LOCAL
+    address: str = ""
+    user: Optional[str] = None
+    port: Optional[int] = None
+    python: str = ""
+    workdir: str = ""
+    env: Dict[str, str] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("HostSpec.name must be non-empty")
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"host {self.name!r}: kind must be one of {KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == KIND_SSH:
+            if not self.address:
+                raise ValueError(
+                    f"host {self.name!r}: kind='ssh' requires an address"
+                )
+            if not self.workdir:
+                raise ValueError(
+                    f"host {self.name!r}: kind='ssh' requires workdir (the "
+                    f"repository root on the remote machine)"
+                )
+            # scp's remote-path handling differs between its legacy
+            # (shell-expanded) and SFTP (literal) protocols, so a path
+            # needing quoting transfers correctly on only one of them.
+            # Fail fast instead of failing after the shard already ran.
+            hostile = set(' \t\'"\\*?[]{}$`&;|<>()')
+            if any(ch in hostile for ch in self.workdir):
+                raise ValueError(
+                    f"host {self.name!r}: workdir {self.workdir!r} contains "
+                    f"whitespace or shell metacharacters, which scp's "
+                    f"legacy and SFTP protocols transfer differently — "
+                    f"use a plain path"
+                )
+        if self.port is not None and not 0 < self.port < 65536:
+            raise ValueError(
+                f"host {self.name!r}: port must be in (0, 65536), "
+                f"got {self.port}"
+            )
+
+    @property
+    def destination(self) -> str:
+        """The ssh destination (``user@address`` or ``address``)."""
+        return f"{self.user}@{self.address}" if self.user else self.address
+
+
+def local_hosts(count: int, python: str = "") -> List[HostSpec]:
+    """``count`` local-subprocess hosts named ``local0`` .. ``localN-1``."""
+    if count < 1:
+        raise ValueError(f"host count must be >= 1, got {count}")
+    return [
+        HostSpec(name=f"local{index}", kind=KIND_LOCAL, python=python)
+        for index in range(count)
+    ]
+
+
+def parse_hosts_file(path: str) -> List[HostSpec]:
+    """Read a hosts JSON file (see the module docstring for the format)."""
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path} is not valid JSON: {exc}") from None
+    if isinstance(document, dict):
+        entries = document.get("hosts")
+        if not isinstance(entries, list):
+            raise ValueError(f"{path}: expected a top-level 'hosts' list")
+    elif isinstance(document, list):
+        entries = document
+    else:
+        raise ValueError(f"{path}: expected a JSON object or list")
+    known = {spec_field.name for spec_field in fields(HostSpec)}
+    hosts: List[HostSpec] = []
+    for number, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: host entry {number} is not an object")
+        unknown = sorted(set(entry) - known)
+        if unknown:
+            raise ValueError(
+                f"{path}: host entry {number} has unknown key(s) "
+                f"{', '.join(unknown)}; accepted: {', '.join(sorted(known))}"
+            )
+        host = HostSpec(**entry)
+        host.validate()
+        hosts.append(host)
+    if not hosts:
+        raise ValueError(f"{path} declares no hosts")
+    names = [host.name for host in hosts]
+    if len(set(names)) != len(names):
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"{path}: duplicate host name(s): {duplicates}")
+    return hosts

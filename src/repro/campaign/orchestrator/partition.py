@@ -1,0 +1,92 @@
+"""Cost-balanced deterministic shard partitioning (``--shard-by-cost``).
+
+The historical ``--shard i/N`` partitioner is round-robin over the spec
+list: balanced only when expensive specs happen to be spread evenly.  The
+cost-balanced partitioner assigns specs to shards with the classic LPT
+(longest-processing-time-first) greedy: walk the specs from most to least
+expensive (estimates from a :class:`~repro.campaign.orchestrator.costs
+.CostModel`), always assigning to the currently lightest shard.  LPT's
+makespan is within 4/3 of optimal — plenty for campaign scheduling — and
+the implementation is strictly deterministic:
+
+* specs are ordered by ``(-cost, name)`` — the spec *name* breaks cost
+  ties, so equal-cost specs always partition identically;
+* the lightest-bin choice breaks load ties by shard index (via the heap
+  entry ``(load, index)``).
+
+Every host of an orchestrated campaign recomputes the partition locally
+from the same spec list and the same ``COSTS.json``, so the shards agree
+across hosts without any shard list ever crossing the wire.  Shard
+*membership* never affects result rows, so the union of the cost shards
+merges to the byte-identical unsharded fingerprint exactly like
+round-robin shards do.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence
+
+from ..spec import ScenarioSpec
+from .costs import CostModel
+
+
+def cost_shards(
+    specs: Sequence[ScenarioSpec],
+    count: int,
+    model: Optional[CostModel] = None,
+    paired: bool = True,
+) -> List[List[ScenarioSpec]]:
+    """Partition ``specs`` into ``count`` cost-balanced shards (LPT).
+
+    Returns one spec list per shard; every spec appears in exactly one
+    shard, and each shard preserves the original campaign order (the
+    campaign header always records the full pre-partition list, so order
+    inside a shard is cosmetic — kept stable for readable output).
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    model = model or CostModel()
+    order = sorted(
+        specs,
+        key=lambda spec: (-model.spec_cost(spec, paired), spec.name),
+    )
+    heap = [(0.0, index) for index in range(count)]
+    heapq.heapify(heap)
+    bins: List[List[ScenarioSpec]] = [[] for _ in range(count)]
+    for spec in order:
+        load, index = heapq.heappop(heap)
+        bins[index].append(spec)
+        heapq.heappush(heap, (load + model.spec_cost(spec, paired), index))
+    position = {spec.name: number for number, spec in enumerate(specs)}
+    return [
+        sorted(shard, key=lambda spec: position[spec.name]) for shard in bins
+    ]
+
+
+def estimated_makespans(
+    shards: Sequence[Sequence[ScenarioSpec]],
+    model: Optional[CostModel] = None,
+    paired: bool = True,
+) -> List[float]:
+    """Estimated total cost per shard (the partitioner's own view)."""
+    model = model or CostModel()
+    return [
+        sum(model.spec_cost(spec, paired) for spec in shard)
+        for shard in shards
+    ]
+
+
+def makespan_spread(makespans: Sequence[float]) -> float:
+    """``max/min`` over per-shard makespans: 1.0 is perfectly balanced.
+
+    An empty shard (makespan 0) yields ``inf`` — a degenerate partition
+    the spread metric should flag, not hide.
+    """
+    if not makespans:
+        return 1.0
+    largest = max(makespans)
+    smallest = min(makespans)
+    if smallest <= 0:
+        return float("inf") if largest > 0 else 1.0
+    return largest / smallest

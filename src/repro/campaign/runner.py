@@ -35,12 +35,18 @@ missing ones (rejecting a file whose campaign header does not match).  The
 schema (one JSON object per line)::
 
     {"type": "campaign", "schema": 1, "specs": [...], "workers": N,
-     "paired": true, "shard": "0/2" | null}          # header, first line
+     "paired": true, "shard": "0/2" | null,
+     "shard_by": "index" | "cost" | null}            # header, first line
     {"type": "run", ...SpecRunRecord.deterministic_row()}
     {"type": "pair", ...PairRecord.deterministic_row()}
+    {"type": "timeout", ...TimeoutRecord.deterministic_row()}
 
 Rows carry deterministic fields only (never wall clock or PIDs), so the
-merge of shard files is byte-identical to the unsharded aggregate.
+merge of shard files is byte-identical to the unsharded aggregate.  A
+``timeout`` row is the outcome of a job killed by a
+:class:`~repro.campaign.orchestrator.budget.RunBudget`; it stands in for
+the spec's run/pair rows at merge time and is dropped (the spec re-runs)
+on resume.
 
 Trace memory model
 ------------------
@@ -72,6 +78,14 @@ from ..analysis.reporting import dict_rows_table
 from ..analysis.trace_diff import compare_spools
 from ..kernel.simulator import Simulator
 from ..kernel.tracing import SINK_KINDS, make_sink
+from .orchestrator.budget import (
+    SCOPE_CAMPAIGN,
+    RunBudget,
+    TimeoutRecord,
+    run_with_budget,
+)
+from .orchestrator.costs import CostModel
+from .orchestrator.partition import cost_shards
 from .scenarios import build_scenario
 from .spec import MODE_REFERENCE, MODE_SMART, ScenarioSpec, spec_is_pairable
 
@@ -433,9 +447,19 @@ def campaign_header_row(
     workers: int,
     paired: bool,
     shard: Optional[Tuple[int, int]] = None,
+    shard_by_cost: bool = False,
 ) -> Dict[str, object]:
-    """The campaign header row of a JSONL file (first line)."""
-    return {
+    """The campaign header row of a JSONL file (first line).
+
+    ``shard_by`` records *how* a sharded campaign was partitioned
+    (``"index"`` = round-robin, ``"cost"`` = the cost-balanced LPT
+    partitioner): a resume must re-derive the identical shard membership,
+    so mixing partitioners on one file is rejected.  The key only exists
+    on sharded headers — unsharded files stay byte-identical to the
+    pre-orchestrator format — and sharded files written before the field
+    existed carry no key and are read as ``"index"``.
+    """
+    row = {
         "type": "campaign",
         "schema": JSONL_SCHEMA,
         "specs": [spec.name for spec in campaign_specs],
@@ -443,6 +467,9 @@ def campaign_header_row(
         "paired": paired,
         "shard": f"{shard[0]}/{shard[1]}" if shard else None,
     }
+    if shard:
+        row["shard_by"] = "cost" if shard_by_cost else "index"
+    return row
 
 
 class JsonlSink:
@@ -469,6 +496,7 @@ class JsonlSink:
         paired: bool,
         shard: Optional[Tuple[int, int]] = None,
         header_row: Optional[Dict[str, object]] = None,
+        shard_by_cost: bool = False,
     ):
         self._stream = stream
         self._skip_runs: Set[Tuple[str, str]] = set()
@@ -476,7 +504,9 @@ class JsonlSink:
         self._write(
             header_row
             if header_row is not None
-            else campaign_header_row(campaign_specs, workers, paired, shard)
+            else campaign_header_row(
+                campaign_specs, workers, paired, shard, shard_by_cost
+            )
         )
 
     def _write(self, row: Dict[str, object]) -> None:
@@ -514,6 +544,14 @@ class JsonlSink:
             return
         self._write({"type": "pair", **pair.deterministic_row()})
 
+    def timeout_completed(self, record: TimeoutRecord) -> None:
+        """Persist the deterministic row of a budget-killed job.
+
+        Never part of the resume skip sets: a resume drops timeout rows
+        and re-executes the spec, so a fresh row (or the healed run/pair
+        rows) replaces the old one."""
+        self._write({"type": "timeout", **record.deterministic_row()})
+
 
 def parse_jsonl_rows(lines: Iterable[str]):
     """Yield ``(type, row)`` for every non-empty line of a campaign JSONL."""
@@ -526,7 +564,7 @@ def parse_jsonl_rows(lines: Iterable[str]):
         except json.JSONDecodeError as exc:
             raise ValueError(f"JSONL line {number} is not valid JSON: {exc}") from None
         kind = row.get("type")
-        if kind not in ("campaign", "run", "pair"):
+        if kind not in ("campaign", "run", "pair", "timeout"):
             raise ValueError(f"JSONL line {number} has unknown type {kind!r}")
         yield kind, row
 
@@ -543,26 +581,38 @@ def load_resume_state(
     campaign_specs: Sequence[ScenarioSpec],
     paired: bool,
     shard: Optional[Tuple[int, int]],
+    shard_specs: Optional[Sequence[ScenarioSpec]] = None,
+    shard_by_cost: bool = False,
 ):
     """Parse a partially written campaign JSONL for ``resume=True``.
 
     Returns ``(header_row, runs, pairs)``.  The header must describe the
     *same* campaign as the one being resumed — identical spec list, paired
-    flag, shard and schema — otherwise the resume is rejected: silently
-    appending rows of one campaign to the file of another would merge into
-    a plausible-looking fingerprint that corresponds to no real run.  (A
-    differing ``workers`` value is fine: worker count never affects the
-    rows.)  Every recovered row must belong to a known spec, and run rows
-    must match the spec's identity columns (workload, mode, depth,
-    quantum_ns, seed, timing).  Rows do **not** record ``params`` or the
-    trace-sink kind, so a resume cannot detect those changing between
-    invocations — resuming assumes both are unchanged, like sharding does.
-    A truncated *final* line — the signature of a run that died mid-write
-    — is dropped; corruption anywhere else still raises.
+    flag, shard (including the partitioner: a round-robin shard file
+    cannot be resumed as a cost shard or vice versa) and schema —
+    otherwise the resume is rejected: silently appending rows of one
+    campaign to the file of another would merge into a plausible-looking
+    fingerprint that corresponds to no real run.  (A differing ``workers``
+    value is fine: worker count never affects the rows.)  Every recovered
+    row must belong to a known spec, and run rows must match the spec's
+    identity columns (workload, mode, depth, quantum_ns, seed, timing).
+    When resuming one shard of a campaign, ``shard_specs`` names the specs
+    of *this* shard: only their rows may appear in the file — a row from
+    another shard (the signature of a re-partitioned cost shard, e.g.
+    after ``COSTS.json`` changed) is rejected, because replaying it would
+    produce a shard file the merge rightly refuses.  Rows do **not**
+    record ``params`` or the trace-sink kind, so a resume cannot detect
+    those changing between invocations — resuming assumes both are
+    unchanged, like sharding does.  ``timeout`` rows are validated like
+    run rows but *not* returned: the timed-out spec is re-executed and the
+    healed file reproduces the uninterrupted fingerprint.  A truncated
+    *final* line — the signature of a run that died mid-write — is
+    dropped; corruption anywhere else still raises.
     """
     header: Optional[Dict[str, object]] = None
     runs: List[SpecRunRecord] = []
     pairs: List[PairRecord] = []
+    timeouts: List[TimeoutRecord] = []
     with open(path) as handle:
         lines = handle.read().splitlines()
     for number, line in enumerate(lines, start=1):
@@ -575,6 +625,8 @@ def load_resume_state(
                 parsed = SpecRunRecord.from_row(row)
             elif kind == "pair":
                 parsed = PairRecord.from_row(row)
+            elif kind == "timeout":
+                parsed = TimeoutRecord.from_row(row)
             elif kind == "campaign":
                 parsed = row
                 if header is not None:
@@ -593,20 +645,22 @@ def load_resume_state(
                 f"cannot resume from a corrupt file"
             ) from None
         if kind == "campaign":
-            if runs or pairs:
+            if runs or pairs or timeouts:
                 raise CampaignResumeError(
                     f"{path} does not start with a campaign header row"
                 )
             header = parsed
         elif kind == "run":
             runs.append(parsed)
+        elif kind == "timeout":
+            timeouts.append(parsed)
         else:
             pairs.append(parsed)
     if header is None:
         raise CampaignResumeError(
             f"{path} does not start with a campaign header row"
         )
-    expected = campaign_header_row(campaign_specs, 0, paired, shard)
+    expected = campaign_header_row(campaign_specs, 0, paired, shard, shard_by_cost)
     for key in ("schema", "specs", "paired", "shard"):
         if header.get(key) != expected[key]:
             raise CampaignResumeError(
@@ -614,7 +668,30 @@ def load_resume_state(
                 f"{key!r} ({header.get(key)!r} != {expected[key]!r}) — the "
                 f"file belongs to a different campaign"
             )
+    if shard is not None:
+        # Pre-PR 5 files carry no shard_by key; they were always
+        # round-robin ("index") partitioned.
+        recorded_by = header.get("shard_by") or "index"
+        if recorded_by != expected["shard_by"]:
+            raise CampaignResumeError(
+                f"cannot resume {path}: the file's shard was partitioned by "
+                f"{recorded_by!r} but this campaign shards by "
+                f"{expected['shard_by']!r} — shard membership would not match"
+            )
     by_name = {spec.name: spec for spec in campaign_specs}
+    in_shard = (
+        {spec.name for spec in shard_specs} if shard_specs is not None else None
+    )
+
+    def check_shard_membership(kind: str, name: str) -> None:
+        if in_shard is not None and name not in in_shard:
+            raise CampaignResumeError(
+                f"cannot resume {path}: {kind} row for spec {name!r} does "
+                f"not belong to shard {expected['shard']} (the file mixes "
+                f"rows of another shard — was the campaign re-partitioned, "
+                f"e.g. by a changed COSTS.json?)"
+            )
+
     seen_runs: Set[Tuple[str, str]] = set()
     for record in runs:
         spec = by_name.get(record.name)
@@ -622,6 +699,7 @@ def load_resume_state(
             raise CampaignResumeError(
                 f"cannot resume {path}: run row for unknown spec {record.name!r}"
             )
+        check_shard_membership("run", record.name)
         expected_identity = spec.with_mode(record.mode).identity_row()
         row_identity = {
             key: getattr(record, key) for key in expected_identity
@@ -646,6 +724,7 @@ def load_resume_state(
             raise CampaignResumeError(
                 f"cannot resume {path}: pair row for unknown spec {pair.name!r}"
             )
+        check_shard_membership("pair", pair.name)
         if not spec_is_pairable(spec):
             raise CampaignResumeError(
                 f"cannot resume {path}: pair row for non-pairable spec "
@@ -656,6 +735,24 @@ def load_resume_state(
                 f"cannot resume {path}: duplicate pair row for spec {pair.name!r}"
             )
         seen_pairs.add(pair.name)
+    for timeout in timeouts:
+        spec = by_name.get(timeout.name)
+        if spec is None:
+            raise CampaignResumeError(
+                f"cannot resume {path}: timeout row for unknown spec "
+                f"{timeout.name!r}"
+            )
+        check_shard_membership("timeout", timeout.name)
+        expected_identity = spec.with_mode(timeout.mode).identity_row()
+        row_identity = {
+            key: getattr(timeout, key) for key in expected_identity
+        }
+        if row_identity != expected_identity:
+            raise CampaignResumeError(
+                f"cannot resume {path}: timeout row for spec "
+                f"{timeout.name!r} was written by a different spec "
+                f"definition ({row_identity} != {expected_identity})"
+            )
     return header, runs, pairs
 
 
@@ -663,10 +760,19 @@ def _check_merge_completeness(
     headers: List[Dict[str, object]],
     runs: List[SpecRunRecord],
     pairs: List[PairRecord],
+    timeouts: Sequence[TimeoutRecord] = (),
 ) -> None:
     """Reject incomplete merges: a missing shard, a truncated file or a
     dropped pair row must fail loudly instead of yielding a plausible
-    partial fingerprint."""
+    partial fingerprint.  A spec with a ``timeout`` row is complete *as a
+    timeout*: its run/pair rows are excused — the timeout row is its
+    deterministic outcome until a resume re-runs it.  The excusal is by
+    spec name, not (name, mode): when the half matching the spec's own
+    mode is the one killed, the completed other half legitimately leaves
+    no row at all (a half only writes a run row for the spec's own mode,
+    and the pair never completes), and the merge cannot know the own mode
+    from rows alone.  Contradictions it *can* see — a run row and a
+    timeout row for the same (name, mode) — are rejected by the caller."""
     shards = [h.get("shard") for h in headers]
     if any(shards) and not all(shards):
         raise ValueError(
@@ -700,16 +806,17 @@ def _check_merge_completeness(
                 f"incomplete shard set: missing shard(s) "
                 f"{', '.join(f'{m}/{count}' for m in missing)}"
             )
+    timeout_names = {record.name for record in timeouts}
     run_names = {record.name for record in runs}
     expected = [str(name) for h in headers for name in h.get("specs", [])]
-    missing_runs = sorted(set(expected) - run_names)
+    missing_runs = sorted(set(expected) - run_names - timeout_names)
     if missing_runs:
         raise ValueError(
             f"no run row for spec(s) {', '.join(missing_runs)} — a shard "
             f"file is truncated or a campaign did not finish"
         )
     if headers and all(h.get("paired") for h in headers):
-        pair_names = {pair.name for pair in pairs}
+        pair_names = {pair.name for pair in pairs} | timeout_names
         missing_pairs = []
         for record in runs:
             spec = ScenarioSpec(
@@ -745,10 +852,13 @@ def merge_jsonl(paths: Sequence[str]) -> "CampaignResult":
     rejected, as they would be in an unsharded campaign; so are incomplete
     merges (a missing shard of an ``i/N`` set, a header spec without its
     run row, a pairable run without its pair row), which would otherwise
-    produce a plausible-looking partial fingerprint.
+    produce a plausible-looking partial fingerprint.  ``timeout`` rows are
+    first-class: a budget-killed spec's timeout row stands in for its
+    run/pair rows, and the merged fingerprint covers it.
     """
     runs: List[SpecRunRecord] = []
     pairs: List[PairRecord] = []
+    timeouts: List[TimeoutRecord] = []
     headers: List[Dict[str, object]] = []
     for path in paths:
         first = True
@@ -771,6 +881,8 @@ def merge_jsonl(paths: Sequence[str]) -> "CampaignResult":
                         headers.append(row)
                     elif kind == "run":
                         runs.append(SpecRunRecord.from_row(row))
+                    elif kind == "timeout":
+                        timeouts.append(TimeoutRecord.from_row(row))
                     else:
                         pairs.append(PairRecord.from_row(row))
                 except KeyError as exc:
@@ -796,9 +908,42 @@ def merge_jsonl(paths: Sequence[str]) -> "CampaignResult":
                 f"merged JSONL files"
             )
         seen_pairs.add(pair.name)
-    _check_merge_completeness(headers, runs, pairs)
+    seen_timeouts = set()
+    for timeout in timeouts:
+        key = (timeout.name, timeout.mode)
+        if key in seen_timeouts:
+            raise ValueError(
+                f"duplicate timeout row for spec {timeout.name!r} mode "
+                f"{timeout.mode!r} across the merged JSONL files"
+            )
+        seen_timeouts.add(key)
+        if key in seen_runs:
+            # One (spec, mode) job either completed or was killed; a file
+            # set claiming both is stitched from different campaign
+            # executions (a resume always drops timeout rows before
+            # re-running, so no single campaign can write both).
+            raise ValueError(
+                f"contradictory rows for spec {timeout.name!r} mode "
+                f"{timeout.mode!r}: both a run row and a timeout row "
+                f"across the merged JSONL files"
+            )
+        if timeout.name in seen_pairs:
+            # A pair row proves both halves completed, so a timeout row
+            # for the same spec can only come from a different execution
+            # (e.g. shards written before and after a re-partition).
+            raise ValueError(
+                f"contradictory rows for spec {timeout.name!r}: both a "
+                f"pair row and a timeout row across the merged JSONL files"
+            )
+    _check_merge_completeness(headers, runs, pairs, timeouts)
     workers = max((int(h.get("workers", 0)) for h in headers), default=0)
-    return CampaignResult(runs=runs, pairs=pairs, workers=workers, wall_seconds=0.0)
+    return CampaignResult(
+        runs=runs,
+        pairs=pairs,
+        workers=workers,
+        wall_seconds=0.0,
+        timeouts=timeouts,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -814,10 +959,19 @@ class CampaignResult:
     wall_seconds: float
     #: ``(index, count)`` when this result covers one shard of a campaign.
     shard: Optional[Tuple[int, int]] = None
+    #: Budget-killed jobs (see :class:`~repro.campaign.orchestrator.budget
+    #: .TimeoutRecord`); empty for an unbudgeted or on-budget campaign.
+    timeouts: List[TimeoutRecord] = field(default_factory=list)
 
     @property
     def all_pairs_equivalent(self) -> bool:
         return all(pair.equivalent for pair in self.pairs)
+
+    @property
+    def complete(self) -> bool:
+        """True when no job was killed by a budget (``--resume`` heals an
+        incomplete campaign by re-running its timed-out specs)."""
+        return not self.timeouts
 
     def worker_pids(self) -> List[int]:
         """Distinct worker PIDs that executed work (provenance only).
@@ -831,8 +985,13 @@ class CampaignResult:
         return sorted(pids)
 
     def aggregate_rows(self) -> Dict[str, List[Dict[str, object]]]:
-        """The deterministic aggregate: identical for any worker count."""
-        return {
+        """The deterministic aggregate: identical for any worker count.
+
+        The ``timeouts`` key appears only when a budget killed a job, so
+        the fingerprint of every campaign without timeouts is unchanged
+        from the pre-budget pipeline byte for byte.
+        """
+        rows = {
             "runs": [
                 record.deterministic_row()
                 for record in sorted(self.runs, key=lambda r: (r.name, r.mode))
@@ -842,6 +1001,14 @@ class CampaignResult:
                 for pair in sorted(self.pairs, key=lambda p: p.name)
             ],
         }
+        if self.timeouts:
+            rows["timeouts"] = [
+                record.deterministic_row()
+                for record in sorted(
+                    self.timeouts, key=lambda t: (t.name, t.mode)
+                )
+            ]
+        return rows
 
     def canonical_json(self) -> str:
         return json.dumps(
@@ -905,6 +1072,14 @@ class CampaignResult:
             f"all pairs equivalent: {self.all_pairs_equivalent}",
             f"campaign fingerprint: {self.fingerprint()}",
         ]
+        if self.timeouts:
+            lines.append(f"budget timeouts: {len(self.timeouts)}")
+            for record in sorted(self.timeouts, key=lambda t: (t.name, t.mode)):
+                lines.append(
+                    f"TIMEOUT {record.name} [{record.mode}]: exceeded the "
+                    f"{record.scope} limit of {record.limit_s}s "
+                    f"(--resume re-runs it)"
+                )
         for pair in self.pairs:
             if not pair.equivalent:
                 lines.append(f"PAIR MISMATCH {pair.name}:\n{pair.report}")
@@ -932,6 +1107,25 @@ class CampaignRunner:
         shard of the spec list (see :meth:`shard_specs`).  Merging the JSONL
         of all ``count`` shards with :func:`merge_jsonl` reproduces the
         unsharded fingerprint.
+    shard_by_cost:
+        With ``shard``: partition by estimated per-spec cost (the LPT
+        partitioner of :mod:`repro.campaign.orchestrator.partition`)
+        instead of round-robin.  Shard membership changes; the merged
+        fingerprint does not.
+    cost_model:
+        The :class:`~repro.campaign.orchestrator.costs.CostModel` feeding
+        ``shard_by_cost`` (``None`` = the cold-start heuristic).  Every
+        shard of one campaign must use identical cost inputs, or the
+        shards will not partition consistently.
+    budget:
+        Optional :class:`~repro.campaign.orchestrator.budget.RunBudget`.
+        When a limit is set, jobs run in killable child processes (even
+        at ``workers=1``): an overrunning job is terminated and recorded
+        as a deterministic ``timeout`` row (see
+        :class:`~repro.campaign.orchestrator.budget.TimeoutRecord`);
+        ``--resume`` re-runs timed-out specs.  A budgeted campaign in
+        which nothing times out aggregates byte-identically to an
+        unbudgeted one.
     trace_sink:
         Kind of :class:`~repro.kernel.tracing.TraceSink` every worker
         simulation emits into (one of
@@ -955,6 +1149,9 @@ class CampaignRunner:
         shard: Optional[Tuple[int, int]] = None,
         trace_sink: str = DEFAULT_TRACE_SINK,
         trace_out: Optional[str] = None,
+        shard_by_cost: bool = False,
+        cost_model: Optional[CostModel] = None,
+        budget: Optional[RunBudget] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -967,6 +1164,10 @@ class CampaignRunner:
                     f"shard index must be in [0, {count}), got {index}"
                 )
             shard = (index, count)
+        if shard_by_cost and shard is None:
+            raise ValueError("shard_by_cost requires a shard=(index, count)")
+        if cost_model is not None and not shard_by_cost:
+            raise ValueError("cost_model is only used with shard_by_cost")
         if trace_sink not in SINK_KINDS:
             raise ValueError(
                 f"trace_sink must be one of {', '.join(SINK_KINDS)}, "
@@ -980,6 +1181,9 @@ class CampaignRunner:
         self.paired = paired
         self.mp_start_method = mp_start_method
         self.shard = shard
+        self.shard_by_cost = shard_by_cost
+        self.cost_model = cost_model
+        self.budget = budget
         self.trace_sink = trace_sink
         self.trace_out = trace_out
 
@@ -1005,7 +1209,10 @@ class CampaignRunner:
         (spec, mode) simulates twice.  ``mapper`` yields completed
         ``(spec_index, half_mode, outcome)`` triples in any order, which is
         what lets pool workers stream results back as they finish (and the
-        JSONL sink persist them immediately).
+        JSONL sink persist them immediately).  A budget-killed job arrives
+        as a :class:`TimeoutRecord` outcome: it is persisted and
+        aggregated but never recombined — a pair with a timed-out half
+        simply has no pair row (the timeout row excuses it at merge time).
         """
         jobs = []
         for index, spec in enumerate(specs):
@@ -1014,10 +1221,15 @@ class CampaignRunner:
                 jobs.append((index, MODE_SMART, spec, self.trace_sink, self.trace_out))
             else:
                 jobs.append((index, _JOB_SINGLE, spec, self.trace_sink, self.trace_out))
-        runs, pairs = [], []
+        runs, pairs, timeouts = [], [], []
         halves: Dict[int, Dict[str, PairHalf]] = {}
         for index, half_mode, outcome in mapper(_execute_job, jobs):
             spec = specs[index]
+            if isinstance(outcome, TimeoutRecord):
+                timeouts.append(outcome)
+                if sink is not None:
+                    sink.timeout_completed(outcome)
+                continue
             if half_mode is _JOB_SINGLE:
                 runs.append(outcome)
                 if sink is not None:
@@ -1047,7 +1259,43 @@ class CampaignRunner:
                 if sink is not None:
                     sink.pair_completed(pair)
                 del halves[index]
-        return runs, pairs
+        return runs, pairs, timeouts
+
+    def _budget_mapper(self, func, jobs):
+        """Completion-order mapper over killable child processes.
+
+        The budgeted twin of the pool mapper: jobs run through
+        :func:`repro.campaign.orchestrator.budget.run_with_budget`, which
+        terminates any job overrunning ``budget.spec_timeout_s`` and
+        abandons everything once ``budget.campaign_budget_s`` expires.  A
+        killed/abandoned job is translated into its deterministic
+        :class:`TimeoutRecord` here (the job tuple carries the spec).
+        """
+        import multiprocessing
+
+        context = multiprocessing.get_context(self.mp_start_method)
+        processes = max(1, min(self.workers, len(jobs)))
+        for event in run_with_budget(
+            func,
+            jobs,
+            budget=self.budget,
+            processes=processes,
+            mp_context=context,
+        ):
+            if event[0] == "result":
+                yield event[1]
+                continue
+            _, job, scope = event
+            index, half_mode, spec = job[0], job[1], job[2]
+            mode = half_mode if half_mode is not _JOB_SINGLE else spec.mode
+            limit = (
+                self.budget.campaign_budget_s
+                if scope == SCOPE_CAMPAIGN
+                else self.budget.spec_timeout_s
+            )
+            yield index, half_mode, TimeoutRecord.for_spec(
+                spec, mode, scope, limit
+            )
 
     def run(
         self,
@@ -1075,7 +1323,16 @@ class CampaignRunner:
             spec.validate()
         campaign_specs = specs
         if self.shard is not None:
-            specs = self.shard_specs(specs, *self.shard)
+            if self.shard_by_cost:
+                shards = cost_shards(
+                    campaign_specs,
+                    self.shard[1],
+                    self.cost_model,
+                    self.paired,
+                )
+                specs = shards[self.shard[0]]
+            else:
+                specs = self.shard_specs(specs, *self.shard)
         if resume and not jsonl:
             raise CampaignResumeError(
                 "resume=True requires a jsonl path to resume from"
@@ -1086,7 +1343,9 @@ class CampaignRunner:
         resuming_existing = resume and os.path.exists(jsonl)
         if resuming_existing:
             header_row, done_runs, done_pairs = load_resume_state(
-                jsonl, campaign_specs, self.paired, self.shard
+                jsonl, campaign_specs, self.paired, self.shard,
+                shard_specs=specs if self.shard is not None else None,
+                shard_by_cost=self.shard_by_cost,
             )
         seen_runs = {(record.name, record.mode) for record in done_runs}
         seen_pairs = {pair.name for pair in done_pairs}
@@ -1123,11 +1382,20 @@ class CampaignRunner:
                 sink_file = open(jsonl, "w")
                 sink = JsonlSink(
                     sink_file, campaign_specs, self.workers, self.paired,
-                    self.shard,
+                    self.shard, shard_by_cost=self.shard_by_cost,
                 )
             specs = todo
-            if self.workers == 1 or not specs:
-                runs, pairs = self._execute(
+            if self.budget is not None and self.budget.active and specs:
+                # Budgeted execution always runs jobs in killable child
+                # processes (even at workers=1): enforcing a wall-clock
+                # limit on an inline simulation would require cooperation
+                # from the overrunning code — exactly what a stuck spec
+                # does not give.
+                runs, pairs, timeouts = self._execute(
+                    specs, self._budget_mapper, sink=sink
+                )
+            elif self.workers == 1 or not specs:
+                runs, pairs, timeouts = self._execute(
                     specs,
                     lambda func, items: (func(item) for item in items),
                     sink=sink,
@@ -1145,7 +1413,7 @@ class CampaignRunner:
                 # imap_unordered streams results back in completion order so
                 # the JSONL sink persists each row as soon as it exists.
                 with context.Pool(processes=processes) as pool:
-                    runs, pairs = self._execute(
+                    runs, pairs, timeouts = self._execute(
                         specs,
                         lambda func, items: pool.imap_unordered(
                             func, items, chunksize=1
@@ -1173,4 +1441,5 @@ class CampaignRunner:
             workers=self.workers,
             wall_seconds=wall,
             shard=self.shard,
+            timeouts=timeouts,
         )

@@ -22,6 +22,7 @@ within one run.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -44,6 +45,12 @@ class BurstyConfig:
     min_idle_ns: int = 40
     max_idle_ns: int = 200
     consumer_time_ns: int = 12
+    #: Host-CPU busy-wait (milliseconds of *wall clock*) the producer burns
+    #: per burst.  Simulated time, traces and extras are untouched, so a
+    #: slow-spin spec produces rows byte-identical to its spin-free twin —
+    #: the knob exists to make a spec deterministically exceed a wall-clock
+    #: budget (``--spec-timeout``) in tests and demos.
+    slow_spin_ms: int = 0
 
     def __post_init__(self) -> None:
         for name in ("n_bursts", "max_burst", "fifo_depth"):
@@ -56,6 +63,11 @@ class BurstyConfig:
             raise ValueError(
                 f"BurstyConfig idle range invalid: "
                 f"[{self.min_idle_ns}, {self.max_idle_ns}]"
+            )
+        if self.slow_spin_ms < 0:
+            raise ValueError(
+                f"BurstyConfig.slow_spin_ms must be >= 0, "
+                f"got {self.slow_spin_ms}"
             )
 
     def burst_sizes(self) -> List[int]:
@@ -82,6 +94,8 @@ class BurstyProducer(WorkloadModule):
         cfg = self.config
         value = 0
         for burst in cfg.burst_sizes():
+            if cfg.slow_spin_ms:
+                _spin_wall_clock(cfg.slow_spin_ms)
             for _ in range(burst):
                 yield from self.fifo.write(value)
                 self.items_processed += 1
@@ -92,6 +106,18 @@ class BurstyProducer(WorkloadModule):
             yield from self.advance(idle)
         self.mark_finished()
         self.checkpoint("producer done")
+
+
+def _spin_wall_clock(milliseconds: int) -> None:
+    """Busy-wait on the host CPU without touching simulated time.
+
+    A busy loop rather than ``time.sleep`` so the spin models a
+    *computing* (unpreemptable) slow spec, the case a ``--spec-timeout``
+    kill exists for.
+    """
+    deadline = time.perf_counter() + milliseconds / 1000.0
+    while time.perf_counter() < deadline:
+        pass
 
 
 class BurstyConsumer(WorkloadModule):

@@ -1,0 +1,157 @@
+"""Orchestrated campaigns over real local subprocesses.
+
+The acceptance property of the orchestrator: a 2-host cost-sharded run
+produces shard JSONLs that merge to the byte-identical fingerprint of the
+unsharded single-pool campaign.  These tests exercise the full path —
+launch through ``python -m repro.analysis.cli``, poll, collect, merge —
+with :class:`LocalSubprocessTransport` hosts, which is exactly what CI's
+``make orchestrate-smoke`` gate runs at larger scale.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import cli
+from repro.campaign import CampaignRunner, default_campaign, merge_jsonl
+from repro.campaign.orchestrator import (
+    CostModel,
+    Orchestrator,
+    local_hosts,
+)
+
+#: Small, fast subset of the default campaign (a few hundred ms per host
+#: including interpreter start-up).
+SPEC_NAMES = ["writer_reader_d1", "writer_reader_d4", "bursty_s3_d4", "mixed_d3"]
+
+
+def unsharded_fingerprint():
+    by_name = {spec.name: spec for spec in default_campaign()}
+    specs = [by_name[name] for name in SPEC_NAMES]
+    return CampaignRunner(workers=1).run(specs).fingerprint()
+
+
+@pytest.fixture(scope="module")
+def reference_fingerprint():
+    return unsharded_fingerprint()
+
+
+class TestOrchestratedCampaign:
+    def test_two_local_hosts_merge_to_the_unsharded_fingerprint(
+        self, tmp_path, reference_fingerprint
+    ):
+        out_dir = str(tmp_path / "orchestrate")
+        costs_path = str(tmp_path / "COSTS.json")
+        merged_path = str(tmp_path / "merged.jsonl")
+        orchestrator = Orchestrator(
+            local_hosts(2),
+            out_dir,
+            workers_per_host=1,
+            record_costs_path=costs_path,
+        )
+        outcome = orchestrator.run(SPEC_NAMES, merged_jsonl=merged_path)
+
+        assert outcome.fingerprint() == reference_fingerprint
+        assert outcome.shard_by == "cost"
+        assert outcome.result.all_pairs_equivalent
+        assert outcome.result.complete
+
+        # Host provenance: both shards ran, exited cleanly, and every
+        # spec is assigned to exactly one shard.
+        assert [run.returncode for run in outcome.host_runs] == [0, 0]
+        assert all(run.wall_seconds > 0 for run in outcome.host_runs)
+        shipped = sorted(
+            name for run in outcome.host_runs for name in run.spec_names
+        )
+        assert shipped == sorted(SPEC_NAMES)
+
+        # The collected shard files re-merge independently...
+        shard_paths = [run.jsonl_path for run in outcome.host_runs]
+        assert all(os.path.exists(path) for path in shard_paths)
+        assert merge_jsonl(shard_paths).fingerprint() == reference_fingerprint
+        # ...and so does the merged JSONL artifact.
+        assert merge_jsonl([merged_path]).fingerprint() == reference_fingerprint
+
+        # --record-costs: every host recorded its shard's wall times and
+        # the orchestrator folded them into one local COSTS.json.
+        model = CostModel.load(costs_path)
+        assert sorted(model.names()) == sorted(SPEC_NAMES)
+
+    def test_round_robin_partition_also_merges_identically(
+        self, tmp_path, reference_fingerprint
+    ):
+        orchestrator = Orchestrator(
+            local_hosts(2),
+            str(tmp_path / "rr"),
+            shard_by_cost=False,
+        )
+        outcome = orchestrator.run(SPEC_NAMES)
+        assert outcome.shard_by == "index"
+        assert outcome.fingerprint() == reference_fingerprint
+
+    def test_warm_costs_steer_the_partition(self, tmp_path):
+        # A model that makes one spec dominate forces it into its own
+        # shard — observable through the host assignments.
+        costs_path = str(tmp_path / "COSTS.json")
+        model = CostModel()
+        model.observe("bursty_s3_d4", "smart", 50.0)
+        model.observe("bursty_s3_d4", "reference", 50.0)
+        model.save(costs_path)
+        orchestrator = Orchestrator(
+            local_hosts(2), str(tmp_path / "warm"), costs_path=costs_path
+        )
+        outcome = orchestrator.run(SPEC_NAMES)
+        sizes = sorted(len(run.spec_names) for run in outcome.host_runs)
+        assert sizes == [1, 3]
+        lone = next(
+            run for run in outcome.host_runs if len(run.spec_names) == 1
+        )
+        assert lone.spec_names == ["bursty_s3_d4"]
+
+
+class TestOrchestrateCli:
+    def test_orchestrate_subcommand_end_to_end(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "cli-out")
+        merged = str(tmp_path / "merged.jsonl")
+        assert cli.main([
+            "orchestrate", "--hosts", "2",
+            "--specs", ",".join(SPEC_NAMES),
+            "--out-dir", out_dir, "--merged-jsonl", merged,
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "Orchestrated shard campaigns" in output
+        assert "shard_by=cost" in output
+        assert "campaign fingerprint:" in output
+        assert os.path.exists(merged)
+        rows = [json.loads(line) for line in open(merged)]
+        assert rows[0]["type"] == "campaign"
+        assert rows[0]["specs"] == SPEC_NAMES
+
+    def test_expect_fingerprint_gate(self, capsys, tmp_path, reference_fingerprint):
+        assert cli.main([
+            "orchestrate", "--hosts", "2",
+            "--specs", ",".join(SPEC_NAMES),
+            "--out-dir", str(tmp_path / "gate"),
+            "--expect-fingerprint", reference_fingerprint,
+        ]) == 0
+        capsys.readouterr()
+        assert cli.main([
+            "orchestrate", "--hosts", "2",
+            "--specs", ",".join(SPEC_NAMES),
+            "--out-dir", str(tmp_path / "gate2"),
+            "--expect-fingerprint", "0" * 64,
+        ]) == 1
+        assert "FINGERPRINT MISMATCH" in capsys.readouterr().out
+
+    def test_bad_hosts_file_fails_cleanly(self, tmp_path):
+        missing = str(tmp_path / "absent.json")
+        with pytest.raises(SystemExit, match="hosts-file"):
+            cli.main(["orchestrate", "--hosts-file", missing])
+
+    def test_round_robin_with_costs_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="--round-robin"):
+            cli.main([
+                "orchestrate", "--round-robin",
+                "--costs", str(tmp_path / "COSTS.json"),
+            ])

@@ -1,0 +1,195 @@
+"""Cost model: COSTS.json round-trip, EWMA folding, heuristic fallback."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, ScenarioSpec
+from repro.campaign.orchestrator.costs import (
+    COSTS_SCHEMA,
+    DEFAULT_WEIGHT,
+    EWMA_ALPHA,
+    HEURISTIC_WEIGHTS,
+    CostModel,
+)
+
+
+class TestPersistence:
+    def test_missing_file_is_an_empty_model(self, tmp_path):
+        model = CostModel.load(str(tmp_path / "absent.json"))
+        assert model.is_empty
+        assert CostModel.load(None).is_empty
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "COSTS.json")
+        model = CostModel()
+        model.observe("spec_a", "smart", 0.5)
+        model.observe("spec_a", "reference", 0.75)
+        model.observe("spec_b", "smart", 1.25)
+        model.save(path)
+        loaded = CostModel.load(path)
+        assert loaded.as_dict() == model.as_dict()
+        assert loaded.recorded("spec_a", "reference") == 0.75
+
+    def test_save_is_a_valid_schema_document(self, tmp_path):
+        path = str(tmp_path / "COSTS.json")
+        model = CostModel()
+        model.observe("spec_a", "smart", 0.5, workload="soc")
+        model.save(path)
+        with open(path) as handle:
+            document = json.load(handle)
+        assert document["schema"] == COSTS_SCHEMA
+        assert document["costs"]["spec_a"]["workload"] == "soc"
+        assert document["costs"]["spec_a"]["modes"]["smart"]["samples"] == 1
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "COSTS.json"
+        path.write_text('{"schema": 99, "costs": {}}')
+        with pytest.raises(ValueError, match="schema"):
+            CostModel.load(str(path))
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "COSTS.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            CostModel.load(str(path))
+
+    def test_flat_entry_without_modes_rejected_loudly(self, tmp_path):
+        # A hand-written file using a flat {name: {mode: ...}} shape must
+        # not silently load as "no recorded modes" (which would quietly
+        # degrade --shard-by-cost to the cold-start heuristic).
+        path = tmp_path / "COSTS.json"
+        path.write_text(json.dumps({
+            "schema": COSTS_SCHEMA,
+            "costs": {"spec_a": {"smart": {"wall_s": 0.5}}},
+        }))
+        with pytest.raises(ValueError, match="modes"):
+            CostModel.load(str(path))
+
+    def test_malformed_modes_value_rejected_with_value_error(self, tmp_path):
+        # Must raise ValueError (the CLI's friendly-error contract), not
+        # leak an AttributeError from the parsing comprehension.
+        path = tmp_path / "COSTS.json"
+        path.write_text(json.dumps({
+            "schema": COSTS_SCHEMA,
+            "costs": {"spec_a": {"modes": ["smart"]}},
+        }))
+        with pytest.raises(ValueError, match="modes"):
+            CostModel.load(str(path))
+        path.write_text(json.dumps({
+            "schema": COSTS_SCHEMA,
+            "costs": {"spec_a": {"modes": {"smart": {"samples": 1}}}},
+        }))
+        with pytest.raises(ValueError, match="wall_s"):
+            CostModel.load(str(path))
+
+
+class TestObservation:
+    def test_ewma_folding(self):
+        model = CostModel()
+        model.observe("s", "smart", 1.0)
+        assert model.recorded("s", "smart") == 1.0
+        model.observe("s", "smart", 2.0)
+        expected = (1.0 - EWMA_ALPHA) * 1.0 + EWMA_ALPHA * 2.0
+        assert model.recorded("s", "smart") == pytest.approx(expected)
+
+    def test_non_positive_observations_ignored(self):
+        model = CostModel()
+        model.observe("s", "smart", 0.0)
+        model.observe("s", "smart", -1.0)
+        assert model.is_empty
+
+    def test_observe_result_covers_both_pair_modes(self):
+        specs = [
+            ScenarioSpec("wr", "writer_reader", depth=2),
+            ScenarioSpec("cont", "contention", depth=4, seed=2,
+                         params={"items_per_writer": 6}),
+        ]
+        result = CampaignRunner(workers=1).run(specs)
+        model = CostModel()
+        model.observe_result(result)
+        # The pairable spec yields estimates for both modes (the other
+        # half's wall time is recovered from the pair record).
+        assert model.recorded("wr", "smart") is not None
+        assert model.recorded("wr", "reference") is not None
+        assert model.recorded("cont", "smart") is not None
+
+    def test_rows_rebuilt_from_jsonl_carry_no_costs(self, tmp_path):
+        from repro.campaign import merge_jsonl
+
+        path = str(tmp_path / "c.jsonl")
+        specs = [ScenarioSpec("wr", "writer_reader", depth=2)]
+        CampaignRunner(workers=1).run(specs, jsonl=path)
+        model = CostModel()
+        model.observe_result(merge_jsonl([path]))
+        assert model.is_empty  # wall clock never crosses the JSONL boundary
+
+    def test_merge_folds_other_model_in(self):
+        first = CostModel()
+        first.observe("a", "smart", 1.0)
+        second = CostModel()
+        second.observe("a", "smart", 3.0)
+        second.observe("b", "smart", 2.0)
+        first.merge(second)
+        assert first.recorded("b", "smart") == 2.0
+        assert first.recorded("a", "smart") == pytest.approx(
+            (1.0 - EWMA_ALPHA) * 1.0 + EWMA_ALPHA * 3.0
+        )
+
+
+class TestEstimation:
+    def test_recorded_beats_heuristic(self):
+        model = CostModel()
+        spec = ScenarioSpec("s", "soc", depth=8)
+        assert model.estimate(spec) == HEURISTIC_WEIGHTS["soc"]
+        model.observe("s", "smart", 0.01)
+        assert model.estimate(spec) == 0.01
+
+    def test_partially_warm_model_calibrates_the_heuristic_into_seconds(self):
+        # One recorded soc spec at 0.08 s (weight 8.0) establishes the
+        # seconds-per-weight scale; a cold writer_reader spec (weight
+        # 0.2) must be estimated commensurately — not at a raw 0.2 that
+        # would dwarf every warm neighbour in the LPT partition.
+        model = CostModel()
+        model.observe("soc_spec", "smart", 0.08, workload="soc")
+        scale = model.heuristic_scale()
+        assert scale == pytest.approx(0.08 / HEURISTIC_WEIGHTS["soc"])
+        cold = ScenarioSpec("wr_cold", "writer_reader", depth=2)
+        assert model.estimate(cold) == pytest.approx(
+            HEURISTIC_WEIGHTS["writer_reader"] * scale
+        )
+        # Cold and warm estimates now live on the same axis.
+        assert model.estimate(cold) < model.recorded("soc_spec", "smart")
+
+    def test_cold_model_scale_is_identity(self):
+        assert CostModel().heuristic_scale() == 1.0
+        # Recorded entries without a remembered workload cannot calibrate.
+        anonymous = CostModel()
+        anonymous.observe("s", "smart", 5.0)
+        assert anonymous.heuristic_scale() == 1.0
+
+    def test_heuristic_ranks_heavy_workloads_above_light_ones(self):
+        model = CostModel()
+        soc = ScenarioSpec("soc", "soc", depth=8)
+        wr = ScenarioSpec("wr", "writer_reader", depth=2)
+        assert model.estimate(soc) > model.estimate(wr)
+
+    def test_unknown_workload_gets_the_default_weight(self):
+        # estimate() never rejects a workload name: the model must cope
+        # with specs recorded by a newer checkout.
+        spec = ScenarioSpec("x", "writer_reader", depth=2)
+        spec.workload = "not_registered_anywhere"
+        assert CostModel().estimate(spec) == DEFAULT_WEIGHT
+
+    def test_spec_cost_sums_both_modes_when_paired(self):
+        model = CostModel()
+        model.observe("wr", "reference", 2.0)
+        model.observe("wr", "smart", 1.0)
+        spec = ScenarioSpec("wr", "writer_reader", depth=2)
+        assert model.spec_cost(spec, paired=True) == 3.0
+        assert model.spec_cost(spec, paired=False) == 1.0
+
+    def test_non_pairable_spec_costs_one_mode_even_when_paired(self):
+        model = CostModel()
+        spec = ScenarioSpec("c", "contention", depth=4)
+        assert model.spec_cost(spec, paired=True) == model.estimate(spec)

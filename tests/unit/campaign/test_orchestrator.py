@@ -1,0 +1,258 @@
+"""Hosts, transports and orchestrator wiring (no network, no subprocesses).
+
+The ssh transport's network legs are thin wrappers; what must be right —
+and what these tests pin — is the *protocol text*: the exact argv the
+transport hands to ssh/scp, including quoting, ports and the remote
+environment.  End-to-end orchestration over real subprocesses lives in
+``tests/integration/test_orchestrator_end_to_end.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.orchestrator import (
+    HostSpec,
+    LocalSubprocessTransport,
+    Orchestrator,
+    OrchestratorError,
+    SshTransport,
+    local_hosts,
+    make_transport,
+    parse_hosts_file,
+)
+
+
+class TestHostSpec:
+    def test_local_hosts_are_valid_and_named(self):
+        hosts = local_hosts(3)
+        assert [h.name for h in hosts] == ["local0", "local1", "local2"]
+        for host in hosts:
+            host.validate()
+
+    def test_local_hosts_count_validated(self):
+        with pytest.raises(ValueError, match="count"):
+            local_hosts(0)
+
+    def test_ssh_requires_address_and_workdir(self):
+        with pytest.raises(ValueError, match="address"):
+            HostSpec(name="h", kind="ssh", workdir="/repo").validate()
+        with pytest.raises(ValueError, match="workdir"):
+            HostSpec(name="h", kind="ssh", address="box").validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            HostSpec(name="h", kind="teleport").validate()
+
+    def test_destination_includes_user(self):
+        host = HostSpec(name="h", kind="ssh", address="box", user="bench",
+                        workdir="/repo")
+        assert host.destination == "bench@box"
+        assert HostSpec(name="h", kind="ssh", address="box",
+                        workdir="/repo").destination == "box"
+
+
+class TestHostsFile:
+    def write(self, tmp_path, document):
+        path = tmp_path / "hosts.json"
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_parse_object_form(self, tmp_path):
+        path = self.write(tmp_path, {"hosts": [
+            {"name": "a"},
+            {"name": "b", "kind": "ssh", "address": "box",
+             "workdir": "/repo", "user": "u", "port": 2222},
+        ]})
+        hosts = parse_hosts_file(path)
+        assert [h.name for h in hosts] == ["a", "b"]
+        assert hosts[1].port == 2222
+
+    def test_parse_bare_list_form(self, tmp_path):
+        path = self.write(tmp_path, [{"name": "only"}])
+        assert [h.name for h in parse_hosts_file(path)] == ["only"]
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = self.write(tmp_path, [{"name": "a", "pythonn": "typo"}])
+        with pytest.raises(ValueError, match="pythonn"):
+            parse_hosts_file(path)
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        path = self.write(tmp_path, [{"name": "a"}, {"name": "a"}])
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_hosts_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = self.write(tmp_path, {"hosts": []})
+        with pytest.raises(ValueError, match="no hosts"):
+            parse_hosts_file(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "hosts.json"
+        path.write_text("{broken")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            parse_hosts_file(str(path))
+
+
+class TestLocalTransport:
+    def test_host_dir_is_private_and_absolute(self, tmp_path):
+        import os
+
+        transport = LocalSubprocessTransport(
+            HostSpec(name="h0"), str(tmp_path / "out")
+        )
+        assert transport.host_dir.endswith(os.path.join("out", "h0"))
+        path = transport.remote_path("shard0.jsonl")
+        assert path.startswith(transport.host_dir)
+        assert os.path.isabs(path)
+
+    def test_put_and_fetch_round_trip(self, tmp_path):
+        transport = LocalSubprocessTransport(
+            HostSpec(name="h0"), str(tmp_path / "out")
+        )
+        source = tmp_path / "COSTS.json"
+        source.write_text('{"schema": 1, "costs": {}}')
+        remote = transport.put_file(str(source), "COSTS.json")
+        assert remote == transport.remote_path("COSTS.json")
+        target = tmp_path / "back.json"
+        transport.fetch_file("COSTS.json", str(target))
+        assert target.read_text() == source.read_text()
+
+    def test_fetch_of_a_missing_artifact_is_an_orchestrator_error(
+        self, tmp_path
+    ):
+        transport = LocalSubprocessTransport(
+            HostSpec(name="h0"), str(tmp_path / "out")
+        )
+        with pytest.raises(OrchestratorError, match="did not produce"):
+            transport.fetch_file("absent.jsonl", str(tmp_path / "x"))
+
+    def test_command_uses_the_cli_module(self, tmp_path):
+        transport = LocalSubprocessTransport(
+            HostSpec(name="h0", python="/opt/py"), str(tmp_path)
+        )
+        assert transport.command(["campaign", "--workers", "2"]) == [
+            "/opt/py", "-m", "repro.analysis.cli", "campaign",
+            "--workers", "2",
+        ]
+
+    def test_make_transport_dispatch(self, tmp_path):
+        local = make_transport(HostSpec(name="a"), str(tmp_path))
+        assert isinstance(local, LocalSubprocessTransport)
+        ssh = make_transport(
+            HostSpec(name="b", kind="ssh", address="box", workdir="/repo"),
+            str(tmp_path),
+        )
+        assert isinstance(ssh, SshTransport)
+
+
+class TestSshCommandConstruction:
+    HOST = HostSpec(
+        name="big", kind="ssh", address="box.example.com", user="bench",
+        port=2222, workdir="/srv/repro", python="python3.11",
+        env={"REPRO_BENCH_SCALE": "quick"},
+    )
+
+    def transport(self):
+        return SshTransport(self.HOST)
+
+    def test_remote_shell_command(self):
+        command = self.transport().remote_shell_command(
+            ["campaign", "--shard-by-cost", "0/2", "--jsonl",
+             "/srv/repro/orchestrate-out/shard0.jsonl"]
+        )
+        assert command == (
+            "cd /srv/repro && mkdir -p orchestrate-out && "
+            "PYTHONPATH=src REPRO_BENCH_SCALE=quick python3.11 "
+            "-m repro.analysis.cli campaign --shard-by-cost 0/2 "
+            "--jsonl /srv/repro/orchestrate-out/shard0.jsonl"
+        )
+
+    def test_remote_shell_command_quotes_hostile_arguments(self):
+        command = self.transport().remote_shell_command(
+            ["campaign", "--specs", "a,b;rm -rf /"]
+        )
+        assert "'a,b;rm -rf /'" in command
+
+    def test_ssh_argv_is_batch_mode_with_port_and_user(self):
+        argv = self.transport().ssh_argv("echo hello")
+        assert argv == [
+            "ssh", "-o", "BatchMode=yes", "-p", "2222",
+            "bench@box.example.com", "echo hello",
+        ]
+
+    def test_scp_argv_round_trip(self):
+        transport = self.transport()
+        put = transport.scp_put_argv("/tmp/COSTS.json", "COSTS.json")
+        assert put == [
+            "scp", "-o", "BatchMode=yes", "-P", "2222", "/tmp/COSTS.json",
+            "bench@box.example.com:/srv/repro/orchestrate-out/COSTS.json",
+        ]
+        fetch = transport.scp_fetch_argv("shard0.jsonl", "/tmp/s0.jsonl")
+        assert fetch == [
+            "scp", "-o", "BatchMode=yes", "-P", "2222",
+            "bench@box.example.com:/srv/repro/orchestrate-out/shard0.jsonl",
+            "/tmp/s0.jsonl",
+        ]
+
+    @pytest.mark.parametrize("workdir", [
+        "/srv/repro bench", "/srv/$HOME", "/srv/repro;rm", "/srv/a*b",
+    ])
+    def test_workdirs_needing_quoting_are_rejected_up_front(self, workdir):
+        # scp's legacy protocol shell-expands the remote path while its
+        # SFTP protocol takes it literally, so a path needing quoting
+        # transfers correctly on only one of them — reject it before a
+        # whole shard campaign runs and then fails to collect.
+        host = HostSpec(name="h", kind="ssh", address="box", workdir=workdir)
+        with pytest.raises(ValueError, match="metacharacters"):
+            host.validate()
+
+    def test_default_python_is_python3(self):
+        host = HostSpec(name="h", kind="ssh", address="box", workdir="/repo")
+        assert "python3 -m repro.analysis.cli" in SshTransport(
+            host
+        ).remote_shell_command(["campaign"])
+
+    def test_host_pythonpath_is_appended_not_clobbering_src(self):
+        host = HostSpec(name="h", kind="ssh", address="box", workdir="/repo",
+                        env={"PYTHONPATH": "/opt/libs"})
+        command = SshTransport(host).remote_shell_command(["campaign"])
+        assert "PYTHONPATH=src:/opt/libs" in command
+        assert "PYTHONPATH=/opt/libs" not in command
+
+    def test_failed_copy_raises_orchestrator_error(self):
+        class FakeCompleted:
+            returncode = 255
+            stderr = b"Connection refused"
+
+        transport = SshTransport(
+            self.HOST, run=lambda argv, capture_output: FakeCompleted()
+        )
+        with pytest.raises(OrchestratorError, match="Connection refused"):
+            transport.put_file("/tmp/x", "x")
+
+
+class TestOrchestratorValidation:
+    def test_needs_hosts(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one host"):
+            Orchestrator([], str(tmp_path))
+
+    def test_duplicate_host_names_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="duplicate"):
+            Orchestrator(
+                [HostSpec(name="a"), HostSpec(name="a")], str(tmp_path)
+            )
+
+    def test_workers_per_host_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="workers_per_host"):
+            Orchestrator(local_hosts(1), str(tmp_path), workers_per_host=0)
+
+    def test_unknown_spec_names_rejected_before_any_launch(self, tmp_path):
+        orchestrator = Orchestrator(local_hosts(1), str(tmp_path))
+        with pytest.raises(OrchestratorError, match="no_such_spec"):
+            orchestrator.run(["no_such_spec"])
+
+    def test_duplicate_spec_names_rejected_before_any_launch(self, tmp_path):
+        orchestrator = Orchestrator(local_hosts(1), str(tmp_path))
+        with pytest.raises(OrchestratorError, match="duplicate"):
+            orchestrator.run(["writer_reader_d1", "writer_reader_d1"])

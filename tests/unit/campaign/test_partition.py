@@ -1,0 +1,168 @@
+"""Cost-balanced partitioner: determinism, balance, fingerprint identity."""
+
+import pytest
+
+from repro.campaign import CampaignRunner, ScenarioSpec, merge_jsonl
+from repro.campaign.orchestrator.costs import CostModel
+from repro.campaign.orchestrator.partition import (
+    cost_shards,
+    estimated_makespans,
+    makespan_spread,
+)
+
+
+def model_with(costs):
+    model = CostModel()
+    for name, wall in costs.items():
+        model.observe(name, "smart", wall)
+    return model
+
+
+def specs_named(*names):
+    return [
+        ScenarioSpec(name, "contention", depth=4, seed=i + 1)
+        for i, name in enumerate(names)
+    ]
+
+
+class TestCostShards:
+    def test_every_spec_lands_in_exactly_one_shard(self):
+        specs = specs_named("a", "b", "c", "d", "e")
+        shards = cost_shards(specs, 3, CostModel(), paired=False)
+        flat = [spec.name for shard in shards for spec in shard]
+        assert sorted(flat) == ["a", "b", "c", "d", "e"]
+
+    def test_lpt_balances_a_skewed_campaign(self):
+        # One giant spec + four small ones: round-robin over this order
+        # puts the giant and two smalls in shard 0 (cost 12) vs 2 in
+        # shard 1 — LPT isolates the giant instead.
+        specs = specs_named("giant", "s1", "s2", "s3", "s4")
+        model = model_with({"giant": 10.0, "s1": 1.0, "s2": 1.0,
+                            "s3": 1.0, "s4": 1.0})
+        shards = cost_shards(specs, 2, model, paired=False)
+        spans = estimated_makespans(shards, model, paired=False)
+        rr_shards = [specs[0::2], specs[1::2]]
+        rr_spans = estimated_makespans(rr_shards, model, paired=False)
+        assert makespan_spread(spans) < makespan_spread(rr_spans)
+        giant_shard = next(
+            shard for shard in shards
+            if any(spec.name == "giant" for spec in shard)
+        )
+        assert [spec.name for spec in giant_shard] == ["giant"]
+
+    def test_partition_is_deterministic_and_ties_break_by_name(self):
+        specs = specs_named("d", "c", "b", "a")  # equal costs, mixed order
+        first = cost_shards(specs, 2, CostModel(), paired=False)
+        second = cost_shards(specs, 2, CostModel(), paired=False)
+        assert [[s.name for s in shard] for shard in first] == [
+            [s.name for s in shard] for shard in second
+        ]
+        # Equal-cost specs are walked in name order, so the assignment is
+        # a pure function of the names, not the list order.
+        reordered = cost_shards(
+            list(reversed(specs)), 2, CostModel(), paired=False
+        )
+        assert {frozenset(s.name for s in shard) for shard in first} == {
+            frozenset(s.name for s in shard) for shard in reordered
+        }
+
+    def test_shards_preserve_campaign_order(self):
+        specs = specs_named("a", "b", "c", "d", "e", "f")
+        position = {spec.name: i for i, spec in enumerate(specs)}
+        for shard in cost_shards(specs, 2, CostModel(), paired=False):
+            indices = [position[spec.name] for spec in shard]
+            assert indices == sorted(indices)
+
+    def test_more_shards_than_specs_yields_empty_shards(self):
+        specs = specs_named("a")
+        shards = cost_shards(specs, 3, CostModel(), paired=False)
+        assert sum(len(shard) for shard in shards) == 1
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            cost_shards(specs_named("a"), 0)
+
+
+class TestMakespanSpread:
+    def test_balanced_is_one(self):
+        assert makespan_spread([2.0, 2.0]) == 1.0
+
+    def test_empty_shard_is_flagged_as_infinite(self):
+        assert makespan_spread([2.0, 0.0]) == float("inf")
+
+    def test_degenerate_inputs(self):
+        assert makespan_spread([]) == 1.0
+        assert makespan_spread([0.0, 0.0]) == 1.0
+
+
+class TestFingerprintIdentity:
+    """Cost shards must merge to the byte-identical unsharded fingerprint."""
+
+    CAMPAIGN = [
+        ScenarioSpec("wr_d1", "writer_reader", depth=1),
+        ScenarioSpec("wr_d4", "writer_reader", depth=4),
+        ScenarioSpec("bursty", "bursty", depth=3, seed=3,
+                     params={"n_bursts": 3, "max_burst": 4}),
+        ScenarioSpec("random", "random_traffic", depth=2, seed=5,
+                     params={"item_count": 16, "monitor_samples": 2}),
+    ]
+
+    def test_cost_shard_jsonl_merge_reproduces_unsharded_fingerprint(
+        self, tmp_path
+    ):
+        reference = CampaignRunner(workers=1).run(self.CAMPAIGN)
+        model = model_with(
+            {"wr_d1": 0.1, "wr_d4": 0.2, "bursty": 3.0, "random": 1.0}
+        )
+        paths = []
+        shard_sizes = []
+        for index in range(2):
+            path = str(tmp_path / f"shard{index}.jsonl")
+            paths.append(path)
+            result = CampaignRunner(
+                workers=1, shard=(index, 2), shard_by_cost=True,
+                cost_model=model,
+            ).run(self.CAMPAIGN, jsonl=path)
+            shard_sizes.append(len(result.runs))
+        merged = merge_jsonl(paths)
+        assert merged.fingerprint() == reference.fingerprint()
+        # The partition is genuinely cost-driven: the expensive bursty
+        # spec sits alone while the three cheap specs share a shard.
+        assert sorted(shard_sizes) == [1, 3]
+
+    def test_cost_and_index_shards_differ_but_merge_identically(self, tmp_path):
+        model = model_with(
+            {"wr_d1": 0.1, "wr_d4": 0.2, "bursty": 3.0, "random": 1.0}
+        )
+        by_cost = cost_shards(self.CAMPAIGN, 2, model, paired=True)
+        round_robin = [self.CAMPAIGN[0::2], self.CAMPAIGN[1::2]]
+        assert [[s.name for s in shard] for shard in by_cost] != [
+            [s.name for s in shard] for shard in round_robin
+        ]
+        cost_paths, rr_paths = [], []
+        for index in range(2):
+            cost_path = str(tmp_path / f"cost{index}.jsonl")
+            rr_path = str(tmp_path / f"rr{index}.jsonl")
+            CampaignRunner(
+                workers=1, shard=(index, 2), shard_by_cost=True,
+                cost_model=model,
+            ).run(self.CAMPAIGN, jsonl=cost_path)
+            CampaignRunner(workers=1, shard=(index, 2)).run(
+                self.CAMPAIGN, jsonl=rr_path
+            )
+            cost_paths.append(cost_path)
+            rr_paths.append(rr_path)
+        assert (
+            merge_jsonl(cost_paths).fingerprint()
+            == merge_jsonl(rr_paths).fingerprint()
+        )
+
+
+class TestRunnerValidation:
+    def test_shard_by_cost_requires_shard(self):
+        with pytest.raises(ValueError, match="shard"):
+            CampaignRunner(shard_by_cost=True)
+
+    def test_cost_model_requires_shard_by_cost(self):
+        with pytest.raises(ValueError, match="shard_by_cost"):
+            CampaignRunner(shard=(0, 2), cost_model=CostModel())

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.campaign import CampaignRunner, ScenarioSpec, load_resume_state, merge_jsonl
+from repro.campaign.orchestrator.costs import CostModel
 
 CAMPAIGN = [
     ScenarioSpec("writer_reader_d2", "writer_reader", depth=2),
@@ -171,3 +172,118 @@ class TestHeaderValidation:
         assert header["specs"] == [spec.name for spec in CAMPAIGN]
         assert {record.name for record in runs} == {spec.name for spec in CAMPAIGN}
         assert len(pairs) == 3  # contention is not pairable
+
+
+class TestShardedResume:
+    """Resuming one shard of a campaign: skip only *that* shard's rows."""
+
+    def shard_runner(self, index, **kwargs):
+        return CampaignRunner(workers=1, shard=(index, 2), **kwargs)
+
+    def run_shard(self, tmp_path, index, name=None):
+        path = tmp_path / (name or f"shard{index}.jsonl")
+        result = self.shard_runner(index).run(CAMPAIGN, jsonl=str(path))
+        return path, result
+
+    def test_sharded_resume_skips_done_rows_and_matches_fingerprint(
+        self, tmp_path
+    ):
+        path, full = self.run_shard(tmp_path, 0)
+        # Keep the header plus the first completed spec's rows only.
+        truncate_file(path, keep_lines=3)
+        executed = []
+
+        import repro.campaign.runner as runner_module
+        original = runner_module._run_one
+
+        def spying_run_one(spec, trace_sink="digest"):
+            executed.append((spec.name, spec.mode))
+            return original(spec, trace_sink)
+
+        runner_module._run_one = spying_run_one
+        try:
+            resumed = self.shard_runner(0).run(
+                CAMPAIGN, jsonl=str(path), resume=True
+            )
+        finally:
+            runner_module._run_one = original
+        assert resumed.fingerprint() == full.fingerprint()
+        done = {name for name, _ in executed}
+        # Shard 0 of the round-robin partition is specs 0 and 2; the
+        # recovered spec did not re-run, and no other shard's spec ran.
+        assert "writer_reader_d2" not in done
+        assert done <= {"contention_small"}
+
+    def test_resume_rejects_rows_from_another_shard(self, tmp_path):
+        path, _ = self.run_shard(tmp_path, 0)
+        other_path, _ = self.run_shard(tmp_path, 1)
+        # Graft a shard-1 run row into the shard-0 file (same campaign
+        # header, wrong shard membership).
+        foreign_run = next(
+            line for line in other_path.read_text().splitlines()
+            if '"type":"run"' in line
+        )
+        with open(path, "a") as handle:
+            handle.write(foreign_run + "\n")
+        with pytest.raises(ValueError, match="does not belong to shard"):
+            self.shard_runner(0).run(CAMPAIGN, jsonl=str(path), resume=True)
+
+    def test_resume_with_the_wrong_shard_index_rejected(self, tmp_path):
+        path, _ = self.run_shard(tmp_path, 0)
+        with pytest.raises(ValueError, match="different campaign"):
+            self.shard_runner(1).run(CAMPAIGN, jsonl=str(path), resume=True)
+
+    def test_healed_shard_files_still_merge(self, tmp_path):
+        unsharded = CampaignRunner(workers=1).run(CAMPAIGN)
+        path0, _ = self.run_shard(tmp_path, 0)
+        path1, _ = self.run_shard(tmp_path, 1)
+        truncate_file(path0, keep_lines=2)
+        self.shard_runner(0).run(CAMPAIGN, jsonl=str(path0), resume=True)
+        merged = merge_jsonl([str(path0), str(path1)])
+        assert merged.fingerprint() == unsharded.fingerprint()
+
+    def test_cost_shard_resume_round_trips(self, tmp_path):
+        model = CostModel()
+        model.observe("bursty_s3", "smart", 5.0)
+        path = tmp_path / "cost0.jsonl"
+        full = self.shard_runner(0, shard_by_cost=True, cost_model=model).run(
+            CAMPAIGN, jsonl=str(path)
+        )
+        truncate_file(path, keep_lines=2)
+        resumed = self.shard_runner(
+            0, shard_by_cost=True, cost_model=model
+        ).run(CAMPAIGN, jsonl=str(path), resume=True)
+        assert resumed.fingerprint() == full.fingerprint()
+
+    def test_cost_shard_file_cannot_resume_as_round_robin(self, tmp_path):
+        model = CostModel()
+        model.observe("bursty_s3", "smart", 5.0)
+        path = tmp_path / "cost0.jsonl"
+        self.shard_runner(0, shard_by_cost=True, cost_model=model).run(
+            CAMPAIGN, jsonl=str(path)
+        )
+        with pytest.raises(ValueError, match="shards by"):
+            self.shard_runner(0).run(CAMPAIGN, jsonl=str(path), resume=True)
+
+    def test_repartitioned_cost_shard_rejected(self, tmp_path):
+        # Resuming after COSTS.json changed enough to move specs between
+        # shards must fail loudly, not replay foreign rows.
+        heavy_bursty = CostModel()
+        heavy_bursty.observe("bursty_s3", "smart", 100.0)
+        heavy_writer = CostModel()
+        heavy_writer.observe("writer_reader_d2", "smart", 100.0)
+        from repro.campaign.orchestrator.partition import cost_shards
+
+        before = cost_shards(CAMPAIGN, 2, heavy_bursty, paired=True)
+        after = cost_shards(CAMPAIGN, 2, heavy_writer, paired=True)
+        assert [[s.name for s in sh] for sh in before] != [
+            [s.name for s in sh] for sh in after
+        ]
+        path = tmp_path / "cost0.jsonl"
+        self.shard_runner(0, shard_by_cost=True, cost_model=heavy_bursty).run(
+            CAMPAIGN, jsonl=str(path)
+        )
+        with pytest.raises(ValueError, match="does not belong to shard"):
+            self.shard_runner(
+                0, shard_by_cost=True, cost_model=heavy_writer
+            ).run(CAMPAIGN, jsonl=str(path), resume=True)

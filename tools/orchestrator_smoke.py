@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Orchestrator smoke gate (used by ``make orchestrate-smoke`` and CI).
+
+Drives the full distributed-campaign flow on one machine and asserts the
+orchestration invariant end to end:
+
+1. a warm-up campaign records per-spec wall times to a ``COSTS.json``
+   sideband (``--record-costs`` path);
+2. an :class:`~repro.campaign.orchestrator.Orchestrator` runs the same
+   specs across **2 LocalSubprocessTransport hosts**, each executing
+   ``python -m repro.analysis.cli campaign --shard-by-cost i/2 --jsonl ...``
+   with the recorded costs steering the LPT partition;
+3. the collected shard JSONLs are merged and the merged fingerprint must
+   equal the **pinned unsharded fingerprint** (the same constant the
+   campaign smoke gates on) byte for byte;
+4. the merged JSONL artifact is written (CI uploads it) and must itself
+   re-merge to the same fingerprint.
+
+This is the property that makes multi-host campaigns trustworthy: shard
+membership — however the partitioner assigns it — never leaks into the
+deterministic rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from campaign_smoke import PR3_SMOKE_FINGERPRINT, SMOKE_SPECS  # noqa: E402
+from repro.campaign import CampaignRunner, CostModel, default_campaign  # noqa: E402
+from repro.campaign import merge_jsonl  # noqa: E402
+from repro.campaign.orchestrator import Orchestrator, local_hosts  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir",
+        default=os.path.join(REPO_ROOT, "orchestrate-smoke"),
+        help="directory receiving host workdirs, logs, shard and merged JSONLs",
+    )
+    parser.add_argument(
+        "--hosts", type=int, default=2, help="local-subprocess host count"
+    )
+    parser.add_argument(
+        "--workers-per-host", type=int, default=2,
+        help="worker processes per shard campaign",
+    )
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    names = [name for name in SMOKE_SPECS]
+    by_name = {spec.name: spec for spec in default_campaign()}
+    specs = [by_name[name] for name in names]
+
+    costs_path = os.path.join(args.out_dir, "COSTS.json")
+    print(f"[smoke] warm-up: recording per-spec wall times -> {costs_path}")
+    warmup = CampaignRunner(workers=args.workers_per_host).run(specs)
+    model = CostModel()
+    model.observe_result(warmup)
+    model.save(costs_path)
+    print(f"[smoke] recorded costs for {len(model.names())} specs")
+    if warmup.fingerprint() != PR3_SMOKE_FINGERPRINT:
+        print(
+            "FAIL: unsharded fingerprint drifted from the pinned one "
+            f"({PR3_SMOKE_FINGERPRINT})",
+            file=sys.stderr,
+        )
+        return 1
+
+    merged_path = os.path.join(args.out_dir, "merged.jsonl")
+    print(
+        f"[smoke] orchestrating {len(names)} specs across {args.hosts} "
+        f"local hosts x {args.workers_per_host} workers (cost-sharded)..."
+    )
+    orchestrator = Orchestrator(
+        local_hosts(args.hosts),
+        args.out_dir,
+        workers_per_host=args.workers_per_host,
+        costs_path=costs_path,
+    )
+    outcome = orchestrator.run(names, merged_jsonl=merged_path)
+    print(outcome.hosts_table())
+    print(
+        f"[smoke] makespan spread (max/min shard wall): "
+        f"{outcome.makespan_spread():.2f}"
+    )
+
+    print(f"[smoke] merged fingerprint: {outcome.fingerprint()}")
+    if outcome.fingerprint() != PR3_SMOKE_FINGERPRINT:
+        print(
+            "FAIL: orchestrated merge differs from the pinned unsharded "
+            f"fingerprint ({PR3_SMOKE_FINGERPRINT})",
+            file=sys.stderr,
+        )
+        return 1
+    if not outcome.result.all_pairs_equivalent:
+        print(outcome.result.summary())
+        print("FAIL: a paired trace diff is not empty", file=sys.stderr)
+        return 1
+    if not outcome.result.complete:
+        print("FAIL: the orchestrated campaign has timeout rows", file=sys.stderr)
+        return 1
+    if merge_jsonl([merged_path]).fingerprint() != PR3_SMOKE_FINGERPRINT:
+        print("FAIL: the merged JSONL artifact does not re-merge", file=sys.stderr)
+        return 1
+    print(
+        f"[smoke] OK: {len(outcome.result.runs)} runs + "
+        f"{len(outcome.result.pairs)} pairs, cost-sharded over "
+        f"{args.hosts} hosts, merge byte-identical to the pinned "
+        f"unsharded fingerprint"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
