@@ -58,8 +58,10 @@ from bench_micro_fifo_ops import (
     ITEMS,
     TRACE_EMITS,
     regular_fifo_nb_ops,
+    smart_fifo_burst_stream,
     smart_fifo_decoupled_stream,
     smart_fifo_nb_ops,
+    trace_emit_burst_ops,
     trace_emit_off_ops,
     trace_emit_ops,
 )
@@ -69,7 +71,9 @@ METRICS: Dict[str, bool] = {
     "micro.regular_nb_ops_per_s": True,
     "micro.smart_nb_ops_per_s": True,
     "micro.smart_blocking_ops_per_s": True,
+    "micro.smart_burst_ops_per_s": True,
     "micro.trace_emit_ops_per_s": True,
+    "micro.trace_emit_burst_ops_per_s": True,
     "micro.trace_emit_off_ops_per_s": True,
     "fig5.tdfull_total_wall_s": False,
     "fig5.tdless_total_wall_s": False,
@@ -122,16 +126,22 @@ def bench_micro(repeats: int) -> Tuple[Dict[str, float], Dict[str, object]]:
     nb_wall, _ = _best_wall(regular_fifo_nb_ops, repeats)
     smart_nb_wall, _ = _best_wall(smart_fifo_nb_ops, repeats)
     blocking_wall, _ = _best_wall(smart_fifo_decoupled_stream, repeats)
+    # Burst twin of the blocking stream: same payload, span accesses.
+    burst_wall, _ = _best_wall(smart_fifo_burst_stream, repeats)
     # Trace emit path: one "op" is one Simulator.log call, once through
     # the campaign-default DigestSink and once with tracing off (the
-    # NullSink one-attribute-check fast path of the streaming refactor).
+    # NullSink one-attribute-check fast path of the streaming refactor);
+    # the burst variant batches the same lines through emit_many spans.
     emit_wall, _ = _best_wall(trace_emit_ops, repeats)
+    emit_burst_wall, _ = _best_wall(trace_emit_burst_ops, repeats)
     emit_off_wall, _ = _best_wall(trace_emit_off_ops, repeats)
     metrics = {
         "micro.regular_nb_ops_per_s": ITEMS / nb_wall,
         "micro.smart_nb_ops_per_s": ITEMS / smart_nb_wall,
         "micro.smart_blocking_ops_per_s": ITEMS / blocking_wall,
+        "micro.smart_burst_ops_per_s": ITEMS / burst_wall,
         "micro.trace_emit_ops_per_s": TRACE_EMITS / emit_wall,
+        "micro.trace_emit_burst_ops_per_s": TRACE_EMITS / emit_burst_wall,
         "micro.trace_emit_off_ops_per_s": TRACE_EMITS / emit_off_wall,
     }
     detail = {
@@ -139,8 +149,10 @@ def bench_micro(repeats: int) -> Tuple[Dict[str, float], Dict[str, object]]:
         "regular_nb_wall_s": nb_wall,
         "smart_nb_wall_s": smart_nb_wall,
         "smart_blocking_wall_s": blocking_wall,
+        "smart_burst_wall_s": burst_wall,
         "trace_emits": TRACE_EMITS,
         "trace_emit_wall_s": emit_wall,
+        "trace_emit_burst_wall_s": emit_burst_wall,
         "trace_emit_off_wall_s": emit_off_wall,
     }
     return metrics, detail

@@ -46,6 +46,47 @@ class _Stream(DecoupledModule):
 
 ITEMS = 2000
 
+#: Words moved per span by the burst micro-benchmarks (< depth, so whole
+#: spans land/drain without entering the blocking machinery).
+BURST_SPAN = 50
+
+#: 1 ns in femtoseconds — the per-word gap of both streams.
+_GAP_FS = 1_000_000
+
+
+class _BurstStream(DecoupledModule):
+    """The :class:`_Stream` twin moving ``count`` items in spans.
+
+    Same FIFO, same 1 ns per-word annotation, same total payload — only the
+    access granularity changes (``write_burst``/``read_burst`` spans of
+    ``BURST_SPAN`` words), so the ops/sec ratio against the word stream is
+    the batch-quantum speedup and nothing else.
+    """
+
+    def __init__(self, parent, name, fifo, count, span=BURST_SPAN):
+        super().__init__(parent, name)
+        self.fifo = fifo
+        self.count = count
+        self.span = span
+        self.create_thread(self.writer)
+        self.create_thread(self.reader)
+
+    def writer(self):
+        sent = 0
+        while sent < self.count:
+            span = min(self.span, self.count - sent)
+            yield from self.fifo.write_burst(
+                list(range(sent, sent + span)), _GAP_FS
+            )
+            sent += span
+
+    def reader(self):
+        got = 0
+        while got < self.count:
+            span = min(self.span, self.count - got)
+            yield from self.fifo.read_burst(span, _GAP_FS)
+            got += span
+
 
 def regular_fifo_nb_ops():
     sim = Simulator("micro_regular")
@@ -73,6 +114,14 @@ def smart_fifo_decoupled_stream():
     return fifo.total_read
 
 
+def smart_fifo_burst_stream():
+    sim = Simulator("micro_smart_burst")
+    fifo = SmartFifo(sim, "fifo", depth=64)
+    _BurstStream(sim, "stream", fifo, ITEMS)
+    sim.run()
+    return fifo.total_read
+
+
 #: Trace lines emitted per trace-path micro-benchmark run.
 TRACE_EMITS = 2000
 
@@ -91,6 +140,29 @@ def trace_emit_ops(sink=None):
         sim.log(f"checkpoint {index}")
     count = len(sim.trace)
     sim.trace.close()
+    return count
+
+
+def trace_emit_burst_ops():
+    """Emit ``TRACE_EMITS`` lines through ``emit_many`` spans.
+
+    The span twin of :func:`trace_emit_ops`: same line count, same digest
+    sink, but one batched sink call per ``BURST_SPAN`` records — the trace
+    half of the burst-transfer fast path.
+    """
+    from repro.kernel.tracing import DigestSink
+
+    sim = Simulator("micro_trace_emit_burst", trace_sink=DigestSink())
+    trace = sim.trace
+    now_fs = sim.now_fs
+    for start in range(0, TRACE_EMITS, BURST_SPAN):
+        entries = [
+            (now_fs, f"checkpoint {index}")
+            for index in range(start, min(start + BURST_SPAN, TRACE_EMITS))
+        ]
+        trace.emit_many("driver", now_fs, entries)
+    count = len(trace)
+    trace.close()
     return count
 
 
@@ -119,9 +191,19 @@ def test_smart_fifo_decoupled_blocking_stream(benchmark):
     assert benchmark(smart_fifo_decoupled_stream) == ITEMS
 
 
+def test_smart_fifo_burst_stream(benchmark):
+    benchmark.group = "word transfer"
+    assert benchmark(smart_fifo_burst_stream) == ITEMS
+
+
 def test_trace_emit(benchmark):
     benchmark.group = "trace emit"
     assert benchmark(trace_emit_ops) == TRACE_EMITS
+
+
+def test_trace_emit_burst(benchmark):
+    benchmark.group = "trace emit"
+    assert benchmark(trace_emit_burst_ops) == TRACE_EMITS
 
 
 def test_trace_emit_off(benchmark):

@@ -62,6 +62,7 @@ merged fingerprint is byte-identical to an unsharded single-pool run::
 from __future__ import annotations
 
 import argparse
+from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from ..campaign import (
@@ -290,6 +291,13 @@ def build_parser() -> argparse.ArgumentParser:
         "per run to DIR (<spec>.<mode>.trace)",
     )
     campaign.add_argument(
+        "--burst",
+        action="store_true",
+        help="run every spec with burst (span) FIFO transfers where the "
+        "workload supports them; bit-exact with word-by-word accesses, so "
+        "the campaign fingerprint is identical — a pure speed knob",
+    )
+    campaign.add_argument(
         "--list", action="store_true", help="list the specs and exit"
     )
     add_csv_flag(campaign)
@@ -511,6 +519,11 @@ def run_campaign(args: argparse.Namespace) -> str:
                 f"known: {', '.join(sorted(by_name))}"
             )
         specs = [by_name[name] for name in wanted]
+    if args.burst:
+        specs = [
+            replace(spec, burst=True, params=dict(spec.params))
+            for spec in specs
+        ]
     if args.list:
         rows = describe_specs(specs)
         if args.csv:

@@ -140,7 +140,7 @@ def build_streaming(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
         model = PipelineModel.TDFULL
     else:
         model = PipelineModel.TDLESS
-    pipeline = StreamingPipeline(sim, model, config)
+    pipeline = StreamingPipeline(sim, model, config, burst=spec.burst)
     return BuiltScenario(
         scenario=pipeline,
         verify=pipeline.verify,
@@ -163,7 +163,9 @@ def build_video(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
         macroblocks_per_frame=int(spec.params.get("macroblocks_per_frame", 12)),
         fifo_depth=spec.depth,
     )
-    pipeline = VideoPipeline(sim, decoupled=spec.mode == MODE_SMART, config=config)
+    pipeline = VideoPipeline(
+        sim, decoupled=spec.mode == MODE_SMART, config=config, burst=spec.burst
+    )
 
     def verify() -> None:
         assert pipeline.display.items_processed == config.total_items
@@ -187,7 +189,7 @@ def build_random_traffic(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
     _reject_timing_override(spec)
     config = _config_from_spec(RandomTrafficConfig, spec)
     scenario = RandomTrafficScenario(
-        sim, decoupled=spec.mode == MODE_SMART, config=config
+        sim, decoupled=spec.mode == MODE_SMART, config=config, burst=spec.burst
     )
 
     def verify() -> None:
@@ -213,7 +215,9 @@ def build_random_traffic(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
 def build_bursty(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
     _reject_timing_override(spec)
     config = _config_from_spec(BurstyConfig, spec)
-    scenario = BurstyScenario(sim, decoupled=spec.mode == MODE_SMART, config=config)
+    scenario = BurstyScenario(
+        sim, decoupled=spec.mode == MODE_SMART, config=config, burst=spec.burst
+    )
     return BuiltScenario(
         scenario=scenario,
         verify=scenario.verify,
@@ -295,7 +299,7 @@ def build_noc_stress(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
     _reject_timing_override(spec)
     config = _config_from_spec(NocStressConfig, spec)
     scenario = NocStressScenario(
-        sim, config, sync_on_access=spec.mode != MODE_SMART
+        sim, config, sync_on_access=spec.mode != MODE_SMART, burst=spec.burst
     )
     return BuiltScenario(
         scenario=scenario,

@@ -38,6 +38,14 @@ processes, each worker builds a fresh :class:`~repro.kernel.simulator
 ``params``
     Free-form workload-specific sizes (e.g. ``n_blocks`` for streaming,
     ``n_writers`` for contention); every builder documents its keys.
+``burst``
+    When True, workloads that support span (burst) FIFO accesses move
+    their payloads through ``read_burst``/``write_burst`` instead of
+    word-by-word loops.  Burst transfers are bit-exact with the word path
+    (same dates, traces and deterministic counters), so the flag is a pure
+    execution-speed knob and is deliberately **excluded** from
+    :meth:`ScenarioSpec.identity_row` — a burst campaign reproduces the
+    word-mode fingerprint byte for byte.
 
 Pairability
 -----------
@@ -78,6 +86,9 @@ class ScenarioSpec:
     seed: int = 1
     timing: Optional[str] = None
     params: Dict[str, object] = field(default_factory=dict)
+    #: Pure speed knob (see the module docstring); never part of the
+    #: deterministic identity of a run.
+    burst: bool = False
 
     # ------------------------------------------------------------------
     def validate(self) -> None:

@@ -82,32 +82,52 @@ class CellView:
     """Live, read-only view of one slot of a :class:`CellRing`.
 
     Unlike :class:`Cell` this proxies the ring's flat storage, so it keeps
-    reflecting later pushes/pops of the same slot.
+    reflecting later word-level pushes/pops of the same slot.  Span
+    transfers (:meth:`CellRing.push_span` / :meth:`CellRing.pop_span`)
+    rewrite many slots in one bulk copy; a view held across one would
+    silently show recycled-cell data, so every accessor raises
+    :class:`FifoError` once the ring's mutation counter has moved past the
+    value captured at view construction.
     """
 
-    __slots__ = ("_ring", "_index")
+    __slots__ = ("_ring", "_index", "_mark")
 
     def __init__(self, ring: "CellRing", index: int):
         self._ring = ring
         self._index = index
+        self._mark = ring.mutations
+
+    def _check_fresh(self) -> None:
+        if self._ring.mutations != self._mark:
+            raise FifoError(
+                f"stale CellView of slot #{self._index}: the ring performed "
+                f"{self._ring.mutations - self._mark} span transfer(s) since "
+                "this view was taken — re-fetch the view instead of holding "
+                "it across push_span/pop_span"
+            )
 
     @property
     def data(self) -> Any:
+        self._check_fresh()
         return self._ring._data[self._index]
 
     @property
     def busy(self) -> bool:
+        self._check_fresh()
         return bool(self._ring._busy[self._index])
 
     @property
     def insertion_fs(self) -> int:
+        self._check_fresh()
         return self._ring._insertion[self._index]
 
     @property
     def freeing_fs(self) -> int:
+        self._check_fresh()
         return self._ring._freeing[self._index]
 
     def really_busy_at(self, date_fs: int) -> bool:
+        self._check_fresh()
         ring, index = self._ring, self._index
         return _really_busy(
             ring._busy[index],
@@ -129,6 +149,7 @@ class CellRing:
     __slots__ = (
         "depth",
         "busy_count",
+        "mutations",
         "_data",
         "_busy",
         "_insertion",
@@ -144,6 +165,9 @@ class CellRing:
         self.depth = depth
         #: Number of internally busy cells (not the real FIFO size).
         self.busy_count = 0
+        #: Monotonic counter bumped by every span transfer; CellViews use it
+        #: to detect that the slots under them were bulk-rewritten.
+        self.mutations = 0
         self._data: List[Any] = [None] * depth
         self._busy = bytearray(depth)
         self._insertion = array("q", [NEVER]) * depth
@@ -225,6 +249,138 @@ class CellRing:
         self._first_busy = (index + 1) % self.depth
         self.busy_count -= 1
         return data
+
+    # ------------------------------------------------------------------
+    # Span mutations (burst transfers)
+    # ------------------------------------------------------------------
+    def push_span(self, items, insertion_dates: array) -> None:
+        """Fill the first ``len(items)`` free cells in one bulk copy.
+
+        ``insertion_dates`` must be an ``array('q')`` of the same length as
+        ``items``; entry *i* becomes the insertion date of the cell holding
+        ``items[i]``.  The caller is responsible for the date recurrence and
+        the worst-case-date guard (:meth:`head_free_ready_fs`) — this method
+        only moves storage: at most two wraparound slice assignments per
+        buffer instead of ``k`` word pushes.
+        """
+        count = len(items)
+        if count == 0:
+            return
+        if count > self.depth - self.busy_count:
+            raise FifoError(
+                f"push_span of {count} words overruns the "
+                f"{self.depth - self.busy_count} free cells"
+            )
+        self.mutations += 1
+        depth = self.depth
+        start = self._first_free
+        first = min(count, depth - start)
+        end = start + first
+        self._data[start:end] = items[:first]
+        self._busy[start:end] = b"\x01" * first
+        self._insertion[start:end] = insertion_dates[:first]
+        rest = count - first
+        if rest:
+            self._data[0:rest] = items[first:]
+            self._busy[0:rest] = b"\x01" * rest
+            self._insertion[0:rest] = insertion_dates[first:]
+        self._first_free = (start + count) % depth
+        self.busy_count += count
+
+    def pop_span(self, count: int, freeing_dates: array) -> List[Any]:
+        """Free the first ``count`` busy cells in one bulk copy.
+
+        ``freeing_dates`` must be an ``array('q')`` of length ``count``;
+        entry *i* becomes the freeing date of the *i*-th popped cell.
+        Returns the popped data in pop order.  Symmetric storage-only twin
+        of :meth:`push_span` (guard: :meth:`head_busy_completion_fs`).
+        """
+        if count == 0:
+            return []
+        if count > self.busy_count:
+            raise FifoError(
+                f"pop_span of {count} words overruns the "
+                f"{self.busy_count} busy cells"
+            )
+        self.mutations += 1
+        depth = self.depth
+        start = self._first_busy
+        first = min(count, depth - start)
+        end = start + first
+        data = self._data[start:end]
+        self._data[start:end] = [None] * first
+        self._busy[start:end] = b"\x00" * first
+        self._freeing[start:end] = freeing_dates[:first]
+        rest = count - first
+        if rest:
+            data.extend(self._data[0:rest])
+            self._data[0:rest] = [None] * rest
+            self._busy[0:rest] = b"\x00" * rest
+            self._freeing[0:rest] = freeing_dates[first:]
+        self._first_busy = (start + count) % depth
+        self.busy_count -= count
+        return data
+
+    def head_busy_insertion_span(self, count: int) -> array:
+        """Insertion dates of the first ``count`` busy cells in pop order.
+
+        At most two slice copies; callers must have checked ``count``
+        against :attr:`busy_count`.  The returned ``array('q')`` is a
+        fresh copy the caller may overwrite in place (the burst read path
+        turns it into the per-word freeing dates of the span).
+        """
+        insertion = self._insertion
+        start = self._first_busy
+        first = count if count <= self.depth - start else self.depth - start
+        dates = insertion[start:start + first]
+        if count > first:
+            dates.extend(insertion[:count - first])
+        return dates
+
+    def head_free_freeing_span(self, count: int) -> array:
+        """Freeing dates of the first ``count`` free cells in push order.
+
+        Symmetric twin of :meth:`head_busy_insertion_span` for the burst
+        write path (callers must have checked ``count`` against the free
+        cell count)."""
+        freeing = self._freeing
+        start = self._first_free
+        first = count if count <= self.depth - start else self.depth - start
+        dates = freeing[start:start + first]
+        if count > first:
+            dates.extend(freeing[:count - first])
+        return dates
+
+    def head_free_span(self, limit: int, date_fs: int) -> int:
+        """Number of leading free cells (push order, capped at ``limit``)
+        really freed by ``date_fs`` — the size of the span a non-blocking
+        burst write can move at that date."""
+        free = self.depth - self.busy_count
+        if limit > free:
+            limit = free
+        busy = self._busy
+        freeing = self._freeing
+        index = self._first_free
+        count = 0
+        while count < limit and not busy[index] and freeing[index] <= date_fs:
+            count += 1
+            index = (index + 1) % self.depth
+        return count
+
+    def head_busy_span(self, limit: int, date_fs: int) -> int:
+        """Number of leading busy cells (pop order, capped at ``limit``)
+        whose item is really present by ``date_fs`` — the size of the span
+        a non-blocking burst read can move at that date."""
+        if limit > self.busy_count:
+            limit = self.busy_count
+        busy = self._busy
+        insertion = self._insertion
+        index = self._first_busy
+        count = 0
+        while count < limit and busy[index] and insertion[index] <= date_fs:
+            count += 1
+            index = (index + 1) % self.depth
+        return count
 
     # ------------------------------------------------------------------
     # Monitor interpretation

@@ -21,9 +21,25 @@ usable from method processes.
 from __future__ import annotations
 
 import abc
-from typing import Any
+from typing import Any, List, Optional, Sequence, Union
 
+from ..kernel.errors import FifoError
 from ..kernel.event import Event
+
+#: Per-word gap of a burst: one constant fs value, or one fs value per word.
+GapSpec = Union[int, Sequence[int]]
+
+
+def _require_plain_burst(gap_fs: GapSpec, dates_out: Optional[list]) -> None:
+    """Reject the timed-burst extras on FIFOs without local dates."""
+    if gap_fs if isinstance(gap_fs, int) else any(gap_fs):
+        raise FifoError(
+            "this FIFO has no per-word local dates; bursts must use gap_fs=0"
+        )
+    if dates_out is not None:
+        raise FifoError(
+            "this FIFO has no per-word local dates; dates_out is unsupported"
+        )
 
 
 class FifoWriterInterface(abc.ABC):
@@ -40,6 +56,34 @@ class FifoWriterInterface(abc.ABC):
     @abc.abstractmethod
     def nb_write(self, data: Any) -> bool:
         """Non-blocking write; returns False (and stores nothing) when full."""
+
+    def write_burst(self, words: Sequence[Any], gap_fs: GapSpec = 0,
+                    dates_out: Optional[list] = None):
+        """Blocking burst write (generator): every word of ``words``, with
+        ``gap_fs`` femtoseconds of caller-local time after each word.
+
+        Semantically identical to ``for w in words: yield from write(w)``
+        interleaved with local-time advances — implementations may move
+        whole spans at once, but blocking boundaries, dates and counters
+        must stay bit-exact with the word loop.  When ``dates_out`` is a
+        list, the per-word access dates (fs) are appended to it.  The
+        default implementation is the word loop itself; it has no notion
+        of local dates, so it only accepts plain (gap-free) bursts.
+        """
+        _require_plain_burst(gap_fs, dates_out)
+        for word in words:
+            yield from self.write(word)
+
+    def nb_write_burst(self, words: Sequence[Any]) -> int:
+        """Non-blocking burst write: store a leading run of ``words``,
+        stopping at the first refused word; returns the number stored.
+        Equivalent to repeated :meth:`nb_write` at the caller's date."""
+        count = 0
+        for word in words:
+            if not self.nb_write(word):
+                break
+            count += 1
+        return count
 
     @abc.abstractmethod
     def is_full(self) -> bool:
@@ -62,6 +106,33 @@ class FifoReaderInterface(abc.ABC):
     def nb_read(self):
         """Non-blocking read; raises :class:`~repro.kernel.errors.FifoError`
         if the FIFO is externally empty (guard with :meth:`is_empty`)."""
+
+    def read_burst(self, count: int, gap_fs: GapSpec = 0,
+                   dates_out: Optional[list] = None):
+        """Blocking burst read (generator): ``count`` words, with ``gap_fs``
+        femtoseconds of caller-local time after each word; returns the list
+        of words read.  Same bit-exactness contract as
+        :meth:`FifoWriterInterface.write_burst`; the default implementation
+        is the plain word loop (gap-free bursts only).
+        """
+        _require_plain_burst(gap_fs, dates_out)
+        words: List[Any] = []
+        for _ in range(count):
+            word = yield from self.read()
+            words.append(word)
+        return words
+
+    def nb_read_burst(self, count: int) -> List[Any]:
+        """Non-blocking burst read: drain up to ``count`` immediately
+        available words; returns the (possibly shorter) list.  Equivalent
+        to repeated ``is_empty``-guarded :meth:`nb_read` at the caller's
+        date."""
+        words: List[Any] = []
+        for _ in range(count):
+            if self.is_empty():
+                break
+            words.append(self.nb_read())
+        return words
 
     @abc.abstractmethod
     def is_empty(self) -> bool:

@@ -42,6 +42,7 @@ class PacketSmartFifo(SmartFifo):
         name: str,
         depth: int = 16,
         packet_size: int = 4,
+        burst: bool = False,
         **kwargs,
     ):
         super().__init__(parent, name, depth, **kwargs)
@@ -52,6 +53,10 @@ class PacketSmartFifo(SmartFifo):
                 f"packet size {packet_size} cannot exceed the FIFO depth {depth}"
             )
         self.packet_size = packet_size
+        #: When True the packet-level accesses delegate to the burst (span)
+        #: APIs instead of per-word loops — bit-exact dates, fewer Python
+        #: dispatches per packet.
+        self.burst_packets = burst
         #: Number of complete packets transferred through the packet API.
         self.packets_written = 0
         self.packets_read = 0
@@ -71,6 +76,10 @@ class PacketSmartFifo(SmartFifo):
             raise FifoError(
                 f"write_packet expects {self.packet_size} words, got {len(words)}"
             )
+        if self.burst_packets:
+            yield from self.write_burst(words)
+            self.packets_written += 1
+            return
         cells = self._cells
         depth = cells.depth
         for word in words:
@@ -90,6 +99,10 @@ class PacketSmartFifo(SmartFifo):
         last word (or its own local date if later), i.e. the date at which
         the complete packet is available for forwarding.
         """
+        if self.burst_packets:
+            words = yield from self.read_burst(self.packet_size)
+            self.packets_read += 1
+            return words
         cells = self._cells
         words = []
         for _ in range(self.packet_size):
@@ -142,11 +155,16 @@ class PacketSmartFifo(SmartFifo):
             raise FifoError(
                 f"nb_read_packet on {self.full_name}: no complete packet available"
             )
-        process = self._scheduler.current_process
-        manager = self._manager
-        words = [
-            self._do_read(process, manager) for _ in range(self.packet_size)
-        ]
+        if self.burst_packets:
+            # The guard promises the head packet_size words are available,
+            # so the span drains the full packet in one pop_span.
+            words = self.nb_read_burst(self.packet_size)
+        else:
+            process = self._scheduler.current_process
+            manager = self._manager
+            words = [
+                self._do_read(process, manager) for _ in range(self.packet_size)
+            ]
         # Count the packet only once the last word is out: a raise above
         # must never leave the counters claiming a transfer.
         self.packets_read += 1
@@ -189,6 +207,17 @@ class PacketSmartFifo(SmartFifo):
         super()._do_write(process, manager, data, local_fs)
         self._notify_external(self._not_empty_event, self._last_write_fs)
 
+    def _notify_after_span_write(self, was_internally_empty: bool,
+                                 first_date_fs: int) -> None:
+        """Span twin of the packetization extension above.
+
+        Word mode schedules one delayed not_empty per insertion; within a
+        span the dates are monotone non-decreasing and no delta boundary
+        passes, so all of them collapse onto the earliest pending one —
+        a single notification at the span's first date is bit-exact.
+        """
+        self._notify_external(self._not_empty_event, first_date_fs)
+
     def nb_write_packet(self, words: List[Any]) -> bool:
         """Non-blocking write of a full packet; False when not enough room.
 
@@ -204,8 +233,18 @@ class PacketSmartFifo(SmartFifo):
             )
         if not self.space_for_packet():
             return False
-        for word in words:
-            if not self.nb_write(word):  # pragma: no cover - guarded above
-                raise FifoError(f"nb_write_packet lost room on {self.full_name}")
+        if self.burst_packets:
+            # The guard promises head room for the whole packet, so the
+            # span lands it in one push_span.
+            if self.nb_write_burst(words) != self.packet_size:
+                raise FifoError(  # pragma: no cover - guarded above
+                    f"nb_write_packet lost room on {self.full_name}"
+                )
+        else:
+            for word in words:
+                if not self.nb_write(word):  # pragma: no cover - guarded above
+                    raise FifoError(
+                        f"nb_write_packet lost room on {self.full_name}"
+                    )
         self.packets_written += 1
         return True

@@ -20,14 +20,14 @@ almost no context switch).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Union
+from typing import Any, Deque, List, Sequence, Union
 
 from ..kernel.errors import FifoError
 from ..kernel.module import Module
 from ..kernel.process import WaitEvent
 from ..kernel.simtime import ZERO_TIME
 from ..kernel.simulator import Simulator
-from .interfaces import FifoInterface
+from .interfaces import FifoInterface, _require_plain_burst
 
 
 class RegularFifo(Module, FifoInterface):
@@ -90,6 +90,37 @@ class RegularFifo(Module, FifoInterface):
         self._push(data)
         return True
 
+    def write_burst(self, words: Sequence[Any], gap_fs=0, dates_out=None):
+        """Native burst write: bulk-extend whole free spans with one delta
+        notification per span instead of one per word.
+
+        Bit-exact with the word loop: ``write`` only suspends when full,
+        so the word loop fills all free slots without yielding; within one
+        evaluation the per-word delta notifications collapse into a single
+        pending one, which is exactly what the span emits.  A regular FIFO
+        has no local dates, so only plain (gap-free) bursts are accepted.
+        """
+        _require_plain_burst(gap_fs, dates_out)
+        items = self._items
+        index, n = 0, len(words)
+        while index < n:
+            while len(items) >= self._depth:
+                yield WaitEvent(self._data_read_event)
+            chunk = min(self._depth - len(items), n - index)
+            items.extend(words[index:index + chunk])
+            self.total_written += chunk
+            self._data_written_event.notify(ZERO_TIME)
+            index += chunk
+
+    def nb_write_burst(self, words: Sequence[Any]) -> int:
+        """Native non-blocking burst write (one notification per call)."""
+        chunk = min(self._depth - len(self._items), len(words))
+        if chunk:
+            self._items.extend(words[:chunk] if chunk < len(words) else words)
+            self.total_written += chunk
+            self._data_written_event.notify(ZERO_TIME)
+        return chunk
+
     def _push(self, data: Any) -> None:
         self._items.append(data)
         self.total_written += 1
@@ -121,6 +152,34 @@ class RegularFifo(Module, FifoInterface):
         if self.is_empty():
             raise FifoError(f"peek on empty FIFO {self.full_name}")
         return self._items[0]
+
+    def read_burst(self, count: int, gap_fs=0, dates_out=None):
+        """Native burst read: drain whole available spans with one delta
+        notification per span (see :meth:`write_burst` for why that is
+        bit-exact with the word loop)."""
+        _require_plain_burst(gap_fs, dates_out)
+        items = self._items
+        words: List[Any] = []
+        while len(words) < count:
+            while not items:
+                yield WaitEvent(self._data_written_event)
+            chunk = min(len(items), count - len(words))
+            for _ in range(chunk):
+                words.append(items.popleft())
+            self.total_read += chunk
+            self._data_read_event.notify(ZERO_TIME)
+        return words
+
+    def nb_read_burst(self, count: int) -> List[Any]:
+        """Native non-blocking burst read (one notification per call)."""
+        items = self._items
+        chunk = min(len(items), count)
+        if chunk <= 0:
+            return []
+        words = [items.popleft() for _ in range(chunk)]
+        self.total_read += chunk
+        self._data_read_event.notify(ZERO_TIME)
+        return words
 
     def _pop(self) -> Any:
         data = self._items.popleft()

@@ -32,7 +32,9 @@ decoupling; only the schedule and the number of delta cycles may change.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Union
+from array import array
+from itertools import accumulate
+from typing import Any, List, Optional, Sequence, Union
 
 from ..kernel.errors import FifoError, TimingError
 from ..kernel.event import Event
@@ -354,6 +356,226 @@ class SmartFifo(Module, FifoInterface):
                 self._notify_external(self._not_full_event, next_free_fs)
 
     # ------------------------------------------------------------------
+    # Burst (span) transfers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _span_gaps(gap_fs, count: int, side: str):
+        """Normalize a burst gap spec to ``(constant_fs, per_word_list)``."""
+        if isinstance(gap_fs, int):
+            if gap_fs < 0:
+                raise FifoError(f"{side}_burst gap_fs must be >= 0")
+            return gap_fs, None
+        gaps = list(gap_fs)
+        if len(gaps) != count:
+            raise FifoError(
+                f"{side}_burst got {len(gaps)} per-word gaps for {count} words"
+            )
+        if any(gap < 0 for gap in gaps):
+            raise FifoError(f"{side}_burst gaps must be >= 0")
+        return 0, gaps
+
+    @staticmethod
+    def _span_dates(local_fs: int, count: int, gap_fs: int,
+                    gaps: Optional[List[int]], start: int) -> array:
+        """Access dates of one fast-path span: the pure gap schedule from
+        ``local_fs`` (the word-mode recurrence collapses to it once the
+        span's worst-case cell date is known to be <= ``local_fs``)."""
+        if gaps is None:
+            if gap_fs:
+                return array(
+                    "q", range(local_fs, local_fs + count * gap_fs, gap_fs)
+                )
+            return array("q", [local_fs]) * count
+        return array(
+            "q", accumulate(gaps[start:start + count - 1], initial=local_fs)
+        )
+
+    def _notify_after_span_write(self, was_internally_empty: bool,
+                                 first_date_fs: int) -> None:
+        """External not_empty arming of one write span.
+
+        Word mode only notifies when the first push of the span found the
+        FIFO internally empty (case 1 of Section III-B); the later pushes
+        of the same span cannot re-trigger it.  ``PacketSmartFifo``
+        overrides this: it notifies after *every* insertion, and within
+        one monotone-date span the earliest pending notification wins, so
+        a single notify at the span's first date is bit-exact there too.
+        """
+        if was_internally_empty:
+            self._notify_external(self._not_empty_event, first_date_fs)
+
+    def write_burst(self, words: Sequence[Any], gap_fs=0,
+                    dates_out: Optional[list] = None):
+        """Blocking burst write: every word of ``words`` with ``gap_fs``
+        femtoseconds of caller-local time after each word (``gap_fs`` may
+        be one int or one int per word).
+
+        Bit-exact with ``for w in words: yield from write(w)`` interleaved
+        with per-word local-time advances: spans split at the internal
+        blocking boundary exactly where the word loop would context
+        switch, the ordering checks see the same dates, and the amortized
+        notifications collapse to the same pending kernel state (the only
+        intentionally different counter is ``KernelStats.event_notifications``,
+        which is not part of the deterministic row).  When ``dates_out``
+        is a list the per-word insertion dates (fs) are appended to it.
+        """
+        n = len(words)
+        if n == 0:
+            return
+        gap_fs, gaps = self._span_gaps(gap_fs, n, "write")
+        if self.sync_on_access:
+            # Reference flavour: the word loop, one sync per access.
+            manager = self._manager
+            scheduler = self._scheduler
+            for index in range(n):
+                yield from self.write(words[index])
+                if dates_out is not None:
+                    dates_out.append(self._last_write_fs)
+                process = scheduler.current_process
+                if process is not None:
+                    manager.advance_fs(
+                        process, gap_fs if gaps is None else gaps[index]
+                    )
+            return
+        cells = self._cells
+        depth = cells.depth
+        written = 0
+        while written < n:
+            while cells.busy_count == depth:
+                self.blocking_waits += 1
+                self._blocked_writers += 1
+                try:
+                    yield from sync(sim=self.sim)
+                    if cells.busy_count == depth:
+                        yield WaitEvent(self._cell_freed)
+                finally:
+                    self._blocked_writers -= 1
+            written += self._write_span(words, written, n, gap_fs, gaps,
+                                        dates_out)
+
+    def _write_span(self, words: Sequence[Any], start: int, n: int,
+                    gap_fs: int, gaps: Optional[List[int]],
+                    dates_out: Optional[list]) -> int:
+        """Move one span of ``min(remaining, free)`` words; returns its size.
+
+        Callers guarantee the ring is not internally full.  With an
+        external ``not_full`` observer the span falls back to the word
+        path (a listener could see the per-word trailing arming), which
+        still cannot block because k never exceeds the free cells.
+        Without observers the span is always one bulk transfer: either
+        the pure gap schedule when every target cell is already free at
+        the caller's date (one worst-case guard instead of k), or the
+        exact word recurrence ``d_i = max(d_{i-1} + gap_{i-1},
+        freeing_i)`` run over the head freeing dates.
+        """
+        cells = self._cells
+        k = cells.depth - cells.busy_count
+        remaining = n - start
+        if k > remaining:
+            k = remaining
+        scheduler = self._scheduler
+        process = scheduler.current_process
+        manager = self._manager
+        now_fs = scheduler.now_fs
+        if process is None:
+            local_fs = now_fs
+        else:
+            local_fs = process.local_fs
+            if local_fs < now_fs:
+                local_fs = now_fs
+        if (
+            self._always_notify_external
+            or self._not_full_event.listener_count
+            or process is None
+        ):
+            for index in range(start, start + k):
+                self._do_write(process, manager, words[index])
+                if dates_out is not None:
+                    dates_out.append(self._last_write_fs)
+                if process is not None:
+                    manager.advance_fs(
+                        process, gap_fs if gaps is None else gaps[index]
+                    )
+            return k
+        if cells.head_free_ready_fs(k) <= local_fs:
+            dates = self._span_dates(local_fs, k, gap_fs, gaps, start)
+            final_fs = dates[-1] + (
+                gap_fs if gaps is None else gaps[start + k - 1]
+            )
+        else:
+            dates = cells.head_free_freeing_span(k)
+            prev = local_fs
+            if gaps is None:
+                for index in range(k):
+                    date_fs = dates[index]
+                    if date_fs < prev:
+                        date_fs = prev
+                        dates[index] = prev
+                    prev = date_fs + gap_fs
+            else:
+                for index in range(k):
+                    date_fs = dates[index]
+                    if date_fs < prev:
+                        date_fs = prev
+                        dates[index] = prev
+                    prev = date_fs + gaps[start + index]
+            final_fs = prev
+        if self._enforce_side_ordering and dates[0] < self._last_write_fs:
+            # Dates are monotone, so only the span's first word can trip
+            # the ordering check — exactly like the word loop would.
+            self._ordering_error("write", dates[0])
+        was_internally_empty = cells.busy_count == 0
+        cells.push_span(words[start:start + k], dates)
+        self._last_write_fs = dates[-1]
+        self.total_written += k
+        if dates_out is not None:
+            dates_out.extend(dates)
+        manager.advance_to(process, final_fs)
+        if self._blocked_readers:
+            self._cell_filled.notify_fs(0)
+        self._notify_after_span_write(was_internally_empty, dates[0])
+        return k
+
+    def nb_write_burst(self, words: Sequence[Any]) -> int:
+        """Non-blocking burst write: bit-exact with repeated
+        :meth:`nb_write` (store a leading run, arm ``not_full`` at the
+        head freeing date when refusing early)."""
+        n = len(words)
+        if n == 0:
+            return 0
+        if self._always_notify_external or self._not_full_event.listener_count:
+            return super().nb_write_burst(words)
+        cells = self._cells
+        scheduler = self._scheduler
+        process = scheduler.current_process
+        now_fs = scheduler.now_fs
+        if process is None:
+            local_fs = now_fs
+        else:
+            local_fs = process.local_fs
+            if local_fs < now_fs:
+                local_fs = now_fs
+        k = cells.head_free_span(n, local_fs)
+        if k:
+            if self._enforce_side_ordering and local_fs < self._last_write_fs:
+                self._ordering_error("write", local_fs)
+            was_internally_empty = cells.busy_count == 0
+            cells.push_span(words[:k] if k < n else words,
+                            array("q", [local_fs]) * k)
+            self._last_write_fs = local_fs
+            self.total_written += k
+            if self._blocked_readers:
+                self._cell_filled.notify_fs(0)
+            self._notify_after_span_write(was_internally_empty, local_fs)
+        if k < n and cells.busy_count < cells.depth:
+            # The first refused word-mode nb_write arms not_full at the
+            # head freeing date so a retrying method cannot miss the wake.
+            self._notify_external(
+                self._not_full_event, cells.head_free_freeing_fs(), forced=True
+            )
+        return k
+
+    # ------------------------------------------------------------------
     # Reader-side interface (Section III-A)
     # ------------------------------------------------------------------
     @property
@@ -487,6 +709,166 @@ class SmartFifo(Module, FifoInterface):
             if next_insertion_fs > now_fs:
                 self._notify_external(self._not_empty_event, next_insertion_fs)
         return data
+
+    def read_burst(self, count: int, gap_fs=0,
+                   dates_out: Optional[list] = None):
+        """Blocking burst read: ``count`` words with ``gap_fs`` femtoseconds
+        of caller-local time after each word (one int or one int per
+        word); returns the list of words.  Bit-exact with the word loop —
+        see :meth:`write_burst` for the contract.  When ``dates_out`` is a
+        list the per-word read dates (fs) are appended to it."""
+        if count <= 0:
+            return []
+        gap_fs, gaps = self._span_gaps(gap_fs, count, "read")
+        words: List[Any] = []
+        if self.sync_on_access:
+            # Reference flavour: the word loop, one sync per access.
+            manager = self._manager
+            scheduler = self._scheduler
+            for index in range(count):
+                word = yield from self.read()
+                words.append(word)
+                if dates_out is not None:
+                    dates_out.append(self._last_read_fs)
+                process = scheduler.current_process
+                if process is not None:
+                    manager.advance_fs(
+                        process, gap_fs if gaps is None else gaps[index]
+                    )
+            return words
+        cells = self._cells
+        while len(words) < count:
+            while cells.busy_count == 0:
+                self.blocking_waits += 1
+                self._blocked_readers += 1
+                try:
+                    yield from sync(sim=self.sim)
+                    if cells.busy_count == 0:
+                        yield WaitEvent(self._cell_filled)
+                finally:
+                    self._blocked_readers -= 1
+            self._read_span(words, count, gap_fs, gaps, dates_out)
+        return words
+
+    def _read_span(self, words: List[Any], count: int, gap_fs: int,
+                   gaps: Optional[List[int]],
+                   dates_out: Optional[list]) -> None:
+        """Drain one span of ``min(remaining, busy)`` words into ``words``.
+
+        Callers guarantee the ring is not internally empty; symmetric twin
+        of :meth:`_write_span`: word-path fallback only for external
+        ``not_empty`` observers, pure gap schedule when the span's
+        worst-case insertion date has passed, otherwise the exact word
+        recurrence ``d_i = max(d_{i-1} + gap_{i-1}, insertion_i)`` over
+        the head insertion dates — one ``pop_span`` either way."""
+        cells = self._cells
+        taken = len(words)
+        k = cells.busy_count
+        remaining = count - taken
+        if k > remaining:
+            k = remaining
+        scheduler = self._scheduler
+        process = scheduler.current_process
+        manager = self._manager
+        now_fs = scheduler.now_fs
+        if process is None:
+            local_fs = now_fs
+        else:
+            local_fs = process.local_fs
+            if local_fs < now_fs:
+                local_fs = now_fs
+        if (
+            self._always_notify_external
+            or self._not_empty_event.listener_count
+            or process is None
+        ):
+            for index in range(taken, taken + k):
+                words.append(self._do_read(process, manager))
+                if dates_out is not None:
+                    dates_out.append(self._last_read_fs)
+                if process is not None:
+                    manager.advance_fs(
+                        process, gap_fs if gaps is None else gaps[index]
+                    )
+            return
+        if cells.head_busy_completion_fs(k) <= local_fs:
+            dates = self._span_dates(local_fs, k, gap_fs, gaps, taken)
+            final_fs = dates[-1] + (
+                gap_fs if gaps is None else gaps[taken + k - 1]
+            )
+        else:
+            dates = cells.head_busy_insertion_span(k)
+            prev = local_fs
+            if gaps is None:
+                for index in range(k):
+                    date_fs = dates[index]
+                    if date_fs < prev:
+                        date_fs = prev
+                        dates[index] = prev
+                    prev = date_fs + gap_fs
+            else:
+                for index in range(k):
+                    date_fs = dates[index]
+                    if date_fs < prev:
+                        date_fs = prev
+                        dates[index] = prev
+                    prev = date_fs + gaps[taken + index]
+            final_fs = prev
+        if self._enforce_side_ordering and dates[0] < self._last_read_fs:
+            # Dates are monotone, so only the span's first word can trip
+            # the ordering check — exactly like the word loop would.
+            self._ordering_error("read", dates[0])
+        was_internally_full = cells.busy_count == cells.depth
+        words.extend(cells.pop_span(k, dates))
+        self._last_read_fs = dates[-1]
+        self.total_read += k
+        if dates_out is not None:
+            dates_out.extend(dates)
+        manager.advance_to(process, final_fs)
+        if self._blocked_writers:
+            self._cell_freed.notify_fs(0)
+        if was_internally_full:
+            self._notify_external(self._not_full_event, dates[0])
+
+    def nb_read_burst(self, count: int) -> List[Any]:
+        """Non-blocking burst read: bit-exact with the ``is_empty``-guarded
+        repeated :meth:`nb_read` loop (drain a leading run, arm
+        ``not_empty`` at the head insertion date when stopping early)."""
+        if count <= 0:
+            return []
+        if self._always_notify_external or self._not_empty_event.listener_count:
+            return super().nb_read_burst(count)
+        cells = self._cells
+        scheduler = self._scheduler
+        process = scheduler.current_process
+        now_fs = scheduler.now_fs
+        if process is None:
+            local_fs = now_fs
+        else:
+            local_fs = process.local_fs
+            if local_fs < now_fs:
+                local_fs = now_fs
+        k = cells.head_busy_span(count, local_fs)
+        words: List[Any] = []
+        if k:
+            if self._enforce_side_ordering and local_fs < self._last_read_fs:
+                self._ordering_error("read", local_fs)
+            was_internally_full = cells.busy_count == cells.depth
+            words = cells.pop_span(k, array("q", [local_fs]) * k)
+            self._last_read_fs = local_fs
+            self.total_read += k
+            if self._blocked_writers:
+                self._cell_freed.notify_fs(0)
+            if was_internally_full:
+                self._notify_external(self._not_full_event, local_fs)
+        if k < count and cells.busy_count:
+            # The word loop's refusing is_empty arms not_empty at the head
+            # insertion date; replicate it when stopping early.
+            self._notify_external(
+                self._not_empty_event, cells.head_busy_insertion_fs(),
+                forced=True,
+            )
+        return words
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -170,6 +170,19 @@ class TraceSink:
     def emit(self, process: str, local_fs: int, global_fs: int, message: str) -> None:
         raise NotImplementedError
 
+    def emit_many(
+        self, process: str, global_fs: int,
+        entries: Iterable[Tuple[int, str]],
+    ) -> None:
+        """Batch emit of one burst span: ``entries`` yields per-word
+        ``(local_fs, message)`` pairs from a single process at one kernel
+        date.  Equivalent to emitting each pair with :meth:`emit` — the
+        sort key is order-insensitive, so span-level emission is
+        digest/fingerprint-safe; subclasses override to amortize the
+        per-record costs."""
+        for local_fs, message in entries:
+            self.emit(process, local_fs, global_fs, message)
+
     def record(self, process: str, local_fs: int, global_fs: int, message: str) -> None:
         """Historical name of :meth:`emit`."""
         self.emit(process, local_fs, global_fs, message)
@@ -193,6 +206,13 @@ class NullSink(TraceSink):
 
     def emit(self, process: str, local_fs: int, global_fs: int, message: str) -> None:
         pass
+
+    def emit_many(
+        self, process: str, global_fs: int,
+        entries: Iterable[Tuple[int, str]],
+    ) -> None:
+        """Guarded fast-out: a whole span's records drop in one call,
+        without even iterating ``entries``."""
 
     def __len__(self) -> int:
         return 0
@@ -222,6 +242,17 @@ class ListSink(TraceSink):
         if not self.enabled:
             return
         self.records.append(TraceRecord(local_fs, global_fs, process, message))
+
+    def emit_many(
+        self, process: str, global_fs: int,
+        entries: Iterable[Tuple[int, str]],
+    ) -> None:
+        if not self.enabled:
+            return
+        self.records.extend(
+            TraceRecord(local_fs, global_fs, process, message)
+            for local_fs, message in entries
+        )
 
     def clear(self) -> None:
         self.records = []
@@ -286,6 +317,27 @@ class _StreamingSortSink(TraceSink):
         buffer = self._buffer
         buffer.append(encode_entry(process, local_fs, message))
         self._count += 1
+        if len(buffer) >= self._max_buffered:
+            self._spill()
+
+    def emit_many(
+        self, process: str, global_fs: int,
+        entries: Iterable[Tuple[int, str]],
+    ) -> None:
+        """Batch emit: encode and append the whole span, then run the spill
+        check once.  The buffer may transiently exceed ``max_buffered`` by
+        one span; the eventual merge (and therefore the digest) only sees
+        the multiset of entries, so this is byte-identical to repeated
+        :meth:`emit`."""
+        if not self.enabled:
+            return
+        buffer = self._buffer
+        before = len(buffer)
+        buffer.extend(
+            encode_entry(process, local_fs, message)
+            for local_fs, message in entries
+        )
+        self._count += len(buffer) - before
         if len(buffer) >= self._max_buffered:
             self._spill()
 

@@ -19,13 +19,27 @@ across flavours.
 from __future__ import annotations
 
 import enum
-from typing import Optional, Union
+from typing import Any, Callable, List, Optional, Sequence, Union
 
+from ..fifo.smart_fifo import SmartFifo
 from ..kernel.module import Module
 from ..kernel.process import Timeout
 from ..kernel.simtime import SimTime, TimeUnit, as_time
 from ..kernel.simulator import Simulator
 from ..td.decoupling import DecoupledMixin
+
+#: Optional per-word checkpoint factory of the burst helpers:
+#: ``message_fn(index, word) -> message or None`` (None entries are skipped).
+MessageFn = Callable[[int, Any], Optional[str]]
+
+
+def _to_fs(gap_ns) -> int:
+    """Integer femtoseconds for one nanosecond gap (mirrors ``advance``:
+    non-integer products are rounded, exactly like the word path does)."""
+    gap_fs = gap_ns * TimeUnit.NS
+    if type(gap_fs) is not int:
+        gap_fs = round(gap_fs)
+    return gap_fs
 
 
 class TimingMode(enum.Enum):
@@ -115,6 +129,114 @@ class WorkloadModule(DecoupledMixin, Module):
         """Quantum-keeper branch of :meth:`advance` (may actually wait)."""
         self.quantum_keeper.inc(duration, unit)
         yield from self.quantum_keeper.sync_if_needed()
+
+    # ------------------------------------------------------------------
+    # Burst (span) helpers
+    # ------------------------------------------------------------------
+    def burst_write(self, fifo, words: Sequence[Any], gap_ns,
+                    message_fn: Optional[MessageFn] = None):
+        """Move ``words`` into ``fifo`` with ``gap_ns`` of time after each
+        word (one int, or one int per word); generator.
+
+        In ``DECOUPLED`` mode on a Smart FIFO this uses the native span API
+        plus one batched trace emission per burst; every other timing mode
+        (and FIFO kind) runs the exact word loop, so the reference half of
+        a pair is untouched and word-vs-burst runs stay bit-exact.  Each
+        non-None ``message_fn(index, word)`` result becomes a checkpoint
+        stamped at that word's insertion date in both paths.
+        """
+        n = len(words)
+        if n == 0:
+            return
+        per_word = isinstance(gap_ns, (list, tuple))
+        if self.timing is TimingMode.DECOUPLED and isinstance(fifo, SmartFifo):
+            sim = self.sim
+            trace = sim.trace
+            want_messages = message_fn is not None and trace.enabled
+            dates: Optional[List[int]] = [] if want_messages else None
+            if per_word:
+                gap_fs = [_to_fs(gap) for gap in gap_ns]
+            else:
+                gap_fs = _to_fs(gap_ns)
+            yield from fifo.write_burst(words, gap_fs, dates)
+            self.items_processed += n
+            if want_messages:
+                pairs = []
+                for index in range(n):
+                    message = message_fn(index, words[index])
+                    if message is not None:
+                        pairs.append((dates[index], message))
+                if pairs:
+                    trace.emit_many(sim.current_process_name(), sim.now_fs,
+                                    pairs)
+            return
+        gaps = gap_ns if per_word else None
+        for index in range(n):
+            word = words[index]
+            yield from fifo.write(word)
+            self.items_processed += 1
+            if message_fn is not None:
+                message = message_fn(index, word)
+                if message is not None:
+                    self.checkpoint(message)
+            yield from self.advance(gap_ns if gaps is None else gaps[index])
+
+    def burst_read(self, fifo, count: int, gap_ns,
+                   message_fn: Optional[MessageFn] = None,
+                   dates_out: Optional[List[int]] = None):
+        """Drain ``count`` words from ``fifo`` with ``gap_ns`` of time after
+        each word; generator returning the list of words.
+
+        Span/word dispatch and checkpoint semantics as in
+        :meth:`burst_write`.  ``dates_out`` (a list) receives the per-word
+        read dates in fs — the word's local read date in decoupled mode,
+        the kernel date otherwise, exactly what the word loop observes.
+        """
+        if count <= 0:
+            return []
+        per_word = isinstance(gap_ns, (list, tuple))
+        if self.timing is TimingMode.DECOUPLED and isinstance(fifo, SmartFifo):
+            sim = self.sim
+            trace = sim.trace
+            want_messages = message_fn is not None and trace.enabled
+            dates: Optional[List[int]] = (
+                [] if want_messages or dates_out is not None else None
+            )
+            if per_word:
+                gap_fs = [_to_fs(gap) for gap in gap_ns]
+            else:
+                gap_fs = _to_fs(gap_ns)
+            words = yield from fifo.read_burst(count, gap_fs, dates)
+            self.items_processed += count
+            if want_messages:
+                pairs = []
+                for index in range(count):
+                    message = message_fn(index, words[index])
+                    if message is not None:
+                        pairs.append((dates[index], message))
+                if pairs:
+                    trace.emit_many(sim.current_process_name(), sim.now_fs,
+                                    pairs)
+            if dates_out is not None:
+                dates_out.extend(dates)
+            return words
+        gaps = gap_ns if per_word else None
+        words = []
+        for index in range(count):
+            word = yield from fifo.read()
+            words.append(word)
+            self.items_processed += 1
+            if dates_out is not None:
+                if self.timing.is_decoupled:
+                    dates_out.append(self.local_time_stamp().femtoseconds)
+                else:
+                    dates_out.append(self.sim.now_fs)
+            if message_fn is not None:
+                message = message_fn(index, word)
+                if message is not None:
+                    self.checkpoint(message)
+            yield from self.advance(gap_ns if gaps is None else gaps[index])
+        return words
 
     def mark_finished(self) -> None:
         """Record the completion date (local date for decoupled modules)."""

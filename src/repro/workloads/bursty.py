@@ -83,16 +83,34 @@ class BurstyConfig:
 class BurstyProducer(WorkloadModule):
     """Writes seeded bursts of consecutive values with long idle gaps."""
 
-    def __init__(self, parent, name, fifo, config: BurstyConfig, timing: TimingMode):
+    def __init__(self, parent, name, fifo, config: BurstyConfig, timing: TimingMode, burst: bool = False):
         super().__init__(parent, name, timing)
         self.fifo = fifo
         self.config = config
+        self.burst = burst
         self.rng = random.Random(config.seed * 9973 + 7)
         self.create_thread(self.run)
 
     def run(self):
         cfg = self.config
         value = 0
+        if self.burst:
+            for burst in cfg.burst_sizes():
+                if cfg.slow_spin_ms:
+                    _spin_wall_clock(cfg.slow_spin_ms)
+                words = list(range(value, value + burst))
+                value += burst
+                yield from self.burst_write(
+                    self.fifo,
+                    words,
+                    cfg.word_time_ns,
+                    message_fn=lambda _index, word: f"burst wr {word}",
+                )
+                idle = self.rng.randint(cfg.min_idle_ns, cfg.max_idle_ns)
+                yield from self.advance(idle)
+            self.mark_finished()
+            self.checkpoint("producer done")
+            return
         for burst in cfg.burst_sizes():
             if cfg.slow_spin_ms:
                 _spin_wall_clock(cfg.slow_spin_ms)
@@ -123,15 +141,27 @@ def _spin_wall_clock(milliseconds: int) -> None:
 class BurstyConsumer(WorkloadModule):
     """Drains the FIFO at a steady per-item rate, checking the order."""
 
-    def __init__(self, parent, name, fifo, config: BurstyConfig, timing: TimingMode):
+    def __init__(self, parent, name, fifo, config: BurstyConfig, timing: TimingMode, burst: bool = False):
         super().__init__(parent, name, timing)
         self.fifo = fifo
         self.config = config
+        self.burst = burst
         self.values: List[int] = []
         self.create_thread(self.run)
 
     def run(self):
         cfg = self.config
+        if self.burst:
+            words = yield from self.burst_read(
+                self.fifo,
+                cfg.total_items,
+                cfg.consumer_time_ns,
+                message_fn=lambda _index, word: f"burst rd {word}",
+            )
+            self.values.extend(words)
+            self.mark_finished()
+            self.checkpoint("consumer done")
+            return
         for _ in range(cfg.total_items):
             value = yield from self.fifo.read()
             self.values.append(value)
@@ -150,6 +180,7 @@ class BurstyScenario:
         sim: Simulator,
         decoupled: bool,
         config: Optional[BurstyConfig] = None,
+        burst: bool = False,
     ):
         self.sim = sim
         self.config = config or BurstyConfig()
@@ -162,8 +193,8 @@ class BurstyScenario:
         else:
             self.fifo = RegularFifo(sim, "fifo", depth=self.config.fifo_depth)
             timing = TimingMode.TIMED_WAIT
-        self.producer = BurstyProducer(sim, "producer", self.fifo, self.config, timing)
-        self.consumer = BurstyConsumer(sim, "consumer", self.fifo, self.config, timing)
+        self.producer = BurstyProducer(sim, "producer", self.fifo, self.config, timing, burst=burst)
+        self.consumer = BurstyConsumer(sim, "consumer", self.fifo, self.config, timing, burst=burst)
 
     def run(self) -> None:
         self.sim.run()

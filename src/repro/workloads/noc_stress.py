@@ -116,16 +116,34 @@ class StreamProducer(WorkloadModule):
     """Decoupled thread feeding one stream's ingress packet FIFO."""
 
     def __init__(self, parent, name, fifo, words, stream: int,
-                 config: NocStressConfig):
+                 config: NocStressConfig, burst: bool = False):
         super().__init__(parent, name, TimingMode.DECOUPLED)
         self.fifo = fifo
         self.words = list(words)
         self.config = config
+        self.burst = burst
         self.rng = random.Random(config.seed * 15485863 + stream)
         self.create_thread(self.run)
 
     def run(self):
         size = self.config.packet_size
+        if self.burst:
+            # Same RNG order as the word loop: one randint after each write.
+            gaps = [
+                self.rng.randint(1, self.config.max_producer_gap_ns)
+                for _ in self.words
+            ]
+
+            def message(index, _word):
+                if (index + 1) % size == 0:
+                    return f"packet {(index + 1) // size - 1} fed"
+                return None
+
+            yield from self.burst_write(
+                self.fifo, self.words, gaps, message_fn=message
+            )
+            self.mark_finished()
+            return
         for index, word in enumerate(self.words):
             yield from self.fifo.write(word)
             self.items_processed += 1
@@ -141,17 +159,38 @@ class StreamConsumer(WorkloadModule):
     """Decoupled thread draining one stream's egress Smart FIFO."""
 
     def __init__(self, parent, name, fifo, count: int, stream: int,
-                 config: NocStressConfig):
+                 config: NocStressConfig, burst: bool = False):
         super().__init__(parent, name, TimingMode.DECOUPLED)
         self.fifo = fifo
         self.count = count
         self.config = config
+        self.burst = burst
         self.rng = random.Random(config.seed * 49979687 + stream)
         self.values: List[int] = []
         self.create_thread(self.run)
 
     def run(self):
         size = self.config.packet_size
+        if self.burst:
+            gaps = [
+                self.rng.randint(1, self.config.max_consumer_gap_ns)
+                for _ in range(self.count)
+            ]
+
+            def message(index, word):
+                if (index + 1) % size == 0:
+                    return (
+                        f"packet {(index + 1) // size - 1} drained "
+                        f"(word {word})"
+                    )
+                return None
+
+            words = yield from self.burst_read(
+                self.fifo, self.count, gaps, message_fn=message
+            )
+            self.values.extend(words)
+            self.mark_finished()
+            return
         for index in range(self.count):
             value = yield from self.fifo.read()
             self.values.append(value)
@@ -171,10 +210,11 @@ class NocStressScenario:
     """Mesh of method routers under cross-traffic from every local port."""
 
     def __init__(self, sim: Simulator, config: NocStressConfig = None,
-                 sync_on_access: bool = False):
+                 sync_on_access: bool = False, burst: bool = False):
         self.sim = sim
         self.config = config or NocStressConfig()
         self.sync_on_access = sync_on_access
+        self.burst = burst
         cfg = self.config
 
         self.mesh = Mesh(
@@ -205,13 +245,14 @@ class NocStressScenario:
                 depth=cfg.fifo_depth,
                 packet_size=cfg.packet_size,
                 sync_on_access=sync_on_access,
+                burst=burst,
             )
             source_ni = self._source_ni_at(src)
             source_ni.add_stream(stream_id, ingress, dst, stream_id)
             self.producers.append(
                 StreamProducer(
                     sim, f"producer{stream}", ingress,
-                    cfg.stream_words(stream), stream, cfg,
+                    cfg.stream_words(stream), stream, cfg, burst=burst,
                 )
             )
 
@@ -221,13 +262,14 @@ class NocStressScenario:
                 depth=cfg.fifo_depth,
                 packet_size=cfg.packet_size,
                 sync_on_access=sync_on_access,
+                burst=burst,
             )
             dest_ni = self._dest_ni_at(dst)
             dest_ni.connect_egress(stream_id, egress)
             self.consumers.append(
                 StreamConsumer(
                     sim, f"consumer{stream}", egress,
-                    cfg.words_per_stream, stream, cfg,
+                    cfg.words_per_stream, stream, cfg, burst=burst,
                 )
             )
 

@@ -194,15 +194,24 @@ class StreamingConfig:
 class Source(WorkloadModule):
     """Produces ``n_blocks`` blocks of ``words_per_block`` increasing words."""
 
-    def __init__(self, parent, name, out_fifo, config: StreamingConfig, timing: TimingMode):
+    def __init__(self, parent, name, out_fifo, config: StreamingConfig, timing: TimingMode, burst: bool = False):
         super().__init__(parent, name, timing)
         self.out_fifo = out_fifo
         self.config = config
+        self.burst = burst
         self.create_thread(self.run)
 
     def run(self):
         word_time_ns = self.config.source_word_time.to(TimeUnit.NS)
         value = 0
+        if self.burst:
+            per_block = self.config.words_per_block
+            for _block in range(self.config.n_blocks):
+                block = list(range(value, value + per_block))
+                value += per_block
+                yield from self.burst_write(self.out_fifo, block, word_time_ns)
+            self.mark_finished()
+            return
         for _block in range(self.config.n_blocks):
             for _ in range(self.config.words_per_block):
                 yield from self.out_fifo.write(value)
@@ -239,15 +248,26 @@ class Transmitter(WorkloadModule):
 class Sink(WorkloadModule):
     """Consumes every word, keeping a checksum for functional validation."""
 
-    def __init__(self, parent, name, in_fifo, config: StreamingConfig, timing: TimingMode):
+    def __init__(self, parent, name, in_fifo, config: StreamingConfig, timing: TimingMode, burst: bool = False):
         super().__init__(parent, name, timing)
         self.in_fifo = in_fifo
         self.config = config
+        self.burst = burst
         self.checksum = 0
         self.create_thread(self.run)
 
     def run(self):
         word_time_ns = self.config.sink_word_time.to(TimeUnit.NS)
+        if self.burst:
+            chunk = self.config.words_per_block
+            remaining = self.config.total_words
+            while remaining:
+                count = min(chunk, remaining)
+                words = yield from self.burst_read(self.in_fifo, count, word_time_ns)
+                self.checksum = (self.checksum + sum(words)) % (1 << 32)
+                remaining -= count
+            self.mark_finished()
+            return
         for _ in range(self.config.total_words):
             word = yield from self.in_fifo.read()
             self.checksum = (self.checksum + word) % (1 << 32)
@@ -259,7 +279,13 @@ class Sink(WorkloadModule):
 class StreamingPipeline:
     """source -> fifo1 -> transmitter -> fifo2 -> sink, in a given model."""
 
-    def __init__(self, sim: Simulator, model: PipelineModel, config: Optional[StreamingConfig] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        model: PipelineModel,
+        config: Optional[StreamingConfig] = None,
+        burst: bool = False,
+    ):
         self.sim = sim
         self.model = model
         self.config = config or StreamingConfig()
@@ -279,11 +305,11 @@ class StreamingPipeline:
             else:
                 timing = TimingMode.TIMED_WAIT
 
-        self.source = Source(sim, "source", self.fifo1, self.config, timing)
+        self.source = Source(sim, "source", self.fifo1, self.config, timing, burst=burst)
         self.transmitter = Transmitter(
             sim, "transmitter", self.fifo1, self.fifo2, self.config, timing
         )
-        self.sink = Sink(sim, "sink", self.fifo2, self.config, timing)
+        self.sink = Sink(sim, "sink", self.fifo2, self.config, timing, burst=burst)
 
     def run(self) -> None:
         self.sim.run()

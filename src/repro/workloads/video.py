@@ -52,10 +52,11 @@ class VideoConfig:
 class BitstreamParser(WorkloadModule):
     """Produces macroblock tokens in bursts."""
 
-    def __init__(self, parent, name, out_fifo, config: VideoConfig, timing: TimingMode):
+    def __init__(self, parent, name, out_fifo, config: VideoConfig, timing: TimingMode, burst: bool = False):
         super().__init__(parent, name, timing)
         self.out_fifo = out_fifo
         self.config = config
+        self.burst = burst
         self.create_thread(self.run)
 
     def run(self):
@@ -63,6 +64,15 @@ class BitstreamParser(WorkloadModule):
         item_ns = cfg.parser_item_time.to(TimeUnit.NS)
         refill_ns = cfg.parser_refill_time.to(TimeUnit.NS)
         emitted = 0
+        if self.burst:
+            while emitted < cfg.total_items:
+                burst = min(cfg.parser_burst, cfg.total_items - emitted)
+                tokens = list(range(emitted, emitted + burst))
+                emitted += burst
+                yield from self.burst_write(self.out_fifo, tokens, item_ns)
+                yield from self.advance(refill_ns)
+            self.mark_finished()
+            return
         while emitted < cfg.total_items:
             burst = min(cfg.parser_burst, cfg.total_items - emitted)
             for _ in range(burst):
@@ -107,15 +117,31 @@ class ComputeStage(WorkloadModule):
 class Display(WorkloadModule):
     """Consumes macroblocks at a fixed rate; records per-item completion dates."""
 
-    def __init__(self, parent, name, in_fifo, config: VideoConfig, timing: TimingMode):
+    def __init__(self, parent, name, in_fifo, config: VideoConfig, timing: TimingMode, burst: bool = False):
         super().__init__(parent, name, timing)
         self.in_fifo = in_fifo
         self.config = config
+        self.burst = burst
         self.completion_dates: List[SimTime] = []
         self.create_thread(self.run)
 
     def run(self):
         item_ns = self.config.display_item_time.to(TimeUnit.NS)
+        if self.burst:
+            per_frame = self.config.macroblocks_per_frame
+            remaining = self.config.total_items
+            while remaining:
+                count = min(per_frame, remaining)
+                dates: List[int] = []
+                yield from self.burst_read(
+                    self.in_fifo, count, item_ns, dates_out=dates
+                )
+                self.completion_dates.extend(
+                    SimTime.from_femtoseconds(date) for date in dates
+                )
+                remaining -= count
+            self.mark_finished()
+            return
         for _ in range(self.config.total_items):
             token = yield from self.in_fifo.read()
             date = (
@@ -138,6 +164,7 @@ class VideoPipeline:
         sim: Simulator,
         decoupled: bool,
         config: Optional[VideoConfig] = None,
+        burst: bool = False,
     ):
         self.sim = sim
         self.config = config or VideoConfig()
@@ -152,7 +179,7 @@ class VideoPipeline:
 
         n_stages = len(cfg.stage_item_times)
         self.fifos = [make_fifo(f"fifo{i}") for i in range(n_stages + 1)]
-        self.parser = BitstreamParser(sim, "parser", self.fifos[0], cfg, timing)
+        self.parser = BitstreamParser(sim, "parser", self.fifos[0], cfg, timing, burst=burst)
         self.stages = [
             ComputeStage(
                 sim,
@@ -165,7 +192,7 @@ class VideoPipeline:
             )
             for i, item_time in enumerate(cfg.stage_item_times)
         ]
-        self.display = Display(sim, "display", self.fifos[-1], cfg, timing)
+        self.display = Display(sim, "display", self.fifos[-1], cfg, timing, burst=burst)
 
     def run(self) -> None:
         self.sim.run()

@@ -1,5 +1,7 @@
 """Unit tests for the timestamped cell ring (Section III internals)."""
 
+from array import array
+
 import pytest
 
 from repro.fifo.cells import Cell, CellRing, NEVER
@@ -65,6 +67,70 @@ class TestRingMechanics:
         ring.push("b", fs(40))
         assert cell.insertion_fs == fs(40)
         assert cell.freeing_fs == fs(25)
+
+
+class TestSpanMechanics:
+    """Bulk span transfers (burst path) and the CellView staleness guard."""
+
+    def test_push_span_pop_span_wraparound(self):
+        ring = CellRing(4)
+        # Rotate the head so the span has to wrap the buffer end.
+        ring.push("x", fs(1))
+        ring.push("y", fs(1))
+        assert ring.pop(fs(2)) == "x"
+        assert ring.pop(fs(2)) == "y"
+        ring.push_span(["a", "b", "c", "d"], array("q", [fs(3)] * 4))
+        assert ring.internally_full
+        assert list(ring.head_busy_insertion_span(4)) == [fs(3)] * 4
+        dates = array("q", [fs(4), fs(5), fs(6), fs(7)])
+        assert ring.pop_span(4, dates) == ["a", "b", "c", "d"]
+        assert ring.internally_empty
+        # Freeing dates landed on the popped slots, in pop order.
+        assert list(ring.head_free_freeing_span(4)) == [fs(4), fs(5), fs(6), fs(7)]
+
+    def test_span_overrun_raises(self):
+        ring = CellRing(2)
+        ring.push("a", 0)
+        with pytest.raises(FifoError):
+            ring.push_span(["b", "c"], array("q", [0, 0]))
+        with pytest.raises(FifoError):
+            ring.pop_span(2, array("q", [0, 0]))
+
+    def test_mutations_counted_per_span_not_per_word(self):
+        ring = CellRing(4)
+        ring.push("a", 0)
+        ring.pop(0)
+        assert ring.mutations == 0
+        ring.push_span([], array("q", []))
+        assert ring.mutations == 0
+        ring.push_span(["a", "b"], array("q", [0, 0]))
+        ring.pop_span(2, array("q", [0, 0]))
+        assert ring.mutations == 2
+
+    def test_views_go_stale_after_span_transfer(self):
+        ring = CellRing(4)
+        ring.push("a", fs(1))
+        view = ring.first_busy_cell()
+        assert view.data == "a"
+        ring.push_span(["b", "c"], array("q", [fs(2)] * 2))
+        for accessor in ("data", "busy", "insertion_fs", "freeing_fs"):
+            with pytest.raises(FifoError):
+                getattr(view, accessor)
+        with pytest.raises(FifoError):
+            view.really_busy_at(fs(1))
+        # A re-fetched view works again and sees the untouched slot.
+        assert ring.first_busy_cell().data == "a"
+
+    def test_word_push_pop_keep_views_fresh(self):
+        ring = CellRing(4)
+        ring.push("a", fs(1))
+        view = ring.first_busy_cell()
+        ring.push("b", fs(2))
+        ring.pop(fs(3))
+        # Word transfers never invalidate views; the view is live over the
+        # slot and reflects the pop.
+        assert view.busy is False
+        assert view.freeing_fs == fs(3)
 
 
 class TestMonitorInterpretation:

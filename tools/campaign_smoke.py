@@ -1,17 +1,20 @@
 #!/usr/bin/env python
 """Campaign shard/merge smoke gate (used by ``make campaign-smoke`` and CI).
 
-Runs a small campaign three ways and asserts the scale-out invariant:
+Runs a small campaign four ways and asserts the scale-out invariant:
 
 1. unsharded, inline (the reference fingerprint);
 2. shard 0/2 and shard 1/2, each across 2 worker processes, streaming
    their rows to JSONL files;
-3. the merge of the two JSONL files.
+3. the merge of the two JSONL files;
+4. unsharded again with ``burst=True`` (span FIFO transfers).
 
 The merged fingerprint must equal the unsharded one byte for byte — that
-is the property that makes multi-machine campaigns trustworthy.  The JSONL
-files are left on disk (default ``campaign-smoke/``) so CI can upload them
-as workflow artifacts.
+is the property that makes multi-machine campaigns trustworthy.  The burst
+fingerprint must equal the word-mode one byte for byte as well: burst
+transfers are a pure speed knob, never a semantic one.  The JSONL files
+are left on disk (default ``campaign-smoke/``) so CI can upload them as
+workflow artifacts.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from dataclasses import replace
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
@@ -107,6 +111,27 @@ def main(argv=None) -> int:
         f"[smoke] OK: {len(merged.runs)} runs + {len(merged.pairs)} pairs "
         f"merge byte-identically across 2 shards"
     )
+
+    print("[smoke] burst=True unsharded run (span FIFO transfers)...")
+    burst_specs = [
+        replace(spec, burst=True, params=dict(spec.params)) for spec in specs
+    ]
+    burst = CampaignRunner(workers=1).run(burst_specs)
+    print(f"[smoke] burst fingerprint:     {burst.fingerprint()}")
+    if burst.fingerprint() != reference.fingerprint():
+        print(
+            "FAIL: burst-mode fingerprint differs from the word-mode run "
+            "(burst transfers must be bit-exact)",
+            file=sys.stderr,
+        )
+        return 1
+    if not burst.all_pairs_equivalent:
+        print(
+            "FAIL: burst-mode campaign contains a non-equivalent pair",
+            file=sys.stderr,
+        )
+        return 1
+    print("[smoke] OK: burst=True reproduces the word-mode fingerprint")
     return 0
 
 

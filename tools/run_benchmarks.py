@@ -128,6 +128,16 @@ def main(argv=None) -> int:
         print(f"\ncomparison vs {os.path.basename(baseline_path)} "
               f"(label {baseline.get('label', '?')}):")
         print(format_comparison(rows))
+        compared = {row["metric"] for row in rows}
+        new_metrics = sorted(
+            name for name in document["metrics"] if name not in compared
+        )
+        for name in new_metrics:
+            print(
+                f"WARNING: metric {name} is not in the baseline "
+                f"({baseline.get('label', '?')}); skipping its comparison — "
+                "it will be gated starting from the next baseline"
+            )
         regressions = [
             row
             for row in rows
