@@ -70,11 +70,15 @@ from ..campaign import (
     CampaignResumeError,
     CampaignRunner,
     CostModel,
+    JsonlSink,
     RunBudget,
     default_campaign,
     describe_specs,
     merge_jsonl,
+    run_replay_sweep,
+    sweep_point_specs,
 )
+from ..replay import ReplayError
 from ..campaign.orchestrator import (
     Orchestrator,
     OrchestratorError,
@@ -161,6 +165,30 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--depths", type=_int_list, default=[1, 2, 4, 8, 16, 64])
     fig5.add_argument("--blocks", type=int, default=20)
     fig5.add_argument("--words", type=int, default=50)
+    fig5.add_argument(
+        "--replay",
+        action="store_true",
+        help="compute the sweep by record-and-replay: one simulation per "
+        "curve (smart and reference), every other depth replayed from its "
+        "dependency spool, with --validate sampled points re-simulated and "
+        "compared exactly (simulated observables only — no wall clock)",
+    )
+    fig5.add_argument(
+        "--anchor-depth",
+        type=_positive_int,
+        default=None,
+        metavar="DEPTH",
+        help="with --replay: the depth to simulate and record (default: "
+        "the middle of --depths)",
+    )
+    fig5.add_argument(
+        "--validate",
+        type=int,
+        default=2,
+        metavar="N",
+        help="with --replay: cross-validate N sampled replayed points "
+        "against fresh simulations (0 = trust the anchor self-check)",
+    )
     add_csv_flag(fig5)
 
     case = subparsers.add_parser("case-study", help="Section IV-C SoC case study")
@@ -298,6 +326,39 @@ def build_parser() -> argparse.ArgumentParser:
         "the campaign fingerprint is identical — a pure speed knob",
     )
     campaign.add_argument(
+        "--replay-sweep",
+        default=None,
+        metavar="SPEC",
+        help="record the named campaign spec once and price every "
+        "--sweep-depths / --sweep-quanta point by replaying its dependency "
+        "spool (rows tagged evaluator=replay; --validate points are "
+        "re-simulated and compared exactly)",
+    )
+    campaign.add_argument(
+        "--sweep-depths",
+        type=_int_list,
+        default=None,
+        metavar="D1,D2,...",
+        help="with --replay-sweep: the FIFO depths to evaluate",
+    )
+    campaign.add_argument(
+        "--sweep-quanta",
+        type=_int_list,
+        default=None,
+        metavar="Q1,Q2,...",
+        help="with --replay-sweep: global quanta (ns) to evaluate "
+        "(needs a timing=quantum anchor spec)",
+    )
+    campaign.add_argument(
+        "--validate",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --replay-sweep: cross-validate N sampled replayed "
+        "points against fresh simulations (0 = trust the anchor "
+        "self-check)",
+    )
+    campaign.add_argument(
         "--list", action="store_true", help="list the specs and exit"
     )
     add_csv_flag(campaign)
@@ -417,7 +478,21 @@ def run_fig2(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def run_fig5(args: argparse.Namespace) -> str:
+def run_fig5(args: argparse.Namespace):
+    if args.replay:
+        try:
+            result = experiments.fig5_replay_sweep(
+                depths=args.depths,
+                base_config=_streaming_config(args),
+                anchor_depth=args.anchor_depth,
+                validate=args.validate,
+            )
+        except ReplayError as exc:
+            raise SystemExit(f"fig5 --replay failed: {exc}")
+        if args.csv:
+            write_csv(result.rows(), args.csv)
+        output = "\n\n".join([result.table(), result.summary()])
+        return output, 0 if result.all_validated else 1
     rows = experiments.fig5_depth_sweep(
         depths=args.depths, base_config=_streaming_config(args)
     )
@@ -466,7 +541,90 @@ def _campaign_output(result) -> tuple:
     return (output, 0) if ok else (output, 1)
 
 
+def _run_replay_sweep(args: argparse.Namespace) -> tuple:
+    """The ``campaign --replay-sweep`` body: record once, replay the sweep."""
+    specs = default_campaign()
+    by_name = {spec.name: spec for spec in specs}
+    if args.replay_sweep not in by_name:
+        raise SystemExit(
+            f"unknown spec name: {args.replay_sweep}; "
+            f"known: {', '.join(sorted(by_name))}"
+        )
+    anchor = by_name[args.replay_sweep]
+    if args.burst:
+        anchor = replace(anchor, burst=True, params=dict(anchor.params))
+    depths = args.sweep_depths or []
+    quanta = args.sweep_quanta or []
+    if not depths and not quanta:
+        raise SystemExit(
+            "--replay-sweep needs --sweep-depths and/or --sweep-quanta"
+        )
+    try:
+        sweep = run_replay_sweep(
+            anchor,
+            depths=depths,
+            quanta_ns=quanta,
+            validate=args.validate,
+            trace_sink=args.trace_sink,
+        )
+    except ReplayError as exc:
+        raise SystemExit(f"replay sweep failed: {exc}")
+    if args.jsonl:
+        row_specs = [anchor] + sweep_point_specs(anchor, depths, quanta)
+        with open(args.jsonl, "w") as stream:
+            sink = JsonlSink(stream, row_specs, workers=1, paired=False)
+            for record in sweep.rows:
+                sink.run_completed(record)
+    rows = sweep.summary_rows()
+    if args.csv:
+        write_csv(rows, args.csv)
+    table = dict_rows_table(
+        rows,
+        ["name", "evaluator", "depth", "quantum_ns", "sim_end_fs",
+         "context_switches", "delta_cycles"],
+        title=f"Replay sweep — {anchor.name}",
+    )
+    replayed = sum(1 for r in sweep.rows if r.evaluator == "replay")
+    validated = sum(1 for v in sweep.validations if v.ok)
+    per_replay = sweep.replay_seconds / replayed if replayed else float("nan")
+    speedup = sweep.record_seconds / per_replay if replayed else float("nan")
+    summary = (
+        f"1 simulation + {replayed} replays; {sweep.points_per_s:.0f} "
+        f"points/s ({speedup:.0f}x per point vs simulate); validated "
+        f"{validated}/{len(sweep.validations)} sampled points exactly"
+    )
+    return "\n\n".join([table, summary]), 0 if sweep.all_validated else 1
+
+
 def run_campaign(args: argparse.Namespace) -> str:
+    if (args.sweep_depths or args.sweep_quanta) and not args.replay_sweep:
+        raise SystemExit(
+            "--sweep-depths/--sweep-quanta are only read by --replay-sweep"
+        )
+    if args.replay_sweep:
+        conflicting = [
+            flag for flag, active in (
+                ("--resume", args.resume),
+                ("--merge-jsonl", args.merge_jsonl is not None),
+                ("--shard", args.shard is not None),
+                ("--shard-by-cost", args.shard_by_cost is not None),
+                ("--record-costs", args.record_costs is not None),
+                ("--spec-timeout", args.spec_timeout is not None),
+                ("--campaign-budget", args.campaign_budget is not None),
+                ("--specs", args.specs is not None),
+                ("--workers", args.workers != 1),
+                ("--no-paired", args.no_paired),
+                ("--list", args.list),
+                ("--trace-out", args.trace_out is not None),
+            ) if active
+        ]
+        if conflicting:
+            raise SystemExit(
+                f"--replay-sweep records one spec and replays the sweep "
+                f"in-process; it cannot be combined with "
+                f"{', '.join(conflicting)}"
+            )
+        return _run_replay_sweep(args)
     if args.resume and not args.jsonl:
         raise SystemExit("--resume requires --jsonl (the file to resume from)")
     if args.trace_out and args.trace_sink != "spool":

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..campaign.evaluators import ReplaySweepResult, run_replay_sweep
+from ..campaign.spec import MODE_REFERENCE, MODE_SMART, ScenarioSpec
 from ..kernel.simtime import SimTime, TimeUnit, ns
 from ..kernel.simulator import Simulator
 from ..soc.platform import FifoPolicy, SocConfig, SocPlatform
@@ -198,6 +200,107 @@ def fig5_speedup_table(rows: Sequence[Dict[str, object]]) -> str:
         table_rows,
         title="Fig. 5 — derived ratios",
     )
+
+
+# ---------------------------------------------------------------------------
+# EXP-FIG5-REPLAY — the same sweep from one simulation per curve
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig5ReplayResult:
+    """Fig. 5 depth curves computed by record-and-replay.
+
+    One full simulation per mode (the recording anchor); every other depth
+    is priced by :class:`~repro.replay.ReplayEngine` replaying the anchor's
+    dependency spool, with a sampled subset cross-validated against fresh
+    simulations.  Wall-clock columns are absent by design — replay
+    reproduces the *simulated* observables (end dates, context switches,
+    delta cycles), which are the machine-independent Fig. 5 companions.
+    """
+
+    sweeps: Dict[str, ReplaySweepResult]
+
+    @property
+    def all_validated(self) -> bool:
+        return all(sweep.all_validated for sweep in self.sweeps.values())
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for mode, sweep in self.sweeps.items():
+            for record in sorted(sweep.rows, key=lambda r: r.depth):
+                rows.append(
+                    {
+                        "depth": record.depth,
+                        "mode": mode,
+                        "evaluator": record.evaluator,
+                        "sim_end_ns": record.sim_end_fs / 1e6,
+                        "context_switches": record.context_switches,
+                        "delta_cycles": record.delta_cycles,
+                    }
+                )
+        return rows
+
+    def table(self) -> str:
+        return dict_rows_table(
+            self.rows(),
+            ["depth", "mode", "evaluator", "sim_end_ns", "context_switches",
+             "delta_cycles"],
+            title="Fig. 5 (replay) — simulated duration vs FIFO depth",
+        )
+
+    def summary(self) -> str:
+        lines = []
+        for mode, sweep in self.sweeps.items():
+            replayed = sum(1 for r in sweep.rows if r.evaluator == "replay")
+            validated = sum(1 for v in sweep.validations if v.ok)
+            per_replay = (
+                sweep.replay_seconds / replayed if replayed else float("nan")
+            )
+            speedup = (
+                sweep.record_seconds / per_replay if replayed else float("nan")
+            )
+            lines.append(
+                f"{mode}: 1 simulation + {replayed} replays "
+                f"({sweep.points_per_s:.0f} points/s, {speedup:.0f}x per "
+                f"point vs simulate); validated {validated}/"
+                f"{len(sweep.validations)} sampled points exactly"
+            )
+        return "\n".join(lines)
+
+
+def fig5_replay_sweep(
+    depths: Sequence[int] = DEFAULT_FIG5_DEPTHS,
+    base_config: Optional[StreamingConfig] = None,
+    anchor_depth: Optional[int] = None,
+    validate: int = 2,
+    modes: Sequence[str] = (MODE_SMART, MODE_REFERENCE),
+) -> Fig5ReplayResult:
+    """Reproduce the Fig. 5 depth sweep with one simulation per curve.
+
+    Records the streaming pipeline once per mode at ``anchor_depth``
+    (default: the middle of ``depths``) and replays the recording at every
+    other depth; ``validate`` sampled points per curve are re-simulated and
+    compared exactly (see
+    :func:`repro.campaign.evaluators.run_replay_sweep`).
+    """
+    base = base_config or StreamingConfig()
+    if anchor_depth is None:
+        anchor_depth = sorted(depths)[len(depths) // 2]
+    sweeps: Dict[str, ReplaySweepResult] = {}
+    for mode in modes:
+        anchor = ScenarioSpec(
+            name=f"fig5_replay_{mode}",
+            workload="streaming",
+            mode=mode,
+            depth=anchor_depth,
+            params={
+                "n_blocks": base.n_blocks,
+                "words_per_block": base.words_per_block,
+            },
+        )
+        sweeps[mode] = run_replay_sweep(
+            anchor, depths=depths, validate=validate
+        )
+    return Fig5ReplayResult(sweeps=sweeps)
 
 
 # ---------------------------------------------------------------------------

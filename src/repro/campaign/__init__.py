@@ -34,6 +34,17 @@ Entry points: ``python -m repro.analysis.cli campaign --workers 4`` and the
 ``campaign.*`` metric of ``benchmarks/bench_harness.py``.
 """
 
+from .evaluators import (
+    Evaluator,
+    ReplayEvaluator,
+    ReplaySweepResult,
+    SimulateEvaluator,
+    ValidationRecord,
+    compare_replay_to_spool,
+    record_spool,
+    run_replay_sweep,
+    sweep_point_specs,
+)
 from .orchestrator.budget import RunBudget, TimeoutRecord
 from .orchestrator.costs import CostModel
 from .runner import (
@@ -75,7 +86,16 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "CostModel",
+    "Evaluator",
     "JsonlSink",
+    "ReplayEvaluator",
+    "ReplaySweepResult",
+    "SimulateEvaluator",
+    "ValidationRecord",
+    "compare_replay_to_spool",
+    "record_spool",
+    "run_replay_sweep",
+    "sweep_point_specs",
     "RunBudget",
     "TimeoutRecord",
     "MODE_REFERENCE",

@@ -1,0 +1,404 @@
+"""The evaluator seam: one interface, two ways to price a sweep point.
+
+A campaign sweep evaluates the same workload at many (depth, quantum)
+points.  Historically every point was a full scheduler run; the paper's
+observables, however, are completely determined by the *dependency
+structure* of the anchor run — each FIFO access's producer date and the
+local-time gaps between accesses — which Smart-FIFO temporal decoupling
+keeps invariant across depth and quantum.  This module exploits that:
+
+* :class:`SimulateEvaluator` — the historical path, one
+  :func:`~repro.campaign.runner.execute_spec` per point.
+* :class:`ReplayEvaluator` — records the anchor point **once** with a
+  :class:`~repro.kernel.tracing.DependencyRecorder`, self-checks the
+  recording bit-for-bit against the anchor, then prices every other
+  point by replaying the recorded programs on
+  :class:`~repro.replay.ReplayEngine` — no scheduler, no generators, no
+  scenario rebuild.
+
+Both produce :class:`~repro.campaign.runner.SpecRunRecord` rows in the
+same JSONL schema; replayed rows are tagged ``"evaluator": "replay"``
+(simulated rows omit the key, so pre-replay files are byte-identical).
+:func:`run_replay_sweep` is the one-simulation-per-sweep driver: anchor
+simulation + N replays + fresh-simulation cross-validation of a sampled
+subset.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..kernel.simulator import Simulator
+from ..kernel.tracing import (
+    DependencyRecorder,
+    DependencySpool,
+    make_sink,
+    trace_lines_digest,
+)
+from ..replay import ReplayEngine, ReplayError, ReplayResult
+from .runner import DEFAULT_TRACE_SINK, SpecRunRecord, _record_from, execute_spec
+from .scenarios import build_scenario
+from .spec import ScenarioSpec
+
+#: Digest of a trace with no lines — replay runs no trace statements, so
+#: its rows carry the digest a ``null``-sink simulation would report.
+EMPTY_TRACE_DIGEST = trace_lines_digest([])
+
+#: Femtoseconds per nanosecond (spec quanta are in ns, spools in fs).
+_FS_PER_NS = 1_000_000
+
+
+def record_spool(
+    spec: ScenarioSpec, trace_sink: str = DEFAULT_TRACE_SINK
+) -> Tuple[DependencySpool, SpecRunRecord]:
+    """Run ``spec`` once with a dependency recorder attached.
+
+    Returns ``(spool, record)``: the finalized
+    :class:`~repro.kernel.tracing.DependencySpool` and the anchor's
+    :class:`~repro.campaign.runner.SpecRunRecord` — the same numbers
+    :func:`~repro.campaign.runner.execute_spec` would report (recording
+    only observes; it never changes scheduling).
+    """
+    sim = Simulator(f"record_{spec.label}", trace_sink=make_sink(trace_sink))
+    sim.dep_recorder = DependencyRecorder(sim)
+    built = build_scenario(sim, spec)
+    start = time.perf_counter()
+    built.scenario.run()
+    wall = time.perf_counter() - start
+    if built.verify is not None:
+        built.verify()
+    spool = sim.dep_recorder.finalize()
+    record = _record_from(spec, sim, built, wall)
+    sim.trace.close()
+    return spool, record
+
+
+def replay_record(
+    spec: ScenarioSpec, result: ReplayResult, wall: float
+) -> SpecRunRecord:
+    """Shape one :class:`~repro.replay.ReplayResult` as a campaign row.
+
+    Replay runs neither trace statements nor method processes, so
+    ``trace_lines`` is 0, ``trace_digest`` is the empty digest and
+    ``method_invocations`` is 0 by construction; workload-specific extras
+    (checksums, receive logs) cannot be recomputed without data values, so
+    ``extra`` carries the replay-native observables instead.
+    """
+    return SpecRunRecord(
+        name=spec.name,
+        workload=spec.workload,
+        mode=spec.mode,
+        depth=spec.depth,
+        quantum_ns=spec.quantum_ns,
+        seed=spec.seed,
+        timing=spec.timing,
+        sim_end_fs=result.sim_end_fs,
+        context_switches=result.context_switches,
+        method_invocations=result.method_invocations,
+        delta_cycles=result.delta_cycles,
+        trace_lines=0,
+        trace_digest=EMPTY_TRACE_DIGEST,
+        extra={
+            "blocking_waits": result.blocking_waits,
+            "timed_phases": result.timed_phases,
+            "all_terminated": result.all_terminated,
+        },
+        evaluator="replay",
+        wall_seconds=wall,
+        worker_pid=os.getpid(),
+    )
+
+
+class Evaluator:
+    """Prices one sweep point as a :class:`SpecRunRecord`."""
+
+    kind = "abstract"
+
+    def evaluate(self, spec: ScenarioSpec) -> SpecRunRecord:
+        raise NotImplementedError
+
+
+class SimulateEvaluator(Evaluator):
+    """The historical evaluator: a full scheduler run per point."""
+
+    kind = "simulate"
+
+    def __init__(self, trace_sink: str = DEFAULT_TRACE_SINK):
+        self.trace_sink = trace_sink
+
+    def evaluate(self, spec: ScenarioSpec) -> SpecRunRecord:
+        return execute_spec(spec, self.trace_sink)
+
+
+class ReplayEvaluator(Evaluator):
+    """Replays one recorded anchor at arbitrary depth/quantum points.
+
+    Construction records the anchor (or adopts a caller-provided spool),
+    then runs the engine's self-check so a recording that cannot
+    reproduce its own simulation is rejected up front
+    (:class:`~repro.replay.ReplayMismatch`).  Workloads whose behaviour
+    depends on state the recorder cannot see (occupancy probes, method
+    processes, arbiters) poison their spool and raise
+    :class:`~repro.replay.ReplayError` here instead of silently
+    producing wrong sweeps.
+    """
+
+    kind = "replay"
+
+    def __init__(
+        self,
+        anchor: ScenarioSpec,
+        spool: Optional[DependencySpool] = None,
+        trace_sink: str = DEFAULT_TRACE_SINK,
+    ):
+        self.anchor = anchor
+        if spool is None:
+            spool, self.anchor_record = record_spool(anchor, trace_sink)
+        else:
+            self.anchor_record = None
+        self.spool = spool
+        self.engine = ReplayEngine(spool)
+        self.engine.self_check()
+
+    def _check_point(self, spec: ScenarioSpec) -> None:
+        anchor = self.anchor
+        fixed = ("workload", "mode", "seed", "timing", "burst")
+        for key in fixed:
+            if getattr(spec, key) != getattr(anchor, key):
+                raise ReplayError(
+                    f"replay point {spec.label} changes {key!r} "
+                    f"({getattr(spec, key)!r} != {getattr(anchor, key)!r}); "
+                    "only depth and quantum can vary under one recording"
+                )
+        if spec.params != anchor.params:
+            raise ReplayError(
+                f"replay point {spec.label} changes params; "
+                "only depth and quantum can vary under one recording"
+            )
+
+    def replay_point(self, spec: ScenarioSpec) -> ReplayResult:
+        """Raw :class:`~repro.replay.ReplayResult` for one sweep point."""
+        self._check_point(spec)
+        quantum_fs = (
+            None if spec.quantum_ns is None else spec.quantum_ns * _FS_PER_NS
+        )
+        return self.engine.replay(
+            depths=self.engine.retarget_depths(self.anchor.depth, spec.depth),
+            quantum_fs=quantum_fs,
+        )
+
+    def evaluate(self, spec: ScenarioSpec) -> SpecRunRecord:
+        start = time.perf_counter()
+        result = self.replay_point(spec)
+        return replay_record(spec, result, time.perf_counter() - start)
+
+
+# ---------------------------------------------------------------------------
+# Sweep driver: 1 simulation + N replays (+ sampled cross-validation)
+# ---------------------------------------------------------------------------
+def sweep_point_specs(
+    anchor: ScenarioSpec,
+    depths: Sequence[int] = (),
+    quanta_ns: Sequence[int] = (),
+) -> List[ScenarioSpec]:
+    """The non-anchor point specs of a sweep, in deterministic order.
+
+    Depth points are named ``{anchor}_d{depth}``, quantum points
+    ``{anchor}_q{ns}ns``; the anchor's own depth/quantum is skipped (its
+    row comes from the recording simulation itself).
+    """
+    points: List[ScenarioSpec] = []
+    for depth in depths:
+        if depth == anchor.depth:
+            continue
+        points.append(
+            replace(
+                anchor,
+                name=f"{anchor.name}_d{depth}",
+                depth=depth,
+                params=dict(anchor.params),
+            )
+        )
+    for quantum_ns in quanta_ns:
+        if anchor.timing != "quantum":
+            raise ReplayError(
+                f"quantum sweep points need a timing='quantum' anchor, "
+                f"got {anchor.timing!r}"
+            )
+        if quantum_ns == anchor.quantum_ns:
+            continue
+        points.append(
+            replace(
+                anchor,
+                name=f"{anchor.name}_q{quantum_ns}ns",
+                quantum_ns=quantum_ns,
+                params=dict(anchor.params),
+            )
+        )
+    return points
+
+
+def compare_replay_to_spool(
+    replayed: ReplayResult,
+    fresh: DependencySpool,
+    fresh_result: Optional[ReplayResult] = None,
+) -> List[str]:
+    """Differences between a replayed point and a fresh recorded run.
+
+    Compares the end date, kernel counters, per-FIFO totals and blocking
+    waits, the final per-process local dates (in registration order —
+    pids are numbered globally, so keys differ across runs) and, when
+    ``fresh_result`` is given, every per-word completion date.
+    """
+    diffs: List[str] = []
+    if replayed.sim_end_fs != fresh.sim_end_fs:
+        diffs.append(
+            f"sim_end_fs: replay {replayed.sim_end_fs} != "
+            f"fresh {fresh.sim_end_fs}"
+        )
+    for key in ("thread_activations", "delta_cycles", "timed_phases"):
+        mine, theirs = getattr(replayed, key), fresh.stats[key]
+        if mine != theirs:
+            diffs.append(f"{key}: replay {mine} != fresh {theirs}")
+    for meta, mine in zip(fresh.fifos, replayed.fifo_stats):
+        for key in ("total_written", "total_read", "blocking_waits"):
+            if meta[key] != mine[key]:
+                diffs.append(
+                    f"{meta['name']}.{key}: replay {mine[key]} != "
+                    f"fresh {meta[key]}"
+                )
+    if list(replayed.process_local_fs.values()) != list(
+        fresh.process_local_fs.values()
+    ):
+        diffs.append("final process local times differ")
+    if fresh_result is not None and replayed.fifo_dates != fresh_result.fifo_dates:
+        diffs.append("per-word completion dates differ")
+    return diffs
+
+
+@dataclass
+class ValidationRecord:
+    """Outcome of cross-validating one replayed point."""
+
+    name: str
+    ok: bool
+    diffs: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ReplaySweepResult:
+    """Everything :func:`run_replay_sweep` produces."""
+
+    anchor: SpecRunRecord
+    rows: List[SpecRunRecord]
+    validations: List[ValidationRecord]
+    record_seconds: float
+    replay_seconds: float
+    validate_seconds: float
+
+    @property
+    def all_validated(self) -> bool:
+        return all(v.ok for v in self.validations)
+
+    @property
+    def points_per_s(self) -> float:
+        replayed = sum(1 for r in self.rows if r.evaluator == "replay")
+        if self.replay_seconds <= 0.0:
+            return float("inf") if replayed else 0.0
+        return replayed / self.replay_seconds
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Compact table rows (anchor first) for reporting."""
+        return [
+            {
+                "name": record.name,
+                "evaluator": record.evaluator,
+                "depth": record.depth,
+                "quantum_ns": record.quantum_ns,
+                "sim_end_fs": record.sim_end_fs,
+                "context_switches": record.context_switches,
+                "delta_cycles": record.delta_cycles,
+            }
+            for record in self.rows
+        ]
+
+
+def _validation_sample(count: int, validate: int) -> List[int]:
+    """Indices of the points to cross-validate: evenly spaced, ends first.
+
+    Deterministic by construction — sampling randomness would make sweep
+    fingerprints irreproducible.
+    """
+    if validate <= 0 or count == 0:
+        return []
+    if validate >= count:
+        return list(range(count))
+    step = count / validate
+    picked = sorted({min(count - 1, int(i * step)) for i in range(validate)})
+    return picked
+
+
+def run_replay_sweep(
+    anchor: ScenarioSpec,
+    depths: Sequence[int] = (),
+    quanta_ns: Sequence[int] = (),
+    validate: int = 1,
+    trace_sink: str = DEFAULT_TRACE_SINK,
+) -> ReplaySweepResult:
+    """One simulation per sweep: record the anchor, replay every point.
+
+    ``validate`` picks that many replayed points (evenly spaced across the
+    sweep) to re-run as *fresh recorded simulations* and compare against
+    the replay — end dates, counters, per-word completion dates, final
+    local times.  Any difference raises :class:`~repro.replay.ReplayError`
+    with the full diff; a sweep that validates is exact on the sampled
+    subset by checking, and exact everywhere by the engine's construction.
+    """
+    start = time.perf_counter()
+    evaluator = ReplayEvaluator(anchor, trace_sink=trace_sink)
+    record_seconds = time.perf_counter() - start
+    anchor_record = evaluator.anchor_record
+    assert anchor_record is not None
+
+    points = sweep_point_specs(anchor, depths, quanta_ns)
+    rows: List[SpecRunRecord] = [anchor_record]
+    results: List[ReplayResult] = []
+    start = time.perf_counter()
+    for point in points:
+        t0 = time.perf_counter()
+        result = evaluator.replay_point(point)
+        rows.append(replay_record(point, result, time.perf_counter() - t0))
+        results.append(result)
+    replay_seconds = time.perf_counter() - start
+
+    validations: List[ValidationRecord] = []
+    start = time.perf_counter()
+    for index in _validation_sample(len(points), validate):
+        point = points[index]
+        fresh_spool, _ = record_spool(point, trace_sink)
+        if fresh_spool.poison is not None:
+            raise ReplayError(
+                f"validation run for {point.label} is not recordable: "
+                f"{fresh_spool.poison}"
+            )
+        fresh_result = ReplayEngine(fresh_spool).self_check()
+        diffs = compare_replay_to_spool(results[index], fresh_spool, fresh_result)
+        validations.append(ValidationRecord(point.name, not diffs, diffs))
+        if diffs:
+            raise ReplayError(
+                f"replayed point {point.label} diverges from a fresh "
+                f"simulation: " + "; ".join(diffs[:6])
+            )
+    validate_seconds = time.perf_counter() - start
+
+    return ReplaySweepResult(
+        anchor=anchor_record,
+        rows=rows,
+        validations=validations,
+        record_seconds=record_seconds,
+        replay_seconds=replay_seconds,
+        validate_seconds=validate_seconds,
+    )

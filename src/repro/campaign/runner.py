@@ -112,13 +112,18 @@ class SpecRunRecord:
     trace_lines: int
     trace_digest: str
     extra: Dict[str, object] = field(default_factory=dict)
+    #: How the numbers were obtained: ``"simulate"`` (a full scheduler run)
+    #: or ``"replay"`` (recomputed from a recorded dependency spool by
+    #: :class:`repro.replay.ReplayEngine`).  Excluded from the row when it
+    #: is the default so pre-replay JSONL files stay byte-identical.
+    evaluator: str = "simulate"
     #: Wall-clock and process provenance: informative only, excluded from
     #: the deterministic aggregation.
     wall_seconds: float = 0.0
     worker_pid: int = 0
 
     def deterministic_row(self) -> Dict[str, object]:
-        return {
+        row = {
             "name": self.name,
             "workload": self.workload,
             "mode": self.mode,
@@ -134,15 +139,20 @@ class SpecRunRecord:
             "trace_digest": self.trace_digest,
             "extra": self.extra,
         }
+        if self.evaluator != "simulate":
+            row["evaluator"] = self.evaluator
+        return row
 
     @classmethod
     def from_row(cls, row: Dict[str, object]) -> "SpecRunRecord":
         """Rebuild a record from a persisted deterministic row."""
-        return cls(**{key: row[key] for key in (
+        record = cls(**{key: row[key] for key in (
             "name", "workload", "mode", "depth", "quantum_ns", "seed",
             "timing", "sim_end_fs", "context_switches", "method_invocations",
             "delta_cycles", "trace_lines", "trace_digest", "extra",
         )})
+        record.evaluator = str(row.get("evaluator", "simulate"))
+        return record
 
 
 @dataclass

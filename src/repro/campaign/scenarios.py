@@ -278,7 +278,8 @@ def build_fault_drop(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
     _reject_timing_override(spec)
     config = _config_from_spec(FaultDropConfig, spec)
     scenario = FaultDropScenario(
-        sim, decoupled=spec.mode == MODE_SMART, config=config
+        sim, decoupled=spec.mode == MODE_SMART, config=config,
+        burst=spec.burst,
     )
     return BuiltScenario(
         scenario=scenario,
@@ -325,7 +326,8 @@ def build_packet_stream(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
     _reject_timing_override(spec)
     config = _config_from_spec(PacketStreamConfig, spec)
     scenario = PacketStreamScenario(
-        sim, config, sync_on_access=spec.mode != MODE_SMART
+        sim, config, sync_on_access=spec.mode != MODE_SMART,
+        burst=spec.burst,
     )
     return BuiltScenario(
         scenario=scenario,
@@ -347,7 +349,8 @@ def build_mixed(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
     _reject_timing_override(spec)
     config = _config_from_spec(MixedTopologyConfig, spec)
     scenario = MixedTopologyScenario(
-        sim, decoupled=spec.mode == MODE_SMART, config=config
+        sim, decoupled=spec.mode == MODE_SMART, config=config,
+        burst=spec.burst,
     )
     return BuiltScenario(
         scenario=scenario,

@@ -27,6 +27,7 @@ from ..kernel.module import Module
 from ..kernel.process import WaitEvent
 from ..kernel.simtime import ZERO_TIME
 from ..kernel.simulator import Simulator
+from ..kernel.tracing import DEP_REG_READ, DEP_REG_WRITE
 from .interfaces import FifoInterface, _require_plain_burst
 
 
@@ -44,6 +45,17 @@ class RegularFifo(Module, FifoInterface):
         #: Counters mirrored by the Smart FIFO, used by tests and benchmarks.
         self.total_written = 0
         self.total_read = 0
+        # Dependency recording (record-and-replay): picked up from the
+        # simulator at construction time, None on the normal hot path.
+        recorder = self.sim.dep_recorder
+        if recorder is not None:
+            self._dep = recorder
+            self._dep_idx = recorder.register_fifo(
+                self, kind="regular", depth=depth
+            )
+        else:
+            self._dep = None
+            self._dep_idx = -1
 
     # ------------------------------------------------------------------
     # Monitor interface
@@ -83,8 +95,14 @@ class RegularFifo(Module, FifoInterface):
         while self.is_full():
             yield WaitEvent(self._data_read_event)
         self._push(data)
+        if self._dep is not None:
+            self._dep.regular(
+                DEP_REG_WRITE, self._dep_idx, self.sim.scheduler.now_fs
+            )
 
     def nb_write(self, data: Any) -> bool:
+        if self._dep is not None:
+            self._dep.poison(f"nb_write on recorded FIFO {self.full_name}")
         if self.is_full():
             return False
         self._push(data)
@@ -101,6 +119,8 @@ class RegularFifo(Module, FifoInterface):
         has no local dates, so only plain (gap-free) bursts are accepted.
         """
         _require_plain_burst(gap_fs, dates_out)
+        if self._dep is not None:
+            self._dep.poison(f"write_burst on recorded FIFO {self.full_name}")
         items = self._items
         index, n = 0, len(words)
         while index < n:
@@ -114,6 +134,8 @@ class RegularFifo(Module, FifoInterface):
 
     def nb_write_burst(self, words: Sequence[Any]) -> int:
         """Native non-blocking burst write (one notification per call)."""
+        if self._dep is not None:
+            self._dep.poison(f"nb_write_burst on recorded FIFO {self.full_name}")
         chunk = min(self._depth - len(self._items), len(words))
         if chunk:
             self._items.extend(words[:chunk] if chunk < len(words) else words)
@@ -140,15 +162,24 @@ class RegularFifo(Module, FifoInterface):
         """Blocking read: waits (suspends the thread) while the FIFO is empty."""
         while self.is_empty():
             yield WaitEvent(self._data_written_event)
-        return self._pop()
+        data = self._pop()
+        if self._dep is not None:
+            self._dep.regular(
+                DEP_REG_READ, self._dep_idx, self.sim.scheduler.now_fs
+            )
+        return data
 
     def nb_read(self):
+        if self._dep is not None:
+            self._dep.poison(f"nb_read on recorded FIFO {self.full_name}")
         if self.is_empty():
             raise FifoError(f"nb_read on empty FIFO {self.full_name}")
         return self._pop()
 
     def peek(self):
         """Return the head item without removing it (raises when empty)."""
+        if self._dep is not None:
+            self._dep.poison(f"peek on recorded FIFO {self.full_name}")
         if self.is_empty():
             raise FifoError(f"peek on empty FIFO {self.full_name}")
         return self._items[0]
@@ -158,6 +189,8 @@ class RegularFifo(Module, FifoInterface):
         notification per span (see :meth:`write_burst` for why that is
         bit-exact with the word loop)."""
         _require_plain_burst(gap_fs, dates_out)
+        if self._dep is not None:
+            self._dep.poison(f"read_burst on recorded FIFO {self.full_name}")
         items = self._items
         words: List[Any] = []
         while len(words) < count:
@@ -172,6 +205,8 @@ class RegularFifo(Module, FifoInterface):
 
     def nb_read_burst(self, count: int) -> List[Any]:
         """Native non-blocking burst read (one notification per call)."""
+        if self._dep is not None:
+            self._dep.poison(f"nb_read_burst on recorded FIFO {self.full_name}")
         items = self._items
         chunk = min(len(items), count)
         if chunk <= 0:

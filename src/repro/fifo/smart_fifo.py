@@ -38,6 +38,12 @@ from typing import Any, List, Optional, Sequence, Union
 
 from ..kernel.errors import FifoError, TimingError
 from ..kernel.event import Event
+from ..kernel.tracing import (
+    DEP_SMART_READ,
+    DEP_SMART_WRITE,
+    DEP_SPAN_READ,
+    DEP_SPAN_WRITE,
+)
 from ..kernel.module import Module
 from ..kernel.process import Process, WaitEvent
 from ..kernel.simtime import SimTime
@@ -115,6 +121,24 @@ class SmartFifo(Module, FifoInterface):
         #: (i.e. context switches caused by this FIFO).
         self.blocking_waits = 0
 
+        # Dependency recording (record-and-replay): picked up from the
+        # simulator at construction time, None on the normal hot path.
+        recorder = self.sim.dep_recorder
+        if recorder is not None:
+            self._dep = recorder
+            self._dep_idx = recorder.register_fifo(
+                self, kind="smart", depth=depth, sync_on_access=sync_on_access
+            )
+            if always_notify_external:
+                # Replay drops external (delayed) notifications entirely,
+                # which is only exact when they are never scheduled.
+                recorder.poison(
+                    f"always_notify_external Smart FIFO {self.full_name}"
+                )
+        else:
+            self._dep = None
+            self._dep_idx = -1
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
@@ -170,6 +194,8 @@ class SmartFifo(Module, FifoInterface):
     def get_size(self):
         """Blocking size query: synchronize the caller, then count the cells
         that are *really* busy at the (now synchronized) caller's date."""
+        if self._dep is not None:
+            self._dep.poison(f"get_size on recorded Smart FIFO {self.full_name}")
         yield from sync(sim=self.sim)
         return self._cells.real_size_at(self.sim.now_fs)
 
@@ -189,6 +215,8 @@ class SmartFifo(Module, FifoInterface):
         processes (which cannot synchronize) and from decoupled threads that
         only need an estimate consistent with their own local date.
         """
+        if self._dep is not None:
+            self._dep.poison(f"peek_size on recorded Smart FIFO {self.full_name}")
         return self._cells.real_size_at(self._caller_date_fs())
 
     @property
@@ -214,6 +242,8 @@ class SmartFifo(Module, FifoInterface):
         ``if fifo.is_full(): next_trigger(fifo.not_full_event); return``
         cannot miss the wake-up.
         """
+        if self._dep is not None:
+            self._dep.poison(f"is_full on recorded Smart FIFO {self.full_name}")
         cells = self._cells
         if cells.busy_count == cells.depth:
             return True
@@ -251,6 +281,8 @@ class SmartFifo(Module, FifoInterface):
             finally:
                 self._blocked_writers -= 1
         self._do_write(self._scheduler.current_process, self._manager, data)
+        if self._dep is not None:
+            self._dep.word(DEP_SMART_WRITE, self._dep_idx, self._last_write_fs)
 
     def wait_writable(self):
         """Block (sync + wait) until the FIFO is not *internally* full.
@@ -265,6 +297,10 @@ class SmartFifo(Module, FifoInterface):
         generator of the whole model and must not pay for an extra
         delegation frame.)
         """
+        if self._dep is not None:
+            self._dep.poison(
+                f"wait_writable on recorded Smart FIFO {self.full_name}"
+            )
         cells = self._cells
         depth = cells.depth
         while cells.busy_count == depth:
@@ -283,6 +319,8 @@ class SmartFifo(Module, FifoInterface):
         Returns False without writing when the FIFO is externally full at
         the caller's date (guard with :meth:`is_full`).
         """
+        if self._dep is not None:
+            self._dep.poison(f"nb_write on recorded Smart FIFO {self.full_name}")
         cells = self._cells
         if cells.busy_count == cells.depth:
             return False
@@ -427,16 +465,22 @@ class SmartFifo(Module, FifoInterface):
             # Reference flavour: the word loop, one sync per access.
             manager = self._manager
             scheduler = self._scheduler
+            dep = self._dep
             for index in range(n):
                 yield from self.write(words[index])
                 if dates_out is not None:
                     dates_out.append(self._last_write_fs)
                 process = scheduler.current_process
                 if process is not None:
-                    manager.advance_fs(
-                        process, gap_fs if gaps is None else gaps[index]
-                    )
+                    gap = gap_fs if gaps is None else gaps[index]
+                    manager.advance_fs(process, gap)
+                    if dep is not None:
+                        dep.inc(gap)
             return
+        dep = self._dep
+        if dep is not None and dates_out is None:
+            dates_out = []
+        dep_start = len(dates_out) if dep is not None else 0
         cells = self._cells
         depth = cells.depth
         written = 0
@@ -452,6 +496,9 @@ class SmartFifo(Module, FifoInterface):
                     self._blocked_writers -= 1
             written += self._write_span(words, written, n, gap_fs, gaps,
                                         dates_out)
+        if dep is not None:
+            dep.span(DEP_SPAN_WRITE, self._dep_idx, n, gap_fs, gaps,
+                     dates_out[dep_start:])
 
     def _write_span(self, words: Sequence[Any], start: int, n: int,
                     gap_fs: int, gaps: Optional[List[int]],
@@ -540,6 +587,10 @@ class SmartFifo(Module, FifoInterface):
         """Non-blocking burst write: bit-exact with repeated
         :meth:`nb_write` (store a leading run, arm ``not_full`` at the
         head freeing date when refusing early)."""
+        if self._dep is not None:
+            self._dep.poison(
+                f"nb_write_burst on recorded Smart FIFO {self.full_name}"
+            )
         n = len(words)
         if n == 0:
             return 0
@@ -589,6 +640,8 @@ class SmartFifo(Module, FifoInterface):
         first busy cell is in the caller's future.  In the latter case the
         external ``not_empty_event`` is (re)armed at that insertion date.
         """
+        if self._dep is not None:
+            self._dep.poison(f"is_empty on recorded Smart FIFO {self.full_name}")
         cells = self._cells
         if cells.busy_count == 0:
             return True
@@ -618,7 +671,10 @@ class SmartFifo(Module, FifoInterface):
                     yield WaitEvent(self._cell_filled)
             finally:
                 self._blocked_readers -= 1
-        return self._do_read(self._scheduler.current_process, self._manager)
+        data = self._do_read(self._scheduler.current_process, self._manager)
+        if self._dep is not None:
+            self._dep.word(DEP_SMART_READ, self._dep_idx, self._last_read_fs)
+        return data
 
     def wait_readable(self):
         """Block (sync + wait) until the FIFO is not *internally* empty.
@@ -626,6 +682,10 @@ class SmartFifo(Module, FifoInterface):
         Mirror of the blocking loop at the head of :meth:`read`; see
         :meth:`wait_writable` for why arbiters need it.
         """
+        if self._dep is not None:
+            self._dep.poison(
+                f"wait_readable on recorded Smart FIFO {self.full_name}"
+            )
         cells = self._cells
         while cells.busy_count == 0:
             self.blocking_waits += 1
@@ -643,6 +703,8 @@ class SmartFifo(Module, FifoInterface):
         Raises :class:`FifoError` when the FIFO is externally empty at the
         caller's date (guard with :meth:`is_empty`).
         """
+        if self._dep is not None:
+            self._dep.poison(f"nb_read on recorded Smart FIFO {self.full_name}")
         cells = self._cells
         if cells.busy_count:
             insertion_fs = cells.head_busy_insertion_fs()
@@ -725,6 +787,7 @@ class SmartFifo(Module, FifoInterface):
             # Reference flavour: the word loop, one sync per access.
             manager = self._manager
             scheduler = self._scheduler
+            dep = self._dep
             for index in range(count):
                 word = yield from self.read()
                 words.append(word)
@@ -732,10 +795,15 @@ class SmartFifo(Module, FifoInterface):
                     dates_out.append(self._last_read_fs)
                 process = scheduler.current_process
                 if process is not None:
-                    manager.advance_fs(
-                        process, gap_fs if gaps is None else gaps[index]
-                    )
+                    gap = gap_fs if gaps is None else gaps[index]
+                    manager.advance_fs(process, gap)
+                    if dep is not None:
+                        dep.inc(gap)
             return words
+        dep = self._dep
+        if dep is not None and dates_out is None:
+            dates_out = []
+        dep_start = len(dates_out) if dep is not None else 0
         cells = self._cells
         while len(words) < count:
             while cells.busy_count == 0:
@@ -748,6 +816,9 @@ class SmartFifo(Module, FifoInterface):
                 finally:
                     self._blocked_readers -= 1
             self._read_span(words, count, gap_fs, gaps, dates_out)
+        if dep is not None:
+            dep.span(DEP_SPAN_READ, self._dep_idx, count, gap_fs, gaps,
+                     dates_out[dep_start:])
         return words
 
     def _read_span(self, words: List[Any], count: int, gap_fs: int,
@@ -834,6 +905,10 @@ class SmartFifo(Module, FifoInterface):
         """Non-blocking burst read: bit-exact with the ``is_empty``-guarded
         repeated :meth:`nb_read` loop (drain a leading run, arm
         ``not_empty`` at the head insertion date when stopping early)."""
+        if self._dep is not None:
+            self._dep.poison(
+                f"nb_read_burst on recorded Smart FIFO {self.full_name}"
+            )
         if count <= 0:
             return []
         if self._always_notify_external or self._not_empty_event.listener_count:

@@ -20,6 +20,7 @@ from typing import Any, Union
 from ..kernel.module import Module
 from ..kernel.simulator import Simulator
 from ..td.decoupling import sync
+from ..td.local_time import get_local_time_manager
 from .interfaces import FifoInterface
 from .regular_fifo import RegularFifo
 
@@ -42,8 +43,26 @@ class SyncFifo(Module, FifoInterface):
     def size(self) -> int:
         return self._inner.size
 
+    def _record_sync(self) -> None:
+        """Record the head ``sync()`` of one access (record-and-replay).
+
+        The inner regular FIFO records the push/pop itself; only the
+        synchronization in front of it would otherwise be invisible to the
+        dependency spool.
+        """
+        recorder = self.sim.dep_recorder
+        if recorder is not None:
+            recorder.sync_point(
+                get_local_time_manager(self.sim).local_fs(
+                    self.sim.scheduler.current_process
+                )
+            )
+
     def get_size(self):
         """Synchronize the caller, then return the regular FIFO size."""
+        recorder = self.sim.dep_recorder
+        if recorder is not None:
+            recorder.poison(f"get_size on recorded SyncFifo {self.full_name}")
         yield from sync(sim=self.sim)
         return self._inner.size
 
@@ -52,6 +71,7 @@ class SyncFifo(Module, FifoInterface):
     # ------------------------------------------------------------------
     def write(self, data: Any):
         """Synchronize the caller, then perform a regular blocking write."""
+        self._record_sync()
         yield from sync(sim=self.sim)
         yield from self._inner.write(data)
 
@@ -71,6 +91,7 @@ class SyncFifo(Module, FifoInterface):
     # ------------------------------------------------------------------
     def read(self):
         """Synchronize the caller, then perform a regular blocking read."""
+        self._record_sync()
         yield from sync(sim=self.sim)
         data = yield from self._inner.read()
         return data

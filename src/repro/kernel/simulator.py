@@ -51,6 +51,10 @@ class Simulator:
         self.stats = KernelStats()
         self.scheduler = Scheduler(self.stats)
         self.trace: TraceSink = ListSink() if trace_sink is None else trace_sink
+        #: Optional :class:`~repro.kernel.tracing.DependencyRecorder`; set it
+        #: *before* building the model — FIFOs and workload modules cache it
+        #: at construction, so the non-recording hot path costs one None check.
+        self.dep_recorder = None
         self._names = set()
         self._children = []
         self._elaborated = False
@@ -134,12 +138,23 @@ class Simulator:
             yield sim.wait(ev, timeout=ns(5))   # event with timeout
         """
         if isinstance(duration_or_event, Event):
+            if self.dep_recorder is not None:
+                self.dep_recorder.poison(
+                    "explicit event wait (untracked suspension)"
+                )
             if timeout is not None:
                 return WaitEventOrTimeout(duration_or_event, as_time(timeout))
             return WaitEvent(duration_or_event)
         if isinstance(duration_or_event, EventList):
+            if self.dep_recorder is not None:
+                self.dep_recorder.poison(
+                    "explicit event-list wait (untracked suspension)"
+                )
             return WaitEventList(duration_or_event)
-        return Timeout(as_time(duration_or_event, unit))
+        duration = as_time(duration_or_event, unit)
+        if self.dep_recorder is not None:
+            self.dep_recorder.timed(duration.femtoseconds)
+        return Timeout(duration)
 
     def next_trigger(self, trigger=None, unit: TimeUnit = TimeUnit.NS) -> None:
         """Record a dynamic trigger for the currently running method process."""

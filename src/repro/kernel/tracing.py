@@ -449,6 +449,194 @@ def make_sink(kind: str) -> TraceSink:
     return factory()
 
 
+# ---------------------------------------------------------------------------
+# Dependency recording (record-and-replay evaluation)
+# ---------------------------------------------------------------------------
+#: Op codes of the dependency record stream.  Word/sync/advance ops are
+#: recorded in program order per process; the replay engine re-executes them
+#: against a miniature scheduler, so one reference simulation can be
+#: re-evaluated at any FIFO depth / quantum without processes or coroutines.
+DEP_SMART_WRITE = 0   # (code, fifo_index, insertion_date_fs)
+DEP_SMART_READ = 1    # (code, fifo_index, read_date_fs)
+DEP_SYNC = 2          # (code, local_fs_at_sync)
+DEP_TIMED = 3         # (code, duration_fs)          plain wait()
+DEP_QUANTUM = 4       # (code, duration_fs)          quantum-keeper advance
+DEP_REG_WRITE = 5     # (code, fifo_index, now_fs)   regular FIFO push
+DEP_REG_READ = 6      # (code, fifo_index, now_fs)   regular FIFO pop
+DEP_INC = 7           # (code, delta_fs)             local-time annotation
+DEP_SPAN_WRITE = 8    # (code, fifo_index, n, gap_const_fs, gaps|None, dates)
+DEP_SPAN_READ = 9     # (code, fifo_index, n, gap_const_fs, gaps|None, dates)
+
+DEP_SPOOL_VERSION = 1
+
+
+class DependencySpool:
+    """One reference run's structured dependency record.
+
+    Everything the replay engine needs: per-process op streams (program
+    order), the FIFO roster with final counters, the kernel counters of the
+    recorded run (the replay self-check oracle) and the recorded global
+    quantum.  Plain ints/tuples/dicts throughout, so a spool pickles across
+    campaign worker processes.
+    """
+
+    __slots__ = (
+        "version", "threads", "ops", "fifos", "stats", "sim_end_fs",
+        "quantum_fs", "process_local_fs", "poison",
+    )
+
+    def __init__(self, threads, ops, fifos, stats, sim_end_fs, quantum_fs,
+                 process_local_fs, poison):
+        self.version = DEP_SPOOL_VERSION
+        #: ``(name, pid)`` in thread-registration order (= the order the
+        #: scheduler seeds its runnable queue with at initialization).
+        self.threads = threads
+        #: pid -> list of op tuples (see the ``DEP_*`` codes).
+        self.ops = ops
+        #: One dict per registered FIFO, in registration order: name, kind
+        #: ("smart"/"regular"), depth, sync_on_access, final counters.
+        self.fifos = fifos
+        #: Scalar kernel counters of the recorded run.
+        self.stats = stats
+        self.sim_end_fs = sim_end_fs
+        #: Global quantum (fs) in force at the end of the recorded run.
+        self.quantum_fs = quantum_fs
+        #: pid -> raw ``process.local_fs`` at the end of the recorded run.
+        self.process_local_fs = process_local_fs
+        #: None when the run is replayable, else the first reason it is not.
+        self.poison = poison
+
+
+class DependencyRecorder:
+    """Collects the dependency record of one simulation.
+
+    Attach before building the scenario (``sim.dep_recorder = recorder``):
+    FIFOs and workload modules pick the recorder up at construction time, so
+    the non-recording hot paths stay one ``is None`` check.  Accesses that
+    replay cannot reproduce (non-blocking/query interfaces, method
+    processes, process-less callers) poison the recording instead of
+    raising, and :meth:`finalize` reports the reason.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._scheduler = sim.scheduler
+        self._ops_by_pid: Dict[int, list] = {}
+        self._fifos: List[dict] = []
+        self._fifo_objs: List[object] = []
+        self.poison_reason: Optional[str] = None
+        # One-entry cache: consecutive ops of the same process skip the dict.
+        self._last_pid = -1
+        self._last_ops: Optional[list] = None
+
+    # -- hot-path append helpers ---------------------------------------
+    def _ops(self) -> Optional[list]:
+        process = self._scheduler.current_process
+        if process is None:
+            self.poison("FIFO/timing access outside of any process")
+            return None
+        pid = process.pid
+        if pid == self._last_pid:
+            return self._last_ops
+        ops = self._ops_by_pid.get(pid)
+        if ops is None:
+            ops = self._ops_by_pid[pid] = []
+        self._last_pid = pid
+        self._last_ops = ops
+        return ops
+
+    def word(self, code: int, fifo_index: int, date_fs: int) -> None:
+        ops = self._ops()
+        if ops is not None:
+            ops.append((code, fifo_index, date_fs))
+
+    def span(self, code: int, fifo_index: int, count: int, gap_const_fs: int,
+             gaps, dates) -> None:
+        ops = self._ops()
+        if ops is not None:
+            ops.append((code, fifo_index, count, gap_const_fs,
+                        None if gaps is None else tuple(gaps), tuple(dates)))
+
+    def sync_point(self, local_fs: int) -> None:
+        ops = self._ops()
+        if ops is not None:
+            ops.append((DEP_SYNC, local_fs))
+
+    def timed(self, duration_fs: int) -> None:
+        ops = self._ops()
+        if ops is not None:
+            ops.append((DEP_TIMED, duration_fs))
+
+    def quantum(self, duration_fs: int) -> None:
+        ops = self._ops()
+        if ops is not None:
+            ops.append((DEP_QUANTUM, duration_fs))
+
+    def inc(self, delta_fs: int) -> None:
+        ops = self._ops()
+        if ops is not None:
+            ops.append((DEP_INC, delta_fs))
+
+    def regular(self, code: int, fifo_index: int, now_fs: int) -> None:
+        ops = self._ops()
+        if ops is not None:
+            ops.append((code, fifo_index, now_fs))
+
+    def poison(self, reason: str) -> None:
+        """Mark the recording as non-replayable (first reason wins)."""
+        if self.poison_reason is None:
+            self.poison_reason = reason
+
+    # -- registration ---------------------------------------------------
+    def register_fifo(self, fifo, kind: str, depth: int,
+                      sync_on_access: bool = False) -> int:
+        index = len(self._fifos)
+        self._fifos.append({
+            "name": fifo.full_name,
+            "kind": kind,
+            "depth": depth,
+            "sync_on_access": sync_on_access,
+        })
+        self._fifo_objs.append(fifo)
+        return index
+
+    # -- finalization ---------------------------------------------------
+    def finalize(self) -> DependencySpool:
+        """Snapshot the finished run into a :class:`DependencySpool`."""
+        scheduler = self._scheduler
+        sim = self.sim
+        if scheduler._methods:
+            self.poison(
+                f"method process {scheduler._methods[0].name} present "
+                f"(replay covers thread-only models)"
+            )
+        threads = [(p.name, p.pid) for p in scheduler._threads]
+        for name, pid in threads:
+            self._ops_by_pid.setdefault(pid, [])
+        fifos = []
+        for info, fifo in zip(self._fifos, self._fifo_objs):
+            info = dict(info)
+            info["total_written"] = fifo.total_written
+            info["total_read"] = fifo.total_read
+            info["blocking_waits"] = getattr(fifo, "blocking_waits", 0)
+            fifos.append(info)
+        stats = sim.stats.snapshot()
+        from ..td.quantum import GlobalQuantum
+
+        quantum_fs = GlobalQuantum.instance(sim).quantum.femtoseconds
+        process_local_fs = {p.pid: p.local_fs for p in scheduler._threads}
+        return DependencySpool(
+            threads=threads,
+            ops=self._ops_by_pid,
+            fifos=fifos,
+            stats=stats,
+            sim_end_fs=sim.now_fs,
+            quantum_fs=quantum_fs,
+            process_local_fs=process_local_fs,
+            poison=self.poison_reason,
+        )
+
+
 class VcdWriter:
     """A minimal Value Change Dump writer.
 

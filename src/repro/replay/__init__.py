@@ -1,0 +1,18 @@
+"""Record-and-replay evaluation.
+
+One reference simulation records a :class:`~repro.kernel.tracing.DependencySpool`
+(per-process FIFO accesses, blocking-wait edges and timing annotations);
+:class:`ReplayEngine` then re-evaluates the model at *any* FIFO depth or
+global quantum by re-executing the recorded ops against a miniature
+scheduler — no processes, no coroutines, no trace machinery.  See
+``docs`` in the README for the anchor/validate workflow.
+"""
+
+from .engine import (  # noqa: F401
+    ReplayEngine,
+    ReplayError,
+    ReplayMismatch,
+    ReplayResult,
+)
+
+__all__ = ["ReplayEngine", "ReplayError", "ReplayMismatch", "ReplayResult"]

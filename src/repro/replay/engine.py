@@ -1,0 +1,815 @@
+"""Replay recorded dependency spools at arbitrary FIFO depths / quanta.
+
+One reference simulation records, per thread and in program order, every
+FIFO access and every timing annotation (a :class:`DependencySpool`, see
+``repro.kernel.tracing``).  :class:`ReplayEngine` compiles that record into
+flat per-thread programs and re-executes them against a miniature explicit
+scheduler: completion dates follow the paper's recurrence
+``d_i = max(d_{i-1} + gap_i, cell_date_i)``, blocking waits come from
+re-deriving when a Smart FIFO's cell ring is internally full/empty at the
+*replayed* depth, and the global date advances through the same
+delta-cycle / delta-notification / timed-phase machinery as the real
+kernel — but with no generators, no coroutines and no trace pipeline.
+
+The engine mirrors the real kernel exactly (same counters, same wake
+order, same local-time clamping), which is what makes the anchor
+self-check meaningful: replaying at the recorded configuration must
+reproduce the recorded per-access dates, kernel counters and final date
+bit-exactly, otherwise the run is declared non-replayable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..kernel.tracing import (
+    DEP_INC,
+    DEP_QUANTUM,
+    DEP_REG_READ,
+    DEP_REG_WRITE,
+    DEP_SMART_READ,
+    DEP_SMART_WRITE,
+    DEP_SPAN_READ,
+    DEP_SPAN_WRITE,
+    DEP_SYNC,
+    DEP_TIMED,
+    DependencySpool,
+)
+
+
+class ReplayError(RuntimeError):
+    """The spool cannot be replayed (poisoned or corrupt)."""
+
+
+class ReplayMismatch(ReplayError):
+    """The anchor self-check found a divergence from the recorded run."""
+
+    def __init__(self, diffs: Sequence[str]):
+        self.diffs = list(diffs)
+        preview = "; ".join(self.diffs[:8])
+        more = len(self.diffs) - 8
+        if more > 0:
+            preview += f"; ... {more} more"
+        super().__init__(f"replay diverges from recorded run: {preview}")
+
+
+# Compiled opcodes (uniform ``(op, a, b, pre)`` tuples, ``pre`` being the
+# fused local-time advance of the preceding INC records; spans are
+# expanded to word ops at compile time, exactly the word loop they are
+# bit-exact with).
+OP_SMART_WRITE = 0  # a = fifo index, b = recorded insertion date (fs)
+OP_SMART_READ = 1   # a = fifo index, b = recorded read date (fs)
+OP_SYNC = 2         # a = recorded local date at the sync (fs)
+OP_TIMED = 3        # a = wait duration (fs)
+OP_QUANTUM = 4      # a = quantum-keeper annotation (fs)
+OP_REG_WRITE = 5    # a = fifo index, b = recorded kernel date (fs)
+OP_REG_READ = 6     # a = fifo index, b = recorded kernel date (fs)
+OP_INC = 7          # a = local-time annotation (fs)
+
+_OP_NAMES = (
+    "smart_write", "smart_read", "sync", "timed", "quantum",
+    "reg_write", "reg_read", "inc",
+)
+
+_MAX_MISMATCHES = 25
+
+
+class _Proc:
+    """Replay image of one thread process."""
+
+    __slots__ = (
+        "pid", "name", "program", "length", "pc", "phase", "stored",
+        "wait_id", "runnable", "terminated",
+    )
+
+    def __init__(self, pid: int, name: str, program: List[tuple]):
+        self.pid = pid
+        self.name = name
+        self.program = program
+        self.length = len(program)
+        self.pc = 0
+        #: Sub-state of a multi-suspension op (the blocking-loop machine).
+        self.phase = 0
+        #: Raw local date, mirroring ``Process.local_fs`` (-1 = never set).
+        self.stored = -1
+        self.wait_id = 0
+        self.runnable = False
+        self.terminated = False
+
+
+class _Event:
+    """Replay image of a kernel event (delta notifications only)."""
+
+    __slots__ = ("pending", "waiters")
+
+    def __init__(self):
+        self.pending = False
+        self.waiters: List[Tuple[_Proc, int]] = []
+
+
+class _SmartState:
+    """Replay image of a Smart FIFO's cell ring at the replayed depth."""
+
+    __slots__ = (
+        "name", "depth", "sync_on_access", "wdates", "rdates", "nw", "nr",
+        "blocked_readers", "blocked_writers", "blocking_waits",
+        "cell_filled", "cell_freed",
+    )
+
+    kind = "smart"
+
+    def __init__(self, name: str, depth: int, sync_on_access: bool):
+        self.name = name
+        self.depth = depth
+        self.sync_on_access = sync_on_access
+        #: Insertion date of write i / freeing date of read i (fs).
+        self.wdates: List[int] = []
+        self.rdates: List[int] = []
+        #: len(wdates) / len(rdates) as plain ints — the occupancy check
+        #: is the hottest expression of the interpreter.
+        self.nw = 0
+        self.nr = 0
+        self.blocked_readers = 0
+        self.blocked_writers = 0
+        self.blocking_waits = 0
+        self.cell_filled = _Event()
+        self.cell_freed = _Event()
+
+    @property
+    def total_written(self) -> int:
+        return len(self.wdates)
+
+    @property
+    def total_read(self) -> int:
+        return len(self.rdates)
+
+
+class _RegState:
+    """Replay image of a regular FIFO (occupancy only, no dates)."""
+
+    __slots__ = (
+        "name", "depth", "occupancy", "total_written", "total_read",
+        "data_written", "data_read",
+    )
+
+    kind = "regular"
+    sync_on_access = False
+    blocking_waits = 0
+
+    def __init__(self, name: str, depth: int):
+        self.name = name
+        self.depth = depth
+        self.occupancy = 0
+        self.total_written = 0
+        self.total_read = 0
+        self.data_written = _Event()
+        self.data_read = _Event()
+
+
+@dataclass
+class ReplayResult:
+    """Everything one replayed evaluation point produces."""
+
+    sim_end_fs: int
+    quantum_fs: int
+    depths: List[int]
+    thread_activations: int
+    delta_cycles: int
+    timed_phases: int
+    fifo_stats: List[dict]
+    process_local_fs: Dict[int, int]
+    all_terminated: bool
+    #: ``(process, pc, op, expected, got)`` date-check divergences
+    #: (only populated when the replay ran with ``check_dates=True``).
+    mismatches: List[tuple] = field(default_factory=list)
+    #: Replay runs no method processes by construction.
+    method_invocations: int = 0
+    #: Per-FIFO ``(insertion_dates, read_dates)`` in fs for Smart FIFOs
+    #: (None for regular FIFOs, which carry no dates) — the paper's
+    #: completion dates, used by sweep cross-validation.
+    fifo_dates: List[Optional[Tuple[List[int], List[int]]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def context_switches(self) -> int:
+        return self.thread_activations
+
+    @property
+    def blocking_waits(self) -> int:
+        return sum(f["blocking_waits"] for f in self.fifo_stats)
+
+
+class ReplayEngine:
+    """Compile one :class:`DependencySpool` and replay it at will.
+
+    The engine is immutable after construction; every :meth:`replay` call
+    creates fresh emulator state, so one recorded anchor can be replayed
+    at hundreds of depth/quantum points.
+    """
+
+    def __init__(self, spool: DependencySpool):
+        if spool.poison is not None:
+            raise ReplayError(f"recording is not replayable: {spool.poison}")
+        self.spool = spool
+        self.fifos: List[dict] = list(spool.fifos)
+        self.programs: List[Tuple[str, int, List[tuple]]] = [
+            (name, pid, _compile_ops(spool.ops.get(pid, ())))
+            for name, pid in spool.threads
+        ]
+        self.op_count = sum(len(prog) for _, _, prog in self.programs)
+
+    # ------------------------------------------------------------------
+    def retarget_depths(self, anchor_depth: int, depth: int) -> List[int]:
+        """Per-FIFO depths for replaying a sweep point at ``depth``.
+
+        Only FIFOs whose recorded depth equals the sweep's anchor depth are
+        retargeted; auxiliary FIFOs with their own fixed depth (for example
+        the mixed workload's back-pressure channel) keep it.
+        """
+        return [
+            depth if meta["depth"] == anchor_depth else meta["depth"]
+            for meta in self.fifos
+        ]
+
+    def replay(
+        self,
+        depths: Optional[Sequence[int]] = None,
+        quantum_fs: Optional[int] = None,
+        check_dates: bool = False,
+    ) -> ReplayResult:
+        """Re-execute the recorded programs at the given configuration.
+
+        ``depths`` is one depth per recorded FIFO (registration order;
+        None = the recorded depths).  ``quantum_fs`` overrides the global
+        quantum (None = recorded).  With ``check_dates`` every completed
+        access is compared against its recorded date (anchor self-check).
+        """
+        if depths is None:
+            depths = [meta["depth"] for meta in self.fifos]
+        elif len(depths) != len(self.fifos):
+            raise ReplayError(
+                f"expected {len(self.fifos)} depths, got {len(depths)}"
+            )
+        if any(d <= 0 for d in depths):
+            raise ReplayError(f"replay depths must be positive: {depths}")
+        if quantum_fs is None:
+            quantum_fs = self.spool.quantum_fs
+        return _Emulator(self, list(depths), quantum_fs, check_dates).run()
+
+    # ------------------------------------------------------------------
+    def self_check(self) -> ReplayResult:
+        """Replay at the recorded configuration and compare everything.
+
+        Raises :class:`ReplayMismatch` on any divergence; this is the gate
+        every recording passes before being trusted for a sweep.
+        """
+        result = self.replay(check_dates=True)
+        spool = self.spool
+        diffs: List[str] = []
+        for proc_name, pc, op, expected, got in result.mismatches:
+            diffs.append(
+                f"{proc_name} op#{pc} {_OP_NAMES[op]}: "
+                f"recorded {expected}, replayed {got}"
+            )
+        if not result.all_terminated:
+            diffs.append("replay deadlocked (recorded run completed)")
+        if result.sim_end_fs != spool.sim_end_fs:
+            diffs.append(
+                f"sim_end_fs: recorded {spool.sim_end_fs}, "
+                f"replayed {result.sim_end_fs}"
+            )
+        for key, got in (
+            ("thread_activations", result.thread_activations),
+            ("delta_cycles", result.delta_cycles),
+            ("timed_phases", result.timed_phases),
+            ("method_invocations", result.method_invocations),
+        ):
+            expected = spool.stats.get(key, 0)
+            if expected != got:
+                diffs.append(f"{key}: recorded {expected}, replayed {got}")
+        for meta, got in zip(spool.fifos, result.fifo_stats):
+            for key in ("total_written", "total_read", "blocking_waits"):
+                if meta[key] != got[key]:
+                    diffs.append(
+                        f"{meta['name']}.{key}: recorded {meta[key]}, "
+                        f"replayed {got[key]}"
+                    )
+        for pid, expected in spool.process_local_fs.items():
+            got = result.process_local_fs.get(pid)
+            if expected != got:
+                diffs.append(
+                    f"pid {pid} local_fs: recorded {expected}, replayed {got}"
+                )
+        if diffs:
+            raise ReplayMismatch(diffs)
+        return result
+
+
+def _compile_ops(ops: Sequence[tuple]) -> List[tuple]:
+    """Flatten one thread's recorded ops into ``(op, a, b, pre)`` tuples.
+
+    ``pre`` is the accumulated local-time advance (the INC records) fused
+    into the op that follows it: an INC never suspends, so it always
+    executes in the same activation — and at the same kernel date — as
+    phase 0 of the next op, and word loops (one INC per word) would
+    otherwise double the interpreter's dispatch count.  Consecutive INCs
+    merge additively (``max(max(s, now) + a, now) + b == max(s, now) +
+    a + b`` for non-negative advances); only a trailing INC with no op
+    after it survives as a standalone ``OP_INC``.
+
+    Spans expand to the word loop they are bit-exact with: word op, then
+    the per-word local-time advance (including the trailing one — the word
+    loop advances after the last word too).
+    """
+    program: List[tuple] = []
+    append = program.append
+    pending = 0
+    for op in ops:
+        code = op[0]
+        if code == DEP_SMART_WRITE or code == DEP_SMART_READ:
+            append((code, op[1], op[2], pending))
+            pending = 0
+        elif code == DEP_SYNC:
+            append((OP_SYNC, op[1], 0, pending))
+            pending = 0
+        elif code == DEP_TIMED:
+            append((OP_TIMED, op[1], 0, pending))
+            pending = 0
+        elif code == DEP_QUANTUM:
+            append((OP_QUANTUM, op[1], 0, pending))
+            pending = 0
+        elif code == DEP_REG_WRITE or code == DEP_REG_READ:
+            append((code, op[1], op[2], pending))
+            pending = 0
+        elif code == DEP_INC:
+            pending += op[1]
+        elif code == DEP_SPAN_WRITE or code == DEP_SPAN_READ:
+            word_op = (
+                OP_SMART_WRITE if code == DEP_SPAN_WRITE else OP_SMART_READ
+            )
+            _, fifo_index, count, gap_const, gaps, dates = op
+            if len(dates) != count or (gaps is not None and len(gaps) != count):
+                raise ReplayError(
+                    f"corrupt span record: {count} words, "
+                    f"{len(dates)} dates"
+                )
+            for index in range(count):
+                append((word_op, fifo_index, dates[index], pending))
+                pending = gap_const if gaps is None else gaps[index]
+        else:
+            raise ReplayError(f"unknown dependency op code {code}")
+    if pending:
+        append((OP_INC, pending, 0, 0))
+    return program
+
+
+class _Emulator:
+    """One replay run: miniature scheduler + flat-program interpreter.
+
+    Mirrors ``kernel.scheduler.Scheduler`` exactly — delta cycles drain a
+    FIFO queue of runnable processes, delta notifications collapse via the
+    per-event pending flag, stale wakes are filtered by wait id, timed
+    phases pop every record of the next date — and the Smart FIFO
+    blocking loops as a per-op phase machine.
+    """
+
+    def __init__(self, engine: ReplayEngine, depths: List[int],
+                 quantum_fs: int, check_dates: bool):
+        self.engine = engine
+        self.quantum_fs = quantum_fs
+        self.check = check_dates
+        self.mismatches: List[tuple] = []
+        self.now = 0
+        self.delta_cycles = 0
+        self.timed_phases = 0
+        self.activations = 0
+        self.fifos: List[object] = [
+            _SmartState(meta["name"], depth, meta["sync_on_access"])
+            if meta["kind"] == "smart"
+            else _RegState(meta["name"], depth)
+            for meta, depth in zip(engine.fifos, depths)
+        ]
+        self.depths = depths
+        self.procs = [
+            _Proc(pid, name, program)
+            for name, pid, program in engine.programs
+        ]
+        self.runnable: deque = deque()
+        self.delta_events: List[_Event] = []
+        self.delta_wakes: List[Tuple[_Proc, int]] = []
+        self.heap: List[tuple] = []
+        self.seq = 0
+
+    # -- scheduling primitives -----------------------------------------
+    # The suspend / notify / wake primitives are inlined at their call
+    # sites inside ``run``: a replay of a blocking-heavy point performs
+    # hundreds of thousands of them, and the Python call overhead used
+    # to dominate the replay wall.  ``delta_events`` and ``delta_wakes``
+    # keep a stable list identity for the same reason (the delta phase
+    # iterates in place and clears instead of rebinding), so ``run``
+    # can hold them in locals across suspensions.
+
+    def _mismatch(self, proc: _Proc, pc: int, op: int,
+                  expected: int, got: int) -> None:
+        if len(self.mismatches) < _MAX_MISMATCHES:
+            self.mismatches.append((proc.name, pc, op, expected, got))
+
+    # -- main loop + interpreter ---------------------------------------
+    def run(self) -> ReplayResult:
+        """Run the whole replay to completion.
+
+        The delta-phase bookkeeping and the per-process interpreter are
+        inlined into this one loop on purpose: a blocking-heavy point
+        performs hundreds of activations per simulated date, and the
+        Python call + local-rebinding overhead of a per-activation
+        helper used to dominate the replay wall.  ``proc.phase`` carries the
+        position inside a multi-suspension op (the Smart FIFO blocking
+        loop mirrors the real generator's suspension points).
+        """
+        runnable = self.runnable
+        delta_events = self.delta_events
+        delta_wakes = self.delta_wakes
+        heap = self.heap
+        fifos = self.fifos
+        check = self.check
+        quantum_fs = self.quantum_fs
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        now = 0
+        seq = 0
+        activations = 0
+        delta_cycles = 0
+        timed_phases = 0
+        for proc in self.procs:
+            proc.runnable = True
+            runnable.append(proc)
+        while True:
+            if runnable:
+                delta_cycles += 1
+            while runnable:
+                proc = runnable.popleft()
+                proc.runnable = False
+                activations += 1
+                # -- run ``proc`` until it suspends or terminates --------
+                program = proc.program
+                length = proc.length
+                pc = proc.pc
+                phase = proc.phase
+                stored = proc.stored
+                while True:
+                    if pc >= length:
+                        proc.terminated = True
+                        break
+                    op, a, b, pre = program[pc]
+                    if pre and phase == 0:
+                        # Fused local-time advance of the INCs before this
+                        # op (applies exactly once: every suspension point
+                        # below leaves a non-zero resume phase).
+                        stored = (stored if stored > now else now) + pre
+                    if op == OP_SMART_WRITE:
+                        f = fifos[a]
+                        # Fast path: non-synchronizing write into a non-full ring
+                        # (phases 0 -> 2 -> 6 of the machine below, no suspension).
+                        if phase == 0 and not f.sync_on_access \
+                                and f.nw - f.nr != f.depth:
+                            local = stored if stored > now else now
+                            index = f.nw
+                            if index >= f.depth:
+                                freeing = f.rdates[index - f.depth]
+                                if freeing > local:
+                                    local = freeing
+                                    stored = freeing
+                            f.wdates.append(local)
+                            f.nw = index + 1
+                            if f.blocked_readers:
+                                ev = f.cell_filled
+                                if not ev.pending:
+                                    ev.pending = True
+                                    delta_events.append(ev)
+                            if check and local != b:
+                                self._mismatch(proc, pc, op, b, local)
+                            pc += 1
+                            continue
+                        suspended = False
+                        while True:
+                            if phase == 0:
+                                if f.sync_on_access:
+                                    if stored > now:
+                                        phase = 1
+                                        proc.wait_id = wid = proc.wait_id + 1
+                                        seq += 1
+                                        heappush(heap, (stored, seq, proc, wid))
+                                        suspended = True
+                                        break
+                                    stored = now
+                                phase = 2
+                            elif phase == 1:
+                                stored = now
+                                phase = 2
+                            elif phase == 2:
+                                if f.nw - f.nr == f.depth:
+                                    f.blocking_waits += 1
+                                    f.blocked_writers += 1
+                                    if stored > now:
+                                        phase = 3
+                                        proc.wait_id = wid = proc.wait_id + 1
+                                        seq += 1
+                                        heappush(heap, (stored, seq, proc, wid))
+                                        suspended = True
+                                        break
+                                    stored = now
+                                    phase = 4
+                                else:
+                                    phase = 6
+                            elif phase == 3:
+                                stored = now
+                                phase = 4
+                            elif phase == 4:
+                                if f.nw - f.nr == f.depth:
+                                    phase = 5
+                                    proc.wait_id = wid = proc.wait_id + 1
+                                    f.cell_freed.waiters.append((proc, wid))
+                                    suspended = True
+                                    break
+                                f.blocked_writers -= 1
+                                phase = 2
+                            elif phase == 5:
+                                f.blocked_writers -= 1
+                                phase = 2
+                            else:  # phase 6: the write itself
+                                local = stored if stored > now else now
+                                index = f.nw
+                                if index >= f.depth:
+                                    freeing = f.rdates[index - f.depth]
+                                    if freeing > local:
+                                        local = freeing
+                                        stored = freeing
+                                f.wdates.append(local)
+                                f.nw = index + 1
+                                if f.blocked_readers:
+                                    ev = f.cell_filled
+                                    if not ev.pending:
+                                        ev.pending = True
+                                        delta_events.append(ev)
+                                if check and local != b:
+                                    self._mismatch(proc, pc, op, b, local)
+                                pc += 1
+                                phase = 0
+                                break
+                        if suspended:
+                            break
+                        continue
+                    if op == OP_SMART_READ:
+                        f = fifos[a]
+                        # Fast path: non-synchronizing read of a non-empty ring.
+                        if phase == 0 and not f.sync_on_access and f.nw != f.nr:
+                            local = stored if stored > now else now
+                            insertion = f.wdates[f.nr]
+                            if insertion > local:
+                                local = insertion
+                                stored = insertion
+                            f.rdates.append(local)
+                            f.nr += 1
+                            if f.blocked_writers:
+                                ev = f.cell_freed
+                                if not ev.pending:
+                                    ev.pending = True
+                                    delta_events.append(ev)
+                            if check and local != b:
+                                self._mismatch(proc, pc, op, b, local)
+                            pc += 1
+                            continue
+                        suspended = False
+                        while True:
+                            if phase == 0:
+                                if f.sync_on_access:
+                                    if stored > now:
+                                        phase = 1
+                                        proc.wait_id = wid = proc.wait_id + 1
+                                        seq += 1
+                                        heappush(heap, (stored, seq, proc, wid))
+                                        suspended = True
+                                        break
+                                    stored = now
+                                phase = 2
+                            elif phase == 1:
+                                stored = now
+                                phase = 2
+                            elif phase == 2:
+                                if f.nw == f.nr:
+                                    f.blocking_waits += 1
+                                    f.blocked_readers += 1
+                                    if stored > now:
+                                        phase = 3
+                                        proc.wait_id = wid = proc.wait_id + 1
+                                        seq += 1
+                                        heappush(heap, (stored, seq, proc, wid))
+                                        suspended = True
+                                        break
+                                    stored = now
+                                    phase = 4
+                                else:
+                                    phase = 6
+                            elif phase == 3:
+                                stored = now
+                                phase = 4
+                            elif phase == 4:
+                                if f.nw == f.nr:
+                                    phase = 5
+                                    proc.wait_id = wid = proc.wait_id + 1
+                                    f.cell_filled.waiters.append((proc, wid))
+                                    suspended = True
+                                    break
+                                f.blocked_readers -= 1
+                                phase = 2
+                            elif phase == 5:
+                                f.blocked_readers -= 1
+                                phase = 2
+                            else:  # phase 6: the read itself
+                                local = stored if stored > now else now
+                                insertion = f.wdates[f.nr]
+                                if insertion > local:
+                                    local = insertion
+                                    stored = insertion
+                                f.rdates.append(local)
+                                f.nr += 1
+                                if f.blocked_writers:
+                                    ev = f.cell_freed
+                                    if not ev.pending:
+                                        ev.pending = True
+                                        delta_events.append(ev)
+                                if check and local != b:
+                                    self._mismatch(proc, pc, op, b, local)
+                                pc += 1
+                                phase = 0
+                                break
+                        if suspended:
+                            break
+                        continue
+                    if op == OP_INC:
+                        stored = (stored if stored > now else now) + a
+                        pc += 1
+                        continue
+                    if op == OP_SYNC:
+                        if phase == 0:
+                            if check:
+                                local = stored if stored > now else now
+                                if local != a:
+                                    self._mismatch(proc, pc, op, a, local)
+                            if stored > now:
+                                phase = 1
+                                proc.wait_id = wid = proc.wait_id + 1
+                                seq += 1
+                                heappush(heap, (stored, seq, proc, wid))
+                                break
+                        stored = now
+                        pc += 1
+                        phase = 0
+                        continue
+                    if op == OP_TIMED:
+                        if phase == 0:
+                            phase = 1
+                            proc.wait_id = wid = proc.wait_id + 1
+                            if a <= 0:
+                                # Zero-duration timeouts wake in the next delta phase.
+                                delta_wakes.append((proc, wid))
+                            else:
+                                seq += 1
+                                heappush(heap, (now + a, seq, proc, wid))
+                            break
+                        pc += 1
+                        phase = 0
+                        continue
+                    if op == OP_QUANTUM:
+                        if phase == 0:
+                            stored = (stored if stored > now else now) + a
+                            offset = stored - now
+                            if (offset > 0) if quantum_fs == 0 else (offset >= quantum_fs):
+                                phase = 1
+                                proc.wait_id = wid = proc.wait_id + 1
+                                seq += 1
+                                heappush(heap, (stored, seq, proc, wid))
+                                break
+                            pc += 1
+                            continue
+                        stored = now
+                        pc += 1
+                        phase = 0
+                        continue
+                    if op == OP_REG_WRITE:
+                        f = fifos[a]
+                        if f.occupancy >= f.depth:
+                            # phase 1 marks a resume so the fused pre-inc
+                            # above is not applied twice.
+                            phase = 1
+                            proc.wait_id = wid = proc.wait_id + 1
+                            f.data_read.waiters.append((proc, wid))
+                            break
+                        f.occupancy += 1
+                        f.total_written += 1
+                        ev = f.data_written
+                        if not ev.pending:
+                            ev.pending = True
+                            delta_events.append(ev)
+                        if check and now != b:
+                            self._mismatch(proc, pc, op, b, now)
+                        pc += 1
+                        phase = 0
+                        continue
+                    if op == OP_REG_READ:
+                        f = fifos[a]
+                        if f.occupancy == 0:
+                            phase = 1
+                            proc.wait_id = wid = proc.wait_id + 1
+                            f.data_written.waiters.append((proc, wid))
+                            break
+                        f.occupancy -= 1
+                        f.total_read += 1
+                        ev = f.data_read
+                        if not ev.pending:
+                            ev.pending = True
+                            delta_events.append(ev)
+                        if check and now != b:
+                            self._mismatch(proc, pc, op, b, now)
+                        pc += 1
+                        phase = 0
+                        continue
+                    raise ReplayError(f"unknown compiled op {op}")
+                proc.pc = pc
+                proc.phase = phase
+                proc.stored = stored
+            # -- delta phase: deliver notifications, wake waiters --------
+            # (nothing appends to either list while the steps above are
+            # idle, so iterate in place and clear afterwards — the lists
+            # keep a stable identity for the locals bound above)
+            if delta_events:
+                for event in delta_events:
+                    event.pending = False
+                    waiters = event.waiters
+                    if waiters:
+                        event.waiters = []
+                        for proc, wait_id in waiters:
+                            if not (proc.terminated or proc.runnable
+                                    or wait_id != proc.wait_id):
+                                proc.runnable = True
+                                runnable.append(proc)
+                delta_events.clear()
+            if delta_wakes:
+                for proc, wait_id in delta_wakes:
+                    if not (proc.terminated or proc.runnable
+                            or wait_id != proc.wait_id):
+                        proc.runnable = True
+                        runnable.append(proc)
+                delta_wakes.clear()
+            if runnable:
+                continue
+            # -- timed phase: advance to the next pending date -----------
+            if not heap:
+                break
+            time_fs = heap[0][0]
+            now = time_fs
+            timed_phases += 1
+            while heap and heap[0][0] == time_fs:
+                _, _, proc, wait_id = heappop(heap)
+                if not (proc.terminated or proc.runnable
+                        or wait_id != proc.wait_id):
+                    proc.runnable = True
+                    runnable.append(proc)
+        self.now = now
+        self.seq = seq
+        self.activations = activations
+        self.delta_cycles = delta_cycles
+        self.timed_phases = timed_phases
+        return ReplayResult(
+            sim_end_fs=self.now,
+            quantum_fs=self.quantum_fs,
+            depths=self.depths,
+            thread_activations=self.activations,
+            delta_cycles=self.delta_cycles,
+            timed_phases=self.timed_phases,
+            fifo_stats=[
+                {
+                    "name": state.name,
+                    "kind": state.kind,
+                    "depth": state.depth,
+                    "total_written": state.total_written,
+                    "total_read": state.total_read,
+                    "blocking_waits": state.blocking_waits,
+                }
+                for state in self.fifos
+            ],
+            process_local_fs={
+                proc.pid: proc.stored for proc in self.procs
+            },
+            all_terminated=all(proc.terminated for proc in self.procs),
+            mismatches=self.mismatches,
+            fifo_dates=[
+                (state.wdates, state.rdates)
+                if state.kind == "smart" else None
+                for state in self.fifos
+            ],
+        )

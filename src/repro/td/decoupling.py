@@ -32,6 +32,16 @@ from ..kernel.simulator import Simulator
 from .local_time import LocalTimeManager, get_local_time_manager
 
 
+def _duration_fs(duration, unit: TimeUnit) -> int:
+    """Femtoseconds of one annotation, with :func:`inc`'s exact rounding."""
+    kind = type(duration)
+    if kind is int and duration >= 0:
+        return duration * unit
+    if kind is float and duration >= 0:
+        return round(duration * unit)
+    return as_time(duration, unit).femtoseconds
+
+
 def _current(sim: Optional[Simulator] = None):
     sim = sim or context.current_simulator()
     process = sim.scheduler.current_process
@@ -123,11 +133,23 @@ class DecoupledMixin:
 
     def inc(self, duration, unit: TimeUnit = TimeUnit.NS) -> SimTime:
         """Advance the local date of the current process (cheap)."""
-        return inc(duration, unit, sim=self.sim)
+        sim = self.sim
+        recorder = sim.dep_recorder
+        if recorder is not None:
+            recorder.inc(_duration_fs(duration, unit))
+        return inc(duration, unit, sim=sim)
 
     def sync(self):
         """Synchronize the current thread; use as ``yield from self.sync()``."""
-        return sync(sim=self.sim)
+        sim = self.sim
+        recorder = sim.dep_recorder
+        if recorder is not None:
+            recorder.sync_point(
+                get_local_time_manager(sim).local_fs(
+                    sim.scheduler.current_process
+                )
+            )
+        return sync(sim=sim)
 
     def local_time_stamp(self) -> SimTime:
         """Local date of the current process."""

@@ -91,6 +91,8 @@ class WorkloadModule(DecoupledMixin, Module):
         from ..td.local_time import get_local_time_manager
 
         self._ltm = get_local_time_manager(self.sim)
+        # Dependency recording (record-and-replay): None on the hot path.
+        self._dep_rec = self.sim.dep_recorder
 
     @property
     def quantum_keeper(self):
@@ -118,15 +120,22 @@ class WorkloadModule(DecoupledMixin, Module):
             if type(delta_fs) is not int:
                 delta_fs = round(delta_fs)
             self._ltm.advance_fs(self._scheduler.current_process, delta_fs)
+            if self._dep_rec is not None:
+                self._dep_rec.inc(delta_fs)
             return ()
         if timing is TimingMode.UNTIMED:
             return ()
         if timing is TimingMode.TIMED_WAIT:
-            return (Timeout(as_time(duration, unit)),)
+            duration = as_time(duration, unit)
+            if self._dep_rec is not None:
+                self._dep_rec.timed(duration.femtoseconds)
+            return (Timeout(duration),)
         return self._advance_quantum(duration, unit)
 
     def _advance_quantum(self, duration, unit: TimeUnit):
         """Quantum-keeper branch of :meth:`advance` (may actually wait)."""
+        if self._dep_rec is not None:
+            self._dep_rec.quantum(as_time(duration, unit).femtoseconds)
         self.quantum_keeper.inc(duration, unit)
         yield from self.quantum_keeper.sync_if_needed()
 

@@ -49,18 +49,31 @@ class FaultDropConfig:
 class FaultProducer(WorkloadModule):
     """Writes ``item_count`` sequential values at a fixed cadence."""
 
-    def __init__(self, parent, name, fifo, config: FaultDropConfig, timing: TimingMode):
+    def __init__(self, parent, name, fifo, config: FaultDropConfig, timing: TimingMode,
+                 burst: bool = False):
         super().__init__(parent, name, timing)
         self.fifo = fifo
         self.config = config
+        self.burst = burst
         self.create_thread(self.run)
 
     def run(self):
-        for index in range(self.config.item_count):
+        cfg = self.config
+        if self.burst:
+            yield from self.burst_write(
+                self.fifo,
+                list(range(cfg.item_count)),
+                cfg.producer_period_ns,
+                message_fn=lambda index, _word: f"sent {index}",
+            )
+            self.mark_finished()
+            self.checkpoint("producer done")
+            return
+        for index in range(cfg.item_count):
             yield from self.fifo.write(index)
             self.items_processed += 1
             self.checkpoint(f"sent {index}")
-            yield from self.advance(self.config.producer_period_ns)
+            yield from self.advance(cfg.producer_period_ns)
         self.mark_finished()
         self.checkpoint("producer done")
 
@@ -105,15 +118,28 @@ class FaultyRelay(WorkloadModule):
 class FaultConsumer(WorkloadModule):
     """Reads the forwarded values and checkpoints every one."""
 
-    def __init__(self, parent, name, fifo, expected: int, config: FaultDropConfig, timing: TimingMode):
+    def __init__(self, parent, name, fifo, expected: int, config: FaultDropConfig, timing: TimingMode,
+                 burst: bool = False):
         super().__init__(parent, name, timing)
         self.fifo = fifo
         self.expected = expected
         self.config = config
+        self.burst = burst
         self.values: List[int] = []
         self.create_thread(self.run)
 
     def run(self):
+        if self.burst:
+            words = yield from self.burst_read(
+                self.fifo,
+                self.expected,
+                self.config.consumer_period_ns,
+                message_fn=lambda _index, word: f"received {word}",
+            )
+            self.values.extend(words)
+            self.mark_finished()
+            self.checkpoint("consumer done")
+            return
         for _ in range(self.expected):
             value = yield from self.fifo.read()
             self.values.append(value)
@@ -132,6 +158,7 @@ class FaultDropScenario:
         sim: Simulator,
         decoupled: bool,
         config: Optional[FaultDropConfig] = None,
+        burst: bool = False,
     ):
         self.sim = sim
         self.config = config or FaultDropConfig()
@@ -147,14 +174,17 @@ class FaultDropScenario:
             timing = TimingMode.TIMED_WAIT
         expected = self.config.item_count - (1 if decoupled else 0)
         self.producer = FaultProducer(
-            sim, "producer", self.fifo_in, self.config, timing
+            sim, "producer", self.fifo_in, self.config, timing, burst=burst
         )
+        # The relay drops a value mid-stream, so it keeps the word loop in
+        # both paths: bursts are for the uninterrupted endpoint transfers.
         self.relay = FaultyRelay(
             sim, "relay", self.fifo_in, self.fifo_out, self.config, timing,
             faulty=decoupled,
         )
         self.consumer = FaultConsumer(
-            sim, "consumer", self.fifo_out, expected, self.config, timing
+            sim, "consumer", self.fifo_out, expected, self.config, timing,
+            burst=burst,
         )
 
     def run(self) -> None:

@@ -73,20 +73,37 @@ class FrontProducer(WorkloadModule):
     """Feeds the decoupled (or reference) front half of the pipeline."""
 
     def __init__(self, parent, name, fifo, config: MixedTopologyConfig,
-                 timing: TimingMode):
+                 timing: TimingMode, burst: bool = False):
         super().__init__(parent, name, timing)
         self.fifo = fifo
         self.config = config
-        self.rng = random.Random(config.seed * 54013 + 1)
+        self.burst = burst
         self.create_thread(self.run)
 
     def run(self):
-        for index, value in enumerate(self.config.values()):
+        cfg = self.config
+        # One rng draw per word in both paths, in the same order, so the
+        # burst run feeds the identical gap sequence.
+        rng = random.Random(cfg.seed * 54013 + 1)
+        if self.burst:
+            values = cfg.values()
+            gaps = [
+                rng.randint(1, cfg.max_producer_gap_ns) for _ in values
+            ]
+            yield from self.burst_write(
+                self.fifo,
+                values,
+                gaps,
+                message_fn=lambda index, _word: f"fed {index}",
+            )
+            self.mark_finished()
+            return
+        for index, value in enumerate(cfg.values()):
             yield from self.fifo.write(value)
             self.items_processed += 1
             self.checkpoint(f"fed {index}")
             yield from self.advance(
-                self.rng.randint(1, self.config.max_producer_gap_ns)
+                rng.randint(1, cfg.max_producer_gap_ns)
             )
         self.mark_finished()
 
@@ -149,7 +166,7 @@ class MixedTopologyScenario:
     """Decoupled front half, regular back half, one domain boundary."""
 
     def __init__(self, sim: Simulator, decoupled: bool,
-                 config: MixedTopologyConfig = None):
+                 config: MixedTopologyConfig = None, burst: bool = False):
         self.sim = sim
         self.config = config or MixedTopologyConfig()
         self.decoupled = decoupled
@@ -164,7 +181,11 @@ class MixedTopologyScenario:
             timing = TimingMode.TIMED_WAIT
         #: The regular back half is identical in both modes.
         self.back_fifo = RegularFifo(sim, "back", depth=cfg.back_depth)
-        self.producer = FrontProducer(sim, "producer", self.front_fifo, cfg, timing)
+        # Only the front producer can burst: the bridge syncs per item at
+        # the domain boundary and the back half is a regular FIFO.
+        self.producer = FrontProducer(
+            sim, "producer", self.front_fifo, cfg, timing, burst=burst
+        )
         self.bridge = DomainBridge(
             sim, "bridge", self.front_fifo, self.back_fifo, cfg, timing
         )

@@ -159,17 +159,19 @@ class PacketStreamScenario:
     """Producer -> packet FIFO -> method relay -> packet FIFO -> consumer."""
 
     def __init__(self, sim: Simulator, config: PacketStreamConfig = None,
-                 sync_on_access: bool = False):
+                 sync_on_access: bool = False, burst: bool = False):
         self.sim = sim
         self.config = config or PacketStreamConfig()
         cfg = self.config
         self.fifo_in = PacketSmartFifo(
             sim, "fifo_in", depth=cfg.fifo_depth,
             packet_size=cfg.packet_size, sync_on_access=sync_on_access,
+            burst=burst,
         )
         self.fifo_out = PacketSmartFifo(
             sim, "fifo_out", depth=cfg.fifo_depth,
             packet_size=cfg.packet_size, sync_on_access=sync_on_access,
+            burst=burst,
         )
         self.producer = PacketProducer(sim, "producer", self.fifo_in, cfg)
         self.relay = RelayInterface(sim, "relay", self.fifo_in, self.fifo_out)

@@ -10,11 +10,14 @@ repeated ``emit`` on every sink kind.
 """
 
 import random
+from dataclasses import replace
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.trace_diff import compare_spools
+from repro.campaign import ScenarioSpec, execute_spec
 from repro.fifo import RegularFifo, SmartFifo
 from repro.kernel import Simulator
 from repro.kernel.process import Timeout, WaitEvent
@@ -300,6 +303,50 @@ def test_regular_burst_equals_word_loop(seed, depth):
     )
     assert burst_fifo.total_written == word_fifo.total_written
     assert burst_fifo.total_read == word_fifo.total_read
+
+
+# ---------------------------------------------------------------------------
+# Word-vs-burst digest sweep across the burst-capable campaign workloads
+# ---------------------------------------------------------------------------
+#: Every workload honouring ``ScenarioSpec.burst``, with both halves of a
+#: pair where the mode changes scheduling.  The whole deterministic row —
+#: trace digest included — must be byte-identical word-vs-burst.
+BURST_SWEEP_SPECS = [
+    ScenarioSpec("wr", "writer_reader", mode="smart", depth=3),
+    ScenarioSpec("str", "streaming", mode="smart", depth=4,
+                 params={"n_blocks": 4, "words_per_block": 12}),
+    ScenarioSpec("str_ref", "streaming", mode="reference", depth=4,
+                 params={"n_blocks": 4, "words_per_block": 12}),
+    ScenarioSpec("video", "video", mode="smart", depth=4,
+                 params={"n_frames": 2, "macroblocks_per_frame": 8}),
+    ScenarioSpec("bursty", "bursty", mode="smart", depth=4, seed=3,
+                 params={"n_bursts": 4, "max_burst": 5}),
+    ScenarioSpec("random", "random_traffic", mode="smart", depth=3, seed=7,
+                 params={"item_count": 20, "monitor_samples": 4}),
+    ScenarioSpec("noc", "noc_stress", mode="smart", depth=4,
+                 params={"packets_per_stream": 3, "packet_size": 2}),
+    ScenarioSpec("fault", "fault_drop", mode="smart", depth=4),
+    ScenarioSpec("fault_ref", "fault_drop", mode="reference", depth=4),
+    ScenarioSpec("mixed", "mixed", mode="smart", depth=4),
+    ScenarioSpec("mixed_ref", "mixed", mode="reference", depth=4),
+    ScenarioSpec("packet", "packet_stream", mode="smart", depth=4,
+                 params={"packet_size": 2}),
+    ScenarioSpec("packet_ref", "packet_stream", mode="reference", depth=4,
+                 params={"packet_size": 2}),
+]
+
+
+@pytest.mark.parametrize(
+    "spec", BURST_SWEEP_SPECS, ids=lambda spec: spec.label
+)
+def test_burst_campaign_rows_bit_exact(spec):
+    """``burst=True`` is a pure speed knob at the campaign-row level: the
+    deterministic row (dates, kernel counters, extras and the reordered
+    trace digest) is byte-identical to the word-by-word run."""
+    word = execute_spec(spec, "digest").deterministic_row()
+    burst_spec = replace(spec, burst=True, params=dict(spec.params))
+    burst = execute_spec(burst_spec, "digest").deterministic_row()
+    assert burst == word
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,136 @@
+"""Property tests for the record-and-replay evaluator.
+
+The replay engine's contract is *exactness*: replaying one recorded
+anchor at any other (depth, quantum) point must reproduce, bit for bit,
+what a fresh scheduler run at that point would report — end date, kernel
+counters, per-FIFO totals and blocking waits, every per-word completion
+date and the final per-process local times.  These tests draw random
+retarget points for several workloads in both sync modes and diff the
+replay against a freshly recorded simulation of the same point.
+
+Local times are compared in registration order (``list(d.values())``):
+pids are numbered globally across simulators, so pid-keyed comparison
+would be wrong between two runs.  :func:`compare_replay_to_spool`
+encodes that rule; these tests go through it on purpose.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    MODE_REFERENCE,
+    MODE_SMART,
+    ReplayEvaluator,
+    ScenarioSpec,
+    compare_replay_to_spool,
+    record_spool,
+    run_replay_sweep,
+)
+from repro.replay import ReplayEngine
+
+#: Replayable workloads with small fixed sizes (kept modest: every
+#: hypothesis example runs two full simulations plus two replays).
+WORKLOADS = (
+    ("writer_reader", {"values": 5}),
+    ("streaming", {"n_blocks": 3, "words_per_block": 8}),
+    ("fault_drop", {"item_count": 16}),
+    ("mixed", {"item_count": 18}),
+)
+
+
+def _anchor(workload, params, mode, depth, quantum_ns=None, timing=None):
+    return ScenarioSpec(
+        name=f"prop_{workload}_{mode}",
+        workload=workload,
+        mode=mode,
+        depth=depth,
+        quantum_ns=quantum_ns,
+        timing=timing,
+        params=dict(params),
+    )
+
+
+def _assert_replay_matches_fresh(anchor, point):
+    """Record ``anchor``, replay it at ``point``, diff against a fresh run."""
+    spool, _ = record_spool(anchor)
+    assert spool.poison is None, spool.poison
+    evaluator = ReplayEvaluator(anchor, spool=spool)
+    replayed = evaluator.replay_point(point)
+
+    fresh_spool, _ = record_spool(point)
+    assert fresh_spool.poison is None, fresh_spool.poison
+    fresh_result = ReplayEngine(fresh_spool).self_check()
+    diffs = compare_replay_to_spool(replayed, fresh_spool, fresh_result)
+    assert not diffs, (
+        f"replay of {anchor.label} at {point.label} diverges: "
+        + "; ".join(diffs[:6])
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    index=st.integers(min_value=0, max_value=len(WORKLOADS) - 1),
+    mode=st.sampled_from((MODE_REFERENCE, MODE_SMART)),
+    anchor_depth=st.integers(min_value=1, max_value=12),
+    target_depth=st.integers(min_value=1, max_value=24),
+)
+def test_depth_retarget_matches_fresh_simulation(
+    index, mode, anchor_depth, target_depth
+):
+    """Any recorded anchor replayed at any depth == a fresh run there."""
+    workload, params = WORKLOADS[index]
+    anchor = _anchor(workload, params, mode, anchor_depth)
+    point = replace(
+        anchor,
+        name=f"{anchor.name}_d{target_depth}",
+        depth=target_depth,
+        params=dict(anchor.params),
+    )
+    _assert_replay_matches_fresh(anchor, point)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    anchor_depth=st.integers(min_value=1, max_value=12),
+    anchor_quantum_ns=st.sampled_from((1, 10, 100, 1000)),
+    target_quantum_ns=st.sampled_from((1, 5, 10, 50, 100, 1000, 100000)),
+)
+def test_quantum_retarget_matches_fresh_simulation(
+    anchor_depth, anchor_quantum_ns, target_quantum_ns
+):
+    """Quantum-decoupled anchors replay exactly at any other quantum."""
+    anchor = _anchor(
+        "streaming",
+        {"n_blocks": 3, "words_per_block": 8},
+        MODE_SMART,
+        anchor_depth,
+        quantum_ns=anchor_quantum_ns,
+        timing="quantum",
+    )
+    point = replace(
+        anchor,
+        name=f"{anchor.name}_q{target_quantum_ns}ns",
+        quantum_ns=target_quantum_ns,
+        params=dict(anchor.params),
+    )
+    _assert_replay_matches_fresh(anchor, point)
+
+
+@pytest.mark.parametrize("mode", (MODE_REFERENCE, MODE_SMART))
+@pytest.mark.parametrize(
+    "workload,params",
+    [(name, params) for name, params in WORKLOADS],
+)
+def test_full_sweep_validates_everywhere(workload, params, mode):
+    """The sweep driver cross-validates *every* point without a diff."""
+    anchor = _anchor(workload, params, mode, depth=4)
+    depths = (1, 2, 8, 16)
+    result = run_replay_sweep(anchor, depths=depths, validate=len(depths))
+    assert result.all_validated
+    assert len(result.validations) == len(depths)
+    replayed = [row for row in result.rows if row.evaluator == "replay"]
+    assert len(replayed) == len(depths)
+    assert all(row.name.startswith(anchor.name) for row in replayed)

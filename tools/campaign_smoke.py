@@ -1,13 +1,16 @@
 #!/usr/bin/env python
 """Campaign shard/merge smoke gate (used by ``make campaign-smoke`` and CI).
 
-Runs a small campaign four ways and asserts the scale-out invariant:
+Runs a small campaign five ways and asserts the scale-out invariant:
 
 1. unsharded, inline (the reference fingerprint);
 2. shard 0/2 and shard 1/2, each across 2 worker processes, streaming
    their rows to JSONL files;
 3. the merge of the two JSONL files;
-4. unsharded again with ``burst=True`` (span FIFO transfers).
+4. unsharded again with ``burst=True`` (span FIFO transfers);
+5. a record-and-replay sweep: one recorded anchor simulation, two
+   replayed depth points, one of them cross-validated against a fresh
+   simulation (must match bit for bit).
 
 The merged fingerprint must equal the unsharded one byte for byte — that
 is the property that makes multi-machine campaigns trustworthy.  The burst
@@ -27,7 +30,13 @@ from dataclasses import replace
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
-from repro.campaign import CampaignRunner, default_campaign, merge_jsonl  # noqa: E402
+from repro.campaign import (  # noqa: E402
+    CampaignRunner,
+    ScenarioSpec,
+    default_campaign,
+    merge_jsonl,
+    run_replay_sweep,
+)
 
 #: A fast subset of the default campaign covering old and new workloads.
 SMOKE_SPECS = (
@@ -132,6 +141,27 @@ def main(argv=None) -> int:
         )
         return 1
     print("[smoke] OK: burst=True reproduces the word-mode fingerprint")
+
+    print("[smoke] record-and-replay sweep (1 anchor, 2 replays, 1 validated)...")
+    anchor = ScenarioSpec(
+        name="smoke_replay_anchor",
+        workload="streaming",
+        mode="smart",
+        depth=4,
+        params={"n_blocks": 3, "words_per_block": 10},
+    )
+    sweep = run_replay_sweep(anchor, depths=(1, 16), validate=1)
+    replayed = sum(1 for row in sweep.rows if row.evaluator == "replay")
+    if replayed != 2 or not sweep.all_validated:
+        print(
+            "FAIL: replay sweep did not produce 2 validated replay rows",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"[smoke] OK: {replayed} replayed points, "
+        f"{len(sweep.validations)} cross-validated against a fresh simulation"
+    )
     return 0
 
 

@@ -138,17 +138,28 @@ def main(argv=None) -> int:
                 f"({baseline.get('label', '?')}); skipping its comparison — "
                 "it will be gated starting from the next baseline"
             )
-        regressions = [
+        advisory = getattr(bench_harness, "ADVISORY_METRICS", frozenset())
+        regressed = [
             row
             for row in rows
             if not math.isnan(row["speedup"])
             and row["speedup"] < 1.0 - args.threshold
         ]
-        for row in regressions:
-            print(
-                f"REGRESSION: {row['metric']} is {1 / row['speedup']:.2f}x "
-                f"worse than {baseline.get('label', 'baseline')}"
-            )
+        for row in regressed:
+            if row["metric"] in advisory:
+                print(
+                    f"ADVISORY: {row['metric']} is {1 / row['speedup']:.2f}x "
+                    f"worse than {baseline.get('label', 'baseline')} "
+                    "(advisory-only metric, not gated)"
+                )
+            else:
+                print(
+                    f"REGRESSION: {row['metric']} is {1 / row['speedup']:.2f}x "
+                    f"worse than {baseline.get('label', 'baseline')}"
+                )
+        regressions = [
+            row for row in regressed if row["metric"] not in advisory
+        ]
     else:
         print("no baseline BENCH_*.json found; skipping comparison")
 
