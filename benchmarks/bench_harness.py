@@ -47,6 +47,7 @@ from repro.campaign import (
     default_campaign,
     execute_spec,
     run_replay_sweep,
+    sweep_point_specs,
 )
 from repro.campaign.orchestrator import (
     Orchestrator,
@@ -92,6 +93,8 @@ METRICS: Dict[str, bool] = {
     "campaign.orchestrated_specs_per_s": True,
     "replay.points_per_s": True,
     "replay.speedup_vs_simulate": True,
+    "replay.conditional_points_per_s": True,
+    "campaign.auto_replay_sweep_specs_per_s": True,
 }
 
 #: Metrics reported in the comparison but exempt from the regression gate
@@ -124,6 +127,20 @@ FIG5_DEPTHS = (1, 4, 16, 64)
 #: the fully-buffered plateau, ~10^3).
 REPLAY_DEPTHS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 REPLAY_ANCHOR_DEPTH = 8
+
+#: Dense depth grid of the auto-routed campaign sweep: the point of
+#: --auto-replay is pricing *dense* grids, where the one-off recording and
+#: the sampled cross-validation amortise over many replayed points.
+AUTO_SWEEP_DEPTHS = tuple(sorted(set(
+    list(range(1, 17))
+    + [20, 24, 28, 32, 40, 48, 56, 64, 80, 96, 112, 128,
+       160, 192, 224, 256, 320, 384, 448, 512, 640, 768, 896, 1024]
+)))
+#: Default-campaign spec swept by the auto-replay scenario.  ``mixed``
+#: exercises blocking, non-blocking *and* query/peek probes, so its
+#: recording carries DEP_BRANCH records — the conditional-replay path —
+#: while still replaying across the whole grid.
+AUTO_SWEEP_ANCHOR = "mixed_d3"
 
 
 def _best_wall(func: Callable[[], object], repeats: int) -> Tuple[float, object]:
@@ -452,9 +469,32 @@ def bench_replay(repeats: int) -> Tuple[Dict[str, float], Dict[str, object]]:
     simulate_wall, _ = _best_wall(lambda: execute_spec(anchor, "digest"), repeats)
     replayed = sum(1 for row in result.rows if row.evaluator == "replay")
     per_point = result.replay_seconds / replayed
+
+    # Conditional twin: a workload whose recording carries DEP_BRANCH
+    # records (random traffic probes occupancy through nb accesses and a
+    # monitor), replayed inside its validity envelope.  Points the
+    # envelope refuses fall back to fresh simulation and are excluded
+    # from points_per_s, so the metric prices *replayed* points only.
+    conditional = ScenarioSpec(
+        name="bench_conditional_anchor",
+        workload="random_traffic",
+        mode=MODE_SMART,
+        depth=REPLAY_ANCHOR_DEPTH,
+        seed=3,
+    )
+
+    def conditional_sweep():
+        result = run_replay_sweep(conditional, depths=REPLAY_DEPTHS, validate=1)
+        if not result.all_validated:
+            raise AssertionError("replay: a validated conditional point diverged")
+        return result
+
+    cond_wall, cond = _best_wall(conditional_sweep, repeats)
+    cond_replayed = sum(1 for row in cond.rows if row.evaluator == "replay")
     metrics = {
         "replay.points_per_s": result.points_per_s,
         "replay.speedup_vs_simulate": simulate_wall / per_point,
+        "replay.conditional_points_per_s": cond.points_per_s,
     }
     detail = {
         "depths": list(REPLAY_DEPTHS),
@@ -467,6 +507,74 @@ def bench_replay(repeats: int) -> Tuple[Dict[str, float], Dict[str, object]]:
         "replay_wall_s": result.replay_seconds,
         "validate_wall_s": result.validate_seconds,
         "simulate_wall_s": simulate_wall,
+        "conditional": {
+            "workload": conditional.workload,
+            "seed": conditional.seed,
+            "sweep_wall_s": cond_wall,
+            "replayed_points": cond_replayed,
+            "invalid_points": [name for name, _ in cond.invalid_points],
+            "validated_points": len(cond.validations),
+            "replay_wall_s": cond.replay_seconds,
+            "simulate_fallback_wall_s": cond.simulate_seconds,
+        },
+    }
+    return metrics, detail
+
+
+# ---------------------------------------------------------------------------
+# Scenario: auto-routed campaign depth sweep
+# ---------------------------------------------------------------------------
+def bench_auto_replay(repeats: int) -> Tuple[Dict[str, float], Dict[str, object]]:
+    """Throughput of ``CampaignRunner(auto_replay=True)`` on a dense sweep.
+
+    The scenario expands one default-campaign spec (``AUTO_SWEEP_ANCHOR``)
+    over the ``AUTO_SWEEP_DEPTHS`` grid and runs it twice: once through
+    the auto-routing pass (one recorded anchor simulation, every
+    in-envelope point replayed, one sampled point cross-validated against
+    a fresh simulation) and once all-simulate.
+    ``campaign.auto_replay_sweep_specs_per_s`` is grid points per second
+    of the auto-routed run; ``detail["speedup_vs_all_simulate"]`` is the
+    end-to-end wall ratio the routing is accountable to — it folds in the
+    recording and validation overhead, unlike the per-point
+    ``replay.speedup_vs_simulate``.  The simulated rows of the two runs
+    must agree byte for byte (the --auto-replay correctness contract).
+    """
+    anchor = next(
+        spec for spec in default_campaign() if spec.name == AUTO_SWEEP_ANCHOR
+    )
+    specs = [anchor] + sweep_point_specs(anchor, depths=AUTO_SWEEP_DEPTHS)
+
+    def run_auto():
+        return CampaignRunner(
+            workers=1, paired=False, auto_replay=True
+        ).run(specs)
+
+    def run_plain():
+        return CampaignRunner(workers=1, paired=False).run(specs)
+
+    auto_wall, auto = _best_wall(run_auto, repeats)
+    plain_wall, plain = _best_wall(run_plain, repeats)
+    plain_rows = {row.name: row.deterministic_row() for row in plain.runs}
+    for row in auto.runs:
+        if row.evaluator == "simulate":
+            if row.deterministic_row() != plain_rows[row.name]:
+                raise AssertionError(
+                    f"auto-replay: simulated row {row.name} differs from "
+                    "the all-simulate run"
+                )
+    replayed = sum(1 for row in auto.runs if row.evaluator == "replay")
+    metrics = {
+        "campaign.auto_replay_sweep_specs_per_s": len(specs) / auto_wall,
+    }
+    detail = {
+        "anchor": anchor.name,
+        "grid_points": len(specs),
+        "replayed_points": replayed,
+        "simulated_points": len(specs) - replayed,
+        "auto_wall_s": auto_wall,
+        "all_simulate_wall_s": plain_wall,
+        "speedup_vs_all_simulate": plain_wall / auto_wall,
+        "simulated_rows_identical": True,
     }
     return metrics, detail
 
@@ -481,6 +589,7 @@ SCENARIOS = {
     "bench_campaign": bench_campaign,
     "bench_orchestrator": bench_orchestrator,
     "bench_replay_sweep": bench_replay,
+    "bench_auto_replay_sweep": bench_auto_replay,
 }
 
 

@@ -62,7 +62,7 @@ merged fingerprint is byte-identical to an unsharded single-pool run::
 from __future__ import annotations
 
 import argparse
-from dataclasses import replace
+import re
 from typing import List, Optional, Sequence, Tuple
 
 from ..campaign import (
@@ -321,9 +321,19 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--burst",
         action="store_true",
+        dest="burst",
+        default=True,
         help="run every spec with burst (span) FIFO transfers where the "
         "workload supports them; bit-exact with word-by-word accesses, so "
-        "the campaign fingerprint is identical — a pure speed knob",
+        "the campaign fingerprint is identical — a pure speed knob (now "
+        "the default; kept for compatibility)",
+    )
+    campaign.add_argument(
+        "--no-burst",
+        action="store_false",
+        dest="burst",
+        help="run the historical word-by-word FIFO transfers instead of "
+        "burst spans (bit-exact either way)",
     )
     campaign.add_argument(
         "--replay-sweep",
@@ -339,7 +349,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=_int_list,
         default=None,
         metavar="D1,D2,...",
-        help="with --replay-sweep: the FIFO depths to evaluate",
+        help="with --replay-sweep or --auto-replay: the FIFO depths to "
+        "evaluate (with --auto-replay, every selected spec is expanded "
+        "into one point per depth)",
     )
     campaign.add_argument(
         "--sweep-quanta",
@@ -354,9 +366,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="with --replay-sweep: cross-validate N sampled replayed "
-        "points against fresh simulations (0 = trust the anchor "
-        "self-check)",
+        help="with --replay-sweep / --auto-replay: cross-validate N "
+        "sampled replayed points against fresh simulations (0 = trust "
+        "the anchor self-check)",
+    )
+    campaign.add_argument(
+        "--auto-replay",
+        action="store_true",
+        help="route specs sharing an anchor (same identity modulo "
+        "depth/quantum) through record-and-replay: the group's first "
+        "spec is simulated once with a recorder, every other member is "
+        "priced by replay (rows tagged evaluator=replay); poisoned "
+        "recordings and out-of-envelope points fall back to plain "
+        "simulation; paired specs are never routed (pairs diff traces); "
+        "combine with --sweep-depths/--sweep-quanta to expand each "
+        "selected spec into a sweep grid first",
     )
     campaign.add_argument(
         "--list", action="store_true", help="list the specs and exit"
@@ -543,7 +567,7 @@ def _campaign_output(result) -> tuple:
 
 def _run_replay_sweep(args: argparse.Namespace) -> tuple:
     """The ``campaign --replay-sweep`` body: record once, replay the sweep."""
-    specs = default_campaign()
+    specs = default_campaign(burst=args.burst)
     by_name = {spec.name: spec for spec in specs}
     if args.replay_sweep not in by_name:
         raise SystemExit(
@@ -551,8 +575,6 @@ def _run_replay_sweep(args: argparse.Namespace) -> tuple:
             f"known: {', '.join(sorted(by_name))}"
         )
     anchor = by_name[args.replay_sweep]
-    if args.burst:
-        anchor = replace(anchor, burst=True, params=dict(anchor.params))
     depths = args.sweep_depths or []
     quanta = args.sweep_quanta or []
     if not depths and not quanta:
@@ -568,6 +590,23 @@ def _run_replay_sweep(args: argparse.Namespace) -> tuple:
             trace_sink=args.trace_sink,
         )
     except ReplayError as exc:
+        poisoned = re.match(
+            r"recording is not replayable: (?P<construct>.+?)"
+            r"(?: \[in process (?P<process>.+?)\])?$",
+            str(exc),
+        )
+        if poisoned is not None:
+            construct = poisoned.group("construct")
+            process = poisoned.group("process") or "<unknown>"
+            raise SystemExit(
+                f"spec {anchor.name!r} cannot be replay-swept: its "
+                f"recording was poisoned by `{construct}` in process "
+                f"{process!r}.  That construct's behaviour depends on "
+                f"state the recorder cannot pin, so replayed sweeps would "
+                f"be unsound.  Price this spec by plain simulation "
+                f"(drop --replay-sweep), or use --auto-replay, which "
+                f"falls back to simulation for exactly these specs."
+            )
         raise SystemExit(f"replay sweep failed: {exc}")
     if args.jsonl:
         row_specs = [anchor] + sweep_point_specs(anchor, depths, quanta)
@@ -597,9 +636,18 @@ def _run_replay_sweep(args: argparse.Namespace) -> tuple:
 
 
 def run_campaign(args: argparse.Namespace) -> str:
-    if (args.sweep_depths or args.sweep_quanta) and not args.replay_sweep:
+    if (args.sweep_depths or args.sweep_quanta) and not (
+        args.replay_sweep or args.auto_replay
+    ):
         raise SystemExit(
-            "--sweep-depths/--sweep-quanta are only read by --replay-sweep"
+            "--sweep-depths/--sweep-quanta are only read by "
+            "--replay-sweep and --auto-replay"
+        )
+    if args.replay_sweep and args.auto_replay:
+        raise SystemExit(
+            "--replay-sweep (one explicit anchor) and --auto-replay "
+            "(grouping over the campaign) are two drivers of the same "
+            "engine; pick one"
         )
     if args.replay_sweep:
         conflicting = [
@@ -666,7 +714,7 @@ def run_campaign(args: argparse.Namespace) -> str:
         if args.csv:
             write_csv(result.run_rows(), args.csv)
         return _campaign_output(result)
-    specs = default_campaign()
+    specs = default_campaign(burst=args.burst)
     if args.specs:
         wanted = [name.strip() for name in args.specs.split(",") if name.strip()]
         by_name = {spec.name: spec for spec in specs}
@@ -677,11 +725,24 @@ def run_campaign(args: argparse.Namespace) -> str:
                 f"known: {', '.join(sorted(by_name))}"
             )
         specs = [by_name[name] for name in wanted]
-    if args.burst:
-        specs = [
-            replace(spec, burst=True, params=dict(spec.params))
-            for spec in specs
-        ]
+    if args.auto_replay and (args.sweep_depths or args.sweep_quanta):
+        # Expand each selected spec into its sweep grid; the runner's
+        # auto-replay pass then records each spec once and replays its
+        # grid points.
+        expanded = []
+        for spec in specs:
+            expanded.append(spec)
+            try:
+                expanded.extend(
+                    sweep_point_specs(
+                        spec,
+                        depths=args.sweep_depths or (),
+                        quanta_ns=args.sweep_quanta or (),
+                    )
+                )
+            except ReplayError as exc:
+                raise SystemExit(f"cannot expand {spec.name!r}: {exc}")
+        specs = expanded
     if args.list:
         rows = describe_specs(specs)
         if args.csv:
@@ -710,6 +771,8 @@ def run_campaign(args: argparse.Namespace) -> str:
         shard_by_cost=args.shard_by_cost is not None,
         cost_model=cost_model, budget=budget,
         trace_sink=args.trace_sink, trace_out=args.trace_out,
+        auto_replay=args.auto_replay,
+        auto_replay_validate=args.validate,
     )
     try:
         result = runner.run(specs, jsonl=args.jsonl, resume=args.resume)

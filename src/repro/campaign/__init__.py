@@ -42,6 +42,7 @@ from .evaluators import (
     ValidationRecord,
     compare_replay_to_spool,
     record_spool,
+    replay_group_key,
     run_replay_sweep,
     sweep_point_specs,
 )
@@ -94,6 +95,7 @@ __all__ = [
     "ValidationRecord",
     "compare_replay_to_spool",
     "record_spool",
+    "replay_group_key",
     "run_replay_sweep",
     "sweep_point_specs",
     "RunBudget",

@@ -26,6 +26,7 @@ subset.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass, field, replace
@@ -38,7 +39,7 @@ from ..kernel.tracing import (
     make_sink,
     trace_lines_digest,
 )
-from ..replay import ReplayEngine, ReplayError, ReplayResult
+from ..replay import ReplayEngine, ReplayError, ReplayInvalid, ReplayResult
 from .runner import DEFAULT_TRACE_SINK, SpecRunRecord, _record_from, execute_spec
 from .scenarios import build_scenario
 from .spec import ScenarioSpec
@@ -196,6 +197,24 @@ class ReplayEvaluator(Evaluator):
         return replay_record(spec, result, time.perf_counter() - start)
 
 
+def replay_group_key(spec: ScenarioSpec) -> Tuple[object, ...]:
+    """Spec identity modulo name/depth/quantum.
+
+    Two specs with equal keys describe the same workload program evaluated
+    at different sweep points, so they can share one recorded anchor — the
+    grouping rule of the campaign's ``--auto-replay`` routing (and exactly
+    the fields :meth:`ReplayEvaluator._check_point` pins).
+    """
+    return (
+        spec.workload,
+        spec.mode,
+        spec.seed,
+        spec.timing,
+        spec.burst,
+        json.dumps(spec.params, sort_keys=True, default=str),
+    )
+
+
 # ---------------------------------------------------------------------------
 # Sweep driver: 1 simulation + N replays (+ sampled cross-validation)
 # ---------------------------------------------------------------------------
@@ -245,6 +264,7 @@ def compare_replay_to_spool(
     replayed: ReplayResult,
     fresh: DependencySpool,
     fresh_result: Optional[ReplayResult] = None,
+    strict: bool = False,
 ) -> List[str]:
     """Differences between a replayed point and a fresh recorded run.
 
@@ -252,6 +272,12 @@ def compare_replay_to_spool(
     waits, the final per-process local dates (in registration order —
     pids are numbered globally, so keys differ across runs) and, when
     ``fresh_result`` is given, every per-word completion date.
+
+    ``strict`` marks a method-pinned replay: such replays adopt the
+    anchor's kernel activity counters, which can drift sub-observably in
+    a fresh run (external notification arming is depth-dependent
+    scheduling noise), so only the paper's observables — dates, traffic,
+    blocking, end date, local times — are compared.
     """
     diffs: List[str] = []
     if replayed.sim_end_fs != fresh.sim_end_fs:
@@ -259,7 +285,11 @@ def compare_replay_to_spool(
             f"sim_end_fs: replay {replayed.sim_end_fs} != "
             f"fresh {fresh.sim_end_fs}"
         )
-    for key in ("thread_activations", "delta_cycles", "timed_phases"):
+    counter_keys = (
+        () if strict
+        else ("thread_activations", "delta_cycles", "timed_phases")
+    )
+    for key in counter_keys:
         mine, theirs = getattr(replayed, key), fresh.stats[key]
         if mine != theirs:
             diffs.append(f"{key}: replay {mine} != fresh {theirs}")
@@ -298,6 +328,11 @@ class ReplaySweepResult:
     record_seconds: float
     replay_seconds: float
     validate_seconds: float
+    #: ``(point name, reason)`` for points outside the validity envelope,
+    #: priced by a fresh simulation instead of a replay.
+    invalid_points: List[Tuple[str, str]] = field(default_factory=list)
+    #: Wall time of the fresh-simulation fallbacks (0.0 when none).
+    simulate_seconds: float = 0.0
 
     @property
     def all_validated(self) -> bool:
@@ -356,6 +391,12 @@ def run_replay_sweep(
     local times.  Any difference raises :class:`~repro.replay.ReplayError`
     with the full diff; a sweep that validates is exact on the sampled
     subset by checking, and exact everywhere by the engine's construction.
+
+    Points outside the recording's validity envelope
+    (:class:`~repro.replay.ReplayInvalid` — a recorded branch outcome is
+    not reproducible at that depth/quantum) fall back to a fresh
+    simulation for exactly those points: their rows are plain simulated
+    rows and the refusals are reported in ``invalid_points``.
     """
     start = time.perf_counter()
     evaluator = ReplayEvaluator(anchor, trace_sink=trace_sink)
@@ -364,19 +405,37 @@ def run_replay_sweep(
     assert anchor_record is not None
 
     points = sweep_point_specs(anchor, depths, quanta_ns)
-    rows: List[SpecRunRecord] = [anchor_record]
-    results: List[ReplayResult] = []
+    rows: List[Optional[SpecRunRecord]] = [anchor_record]
+    results: List[Optional[ReplayResult]] = []
+    invalid_points: List[Tuple[str, str]] = []
+    fallbacks: List[Tuple[int, ScenarioSpec]] = []
     start = time.perf_counter()
     for point in points:
         t0 = time.perf_counter()
-        result = evaluator.replay_point(point)
+        try:
+            result = evaluator.replay_point(point)
+        except ReplayInvalid as exc:
+            invalid_points.append((point.name, str(exc)))
+            fallbacks.append((len(rows), point))
+            rows.append(None)
+            results.append(None)
+            continue
         rows.append(replay_record(point, result, time.perf_counter() - t0))
         results.append(result)
     replay_seconds = time.perf_counter() - start
 
+    start = time.perf_counter()
+    for row_index, point in fallbacks:
+        rows[row_index] = execute_spec(point, trace_sink)
+    simulate_seconds = time.perf_counter() - start
+
+    replayed_indices = [
+        index for index, result in enumerate(results) if result is not None
+    ]
     validations: List[ValidationRecord] = []
     start = time.perf_counter()
-    for index in _validation_sample(len(points), validate):
+    for picked in _validation_sample(len(replayed_indices), validate):
+        index = replayed_indices[picked]
         point = points[index]
         fresh_spool, _ = record_spool(point, trace_sink)
         if fresh_spool.poison is not None:
@@ -385,7 +444,10 @@ def run_replay_sweep(
                 f"{fresh_spool.poison}"
             )
         fresh_result = ReplayEngine(fresh_spool).self_check()
-        diffs = compare_replay_to_spool(results[index], fresh_spool, fresh_result)
+        diffs = compare_replay_to_spool(
+            results[index], fresh_spool, fresh_result,
+            strict=evaluator.engine.strict,
+        )
         validations.append(ValidationRecord(point.name, not diffs, diffs))
         if diffs:
             raise ReplayError(
@@ -401,4 +463,6 @@ def run_replay_sweep(
         record_seconds=record_seconds,
         replay_seconds=replay_seconds,
         validate_seconds=validate_seconds,
+        invalid_points=invalid_points,
+        simulate_seconds=simulate_seconds,
     )

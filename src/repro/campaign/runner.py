@@ -1149,6 +1149,28 @@ class CampaignRunner:
         Optional directory receiving one reordered trace file per run
         (``<spec>.<mode>.trace``); requires a spool-backed sink
         (``trace_sink="spool"``).
+    auto_replay:
+        When True, specs sharing an anchor (identical spec identity modulo
+        name/depth/quantum — see
+        :func:`~repro.campaign.evaluators.replay_group_key`) are routed
+        through record-and-replay: the group's first spec is simulated
+        once with a dependency recorder (its row is byte-identical to a
+        plain simulation — recording only observes) and every other member
+        is priced by replaying the spool (rows tagged
+        ``"evaluator": "replay"``).  A group whose recording is poisoned,
+        and any point outside the recording's validity envelope
+        (:class:`~repro.replay.ReplayInvalid`), falls back to plain
+        simulation — auto-replay never changes *which* rows exist, only
+        how the eligible ones were computed.  Specs that would run as
+        pairs are never routed (a pair diffs traces; replay produces
+        none).  The routing pass runs inline in the parent — replay is an
+        order of magnitude cheaper than simulation — and is therefore not
+        covered by ``budget``.
+    auto_replay_validate:
+        With ``auto_replay``: cross-validate this many replayed points per
+        group (evenly spaced) against fresh recorded simulations; any
+        divergence raises :class:`~repro.replay.ReplayError`.  ``0``
+        trusts the anchor self-check.
     """
 
     def __init__(
@@ -1162,6 +1184,8 @@ class CampaignRunner:
         shard_by_cost: bool = False,
         cost_model: Optional[CostModel] = None,
         budget: Optional[RunBudget] = None,
+        auto_replay: bool = False,
+        auto_replay_validate: int = 1,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -1187,6 +1211,10 @@ class CampaignRunner:
             raise ValueError(
                 f"trace_out requires trace_sink='spool', got {trace_sink!r}"
             )
+        if auto_replay_validate < 0:
+            raise ValueError(
+                f"auto_replay_validate must be >= 0, got {auto_replay_validate}"
+            )
         self.workers = workers
         self.paired = paired
         self.mp_start_method = mp_start_method
@@ -1196,6 +1224,8 @@ class CampaignRunner:
         self.budget = budget
         self.trace_sink = trace_sink
         self.trace_out = trace_out
+        self.auto_replay = auto_replay
+        self.auto_replay_validate = auto_replay_validate
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -1207,6 +1237,79 @@ class CampaignRunner:
         so shards are balanced regardless of how the campaign groups
         expensive specs)."""
         return list(specs[index::count])
+
+    # ------------------------------------------------------------------
+    def _auto_replay_pass(self, specs: Sequence[ScenarioSpec], sink=None):
+        """Route sweep groups through record-and-replay (see ``auto_replay``).
+
+        Returns ``(remaining_specs, rows)``: the specs that must still be
+        simulated by the normal job path, and the rows produced here (one
+        plain simulated row per recorded anchor, one replay-tagged row per
+        successfully replayed point).  Persisted to ``sink`` immediately,
+        like pool results.
+        """
+        # Imported here: evaluators imports execute_spec/_record_from from
+        # this module, so a module-level import would be circular.
+        from ..replay import ReplayEngine, ReplayError, ReplayInvalid
+        from .evaluators import (
+            ReplayEvaluator,
+            _validation_sample,
+            compare_replay_to_spool,
+            record_spool,
+            replay_group_key,
+            replay_record,
+        )
+
+        groups: Dict[Tuple[object, ...], List[ScenarioSpec]] = {}
+        for spec in specs:
+            if self.paired and spec_is_pairable(spec):
+                continue  # pairs diff traces; replay rows carry none
+            groups.setdefault(replay_group_key(spec), []).append(spec)
+        routed: Dict[str, SpecRunRecord] = {}
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            anchor = members[0]
+            try:
+                evaluator = ReplayEvaluator(anchor, trace_sink=self.trace_sink)
+            except ReplayError:
+                # Poisoned recording or failed self-check: the whole group
+                # stays on the simulation path.
+                continue
+            assert evaluator.anchor_record is not None
+            routed[anchor.name] = evaluator.anchor_record
+            replayed: List[Tuple[ScenarioSpec, object]] = []
+            for point in members[1:]:
+                start = time.perf_counter()
+                try:
+                    result = evaluator.replay_point(point)
+                except ReplayInvalid:
+                    continue  # outside the validity envelope: simulate it
+                routed[point.name] = replay_record(
+                    point, result, time.perf_counter() - start
+                )
+                replayed.append((point, result))
+            for picked in _validation_sample(
+                len(replayed), self.auto_replay_validate
+            ):
+                point, result = replayed[picked]
+                fresh_spool, _ = record_spool(point, self.trace_sink)
+                fresh_result = ReplayEngine(fresh_spool).self_check()
+                diffs = compare_replay_to_spool(
+                    result, fresh_spool, fresh_result,
+                    strict=evaluator.engine.strict,
+                )
+                if diffs:
+                    raise ReplayError(
+                        f"auto-replayed point {point.label} diverges from a "
+                        f"fresh simulation: " + "; ".join(diffs[:6])
+                    )
+        rows = [routed[spec.name] for spec in specs if spec.name in routed]
+        if sink is not None:
+            for row in rows:
+                sink.run_completed(row)
+        remaining = [spec for spec in specs if spec.name not in routed]
+        return remaining, rows
 
     # ------------------------------------------------------------------
     def _execute(self, specs: Sequence[ScenarioSpec], mapper, sink=None):
@@ -1395,6 +1498,9 @@ class CampaignRunner:
                     self.shard, shard_by_cost=self.shard_by_cost,
                 )
             specs = todo
+            replay_rows: List[SpecRunRecord] = []
+            if self.auto_replay and specs:
+                specs, replay_rows = self._auto_replay_pass(specs, sink=sink)
             if self.budget is not None and self.budget.active and specs:
                 # Budgeted execution always runs jobs in killable child
                 # processes (even at workers=1): enforcing a wall-clock
@@ -1438,7 +1544,7 @@ class CampaignRunner:
         # (runs are deterministic); keep the recovered copies so the
         # aggregate matches the persisted file exactly, and drop the
         # re-executed duplicates of partially complete specs.
-        runs = done_runs + [
+        runs = done_runs + replay_rows + [
             record for record in runs
             if (record.name, record.mode) not in seen_runs
         ]

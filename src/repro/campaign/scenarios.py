@@ -34,6 +34,7 @@ contract:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List
 
 from ..kernel.simtime import TimeUnit
@@ -243,7 +244,7 @@ def build_contention(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
             "its oracle is ArbiterContentionScenario.verify"
         )
     config = _config_from_spec(ContentionConfig, spec)
-    scenario = ArbiterContentionScenario(sim, config)
+    scenario = ArbiterContentionScenario(sim, config, burst=spec.burst)
 
     def verify() -> None:
         scenario.verify()
@@ -413,8 +414,13 @@ def build_scenario(sim: Simulator, spec: ScenarioSpec) -> BuiltScenario:
 # ---------------------------------------------------------------------------
 # The default campaign
 # ---------------------------------------------------------------------------
-def default_campaign() -> List[ScenarioSpec]:
+def default_campaign(burst: bool = True) -> List[ScenarioSpec]:
     """The stock sweep: every registered workload, several depths/seeds.
+
+    ``burst=True`` (the default since every workload honours the span
+    helpers) runs the specs with burst FIFO transfers — bit-exact with the
+    word-by-word schedule, so fingerprints are unchanged; pass
+    ``burst=False`` (CLI: ``--no-burst``) for the historical word loops.
 
     19 specs; the 15 pairable ones double as the Section IV-A equivalence
     battery (reference vs Smart trace diff) — including the NoC router
@@ -427,7 +433,7 @@ def default_campaign() -> List[ScenarioSpec]:
     and the case-study benchmark, which compare finish dates rather than
     traces).
     """
-    return [
+    specs = [
         ScenarioSpec("writer_reader_d1", "writer_reader", depth=1),
         ScenarioSpec("writer_reader_d4", "writer_reader", depth=4,
                      params={"values": 6}),
@@ -461,3 +467,9 @@ def default_campaign() -> List[ScenarioSpec]:
         ScenarioSpec("soc_2x64", "soc", depth=8,
                      params={"n_chains": 2, "items_per_chain": 64}),
     ]
+    if burst:
+        specs = [
+            replace(spec, burst=True, params=dict(spec.params))
+            for spec in specs
+        ]
+    return specs

@@ -27,19 +27,28 @@ monotonic and they need no date arbitration in the first place.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Union
+from typing import Any, List, Optional, Sequence, Union
 
 from ..kernel.errors import FifoError
 from ..kernel.module import Module
+from ..kernel.process import WaitEvent
 from ..kernel.simtime import SimTime, ZERO_TIME, as_time
 from ..kernel.simulator import Simulator
+from ..kernel.tracing import DEP_SMART_READ, DEP_SMART_WRITE
+from ..td.decoupling import sync
 from ..td.local_time import get_local_time_manager
 from .cells import NEVER
 from .interfaces import FifoReaderInterface, FifoWriterInterface
+from .smart_fifo import SmartFifo
 
 
 class _SideArbiter(Module):
     """Common machinery: serialize accesses by raising late callers."""
+
+    #: Which FIFO side the arbiter fronts: 0 = write, 1 = read (set by the
+    #: concrete subclasses; recorded with the arbiter registration so the
+    #: replay engine knows which capacity wait precedes each grant).
+    _SIDE = -1
 
     def __init__(
         self,
@@ -77,6 +86,18 @@ class _SideArbiter(Module):
         #: Local dates (fs) at which accesses were granted, in grant order;
         #: ``None`` unless ``record_grants`` was requested.
         self.grant_dates_fs: Optional[List[int]] = [] if record_grants else None
+        # Dependency recording (record-and-replay): the port-free arithmetic
+        # of every grant is replayed from the spool, so the arbiter registers
+        # itself alongside the FIFO it fronts.
+        recorder = self.sim.dep_recorder
+        if recorder is not None:
+            self._dep = recorder
+            self._arb_idx = recorder.register_arbiter(
+                self, getattr(fifo, "_dep_idx", -1), self._SIDE
+            )
+        else:
+            self._dep = None
+            self._arb_idx = -1
 
     def set_access_duration(self, duration, unit=None) -> None:
         self.access_duration = as_time(duration) if unit is None else as_time(duration, unit)
@@ -99,6 +120,10 @@ class _SideArbiter(Module):
         if self.grant_dates_fs is not None:
             self.grant_dates_fs.append(local_fs)
         self._port_free_fs = local_fs + self.access_duration.femtoseconds
+        if self._dep is not None:
+            self._dep.grant(
+                self._arb_idx, local_fs, self.access_duration.femtoseconds
+            )
 
     def _grant_snapshot(self):
         """State to restore with :meth:`_rollback_grant` if a non-blocking
@@ -146,6 +171,8 @@ class _SideArbiter(Module):
 class WriteArbiter(_SideArbiter, FifoWriterInterface):
     """Serializes several writer processes in front of one FIFO write side."""
 
+    _SIDE = 0
+
     def write(self, data: Any):
         # Block for a free cell *before* granting the port: a grant taken
         # while the FIFO is full would be overtaken (at a later date) by
@@ -159,12 +186,65 @@ class WriteArbiter(_SideArbiter, FifoWriterInterface):
         yield from self.fifo.write(data)
 
     def nb_write(self, data: Any) -> bool:
+        if self._dep is not None:
+            # A refused non-blocking write rolls the grant bookkeeping back,
+            # but the grant record already landed in the spool and cannot be
+            # unrecorded — the stream would replay a grant that never held.
+            self._dep.poison(
+                f"nb_write through arbiter {self.full_name}"
+            )
         snapshot = self._grant_snapshot()
         self._grant()
         if self.fifo.nb_write(data):
             return True
         self._rollback_grant(snapshot)
         return False
+
+    def write_burst(self, words: Sequence[Any], gap_fs=0, dates_out=None):
+        """Burst write through the arbiter: the word algorithm flattened
+        into one generator frame.
+
+        A true span is unsound here: a mid-burst capacity block suspends
+        this writer while competing writers take grants and move the
+        port-free date, so every word must wait/grant/write individually.
+        The win is structural — one generator frame and one Python loop for
+        the whole burst instead of three frames per word.  ``gap_fs``
+        (constant, or one entry per word) advances the caller's local date
+        after each word, exactly like an ``advance`` after each word-loop
+        access; bit-exact with that loop by construction.
+        """
+        n = len(words)
+        gap_const, gaps = SmartFifo._span_gaps(gap_fs, n, "write")
+        fifo = self.fifo
+        dep = self._dep
+        fifo_idx = getattr(fifo, "_dep_idx", -1)
+        cells = fifo._cells
+        depth = cells.depth
+        process = self.sim.scheduler.current_process
+        manager = get_local_time_manager(self.sim)
+        for i in range(n):
+            # wait_writable, inlined (same records, same counters).
+            if dep is not None:
+                dep.wait_cap(fifo_idx, 0)
+            while cells.busy_count == depth:
+                fifo.blocking_waits += 1
+                fifo._blocked_writers += 1
+                try:
+                    yield from sync(sim=self.sim)
+                    if cells.busy_count == depth:
+                        yield WaitEvent(fifo._cell_freed)
+                finally:
+                    fifo._blocked_writers -= 1
+            self._grant()
+            fifo._do_write(process, manager, words[i])
+            if dep is not None:
+                dep.word(DEP_SMART_WRITE, fifo_idx, fifo._last_write_fs)
+            if dates_out is not None:
+                dates_out.append(fifo._last_write_fs)
+            gap = gap_const if gaps is None else gaps[i]
+            manager.advance_fs(process, gap)
+            if dep is not None:
+                dep.inc(gap)
 
     def is_full(self) -> bool:
         return self.fifo.is_full()
@@ -176,6 +256,8 @@ class WriteArbiter(_SideArbiter, FifoWriterInterface):
 
 class ReadArbiter(_SideArbiter, FifoReaderInterface):
     """Serializes several reader processes in front of one FIFO read side."""
+
+    _SIDE = 1
 
     def read(self):
         # Symmetric to WriteArbiter.write: wait for a busy cell first, then
@@ -189,6 +271,12 @@ class ReadArbiter(_SideArbiter, FifoReaderInterface):
         return data
 
     def nb_read(self):
+        if self._dep is not None:
+            # See WriteArbiter.nb_write: the rollback cannot unrecord the
+            # grant, so the non-blocking path stays non-replayable.
+            self._dep.poison(
+                f"nb_read through arbiter {self.full_name}"
+            )
         snapshot = self._grant_snapshot()
         self._grant()
         try:
@@ -196,6 +284,44 @@ class ReadArbiter(_SideArbiter, FifoReaderInterface):
         except Exception:
             self._rollback_grant(snapshot)
             raise
+
+    def read_burst(self, count: int, gap_fs=0, dates_out=None):
+        """Burst read through the arbiter (see :meth:`WriteArbiter.write_burst`).
+
+        Returns the ``count`` words read, like repeated :meth:`read` calls.
+        """
+        gap_const, gaps = SmartFifo._span_gaps(gap_fs, count, "read")
+        fifo = self.fifo
+        dep = self._dep
+        fifo_idx = getattr(fifo, "_dep_idx", -1)
+        cells = fifo._cells
+        process = self.sim.scheduler.current_process
+        manager = get_local_time_manager(self.sim)
+        words: List[Any] = []
+        for i in range(count):
+            # wait_readable, inlined (same records, same counters).
+            if dep is not None:
+                dep.wait_cap(fifo_idx, 1)
+            while cells.busy_count == 0:
+                fifo.blocking_waits += 1
+                fifo._blocked_readers += 1
+                try:
+                    yield from sync(sim=self.sim)
+                    if cells.busy_count == 0:
+                        yield WaitEvent(fifo._cell_filled)
+                finally:
+                    fifo._blocked_readers -= 1
+            self._grant()
+            words.append(fifo._do_read(process, manager))
+            if dep is not None:
+                dep.word(DEP_SMART_READ, fifo_idx, fifo._last_read_fs)
+            if dates_out is not None:
+                dates_out.append(fifo._last_read_fs)
+            gap = gap_const if gaps is None else gaps[i]
+            manager.advance_fs(process, gap)
+            if dep is not None:
+                dep.inc(gap)
+        return words
 
     def is_empty(self) -> bool:
         return self.fifo.is_empty()

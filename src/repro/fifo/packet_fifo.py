@@ -30,6 +30,13 @@ from typing import Any, List, Union
 from ..kernel.errors import FifoError
 from ..kernel.module import Module
 from ..kernel.simulator import Simulator
+from ..kernel.tracing import (
+    BR_NB_READ,
+    BR_PKT_AVAILABLE,
+    BR_PKT_SPACE,
+    DEP_SMART_READ,
+    DEP_SMART_WRITE,
+)
 from .smart_fifo import SmartFifo
 
 
@@ -53,6 +60,10 @@ class PacketSmartFifo(SmartFifo):
                 f"packet size {packet_size} cannot exceed the FIFO depth {depth}"
             )
         self.packet_size = packet_size
+        if self._dep is not None:
+            # The packet-level probes are verified against the replayed cell
+            # ring, which needs the packet size alongside the depth.
+            self._dep.annotate_fifo(self._dep_idx, packet_size=packet_size)
         #: When True the packet-level accesses delegate to the burst (span)
         #: APIs instead of per-word loops — bit-exact dates, fewer Python
         #: dispatches per packet.
@@ -87,6 +98,10 @@ class PacketSmartFifo(SmartFifo):
                 yield from self.write(word)
             else:
                 self._do_write(self._scheduler.current_process, self._manager, word)
+                if self._dep is not None:
+                    self._dep.word(
+                        DEP_SMART_WRITE, self._dep_idx, self._last_write_fs
+                    )
         # Count the packet only once the last word has landed: an exception
         # (or an abandoned generator) mid-packet must not leave the counter
         # claiming a full transfer.
@@ -110,6 +125,10 @@ class PacketSmartFifo(SmartFifo):
                 word = yield from self.read()
             else:
                 word = self._do_read(self._scheduler.current_process, self._manager)
+                if self._dep is not None:
+                    self._dep.word(
+                        DEP_SMART_READ, self._dep_idx, self._last_read_fs
+                    )
             words.append(word)
         self.packets_read += 1
         return words
@@ -132,6 +151,8 @@ class PacketSmartFifo(SmartFifo):
         cells = self._cells
         size = self.packet_size
         if cells.head_busy_inserted_by(size, date_fs):
+            if self._dep is not None:
+                self._dep.branch(BR_PKT_AVAILABLE, self._dep_idx, 1, date_fs)
             return True
         # Re-arm the not_empty event at the date the head packet completes,
         # if all of its words are already internally present.
@@ -140,6 +161,8 @@ class PacketSmartFifo(SmartFifo):
             self._notify_external(
                 self._not_empty_event, completion_fs, forced=True
             )
+        if self._dep is not None:
+            self._dep.branch(BR_PKT_AVAILABLE, self._dep_idx, 0, date_fs)
         return False
 
     def nb_read_packet(self) -> List[Any]:
@@ -157,14 +180,20 @@ class PacketSmartFifo(SmartFifo):
             )
         if self.burst_packets:
             # The guard promises the head packet_size words are available,
-            # so the span drains the full packet in one pop_span.
+            # so the span drains the full packet in one pop_span (which
+            # records the per-word drained branches itself).
             words = self.nb_read_burst(self.packet_size)
         else:
             process = self._scheduler.current_process
             manager = self._manager
-            words = [
-                self._do_read(process, manager) for _ in range(self.packet_size)
-            ]
+            dep = self._dep
+            words = []
+            for _ in range(self.packet_size):
+                words.append(self._do_read(process, manager))
+                if dep is not None:
+                    dep.branch(
+                        BR_NB_READ, self._dep_idx, 1, self._last_read_fs
+                    )
         # Count the packet only once the last word is out: a raise above
         # must never leave the counters claiming a transfer.
         self.packets_read += 1
@@ -181,12 +210,16 @@ class PacketSmartFifo(SmartFifo):
         cells = self._cells
         size = self.packet_size
         if cells.head_free_freed_by(size, date_fs):
+            if self._dep is not None:
+                self._dep.branch(BR_PKT_SPACE, self._dep_idx, 1, date_fs)
             return True
         # Arm the not_full event at the date the head room really exists,
         # when those frees were already performed internally.
         ready_fs = cells.head_free_ready_fs(size)
         if ready_fs > date_fs:
             self._notify_external(self._not_full_event, ready_fs, forced=True)
+        if self._dep is not None:
+            self._dep.branch(BR_PKT_SPACE, self._dep_idx, 0, date_fs)
         return False
 
     # ------------------------------------------------------------------

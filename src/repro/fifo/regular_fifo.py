@@ -27,7 +27,16 @@ from ..kernel.module import Module
 from ..kernel.process import WaitEvent
 from ..kernel.simtime import ZERO_TIME
 from ..kernel.simulator import Simulator
-from ..kernel.tracing import DEP_REG_READ, DEP_REG_WRITE
+from ..kernel.tracing import (
+    BR_REG_IS_EMPTY,
+    BR_REG_IS_FULL,
+    BR_REG_NB_READ,
+    BR_REG_NB_WRITE,
+    BR_REG_PEEK,
+    BR_REG_SIZE,
+    DEP_REG_READ,
+    DEP_REG_WRITE,
+)
 from .interfaces import FifoInterface, _require_plain_burst
 
 
@@ -78,12 +87,29 @@ class RegularFifo(Module, FifoInterface):
     def get_size(self):
         """Blocking-style size query (generator for interface uniformity)."""
         yield from ()
+        if self._dep is not None:
+            self._record_probe(BR_REG_SIZE)
         return len(self._items)
+
+    def _record_probe(self, construct: int) -> None:
+        """Record one occupancy probe (record-and-replay).
+
+        The *occupancy seen* is recorded as the outcome — exact-occupancy
+        matching is what lets the replay engine order pinned method
+        accesses deterministically; the boolean the caller branched on is
+        recomputed from it (and from the replayed depth) at verify time.
+        """
+        self._dep.branch(
+            construct, self._dep_idx, len(self._items),
+            self.sim.scheduler.now_fs,
+        )
 
     # ------------------------------------------------------------------
     # Writer interface
     # ------------------------------------------------------------------
     def is_full(self) -> bool:
+        if self._dep is not None:
+            self._record_probe(BR_REG_IS_FULL)
         return len(self._items) >= self._depth
 
     @property
@@ -92,7 +118,7 @@ class RegularFifo(Module, FifoInterface):
 
     def write(self, data: Any):
         """Blocking write: waits (suspends the thread) while the FIFO is full."""
-        while self.is_full():
+        while len(self._items) >= self._depth:
             yield WaitEvent(self._data_read_event)
         self._push(data)
         if self._dep is not None:
@@ -102,8 +128,8 @@ class RegularFifo(Module, FifoInterface):
 
     def nb_write(self, data: Any) -> bool:
         if self._dep is not None:
-            self._dep.poison(f"nb_write on recorded FIFO {self.full_name}")
-        if self.is_full():
+            self._record_probe(BR_REG_NB_WRITE)
+        if len(self._items) >= self._depth:
             return False
         self._push(data)
         return True
@@ -152,6 +178,8 @@ class RegularFifo(Module, FifoInterface):
     # Reader interface
     # ------------------------------------------------------------------
     def is_empty(self) -> bool:
+        if self._dep is not None:
+            self._record_probe(BR_REG_IS_EMPTY)
         return not self._items
 
     @property
@@ -160,7 +188,7 @@ class RegularFifo(Module, FifoInterface):
 
     def read(self):
         """Blocking read: waits (suspends the thread) while the FIFO is empty."""
-        while self.is_empty():
+        while not self._items:
             yield WaitEvent(self._data_written_event)
         data = self._pop()
         if self._dep is not None:
@@ -171,16 +199,16 @@ class RegularFifo(Module, FifoInterface):
 
     def nb_read(self):
         if self._dep is not None:
-            self._dep.poison(f"nb_read on recorded FIFO {self.full_name}")
-        if self.is_empty():
+            self._record_probe(BR_REG_NB_READ)
+        if not self._items:
             raise FifoError(f"nb_read on empty FIFO {self.full_name}")
         return self._pop()
 
     def peek(self):
         """Return the head item without removing it (raises when empty)."""
         if self._dep is not None:
-            self._dep.poison(f"peek on recorded FIFO {self.full_name}")
-        if self.is_empty():
+            self._record_probe(BR_REG_PEEK)
+        if not self._items:
             raise FifoError(f"peek on empty FIFO {self.full_name}")
         return self._items[0]
 

@@ -39,6 +39,12 @@ from typing import Any, List, Optional, Sequence, Union
 from ..kernel.errors import FifoError, TimingError
 from ..kernel.event import Event
 from ..kernel.tracing import (
+    BR_GET_SIZE,
+    BR_IS_EMPTY,
+    BR_IS_FULL,
+    BR_NB_READ,
+    BR_NB_WRITE,
+    BR_PEEK_SIZE,
     DEP_SMART_READ,
     DEP_SMART_WRITE,
     DEP_SPAN_READ,
@@ -194,10 +200,19 @@ class SmartFifo(Module, FifoInterface):
     def get_size(self):
         """Blocking size query: synchronize the caller, then count the cells
         that are *really* busy at the (now synchronized) caller's date."""
-        if self._dep is not None:
-            self._dep.poison(f"get_size on recorded Smart FIFO {self.full_name}")
+        dep = self._dep
+        if dep is not None:
+            # The head sync would otherwise be invisible to the spool (the
+            # free ``sync`` helper does not record); the level itself is a
+            # branch outcome the replay engine re-derives and verifies.
+            dep.sync_point(
+                self._manager.local_fs(self._scheduler.current_process)
+            )
         yield from sync(sim=self.sim)
-        return self._cells.real_size_at(self.sim.now_fs)
+        level = self._cells.real_size_at(self.sim.now_fs)
+        if dep is not None:
+            dep.branch(BR_GET_SIZE, self._dep_idx, level, self.sim.now_fs)
+        return level
 
     def get_free_count(self):
         """Blocking free-slot query (``depth - get_size``)."""
@@ -215,9 +230,11 @@ class SmartFifo(Module, FifoInterface):
         processes (which cannot synchronize) and from decoupled threads that
         only need an estimate consistent with their own local date.
         """
+        date_fs = self._caller_date_fs()
+        level = self._cells.real_size_at(date_fs)
         if self._dep is not None:
-            self._dep.poison(f"peek_size on recorded Smart FIFO {self.full_name}")
-        return self._cells.real_size_at(self._caller_date_fs())
+            self._dep.branch(BR_PEEK_SIZE, self._dep_idx, level, date_fs)
+        return level
 
     @property
     def internal_size(self) -> int:
@@ -242,16 +259,23 @@ class SmartFifo(Module, FifoInterface):
         ``if fifo.is_full(): next_trigger(fifo.not_full_event); return``
         cannot miss the wake-up.
         """
-        if self._dep is not None:
-            self._dep.poison(f"is_full on recorded Smart FIFO {self.full_name}")
         cells = self._cells
         if cells.busy_count == cells.depth:
-            return True
-        freeing_fs = cells.head_free_freeing_fs()
-        if freeing_fs > self._caller_date_fs():
-            self._notify_external(self._not_full_event, freeing_fs, forced=True)
-            return True
-        return False
+            full = True
+        else:
+            freeing_fs = cells.head_free_freeing_fs()
+            if freeing_fs > self._caller_date_fs():
+                self._notify_external(
+                    self._not_full_event, freeing_fs, forced=True
+                )
+                full = True
+            else:
+                full = False
+        if self._dep is not None:
+            self._dep.branch(
+                BR_IS_FULL, self._dep_idx, int(full), self._caller_date_fs()
+            )
+        return full
 
     def write(self, data: Any):
         """Blocking write (``yield from fifo.write(x)``).
@@ -298,9 +322,7 @@ class SmartFifo(Module, FifoInterface):
         delegation frame.)
         """
         if self._dep is not None:
-            self._dep.poison(
-                f"wait_writable on recorded Smart FIFO {self.full_name}"
-            )
+            self._dep.wait_cap(self._dep_idx, 0)
         cells = self._cells
         depth = cells.depth
         while cells.busy_count == depth:
@@ -319,12 +341,7 @@ class SmartFifo(Module, FifoInterface):
         Returns False without writing when the FIFO is externally full at
         the caller's date (guard with :meth:`is_full`).
         """
-        if self._dep is not None:
-            self._dep.poison(f"nb_write on recorded Smart FIFO {self.full_name}")
         cells = self._cells
-        if cells.busy_count == cells.depth:
-            return False
-        freeing_fs = cells.head_free_freeing_fs()
         scheduler = self._scheduler
         process = scheduler.current_process
         now_fs = scheduler.now_fs
@@ -334,12 +351,23 @@ class SmartFifo(Module, FifoInterface):
             local_fs = process.local_fs
             if local_fs < now_fs:
                 local_fs = now_fs
+        if cells.busy_count == cells.depth:
+            if self._dep is not None:
+                self._dep.branch(BR_NB_WRITE, self._dep_idx, 0, local_fs)
+            return False
+        freeing_fs = cells.head_free_freeing_fs()
         if freeing_fs > local_fs:
             # Externally full until the freeing date: arm the not_full event
             # so a method process retrying on it cannot miss the wake-up.
             self._notify_external(self._not_full_event, freeing_fs, forced=True)
+            if self._dep is not None:
+                self._dep.branch(BR_NB_WRITE, self._dep_idx, 0, local_fs)
             return False
         self._do_write(process, self._manager, data, local_fs)
+        if self._dep is not None:
+            self._dep.branch(
+                BR_NB_WRITE, self._dep_idx, 1, self._last_write_fs
+            )
         return True
 
     def _do_write(
@@ -587,14 +615,11 @@ class SmartFifo(Module, FifoInterface):
         """Non-blocking burst write: bit-exact with repeated
         :meth:`nb_write` (store a leading run, arm ``not_full`` at the
         head freeing date when refusing early)."""
-        if self._dep is not None:
-            self._dep.poison(
-                f"nb_write_burst on recorded Smart FIFO {self.full_name}"
-            )
         n = len(words)
         if n == 0:
             return 0
         if self._always_notify_external or self._not_full_event.listener_count:
+            # Word-path fallback: per-word nb_write records its own branches.
             return super().nb_write_burst(words)
         cells = self._cells
         scheduler = self._scheduler
@@ -607,6 +632,15 @@ class SmartFifo(Module, FifoInterface):
             if local_fs < now_fs:
                 local_fs = now_fs
         k = cells.head_free_span(n, local_fs)
+        if self._dep is not None:
+            # The record stream of the repeated-nb_write loop: one accepted
+            # branch per stored word (all at the caller's date — the span
+            # guard guarantees every target cell is free by then), then one
+            # refusal branch when the burst stops early.
+            for _ in range(k):
+                self._dep.branch(BR_NB_WRITE, self._dep_idx, 1, local_fs)
+            if k < n:
+                self._dep.branch(BR_NB_WRITE, self._dep_idx, 0, local_fs)
         if k:
             if self._enforce_side_ordering and local_fs < self._last_write_fs:
                 self._ordering_error("write", local_fs)
@@ -640,16 +674,23 @@ class SmartFifo(Module, FifoInterface):
         first busy cell is in the caller's future.  In the latter case the
         external ``not_empty_event`` is (re)armed at that insertion date.
         """
-        if self._dep is not None:
-            self._dep.poison(f"is_empty on recorded Smart FIFO {self.full_name}")
         cells = self._cells
         if cells.busy_count == 0:
-            return True
-        insertion_fs = cells.head_busy_insertion_fs()
-        if insertion_fs > self._caller_date_fs():
-            self._notify_external(self._not_empty_event, insertion_fs, forced=True)
-            return True
-        return False
+            empty = True
+        else:
+            insertion_fs = cells.head_busy_insertion_fs()
+            if insertion_fs > self._caller_date_fs():
+                self._notify_external(
+                    self._not_empty_event, insertion_fs, forced=True
+                )
+                empty = True
+            else:
+                empty = False
+        if self._dep is not None:
+            self._dep.branch(
+                BR_IS_EMPTY, self._dep_idx, int(empty), self._caller_date_fs()
+            )
+        return empty
 
     def read(self):
         """Blocking read (``x = yield from fifo.read()``).
@@ -683,9 +724,7 @@ class SmartFifo(Module, FifoInterface):
         :meth:`wait_writable` for why arbiters need it.
         """
         if self._dep is not None:
-            self._dep.poison(
-                f"wait_readable on recorded Smart FIFO {self.full_name}"
-            )
+            self._dep.wait_cap(self._dep_idx, 1)
         cells = self._cells
         while cells.busy_count == 0:
             self.blocking_waits += 1
@@ -703,24 +742,29 @@ class SmartFifo(Module, FifoInterface):
         Raises :class:`FifoError` when the FIFO is externally empty at the
         caller's date (guard with :meth:`is_empty`).
         """
-        if self._dep is not None:
-            self._dep.poison(f"nb_read on recorded Smart FIFO {self.full_name}")
         cells = self._cells
+        scheduler = self._scheduler
+        process = scheduler.current_process
+        now_fs = scheduler.now_fs
+        if process is None:
+            local_fs = now_fs
+        else:
+            local_fs = process.local_fs
+            if local_fs < now_fs:
+                local_fs = now_fs
         if cells.busy_count:
             insertion_fs = cells.head_busy_insertion_fs()
-            scheduler = self._scheduler
-            process = scheduler.current_process
-            now_fs = scheduler.now_fs
-            if process is None:
-                local_fs = now_fs
-            else:
-                local_fs = process.local_fs
-                if local_fs < now_fs:
-                    local_fs = now_fs
             if insertion_fs <= local_fs:
-                return self._do_read(process, self._manager, local_fs)
+                data = self._do_read(process, self._manager, local_fs)
+                if self._dep is not None:
+                    self._dep.branch(
+                        BR_NB_READ, self._dep_idx, 1, self._last_read_fs
+                    )
+                return data
             # Arm the not_empty event at the date the item really arrives.
             self._notify_external(self._not_empty_event, insertion_fs, forced=True)
+        if self._dep is not None:
+            self._dep.branch(BR_NB_READ, self._dep_idx, 0, local_fs)
         raise FifoError(
             f"nb_read on externally empty Smart FIFO {self.full_name}"
         )
@@ -905,13 +949,10 @@ class SmartFifo(Module, FifoInterface):
         """Non-blocking burst read: bit-exact with the ``is_empty``-guarded
         repeated :meth:`nb_read` loop (drain a leading run, arm
         ``not_empty`` at the head insertion date when stopping early)."""
-        if self._dep is not None:
-            self._dep.poison(
-                f"nb_read_burst on recorded Smart FIFO {self.full_name}"
-            )
         if count <= 0:
             return []
         if self._always_notify_external or self._not_empty_event.listener_count:
+            # Word-path fallback: per-word nb_read records its own branches.
             return super().nb_read_burst(count)
         cells = self._cells
         scheduler = self._scheduler
@@ -924,6 +965,14 @@ class SmartFifo(Module, FifoInterface):
             if local_fs < now_fs:
                 local_fs = now_fs
         k = cells.head_busy_span(count, local_fs)
+        if self._dep is not None:
+            # Record stream of the guarded word loop: one drained branch per
+            # word (all at the caller's date), one refusal when stopping
+            # short of ``count``.
+            for _ in range(k):
+                self._dep.branch(BR_NB_READ, self._dep_idx, 1, local_fs)
+            if k < count:
+                self._dep.branch(BR_NB_READ, self._dep_idx, 0, local_fs)
         words: List[Any] = []
         if k:
             if self._enforce_side_ordering and local_fs < self._last_read_fs:

@@ -60,11 +60,10 @@ class SyncFifo(Module, FifoInterface):
 
     def get_size(self):
         """Synchronize the caller, then return the regular FIFO size."""
-        recorder = self.sim.dep_recorder
-        if recorder is not None:
-            recorder.poison(f"get_size on recorded SyncFifo {self.full_name}")
+        self._record_sync()
         yield from sync(sim=self.sim)
-        return self._inner.size
+        size = yield from self._inner.get_size()
+        return size
 
     # ------------------------------------------------------------------
     # Writer interface

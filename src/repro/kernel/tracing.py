@@ -466,8 +466,49 @@ DEP_REG_READ = 6      # (code, fifo_index, now_fs)   regular FIFO pop
 DEP_INC = 7           # (code, delta_fs)             local-time annotation
 DEP_SPAN_WRITE = 8    # (code, fifo_index, n, gap_const_fs, gaps|None, dates)
 DEP_SPAN_READ = 9     # (code, fifo_index, n, gap_const_fs, gaps|None, dates)
+DEP_BRANCH = 10       # (code, construct, fifo_index, outcome, date_fs, now_fs)
+DEP_WAIT_CAP = 11     # (code, fifo_index, side)     wait_writable/wait_readable
+DEP_GRANT = 12        # (code, arbiter_index, grant_fs, access_fs)
 
-DEP_SPOOL_VERSION = 1
+#: ``construct`` codes of :data:`DEP_BRANCH` records — which occupancy
+#: probe produced the outcome.  The replay engine recomputes each probe
+#: from its emulated FIFO state and compares against the recorded outcome:
+#: a mismatch means the anchor's control flow is not valid at the
+#: retargeted point (``ReplayInvalid``), never a silent mis-replay.
+BR_NB_WRITE = 0       # smart nb_write: 1 = accepted (outcome date = insertion)
+BR_NB_READ = 1        # smart nb_read: 1 = data returned (outcome date = read)
+BR_IS_FULL = 2        # smart is_full: outcome 0/1 at the caller's local date
+BR_IS_EMPTY = 3       # smart is_empty: outcome 0/1 at the caller's local date
+BR_GET_SIZE = 4       # smart get_size: outcome = fill level after the sync
+BR_PEEK_SIZE = 5      # smart peek_size: outcome = fill level, no sync
+BR_PKT_AVAILABLE = 6  # packet_available: outcome 0/1
+BR_PKT_SPACE = 7      # space_for_packet: outcome 0/1
+BR_REG_NB_WRITE = 8   # regular nb_write: 1 = pushed
+BR_REG_NB_READ = 9    # regular nb_read: 1 = popped
+BR_REG_PEEK = 10      # regular peek: outcome = occupancy seen
+BR_REG_IS_FULL = 11   # regular is_full: outcome = occupancy seen
+BR_REG_IS_EMPTY = 12  # regular is_empty: outcome = occupancy seen
+BR_REG_SIZE = 13      # regular/sync get_size: outcome = occupancy seen
+
+#: Human-readable construct names for ReplayInvalid diagnostics.
+BR_NAMES = {
+    BR_NB_WRITE: "nb_write",
+    BR_NB_READ: "nb_read",
+    BR_IS_FULL: "is_full",
+    BR_IS_EMPTY: "is_empty",
+    BR_GET_SIZE: "get_size",
+    BR_PEEK_SIZE: "peek_size",
+    BR_PKT_AVAILABLE: "packet_available",
+    BR_PKT_SPACE: "space_for_packet",
+    BR_REG_NB_WRITE: "nb_write",
+    BR_REG_NB_READ: "nb_read",
+    BR_REG_PEEK: "peek",
+    BR_REG_IS_FULL: "is_full",
+    BR_REG_IS_EMPTY: "is_empty",
+    BR_REG_SIZE: "get_size",
+}
+
+DEP_SPOOL_VERSION = 2
 
 
 class DependencySpool:
@@ -482,11 +523,11 @@ class DependencySpool:
 
     __slots__ = (
         "version", "threads", "ops", "fifos", "stats", "sim_end_fs",
-        "quantum_fs", "process_local_fs", "poison",
+        "quantum_fs", "process_local_fs", "poison", "methods", "arbiters",
     )
 
     def __init__(self, threads, ops, fifos, stats, sim_end_fs, quantum_fs,
-                 process_local_fs, poison):
+                 process_local_fs, poison, methods=(), arbiters=()):
         self.version = DEP_SPOOL_VERSION
         #: ``(name, pid)`` in thread-registration order (= the order the
         #: scheduler seeds its runnable queue with at initialization).
@@ -505,6 +546,13 @@ class DependencySpool:
         self.process_local_fs = process_local_fs
         #: None when the run is replayable, else the first reason it is not.
         self.poison = poison
+        #: ``(name, pid)`` of every method process, in registration order.
+        #: Methods replay *pinned*: their recorded op streams re-execute at
+        #: the recorded dates under verification, so a method-bearing spool
+        #: is replayable only where the verification holds (strict mode).
+        self.methods = list(methods)
+        #: One dict per registered arbiter port, in registration order.
+        self.arbiters = list(arbiters)
 
 
 class DependencyRecorder:
@@ -524,6 +572,7 @@ class DependencyRecorder:
         self._ops_by_pid: Dict[int, list] = {}
         self._fifos: List[dict] = []
         self._fifo_objs: List[object] = []
+        self._arbiters: List[dict] = []
         self.poison_reason: Optional[str] = None
         # One-entry cache: consecutive ops of the same process skip the dict.
         self._last_pid = -1
@@ -582,9 +631,42 @@ class DependencyRecorder:
         if ops is not None:
             ops.append((code, fifo_index, now_fs))
 
+    def branch(self, construct: int, fifo_index: int, outcome: int,
+               date_fs: int) -> None:
+        """Record the outcome of one occupancy-dependent probe.
+
+        ``outcome`` is the probe's result (bool as 0/1, or a fill level);
+        ``date_fs`` the local date the probe evaluated at.  The kernel date
+        rides along so method-process streams can replay pinned in time.
+        """
+        ops = self._ops()
+        if ops is not None:
+            ops.append((DEP_BRANCH, construct, fifo_index, outcome, date_fs,
+                        self._scheduler.now_fs))
+
+    def wait_cap(self, fifo_index: int, side: int) -> None:
+        """Record one arbiter capacity wait (wait_writable/wait_readable)."""
+        ops = self._ops()
+        if ops is not None:
+            ops.append((DEP_WAIT_CAP, fifo_index, side))
+
+    def grant(self, arbiter_index: int, grant_fs: int, access_fs: int) -> None:
+        """Record one arbiter port grant (the port-free arithmetic)."""
+        ops = self._ops()
+        if ops is not None:
+            ops.append((DEP_GRANT, arbiter_index, grant_fs, access_fs))
+
     def poison(self, reason: str) -> None:
-        """Mark the recording as non-replayable (first reason wins)."""
+        """Mark the recording as non-replayable (first reason wins).
+
+        The name of the process executing the poisoning construct is
+        captured so ``--replay-sweep`` on a non-replayable workload can
+        name both the construct and its source process.
+        """
         if self.poison_reason is None:
+            process = self._scheduler.current_process
+            if process is not None:
+                reason = f"{reason} [in process {process.name}]"
             self.poison_reason = reason
 
     # -- registration ---------------------------------------------------
@@ -600,18 +682,29 @@ class DependencyRecorder:
         self._fifo_objs.append(fifo)
         return index
 
+    def annotate_fifo(self, index: int, **extra) -> None:
+        """Attach extra metadata to a registered FIFO (e.g. packet size)."""
+        self._fifos[index].update(extra)
+
+    def register_arbiter(self, arbiter, fifo_index: int, side: int) -> int:
+        index = len(self._arbiters)
+        self._arbiters.append({
+            "name": arbiter.full_name,
+            "fifo_index": fifo_index,
+            "side": side,
+        })
+        return index
+
     # -- finalization ---------------------------------------------------
     def finalize(self) -> DependencySpool:
         """Snapshot the finished run into a :class:`DependencySpool`."""
         scheduler = self._scheduler
         sim = self.sim
-        if scheduler._methods:
-            self.poison(
-                f"method process {scheduler._methods[0].name} present "
-                f"(replay covers thread-only models)"
-            )
         threads = [(p.name, p.pid) for p in scheduler._threads]
+        methods = [(p.name, p.pid) for p in scheduler._methods]
         for name, pid in threads:
+            self._ops_by_pid.setdefault(pid, [])
+        for name, pid in methods:
             self._ops_by_pid.setdefault(pid, [])
         fifos = []
         for info, fifo in zip(self._fifos, self._fifo_objs):
@@ -625,6 +718,8 @@ class DependencyRecorder:
 
         quantum_fs = GlobalQuantum.instance(sim).quantum.femtoseconds
         process_local_fs = {p.pid: p.local_fs for p in scheduler._threads}
+        for p in scheduler._methods:
+            process_local_fs[p.pid] = p.local_fs
         return DependencySpool(
             threads=threads,
             ops=self._ops_by_pid,
@@ -634,6 +729,8 @@ class DependencyRecorder:
             quantum_fs=quantum_fs,
             process_local_fs=process_local_fs,
             poison=self.poison_reason,
+            methods=methods,
+            arbiters=self._arbiters,
         )
 
 

@@ -11,8 +11,15 @@ scheduler — no processes, no coroutines, no trace machinery.  See
 from .engine import (  # noqa: F401
     ReplayEngine,
     ReplayError,
+    ReplayInvalid,
     ReplayMismatch,
     ReplayResult,
 )
 
-__all__ = ["ReplayEngine", "ReplayError", "ReplayMismatch", "ReplayResult"]
+__all__ = [
+    "ReplayEngine",
+    "ReplayError",
+    "ReplayInvalid",
+    "ReplayMismatch",
+    "ReplayResult",
+]

@@ -21,11 +21,29 @@ bit-exactly, otherwise the run is declared non-replayable.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..kernel.tracing import (
+    BR_GET_SIZE,
+    BR_IS_EMPTY,
+    BR_IS_FULL,
+    BR_NAMES,
+    BR_NB_READ,
+    BR_NB_WRITE,
+    BR_PEEK_SIZE,
+    BR_PKT_AVAILABLE,
+    BR_PKT_SPACE,
+    BR_REG_IS_EMPTY,
+    BR_REG_IS_FULL,
+    BR_REG_NB_READ,
+    BR_REG_NB_WRITE,
+    BR_REG_PEEK,
+    BR_REG_SIZE,
+    DEP_BRANCH,
+    DEP_GRANT,
     DEP_INC,
     DEP_QUANTUM,
     DEP_REG_READ,
@@ -36,6 +54,7 @@ from ..kernel.tracing import (
     DEP_SPAN_WRITE,
     DEP_SYNC,
     DEP_TIMED,
+    DEP_WAIT_CAP,
     DependencySpool,
 )
 
@@ -56,6 +75,28 @@ class ReplayMismatch(ReplayError):
         super().__init__(f"replay diverges from recorded run: {preview}")
 
 
+class ReplayInvalid(ReplayError):
+    """The retargeted point falls outside the recording's validity envelope.
+
+    A recorded branch outcome (the result of an occupancy probe such as
+    ``nb_write``/``is_full``/``get_size``) could not be reproduced at the
+    replayed depth/quantum: the anchor's control flow is not valid there,
+    so the replay refuses rather than silently diverging.  Callers are
+    expected to fall back to a fresh simulation for exactly these points.
+    """
+
+    def __init__(self, message: str, process: Optional[str] = None,
+                 fifo: Optional[str] = None,
+                 construct: Optional[str] = None):
+        #: Name of the process whose recorded decision became invalid.
+        self.process = process
+        #: Name of the FIFO the probe inspected (None for non-FIFO causes).
+        self.fifo = fifo
+        #: Human-readable name of the probing construct (see ``BR_NAMES``).
+        self.construct = construct
+        super().__init__(message)
+
+
 # Compiled opcodes (uniform ``(op, a, b, pre)`` tuples, ``pre`` being the
 # fused local-time advance of the preceding INC records; spans are
 # expanded to word ops at compile time, exactly the word loop they are
@@ -68,10 +109,13 @@ OP_QUANTUM = 4      # a = quantum-keeper annotation (fs)
 OP_REG_WRITE = 5    # a = fifo index, b = recorded kernel date (fs)
 OP_REG_READ = 6     # a = fifo index, b = recorded kernel date (fs)
 OP_INC = 7          # a = local-time annotation (fs)
+OP_BRANCH = 8       # a = fifo index, b = (construct, outcome, date_fs)
+OP_WAIT_CAP = 9     # a = fifo index, b = side (0 = writable, 1 = readable)
+OP_GRANT = 10       # a = arbiter index, b = (grant_fs, access_fs)
 
 _OP_NAMES = (
     "smart_write", "smart_read", "sync", "timed", "quantum",
-    "reg_write", "reg_read", "inc",
+    "reg_write", "reg_read", "inc", "branch", "wait_cap", "grant",
 )
 
 _MAX_MISMATCHES = 25
@@ -116,15 +160,21 @@ class _SmartState:
     __slots__ = (
         "name", "depth", "sync_on_access", "wdates", "rdates", "nw", "nr",
         "blocked_readers", "blocked_writers", "blocking_waits",
-        "cell_filled", "cell_freed",
+        "cell_filled", "cell_freed", "anchor_depth", "packet_size",
     )
 
     kind = "smart"
 
-    def __init__(self, name: str, depth: int, sync_on_access: bool):
+    def __init__(self, name: str, depth: int, sync_on_access: bool,
+                 anchor_depth: int = 0, packet_size: int = 0):
         self.name = name
         self.depth = depth
         self.sync_on_access = sync_on_access
+        #: Depth the anchor run recorded (envelope checks compare the probe
+        #: at this depth against the replayed one).
+        self.anchor_depth = anchor_depth or depth
+        #: Packet granularity of a PacketSmartFifo (0 = word-level only).
+        self.packet_size = packet_size
         #: Insertion date of write i / freeing date of read i (fs).
         self.wdates: List[int] = []
         self.rdates: List[int] = []
@@ -152,21 +202,112 @@ class _RegState:
 
     __slots__ = (
         "name", "depth", "occupancy", "total_written", "total_read",
-        "data_written", "data_read",
+        "data_written", "data_read", "anchor_depth",
     )
 
     kind = "regular"
     sync_on_access = False
     blocking_waits = 0
 
-    def __init__(self, name: str, depth: int):
+    def __init__(self, name: str, depth: int, anchor_depth: int = 0):
         self.name = name
         self.depth = depth
+        self.anchor_depth = anchor_depth or depth
         self.occupancy = 0
         self.total_written = 0
         self.total_read = 0
         self.data_written = _Event()
         self.data_read = _Event()
+
+
+class _Method:
+    """Replay image of one method process: a pinned branch-record stream.
+
+    Methods cannot block or synchronize, so their recorded streams contain
+    only ``DEP_BRANCH`` records.  They replay *pinned*: each record fires at
+    its recorded kernel date once the emulated FIFO state verifies against
+    the recorded outcome (exact-occupancy matching orders concurrent method
+    accesses the way the anchor ordered them); a record that stays
+    infeasible at its date pushes the point outside the validity envelope.
+    """
+
+    __slots__ = ("pid", "name", "records", "length", "pc")
+
+    def __init__(self, pid: int, name: str, records: List[tuple]):
+        self.pid = pid
+        self.name = name
+        #: ``(due_fs, construct, fifo_index, outcome, date_fs)`` per record.
+        self.records = records
+        self.length = len(records)
+        self.pc = 0
+
+
+def _smart_probe(f: _SmartState, depth: int, construct: int, d: int,
+                 psize: int) -> Tuple[int, int]:
+    """Re-derive one Smart FIFO probe from the emulated ring.
+
+    Returns ``(outcome, armed_fs)``: the probe's result at date ``d`` with
+    the ring truncated/extended to ``depth``, and the date at which the
+    probe would have (re)armed a forced external notification (-1 when it
+    arms nothing).  The arming date matters for pinned method replays: a
+    retarget that changes it would change when the method is next invoked,
+    which the pinned stream cannot represent.
+    """
+    nw = f.nw
+    nr = f.nr
+    busy = nw - nr
+    if construct == BR_NB_WRITE:
+        if busy >= depth:
+            return 0, -1
+        freeing = f.rdates[nw - depth] if nw >= depth else -1
+        if freeing > d:
+            return 0, freeing
+        return 1, -1
+    if construct == BR_NB_READ:
+        if busy == 0:
+            return 0, -1
+        insertion = f.wdates[nr]
+        if insertion > d:
+            return 0, insertion
+        return 1, -1
+    if construct == BR_IS_FULL:
+        if busy >= depth:
+            return 1, -1
+        freeing = f.rdates[nw - depth] if nw >= depth else -1
+        if freeing > d:
+            return 1, freeing
+        return 0, -1
+    if construct == BR_IS_EMPTY:
+        if busy == 0:
+            return 1, -1
+        insertion = f.wdates[nr]
+        if insertion > d:
+            return 1, insertion
+        return 0, -1
+    if construct == BR_GET_SIZE or construct == BR_PEEK_SIZE:
+        return (bisect_right(f.wdates, d) - bisect_right(f.rdates, d)), -1
+    if construct == BR_PKT_AVAILABLE:
+        if psize <= 0:
+            raise ReplayError(f"packet probe on non-packet FIFO {f.name}")
+        if busy >= psize:
+            completion = f.wdates[nr + psize - 1]
+            if completion <= d:
+                return 1, -1
+            return 0, completion
+        return 0, -1
+    if construct == BR_PKT_SPACE:
+        if psize <= 0:
+            raise ReplayError(f"packet probe on non-packet FIFO {f.name}")
+        if depth - busy >= psize:
+            index = nw - depth + psize - 1
+            if index < 0:
+                return 1, -1
+            ready = f.rdates[index]
+            if ready <= d:
+                return 1, -1
+            return 0, ready
+        return 0, -1
+    raise ReplayError(f"unknown branch construct {construct}")
 
 
 @dataclass
@@ -185,7 +326,8 @@ class ReplayResult:
     #: ``(process, pc, op, expected, got)`` date-check divergences
     #: (only populated when the replay ran with ``check_dates=True``).
     mismatches: List[tuple] = field(default_factory=list)
-    #: Replay runs no method processes by construction.
+    #: Zero except in strict (method-pinned) replays, which verify the
+    #: recorded method schedule and adopt its invocation count.
     method_invocations: int = 0
     #: Per-FIFO ``(insertion_dates, read_dates)`` in fs for Smart FIFOs
     #: (None for regular FIFOs, which carry no dates) — the paper's
@@ -216,11 +358,111 @@ class ReplayEngine:
             raise ReplayError(f"recording is not replayable: {spool.poison}")
         self.spool = spool
         self.fifos: List[dict] = list(spool.fifos)
+        self.arbiters: List[dict] = list(getattr(spool, "arbiters", ()))
         self.programs: List[Tuple[str, int, List[tuple]]] = [
             (name, pid, _compile_ops(spool.ops.get(pid, ())))
             for name, pid in spool.threads
         ]
-        self.op_count = sum(len(prog) for _, _, prog in self.programs)
+        #: Pinned branch-record streams of the method processes (see
+        #: :class:`_Method`).  A spool with any non-empty method stream
+        #: replays in *strict* mode: every recorded date is verified and
+        #: the result is the recorded run itself (identical-execution
+        #: envelope), because method invocation times cannot be re-derived.
+        self.method_programs: List[Tuple[str, int, List[tuple]]] = []
+        for name, pid in getattr(spool, "methods", ()):
+            records = []
+            for op in spool.ops.get(pid, ()):
+                if op[0] != DEP_BRANCH:
+                    raise ReplayError(
+                        f"method process {name} recorded op code {op[0]}; "
+                        "only branch probes are replayable from methods"
+                    )
+                _, construct, fifo_index, outcome, date_fs, now_fs = op
+                records.append(
+                    (now_fs, construct, fifo_index, outcome, date_fs)
+                )
+            self.method_programs.append((name, pid, records))
+        self.strict = any(recs for _, _, recs in self.method_programs)
+        self.op_count = sum(len(prog) for _, _, prog in self.programs) + sum(
+            len(recs) for _, _, recs in self.method_programs
+        )
+        self._envelope = self._collect_envelope()
+
+    def _collect_envelope(self) -> Dict[int, dict]:
+        """Static (provable) validity envelope per FIFO index.
+
+        Write-side boolean probes are monotone in the depth *given an
+        unchanged prior state*: an accepted ``nb_write`` (or a False
+        ``is_full``, or a True ``space_for_packet``) stays valid for any
+        depth >= the anchor's, and a refusal stays valid for any depth <=
+        it.  Inside the resulting per-FIFO ``[min_depth, max_depth]`` range
+        the whole recording is provably stable by induction; outside it the
+        dynamic per-record verification decides (it may still succeed — the
+        static envelope is sufficient, not necessary).
+        """
+        envelope: Dict[int, dict] = {}
+
+        def constrain(fifo_index: int, kind: str, construct: int,
+                      process: str) -> None:
+            entry = envelope.setdefault(fifo_index, {})
+            if kind not in entry:
+                entry[kind] = (BR_NAMES.get(construct, str(construct)),
+                               process)
+
+        for name, _pid, program in self.programs:
+            for op, a, b, _pre in program:
+                if op != OP_BRANCH:
+                    continue
+                construct, outcome, _date = b
+                self._constrain_one(constrain, a, construct, outcome, name)
+        for name, _pid, records in self.method_programs:
+            for _due, construct, fifo_index, outcome, _date in records:
+                self._constrain_one(
+                    constrain, fifo_index, construct, outcome, name
+                )
+        return envelope
+
+    def _constrain_one(self, constrain, fifo_index: int, construct: int,
+                       outcome: int, process: str) -> None:
+        anchor_depth = self.fifos[fifo_index]["depth"]
+        if construct == BR_NB_WRITE or construct == BR_PKT_SPACE:
+            constrain(fifo_index, "ge" if outcome else "le", construct,
+                      process)
+        elif construct == BR_IS_FULL:
+            constrain(fifo_index, "le" if outcome else "ge", construct,
+                      process)
+        elif construct == BR_REG_NB_WRITE:
+            accepted = outcome < anchor_depth
+            constrain(fifo_index, "ge" if accepted else "le", construct,
+                      process)
+        elif construct == BR_REG_IS_FULL:
+            full = outcome >= anchor_depth
+            constrain(fifo_index, "le" if full else "ge", construct, process)
+
+    def depth_envelope(self) -> List[dict]:
+        """Per-FIFO static envelope: ``[{name, min_depth, max_depth, ...}]``.
+
+        ``min_depth``/``max_depth`` bound the *provably* safe retargets for
+        each FIFO (None = unbounded on that side); each bound names the
+        probing construct and process that imposed it.  Retargets outside
+        the bounds are still attempted — the dynamic per-record check is
+        authoritative — but are the ones that can raise
+        :class:`ReplayInvalid`.
+        """
+        report = []
+        for index, meta in enumerate(self.fifos):
+            entry = self._envelope.get(index, {})
+            ge = entry.get("ge")
+            le = entry.get("le")
+            report.append({
+                "name": meta["name"],
+                "anchor_depth": meta["depth"],
+                "min_depth": meta["depth"] if ge else None,
+                "max_depth": meta["depth"] if le else None,
+                "min_origin": ge,
+                "max_origin": le,
+            })
+        return report
 
     # ------------------------------------------------------------------
     def retarget_depths(self, anchor_depth: int, depth: int) -> List[int]:
@@ -258,6 +500,15 @@ class ReplayEngine:
             raise ReplayError(f"replay depths must be positive: {depths}")
         if quantum_fs is None:
             quantum_fs = self.spool.quantum_fs
+        elif self.strict and quantum_fs != self.spool.quantum_fs:
+            # Pinned method records fire at recorded *kernel* dates; a
+            # different quantum moves every sync boundary, so those dates
+            # are only meaningful at the recorded quantum.
+            raise ReplayInvalid(
+                f"strict (method-pinned) recording cannot be retargeted "
+                f"from quantum {self.spool.quantum_fs} fs to "
+                f"{quantum_fs} fs",
+            )
         return _Emulator(self, list(depths), quantum_fs, check_dates).run()
 
     # ------------------------------------------------------------------
@@ -360,6 +611,17 @@ def _compile_ops(ops: Sequence[tuple]) -> List[tuple]:
             for index in range(count):
                 append((word_op, fifo_index, dates[index], pending))
                 pending = gap_const if gaps is None else gaps[index]
+        elif code == DEP_BRANCH:
+            # (code, construct, fifo_index, outcome, date_fs, now_fs);
+            # the kernel date is only needed by pinned method streams.
+            append((OP_BRANCH, op[2], (op[1], op[3], op[4]), pending))
+            pending = 0
+        elif code == DEP_WAIT_CAP:
+            append((OP_WAIT_CAP, op[1], op[2], pending))
+            pending = 0
+        elif code == DEP_GRANT:
+            append((OP_GRANT, op[1], (op[2], op[3]), pending))
+            pending = 0
         else:
             raise ReplayError(f"unknown dependency op code {code}")
     if pending:
@@ -381,16 +643,23 @@ class _Emulator:
                  quantum_fs: int, check_dates: bool):
         self.engine = engine
         self.quantum_fs = quantum_fs
-        self.check = check_dates
+        self.strict = engine.strict
+        # Strict mode verifies every recorded date (the identical-execution
+        # argument needs them; see ``_finish_strict``).
+        self.check = check_dates or self.strict
         self.mismatches: List[tuple] = []
         self.now = 0
         self.delta_cycles = 0
         self.timed_phases = 0
         self.activations = 0
         self.fifos: List[object] = [
-            _SmartState(meta["name"], depth, meta["sync_on_access"])
+            _SmartState(
+                meta["name"], depth, meta["sync_on_access"],
+                anchor_depth=meta["depth"],
+                packet_size=meta.get("packet_size", 0),
+            )
             if meta["kind"] == "smart"
-            else _RegState(meta["name"], depth)
+            else _RegState(meta["name"], depth, anchor_depth=meta["depth"])
             for meta, depth in zip(engine.fifos, depths)
         ]
         self.depths = depths
@@ -398,6 +667,12 @@ class _Emulator:
             _Proc(pid, name, program)
             for name, pid, program in engine.programs
         ]
+        self.methods = [
+            _Method(pid, name, records)
+            for name, pid, records in engine.method_programs
+        ]
+        #: Port-free date per recorded arbiter (NEVER before any grant).
+        self.port_free = [-1] * len(engine.arbiters)
         self.runnable: deque = deque()
         self.delta_events: List[_Event] = []
         self.delta_wakes: List[Tuple[_Proc, int]] = []
@@ -436,7 +711,11 @@ class _Emulator:
         heap = self.heap
         fifos = self.fifos
         check = self.check
+        strict = self.strict
         quantum_fs = self.quantum_fs
+        port_free = self.port_free
+        methods = self.methods
+        have_methods = bool(methods)
         heappush = heapq.heappush
         heappop = heapq.heappop
         now = 0
@@ -448,6 +727,12 @@ class _Emulator:
             proc.runnable = True
             runnable.append(proc)
         while True:
+            if have_methods:
+                # Fire pinned method records that verify against the
+                # *pre-thread* state of this delta round; records the anchor
+                # interleaved after this round's thread effects defer and
+                # are retried at quiescence below.
+                self._pump(now)
             if runnable:
                 delta_cycles += 1
             while runnable:
@@ -738,6 +1023,184 @@ class _Emulator:
                         pc += 1
                         phase = 0
                         continue
+                    if op == OP_BRANCH:
+                        construct, rec_outcome, rec_date = b
+                        f = fifos[a]
+                        if construct >= BR_REG_NB_WRITE:
+                            occ = f.occupancy
+                            depth = f.depth
+                            anchor = f.anchor_depth
+                            if strict and occ != rec_outcome:
+                                self._invalid(
+                                    proc.name, f.name, construct,
+                                    f"pinned replay needs the recorded "
+                                    f"occupancy {rec_outcome}, found {occ}",
+                                )
+                            if construct == BR_REG_NB_WRITE:
+                                if (occ < depth) != (rec_outcome < anchor):
+                                    self._invalid(
+                                        proc.name, f.name, construct,
+                                        f"recorded occupancy {rec_outcome} "
+                                        f"(anchor depth {anchor}), replayed "
+                                        f"{occ} at depth {depth}",
+                                    )
+                                if rec_outcome < anchor:
+                                    f.occupancy = occ + 1
+                                    f.total_written += 1
+                                    ev = f.data_written
+                                    if not ev.pending:
+                                        ev.pending = True
+                                        delta_events.append(ev)
+                            elif construct == BR_REG_NB_READ:
+                                if (occ > 0) != (rec_outcome > 0):
+                                    self._invalid(
+                                        proc.name, f.name, construct,
+                                        f"recorded occupancy {rec_outcome}, "
+                                        f"replayed {occ}",
+                                    )
+                                if rec_outcome > 0:
+                                    f.occupancy = occ - 1
+                                    f.total_read += 1
+                                    ev = f.data_read
+                                    if not ev.pending:
+                                        ev.pending = True
+                                        delta_events.append(ev)
+                            elif construct == BR_REG_IS_FULL:
+                                if (occ >= depth) != (rec_outcome >= anchor):
+                                    self._invalid(
+                                        proc.name, f.name, construct,
+                                        f"recorded occupancy {rec_outcome} "
+                                        f"(anchor depth {anchor}), replayed "
+                                        f"{occ} at depth {depth}",
+                                    )
+                            elif construct == BR_REG_SIZE:
+                                if occ != rec_outcome:
+                                    self._invalid(
+                                        proc.name, f.name, construct,
+                                        f"recorded level {rec_outcome}, "
+                                        f"replayed {occ}",
+                                    )
+                            else:  # BR_REG_IS_EMPTY / BR_REG_PEEK
+                                if (occ == 0) != (rec_outcome == 0):
+                                    self._invalid(
+                                        proc.name, f.name, construct,
+                                        f"recorded occupancy {rec_outcome}, "
+                                        f"replayed {occ}",
+                                    )
+                            if check and now != rec_date:
+                                self._mismatch(proc, pc, op, rec_date, now)
+                        else:
+                            local = stored if stored > now else now
+                            outcome, _armed = _smart_probe(
+                                f, f.depth, construct, local, f.packet_size
+                            )
+                            if outcome != rec_outcome:
+                                self._invalid(
+                                    proc.name, f.name, construct,
+                                    f"recorded outcome {rec_outcome}, "
+                                    f"replayed {outcome} at depth {f.depth} "
+                                    f"(anchor {f.anchor_depth})",
+                                )
+                            if construct == BR_NB_WRITE and outcome:
+                                f.wdates.append(local)
+                                f.nw += 1
+                                if f.blocked_readers:
+                                    ev = f.cell_filled
+                                    if not ev.pending:
+                                        ev.pending = True
+                                        delta_events.append(ev)
+                            elif construct == BR_NB_READ and outcome:
+                                f.rdates.append(local)
+                                f.nr += 1
+                                if f.blocked_writers:
+                                    ev = f.cell_freed
+                                    if not ev.pending:
+                                        ev.pending = True
+                                        delta_events.append(ev)
+                            if check and local != rec_date:
+                                self._mismatch(proc, pc, op, rec_date, local)
+                        pc += 1
+                        continue
+                    if op == OP_WAIT_CAP:
+                        # Inlined wait_writable (b == 0) / wait_readable
+                        # (b == 1): the capacity half of the blocking
+                        # machines above, with no access after it (the
+                        # arbiter grants and transfers separately).
+                        f = fifos[a]
+                        suspended = False
+                        while True:
+                            if phase == 0:
+                                phase = 2
+                            elif phase == 2:
+                                blocked = (
+                                    f.nw - f.nr == f.depth if b == 0
+                                    else f.nw == f.nr
+                                )
+                                if blocked:
+                                    f.blocking_waits += 1
+                                    if b == 0:
+                                        f.blocked_writers += 1
+                                    else:
+                                        f.blocked_readers += 1
+                                    if stored > now:
+                                        phase = 3
+                                        proc.wait_id = wid = proc.wait_id + 1
+                                        seq += 1
+                                        heappush(heap, (stored, seq, proc, wid))
+                                        suspended = True
+                                        break
+                                    stored = now
+                                    phase = 4
+                                else:
+                                    pc += 1
+                                    phase = 0
+                                    break
+                            elif phase == 3:
+                                stored = now
+                                phase = 4
+                            elif phase == 4:
+                                blocked = (
+                                    f.nw - f.nr == f.depth if b == 0
+                                    else f.nw == f.nr
+                                )
+                                if blocked:
+                                    phase = 5
+                                    proc.wait_id = wid = proc.wait_id + 1
+                                    event = (
+                                        f.cell_freed if b == 0
+                                        else f.cell_filled
+                                    )
+                                    event.waiters.append((proc, wid))
+                                    suspended = True
+                                    break
+                                if b == 0:
+                                    f.blocked_writers -= 1
+                                else:
+                                    f.blocked_readers -= 1
+                                phase = 2
+                            else:  # phase 5: woken by the capacity event
+                                if b == 0:
+                                    f.blocked_writers -= 1
+                                else:
+                                    f.blocked_readers -= 1
+                                phase = 2
+                        if suspended:
+                            break
+                        continue
+                    if op == OP_GRANT:
+                        # Arbiter port grant: raise the caller to the
+                        # port-free date (advance_to writes the raw local
+                        # date only when the caller was actually delayed).
+                        local = stored if stored > now else now
+                        pf = port_free[a]
+                        if local < pf:
+                            local = pf
+                            stored = pf
+                        port_free[a] = local + b[1]
+                        if check and local != b[0]:
+                            self._mismatch(proc, pc, op, b[0], local)
+                        pc += 1
+                        continue
                     raise ReplayError(f"unknown compiled op {op}")
                 proc.pc = pc
                 proc.phase = phase
@@ -767,10 +1230,33 @@ class _Emulator:
                 delta_wakes.clear()
             if runnable:
                 continue
+            if have_methods:
+                # Quiescent: retry records the anchor interleaved after this
+                # round's thread effects, then refuse to leave the date with
+                # an applicable-but-unverifiable record pending (it would
+                # silently fire at the wrong date otherwise).
+                if self._pump(now):
+                    continue
+                for m in methods:
+                    if m.pc < m.length and m.records[m.pc][0] <= now:
+                        due, construct, fifo_index, outcome, _date = (
+                            m.records[m.pc]
+                        )
+                        self._invalid(
+                            m.name, fifos[fifo_index].name, construct,
+                            f"pinned record (outcome {outcome}) could not "
+                            f"be applied at its recorded date {due} fs",
+                        )
             # -- timed phase: advance to the next pending date -----------
-            if not heap:
+            time_fs = heap[0][0] if heap else -1
+            if have_methods:
+                for m in methods:
+                    if m.pc < m.length:
+                        due = m.records[m.pc][0]
+                        if time_fs < 0 or due < time_fs:
+                            time_fs = due
+            if time_fs < 0:
                 break
-            time_fs = heap[0][0]
             now = time_fs
             timed_phases += 1
             while heap and heap[0][0] == time_fs:
@@ -784,6 +1270,8 @@ class _Emulator:
         self.activations = activations
         self.delta_cycles = delta_cycles
         self.timed_phases = timed_phases
+        if self.strict:
+            return self._finish_strict()
         return ReplayResult(
             sim_end_fs=self.now,
             quantum_fs=self.quantum_fs,
@@ -791,25 +1279,229 @@ class _Emulator:
             thread_activations=self.activations,
             delta_cycles=self.delta_cycles,
             timed_phases=self.timed_phases,
-            fifo_stats=[
-                {
-                    "name": state.name,
-                    "kind": state.kind,
-                    "depth": state.depth,
-                    "total_written": state.total_written,
-                    "total_read": state.total_read,
-                    "blocking_waits": state.blocking_waits,
-                }
-                for state in self.fifos
-            ],
+            fifo_stats=self._fifo_stats(),
             process_local_fs={
                 proc.pid: proc.stored for proc in self.procs
             },
             all_terminated=all(proc.terminated for proc in self.procs),
             mismatches=self.mismatches,
-            fifo_dates=[
-                (state.wdates, state.rdates)
-                if state.kind == "smart" else None
-                for state in self.fifos
-            ],
+            fifo_dates=self._fifo_dates(),
+        )
+
+    def _fifo_stats(self) -> List[dict]:
+        return [
+            {
+                "name": state.name,
+                "kind": state.kind,
+                "depth": state.depth,
+                "total_written": state.total_written,
+                "total_read": state.total_read,
+                "blocking_waits": state.blocking_waits,
+            }
+            for state in self.fifos
+        ]
+
+    def _fifo_dates(self) -> List[Optional[Tuple[List[int], List[int]]]]:
+        return [
+            (state.wdates, state.rdates)
+            if state.kind == "smart" else None
+            for state in self.fifos
+        ]
+
+    def _invalid(self, process: str, fifo: str, construct: int,
+                 detail: str) -> None:
+        name = BR_NAMES.get(construct, str(construct))
+        raise ReplayInvalid(
+            f"replay outside validity envelope: {name} on {fifo} "
+            f"in {process}: {detail}",
+            process=process, fifo=fifo, construct=name,
+        )
+
+    # -- pinned method streams (strict mode) ---------------------------
+    def _pump(self, now: int) -> bool:
+        """Fire every due pinned method record that verifies; True if any.
+
+        Records fire in stream order per method; a record whose recorded
+        FIFO state has not been reached yet defers (exact-occupancy
+        matching orders method effects against thread effects the way the
+        anchor interleaved them).  The fixpoint ends when no due record
+        verifies; the caller decides whether that is a deferral (threads
+        still runnable this date) or an envelope violation (quiescent).
+        """
+        fired = False
+        progress = True
+        while progress:
+            progress = False
+            for m in self.methods:
+                records = m.records
+                while m.pc < m.length:
+                    record = records[m.pc]
+                    due = record[0]
+                    if due > now:
+                        break
+                    if due < now:
+                        # Defensive: the timed phase never advances past a
+                        # pending due date, and the quiescence check fires
+                        # first; an earlier due here means corrupt state.
+                        self._invalid(
+                            m.name, self.fifos[record[2]].name, record[1],
+                            f"pinned record for kernel date {due} fs "
+                            f"outlived its date (now {now} fs)",
+                        )
+                    if not self._apply_pinned(record):
+                        break
+                    m.pc += 1
+                    progress = True
+                    fired = True
+        return fired
+
+    def _apply_pinned(self, record: tuple) -> bool:
+        """Verify one pinned method record and apply its effect.
+
+        Returns False to defer (not this record's interleaving point yet,
+        or the retargeted state cannot reproduce it — the quiescence check
+        turns a permanent deferral into :class:`ReplayInvalid`).
+        """
+        _due, construct, fifo_index, outcome, date_fs = record
+        f = self.fifos[fifo_index]
+        if construct >= BR_REG_NB_WRITE:
+            occ = f.occupancy
+            if occ != outcome:
+                return False
+            depth = f.depth
+            anchor = f.anchor_depth
+            if construct == BR_REG_NB_WRITE:
+                # occ == outcome, so this reduces to the depth envelope:
+                # the anchor's accept/refuse must hold at the new depth.
+                if (occ < depth) != (outcome < anchor):
+                    return False
+                if outcome < anchor:
+                    f.occupancy = occ + 1
+                    f.total_written += 1
+                    ev = f.data_written
+                    if not ev.pending:
+                        ev.pending = True
+                        self.delta_events.append(ev)
+            elif construct == BR_REG_NB_READ:
+                if occ > 0:
+                    f.occupancy = occ - 1
+                    f.total_read += 1
+                    ev = f.data_read
+                    if not ev.pending:
+                        ev.pending = True
+                        self.delta_events.append(ev)
+            elif construct == BR_REG_IS_FULL:
+                if (occ >= depth) != (outcome >= anchor):
+                    return False
+            # IS_EMPTY / PEEK / SIZE need only the exact-occupancy match.
+            return True
+        # Smart FIFO probe, pinned to its recorded local date.  The ring
+        # is anchor-identical by induction, so the probe must reproduce at
+        # the anchor depth (else: wrong interleaving point, defer) and —
+        # when retargeted — at the replayed depth with the same armed
+        # notification date (else the method's own invocation schedule
+        # would change, which the pinned stream cannot represent).
+        psize = f.packet_size
+        anchor_outcome, anchor_armed = _smart_probe(
+            f, f.anchor_depth, construct, date_fs, psize
+        )
+        if anchor_outcome != outcome:
+            return False
+        if f.depth != f.anchor_depth:
+            replay_outcome, replay_armed = _smart_probe(
+                f, f.depth, construct, date_fs, psize
+            )
+            if replay_outcome != outcome or replay_armed != anchor_armed:
+                return False
+        if construct == BR_NB_WRITE and outcome:
+            f.wdates.append(date_fs)
+            f.nw += 1
+            if f.blocked_readers:
+                ev = f.cell_filled
+                if not ev.pending:
+                    ev.pending = True
+                    self.delta_events.append(ev)
+        elif construct == BR_NB_READ and outcome:
+            f.rdates.append(date_fs)
+            f.nr += 1
+            if f.blocked_writers:
+                ev = f.cell_freed
+                if not ev.pending:
+                    ev.pending = True
+                    self.delta_events.append(ev)
+        return True
+
+    def _finish_strict(self) -> ReplayResult:
+        """Verify the pinned replay reproduced the anchor, then adopt it.
+
+        In strict mode every method effect was applied at its recorded
+        date and every thread date was checked, so a fully verified replay
+        reproduces the anchor's *observables*: all per-access dates, all
+        traffic totals, the end date and the final local times.  Blocking
+        waits are honestly recomputed at the replayed depth (blocking
+        preserves dates, so more or fewer waits stay inside the envelope);
+        the kernel activity counters (activations, delta cycles, timed
+        phases, method invocations) are adopted from the anchor and may
+        drift sub-observably in a fresh run — external notification
+        arming is depth-dependent scheduling noise the recorded behaviour
+        does not see.  Any *date* or traffic discrepancy means the
+        retarget changed behaviour the pinned streams cannot follow.
+        """
+        spool = self.engine.spool
+        for m in self.methods:
+            if m.pc < m.length:
+                record = m.records[m.pc]
+                self._invalid(
+                    m.name, self.fifos[record[2]].name, record[1],
+                    f"{m.length - m.pc} pinned records never became "
+                    f"applicable",
+                )
+        if self.mismatches:
+            name, pc, op, expected, got = self.mismatches[0]
+            raise ReplayInvalid(
+                f"replay outside validity envelope: {name} op#{pc} "
+                f"{_OP_NAMES[op]} recorded {expected} fs, replayed "
+                f"{got} fs ({len(self.mismatches)} divergences)",
+                process=name,
+            )
+        for proc in self.procs:
+            if not proc.terminated:
+                raise ReplayInvalid(
+                    f"replay outside validity envelope: {proc.name} "
+                    f"deadlocked at op #{proc.pc}/{proc.length}",
+                    process=proc.name,
+                )
+        for meta, state in zip(spool.fifos, self.fifos):
+            for key in ("total_written", "total_read"):
+                got = getattr(state, key)
+                if meta[key] != got:
+                    raise ReplayInvalid(
+                        f"replay outside validity envelope: "
+                        f"{meta['name']}.{key} recorded {meta[key]}, "
+                        f"replayed {got}",
+                        fifo=meta["name"],
+                    )
+        for proc in self.procs:
+            expected = spool.process_local_fs.get(proc.pid)
+            if expected is not None and expected != proc.stored:
+                raise ReplayInvalid(
+                    f"replay outside validity envelope: {proc.name} final "
+                    f"local date recorded {expected} fs, replayed "
+                    f"{proc.stored} fs",
+                    process=proc.name,
+                )
+        stats = spool.stats
+        return ReplayResult(
+            sim_end_fs=spool.sim_end_fs,
+            quantum_fs=self.quantum_fs,
+            depths=self.depths,
+            thread_activations=stats.get("thread_activations", 0),
+            delta_cycles=stats.get("delta_cycles", 0),
+            timed_phases=stats.get("timed_phases", 0),
+            fifo_stats=self._fifo_stats(),
+            process_local_fs=dict(spool.process_local_fs),
+            all_terminated=True,
+            mismatches=[],
+            method_invocations=stats.get("method_invocations", 0),
+            fifo_dates=self._fifo_dates(),
         )

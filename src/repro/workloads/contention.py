@@ -36,7 +36,7 @@ from ..fifo.arbiter import ReadArbiter, WriteArbiter
 from ..fifo.smart_fifo import SmartFifo
 from ..kernel.simtime import ns
 from ..kernel.simulator import Simulator
-from .base import TimingMode, WorkloadModule
+from .base import TimingMode, WorkloadModule, _to_fs
 
 
 @dataclass
@@ -78,20 +78,37 @@ class ContentionWriter(WorkloadModule):
     """Writes ``(writer_id, seq)`` tokens through the shared write arbiter."""
 
     def __init__(self, parent, name, arbiter, writer_id: int,
-                 config: ContentionConfig):
+                 config: ContentionConfig, burst: bool = False):
         super().__init__(parent, name, TimingMode.DECOUPLED)
         self.arbiter = arbiter
         self.writer_id = writer_id
         self.config = config
+        self.burst = burst
         self.rng = random.Random(config.seed * 31337 + writer_id)
         self.create_thread(self.run)
 
     def run(self):
-        for seq in range(self.config.items_per_writer):
+        cfg = self.config
+        if self.burst:
+            # Arbiters are not Smart FIFOs, so the base burst helpers do not
+            # apply; call the arbiter's flattened burst directly.  The gaps
+            # are pre-drawn in the same order the word loop draws them (the
+            # rng serves nothing else), so the schedule is bit-identical.
+            n = cfg.items_per_writer
+            words = [(self.writer_id, seq) for seq in range(n)]
+            gaps_fs = [
+                _to_fs(self.rng.randint(1, cfg.max_writer_gap_ns))
+                for _ in range(n)
+            ]
+            yield from self.arbiter.write_burst(words, gaps_fs)
+            self.items_processed += n
+            self.mark_finished()
+            return
+        for seq in range(cfg.items_per_writer):
             yield from self.arbiter.write((self.writer_id, seq))
             self.items_processed += 1
             yield from self.advance(
-                self.rng.randint(1, self.config.max_writer_gap_ns)
+                self.rng.randint(1, cfg.max_writer_gap_ns)
             )
         self.mark_finished()
 
@@ -100,22 +117,37 @@ class ContentionReader(WorkloadModule):
     """Reads its share of tokens through the shared read arbiter."""
 
     def __init__(self, parent, name, arbiter, count: int,
-                 reader_id: int, config: ContentionConfig):
+                 reader_id: int, config: ContentionConfig,
+                 burst: bool = False):
         super().__init__(parent, name, TimingMode.DECOUPLED)
         self.arbiter = arbiter
         self.count = count
         self.config = config
+        self.burst = burst
         self.rng = random.Random(config.seed * 27644437 + reader_id)
         self.tokens: List[Tuple[int, int]] = []
         self.create_thread(self.run)
 
     def run(self):
+        cfg = self.config
+        if self.burst:
+            # See ContentionWriter.run: direct arbiter burst, gaps pre-drawn
+            # in word-loop order.
+            gaps_fs = [
+                _to_fs(self.rng.randint(1, cfg.max_reader_gap_ns))
+                for _ in range(self.count)
+            ]
+            tokens = yield from self.arbiter.read_burst(self.count, gaps_fs)
+            self.tokens.extend(tokens)
+            self.items_processed += self.count
+            self.mark_finished()
+            return
         for _ in range(self.count):
             token = yield from self.arbiter.read()
             self.tokens.append(token)
             self.items_processed += 1
             yield from self.advance(
-                self.rng.randint(1, self.config.max_reader_gap_ns)
+                self.rng.randint(1, cfg.max_reader_gap_ns)
             )
         self.mark_finished()
 
@@ -123,9 +155,11 @@ class ContentionReader(WorkloadModule):
 class ArbiterContentionScenario:
     """N writers -> WriteArbiter -> Smart FIFO -> ReadArbiter -> M readers."""
 
-    def __init__(self, sim: Simulator, config: Optional[ContentionConfig] = None):
+    def __init__(self, sim: Simulator, config: Optional[ContentionConfig] = None,
+                 burst: bool = False):
         self.sim = sim
         self.config = config or ContentionConfig()
+        self.burst = burst
         cfg = self.config
         self.fifo = SmartFifo(sim, "fifo", depth=cfg.fifo_depth)
         # record_grants: this scenario IS the grant-date oracle, so it keeps
@@ -139,11 +173,13 @@ class ArbiterContentionScenario:
             access_duration=ns(cfg.access_time_ns), record_grants=True,
         )
         self.writers = [
-            ContentionWriter(sim, f"writer{i}", self.write_arbiter, i, cfg)
+            ContentionWriter(sim, f"writer{i}", self.write_arbiter, i, cfg,
+                             burst=burst)
             for i in range(cfg.n_writers)
         ]
         self.readers = [
-            ContentionReader(sim, f"reader{i}", self.read_arbiter, share, i, cfg)
+            ContentionReader(sim, f"reader{i}", self.read_arbiter, share, i,
+                             cfg, burst=burst)
             for i, share in enumerate(cfg.reader_shares())
         ]
 

@@ -333,6 +333,7 @@ BURST_SWEEP_SPECS = [
                  params={"packet_size": 2}),
     ScenarioSpec("packet_ref", "packet_stream", mode="reference", depth=4,
                  params={"packet_size": 2}),
+    ScenarioSpec("cont", "contention", mode="smart", depth=8, seed=5),
 ]
 
 

@@ -29,7 +29,7 @@ from repro.campaign import (
     record_spool,
     run_replay_sweep,
 )
-from repro.replay import ReplayEngine
+from repro.replay import ReplayEngine, ReplayInvalid
 
 #: Replayable workloads with small fixed sizes (kept modest: every
 #: hypothesis example runs two full simulations plus two replays).
@@ -117,6 +117,109 @@ def test_quantum_retarget_matches_fresh_simulation(
         params=dict(anchor.params),
     )
     _assert_replay_matches_fresh(anchor, point)
+
+
+# ---------------------------------------------------------------------------
+# Conditional workloads: branch-outcome replay inside the validity envelope
+# ---------------------------------------------------------------------------
+#: Workloads whose control flow inspects FIFO occupancy (probes, monitors,
+#: non-blocking accesses): their recordings carry DEP_BRANCH records and a
+#: retarget is only honoured inside the recording's validity envelope.
+CONDITIONAL_WORKLOADS = (
+    ("random_traffic", {"item_count": 14, "monitor_samples": 3}),
+    ("noc_stress", {"packets_per_stream": 2, "packet_size": 2}),
+)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    index=st.integers(min_value=0, max_value=len(CONDITIONAL_WORKLOADS) - 1),
+    mode=st.sampled_from((MODE_REFERENCE, MODE_SMART)),
+    seed=st.sampled_from((1, 3, 7, 11)),
+    anchor_depth=st.integers(min_value=2, max_value=10),
+    target_depth=st.integers(min_value=1, max_value=24),
+)
+def test_conditional_retarget_exact_or_invalid(
+    index, mode, seed, anchor_depth, target_depth
+):
+    """The branch-outcome contract: a conditional-workload retarget either
+    reproduces a fresh simulation bit for bit, or refuses with
+    :class:`ReplayInvalid` — it never silently diverges."""
+    workload, params = CONDITIONAL_WORKLOADS[index]
+    anchor = replace(
+        _anchor(workload, params, mode, anchor_depth),
+        seed=seed,
+        params=dict(params),
+    )
+    point = replace(
+        anchor,
+        name=f"{anchor.name}_d{target_depth}",
+        depth=target_depth,
+        params=dict(anchor.params),
+    )
+    spool, _ = record_spool(anchor)
+    assert spool.poison is None, spool.poison
+    evaluator = ReplayEvaluator(anchor, spool=spool)
+    try:
+        replayed = evaluator.replay_point(point)
+    except ReplayInvalid as exc:
+        # Out of the envelope: the refusal must name what broke and where.
+        assert exc.construct and exc.process, str(exc)
+        return
+    fresh_spool, _ = record_spool(point)
+    assert fresh_spool.poison is None, fresh_spool.poison
+    fresh_result = ReplayEngine(fresh_spool).self_check()
+    diffs = compare_replay_to_spool(
+        replayed, fresh_spool, fresh_result, strict=evaluator.engine.strict
+    )
+    assert not diffs, (
+        f"replay of {anchor.label} at {point.label} diverges: "
+        + "; ".join(diffs[:6])
+    )
+
+
+@pytest.mark.parametrize("mode", (MODE_REFERENCE, MODE_SMART))
+@pytest.mark.parametrize(
+    "workload,params",
+    [(name, params) for name, params in CONDITIONAL_WORKLOADS],
+)
+def test_conditional_full_sweep_validates_in_envelope(workload, params, mode):
+    """Validate-everywhere over a conditional sweep: every point the engine
+    accepts must match a fresh simulation; refusals fall back to plain
+    simulated rows and are reported, never silently wrong."""
+    anchor = replace(
+        _anchor(workload, params, mode, depth=8),
+        seed=3,
+        params=dict(params),
+    )
+    depths = (2, 4, 6, 12, 16)
+    result = run_replay_sweep(anchor, depths=depths, validate=len(depths))
+    assert result.all_validated
+    refused = {name for name, _ in result.invalid_points}
+    rows = {row.name: row for row in result.rows if row.name != anchor.name}
+    assert set(rows) == {f"{anchor.name}_d{d}" for d in depths}
+    for name, row in rows.items():
+        assert row.evaluator == ("simulate" if name in refused else "replay")
+    # The interesting half of the contract needs at least some replays.
+    assert len(refused) < len(depths)
+
+
+def test_out_of_envelope_raises_replay_invalid():
+    """A retarget that would change a recorded branch outcome refuses
+    loudly (depth 1 starves the random-traffic producer's probes)."""
+    anchor = ScenarioSpec(
+        name="prop_envelope",
+        workload="random_traffic",
+        mode=MODE_SMART,
+        depth=8,
+        seed=3,
+    )
+    evaluator = ReplayEvaluator(anchor)
+    point = replace(anchor, name="prop_envelope_d1", depth=1,
+                    params=dict(anchor.params))
+    with pytest.raises(ReplayInvalid) as err:
+        evaluator.replay_point(point)
+    assert "validity envelope" in str(err.value)
 
 
 @pytest.mark.parametrize("mode", (MODE_REFERENCE, MODE_SMART))

@@ -337,3 +337,94 @@ class TestMergeCompleteness:
         )
         with pytest.raises(ValueError, match="missing field"):
             merge_jsonl([str(clipped)])
+
+
+class TestAutoReplay:
+    """The --auto-replay routing pass (see CampaignRunner.auto_replay)."""
+
+    def _sweep(self, depths=(4, 6, 16)):
+        from dataclasses import replace
+
+        anchor = ScenarioSpec(
+            "auto_anchor", "random_traffic", mode="smart", depth=8, seed=3
+        )
+        points = [
+            replace(anchor, name=f"auto_anchor_d{d}", depth=d,
+                    params=dict(anchor.params))
+            for d in depths
+        ]
+        return [anchor] + points
+
+    def test_eligible_group_is_routed_and_tagged(self):
+        specs = self._sweep()
+        result = CampaignRunner(
+            workers=1, paired=False, auto_replay=True
+        ).run(specs)
+        evaluators = {r.name: r.evaluator for r in result.runs}
+        assert evaluators["auto_anchor"] == "simulate"
+        assert all(
+            evaluators[s.name] == "replay" for s in specs[1:]
+        ), evaluators
+
+    def test_simulated_rows_byte_identical_to_no_replay_run(self):
+        specs = self._sweep()
+        auto = CampaignRunner(workers=1, paired=False, auto_replay=True).run(specs)
+        plain = CampaignRunner(workers=1, paired=False).run(specs)
+        plain_rows = {r.name: r.deterministic_row() for r in plain.runs}
+        for record in auto.runs:
+            if record.evaluator == "simulate":
+                assert record.deterministic_row() == plain_rows[record.name]
+
+    def test_out_of_envelope_point_falls_back_to_simulation(self):
+        specs = self._sweep(depths=(1, 4))  # depth 1 is outside the envelope
+        auto = CampaignRunner(workers=1, paired=False, auto_replay=True).run(specs)
+        plain = CampaignRunner(workers=1, paired=False).run(specs)
+        by_name = {r.name: r for r in auto.runs}
+        assert by_name["auto_anchor_d1"].evaluator == "simulate"
+        assert by_name["auto_anchor_d4"].evaluator == "replay"
+        plain_row = next(
+            r for r in plain.runs if r.name == "auto_anchor_d1"
+        ).deterministic_row()
+        assert by_name["auto_anchor_d1"].deterministic_row() == plain_row
+
+    def test_poisoned_group_simulates_everything(self):
+        from dataclasses import replace
+
+        soc = ScenarioSpec(
+            "soc_small", "soc", depth=8,
+            params={"n_chains": 1, "items_per_chain": 16},
+        )
+        specs = [soc, replace(soc, name="soc_small_d4", depth=4,
+                              params=dict(soc.params))]
+        result = CampaignRunner(
+            workers=1, paired=False, auto_replay=True
+        ).run(specs)
+        assert all(r.evaluator == "simulate" for r in result.runs)
+
+    def test_singleton_groups_and_paired_specs_not_routed(self):
+        result = CampaignRunner(workers=1, auto_replay=True).run(SMALL_CAMPAIGN)
+        assert all(r.evaluator == "simulate" for r in result.runs)
+        assert len(result.pairs) > 0
+
+    def test_jsonl_round_trips_replay_rows(self, tmp_path):
+        from repro.campaign import merge_jsonl
+
+        specs = self._sweep()
+        path = str(tmp_path / "auto.jsonl")
+        result = CampaignRunner(
+            workers=1, paired=False, auto_replay=True
+        ).run(specs, jsonl=path)
+        merged = merge_jsonl([path])
+        assert merged.fingerprint() == result.fingerprint()
+        tags = {r.name: r.evaluator for r in merged.runs}
+        assert tags["auto_anchor_d4"] == "replay"
+
+    def test_validation_divergence_would_raise(self):
+        # validate=0 trusts the self-check; smoke that the knob is wired.
+        specs = self._sweep(depths=(4,))
+        result = CampaignRunner(
+            workers=1, paired=False, auto_replay=True, auto_replay_validate=0
+        ).run(specs)
+        assert {r.evaluator for r in result.runs} == {"simulate", "replay"}
+        with pytest.raises(ValueError):
+            CampaignRunner(auto_replay=True, auto_replay_validate=-1)

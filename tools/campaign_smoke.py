@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Campaign shard/merge smoke gate (used by ``make campaign-smoke`` and CI).
 
-Runs a small campaign five ways and asserts the scale-out invariant:
+Runs a small campaign six ways and asserts the scale-out invariant:
 
 1. unsharded, inline (the reference fingerprint);
 2. shard 0/2 and shard 1/2, each across 2 worker processes, streaming
@@ -10,7 +10,11 @@ Runs a small campaign five ways and asserts the scale-out invariant:
 4. unsharded again with ``burst=True`` (span FIFO transfers);
 5. a record-and-replay sweep: one recorded anchor simulation, two
    replayed depth points, one of them cross-validated against a fresh
-   simulation (must match bit for bit).
+   simulation (must match bit for bit);
+6. an auto-routed conditional sweep: a branch-recording workload
+   (random traffic) swept over depths through ``--auto-replay`` —
+   the anchor simulates, every in-envelope point replays, and the
+   campaign fingerprint must equal a pinned constant.
 
 The merged fingerprint must equal the unsharded one byte for byte — that
 is the property that makes multi-machine campaigns trustworthy.  The burst
@@ -36,6 +40,7 @@ from repro.campaign import (  # noqa: E402
     default_campaign,
     merge_jsonl,
     run_replay_sweep,
+    sweep_point_specs,
 )
 
 #: A fast subset of the default campaign covering old and new workloads.
@@ -56,6 +61,15 @@ PR3_SMOKE_FINGERPRINT = (
     "3f1ed06c3a5c3b0f1b1c3ef8af147bcbc7740e6fd401e3ea717a82ed579f71a5"
 )
 
+#: Fingerprint of the phase-6 auto-routed conditional sweep (random
+#: traffic, smart, depth-8 anchor swept over depths 2/4/16).  Replay rows
+#: carry the simulated dates, kernel counters and per-FIFO totals of the
+#: points they stand in for, so the fingerprint is stable whether a point
+#: was simulated or replayed — this constant pins that property.
+PR9_AUTO_REPLAY_FINGERPRINT = (
+    "47846c9c8ed552bc7389aa14cfbd8cc40aca02db7fca388e013d611c7bfe0f80"
+)
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -74,7 +88,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    specs = default_campaign()
+    # Word-mode specs: the reference fingerprint predates the burst default,
+    # and phase 4 below re-runs them with burst=True to prove bit-exactness.
+    specs = default_campaign(burst=False)
     if not args.full:
         specs = [spec for spec in specs if spec.name in SMOKE_SPECS]
     os.makedirs(args.out_dir, exist_ok=True)
@@ -161,6 +177,52 @@ def main(argv=None) -> int:
     print(
         f"[smoke] OK: {replayed} replayed points, "
         f"{len(sweep.validations)} cross-validated against a fresh simulation"
+    )
+
+    print("[smoke] auto-routed conditional sweep (--auto-replay)...")
+    cond_anchor = ScenarioSpec(
+        name="smoke_auto_anchor",
+        workload="random_traffic",
+        mode="smart",
+        depth=8,
+        seed=3,
+    )
+    cond_specs = [cond_anchor] + sweep_point_specs(
+        cond_anchor, depths=(2, 4, 16)
+    )
+    auto = CampaignRunner(
+        workers=1, paired=False, auto_replay=True
+    ).run(cond_specs)
+    tags = {row.name: row.evaluator for row in auto.runs}
+    auto_replayed = sum(1 for tag in tags.values() if tag == "replay")
+    if tags[cond_anchor.name] != "simulate" or auto_replayed != 3:
+        print(
+            "FAIL: auto-replay routing did not produce 1 simulated anchor "
+            f"+ 3 replayed points (got {tags})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"[smoke] auto-replay fingerprint: {auto.fingerprint()}")
+    if auto.fingerprint() != PR9_AUTO_REPLAY_FINGERPRINT:
+        print(
+            "FAIL: auto-routed sweep fingerprint drifted from the PR 9 "
+            f"recorded one ({PR9_AUTO_REPLAY_FINGERPRINT})",
+            file=sys.stderr,
+        )
+        return 1
+    plain = CampaignRunner(workers=1, paired=False).run(
+        [cond_anchor]
+    )
+    anchor_row = next(r for r in auto.runs if r.name == cond_anchor.name)
+    if anchor_row.deterministic_row() != plain.runs[0].deterministic_row():
+        print(
+            "FAIL: auto-replay anchor row differs from a plain simulation",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"[smoke] OK: anchor simulated once, {auto_replayed} points replayed, "
+        "fingerprint matches the PR 9 recorded value"
     )
     return 0
 
