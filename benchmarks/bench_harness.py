@@ -70,6 +70,7 @@ from bench_micro_fifo_ops import (
     smart_fifo_burst_stream,
     smart_fifo_decoupled_stream,
     smart_fifo_nb_ops,
+    telemetry_bypass_stream,
     trace_emit_burst_ops,
     trace_emit_off_ops,
     trace_emit_ops,
@@ -84,6 +85,7 @@ METRICS: Dict[str, bool] = {
     "micro.trace_emit_ops_per_s": True,
     "micro.trace_emit_burst_ops_per_s": True,
     "micro.trace_emit_off_ops_per_s": True,
+    "micro.telemetry_off_overhead": False,
     "fig5.tdfull_total_wall_s": False,
     "fig5.tdless_total_wall_s": False,
     "case_study.sync_wall_s": False,
@@ -104,7 +106,18 @@ METRICS: Dict[str, bool] = {
 #: ADVISORY instead of failing the run.
 ADVISORY_METRICS = {
     "campaign.orchestrated_specs_per_s",
+    # A ratio of two ~10ms walls hovering at 1.0: run-to-run jitter of a
+    # few percent is normal and meaningless as a trajectory.  The hard
+    # bound lives in bench_micro itself (TELEMETRY_OVERHEAD_LIMIT),
+    # which fails the scenario — not just the comparison — when disabled
+    # telemetry costs real time.
+    "micro.telemetry_off_overhead",
 }
+
+#: Hard in-scenario bound on the disabled-telemetry overhead factor:
+#: sim.run() with NULL_TELEMETRY (one `enabled` attribute check) over the
+#: direct scheduler drive with no checks at all.
+TELEMETRY_OVERHEAD_LIMIT = 1.05
 
 #: Worker processes used by the campaign scenario (the point of the metric
 #: is pool throughput, so > 1; kept small to stay meaningful on any CI box).
@@ -178,6 +191,21 @@ def bench_micro(repeats: int) -> Tuple[Dict[str, float], Dict[str, object]]:
     emit_wall, _ = _best_wall(trace_emit_ops, repeats)
     emit_burst_wall, _ = _best_wall(trace_emit_burst_ops, repeats)
     emit_off_wall, _ = _best_wall(trace_emit_off_ops, repeats)
+    # Disabled-telemetry overhead: the production sim.run() path (pays
+    # the NULL_TELEMETRY `enabled` checks) against a direct scheduler
+    # drive with no checks.  Same payload as the blocking stream; the
+    # factor is gated hard here so "telemetry off costs nothing" is an
+    # enforced property, not a hope.
+    bypass_repeats = max(repeats, 5)
+    production_wall, _ = _best_wall(smart_fifo_decoupled_stream, bypass_repeats)
+    bypass_wall, _ = _best_wall(telemetry_bypass_stream, bypass_repeats)
+    telemetry_overhead = production_wall / bypass_wall
+    if telemetry_overhead > TELEMETRY_OVERHEAD_LIMIT:
+        raise AssertionError(
+            f"disabled telemetry costs {telemetry_overhead:.3f}x over the "
+            f"uninstrumented scheduler drive (limit "
+            f"{TELEMETRY_OVERHEAD_LIMIT})"
+        )
     metrics = {
         "micro.regular_nb_ops_per_s": ITEMS / nb_wall,
         "micro.smart_nb_ops_per_s": ITEMS / smart_nb_wall,
@@ -186,6 +214,7 @@ def bench_micro(repeats: int) -> Tuple[Dict[str, float], Dict[str, object]]:
         "micro.trace_emit_ops_per_s": TRACE_EMITS / emit_wall,
         "micro.trace_emit_burst_ops_per_s": TRACE_EMITS / emit_burst_wall,
         "micro.trace_emit_off_ops_per_s": TRACE_EMITS / emit_off_wall,
+        "micro.telemetry_off_overhead": telemetry_overhead,
     }
     detail = {
         "items": ITEMS,
@@ -197,6 +226,9 @@ def bench_micro(repeats: int) -> Tuple[Dict[str, float], Dict[str, object]]:
         "trace_emit_wall_s": emit_wall,
         "trace_emit_burst_wall_s": emit_burst_wall,
         "trace_emit_off_wall_s": emit_off_wall,
+        "telemetry_production_wall_s": production_wall,
+        "telemetry_bypass_wall_s": bypass_wall,
+        "telemetry_overhead_limit": TELEMETRY_OVERHEAD_LIMIT,
     }
     return metrics, detail
 

@@ -122,6 +122,23 @@ def smart_fifo_burst_stream():
     return fifo.total_read
 
 
+def telemetry_bypass_stream():
+    """:func:`smart_fifo_decoupled_stream` minus the telemetry guards.
+
+    Drives the scheduler directly instead of going through
+    ``Simulator.run`` — the pre-telemetry code path with zero ``enabled``
+    attribute checks.  The wall ratio of the production twin over this
+    one is the whole cost of disabled telemetry
+    (``micro.telemetry_off_overhead``, gated close to 1.0).
+    """
+    sim = Simulator("micro_telemetry_bypass")
+    fifo = SmartFifo(sim, "fifo", depth=64)
+    _Stream(sim, "stream", fifo, ITEMS)
+    sim.elaborate()
+    sim.scheduler.run(None)
+    return fifo.total_read
+
+
 #: Trace lines emitted per trace-path micro-benchmark run.
 TRACE_EMITS = 2000
 

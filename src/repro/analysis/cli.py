@@ -57,12 +57,23 @@ merged fingerprint is byte-identical to an unsharded single-pool run::
     python -m repro.analysis.cli orchestrate --hosts 2 --workers-per-host 2
     python -m repro.analysis.cli orchestrate --hosts-file hosts.json \
         --costs COSTS.json --record-costs COSTS.json --merged-jsonl merged.jsonl
+
+Observability: ``campaign`` and ``orchestrate`` accept ``--telemetry DIR``
+(write the spans/counters sideband described in :mod:`repro.telemetry` to
+``DIR/telemetry.jsonl``; deterministic rows and fingerprints are
+byte-identical with it on or off) and ``--progress`` (a live stderr
+ticker).  ``telemetry-report`` renders a collected sideband::
+
+    python -m repro.analysis.cli campaign --telemetry tele/ --progress
+    python -m repro.analysis.cli telemetry-report tele/
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import re
+import socket
 from typing import List, Optional, Sequence, Tuple
 
 from ..campaign import (
@@ -87,6 +98,7 @@ from ..campaign.orchestrator import (
 )
 from ..kernel.tracing import SINK_KINDS
 from ..soc import SocConfig
+from ..telemetry import NULL_TELEMETRY, Telemetry, render_report
 from ..workloads import StreamingConfig
 from . import experiments
 from .reporting import dict_rows_table, write_csv
@@ -383,6 +395,22 @@ def build_parser() -> argparse.ArgumentParser:
         "selected spec into a sweep grid first",
     )
     campaign.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help="write the spans/counters telemetry sideband to "
+        "DIR/telemetry.jsonl (parent + per-worker events, merged after "
+        "the run; deterministic rows and fingerprints are byte-identical "
+        "with telemetry on or off)",
+    )
+    campaign.add_argument(
+        "--progress",
+        action="store_true",
+        help="live single-line progress ticker on stderr (specs done, "
+        "rate, ETA; cost-weighted when --costs is given); display only, "
+        "never touches stdout or deterministic outputs",
+    )
+    campaign.add_argument(
         "--list", action="store_true", help="list the specs and exit"
     )
     add_csv_flag(campaign)
@@ -480,7 +508,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless the merged fingerprint equals this value (the "
         "pinned-fingerprint gate of the orchestrator smoke)",
     )
+    orchestrate.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help="write the orchestrator's own launch/poll/collect telemetry "
+        "and every host's collected campaign telemetry to "
+        "DIR/telemetry.jsonl (sideband only; merged rows are unchanged)",
+    )
+    orchestrate.add_argument(
+        "--progress",
+        action="store_true",
+        help="live single-line progress ticker on stderr (local shards "
+        "report per-row progress; remote shards on host completion)",
+    )
     add_csv_flag(orchestrate)
+
+    report = subparsers.add_parser(
+        "telemetry-report",
+        help="aggregate one or more telemetry sidebands (files or "
+        "directories of *.jsonl) into top-span / worker-utilization / "
+        "per-host tables",
+    )
+    report.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="telemetry JSONL files or directories holding them (e.g. "
+        "the --telemetry DIR of a campaign or orchestrate run)",
+    )
+    report.add_argument(
+        "--top",
+        type=_positive_int,
+        default=15,
+        metavar="N",
+        help="rows in the top-spans table (default 15)",
+    )
 
     return parser
 
@@ -534,7 +597,26 @@ def run_case_study(args: argparse.Namespace) -> str:
     result = experiments.case_study(config)
     if args.csv:
         write_csv(result.rows(), args.csv)
-    return result.table()
+    sections = [result.table()]
+    # The per-process activation breakdown behind the context-switch
+    # totals: which processes the scheduler actually woke, per policy.
+    top_rows = []
+    for label, run in (("sync-per-access", result.sync),
+                       ("Smart FIFO", result.smart)):
+        for name, activations in run.top_processes:
+            top_rows.append(
+                {"policy": label, "process": name,
+                 "activations": activations}
+            )
+    if top_rows:
+        sections.append(
+            dict_rows_table(
+                top_rows,
+                ["policy", "process", "activations"],
+                title="Most-activated processes",
+            )
+        )
+    return "\n\n".join(sections)
 
 
 def run_quantum(args: argparse.Namespace) -> str:
@@ -581,6 +663,13 @@ def _run_replay_sweep(args: argparse.Namespace) -> tuple:
         raise SystemExit(
             "--replay-sweep needs --sweep-depths and/or --sweep-quanta"
         )
+    telemetry = NULL_TELEMETRY
+    if args.telemetry:
+        os.makedirs(args.telemetry, exist_ok=True)
+        telemetry = Telemetry(
+            "replay-sweep",
+            path=os.path.join(args.telemetry, "telemetry.jsonl"),
+        )
     try:
         sweep = run_replay_sweep(
             anchor,
@@ -588,8 +677,10 @@ def _run_replay_sweep(args: argparse.Namespace) -> tuple:
             quanta_ns=quanta,
             validate=args.validate,
             trace_sink=args.trace_sink,
+            telemetry=telemetry,
         )
     except ReplayError as exc:
+        telemetry.close()
         poisoned = re.match(
             r"recording is not replayable: (?P<construct>.+?)"
             r"(?: \[in process (?P<process>.+?)\])?$",
@@ -608,6 +699,7 @@ def _run_replay_sweep(args: argparse.Namespace) -> tuple:
                 f"falls back to simulation for exactly these specs."
             )
         raise SystemExit(f"replay sweep failed: {exc}")
+    telemetry.close()
     if args.jsonl:
         row_specs = [anchor] + sweep_point_specs(anchor, depths, quanta)
         with open(args.jsonl, "w") as stream:
@@ -664,6 +756,7 @@ def run_campaign(args: argparse.Namespace) -> str:
                 ("--no-paired", args.no_paired),
                 ("--list", args.list),
                 ("--trace-out", args.trace_out is not None),
+                ("--progress", args.progress),
             ) if active
         ]
         if conflicting:
@@ -682,8 +775,11 @@ def run_campaign(args: argparse.Namespace) -> str:
             "--shard and --shard-by-cost are two partitioners of the same "
             "campaign; pick one"
         )
-    if args.costs and not args.shard_by_cost:
-        raise SystemExit("--costs is only read by --shard-by-cost")
+    if args.costs and not (args.shard_by_cost or args.progress):
+        raise SystemExit(
+            "--costs is only read by --shard-by-cost (partitioning) and "
+            "--progress (cost-weighted ETA)"
+        )
     if args.merge_jsonl:
         conflicting = [
             flag for flag, active in (
@@ -699,6 +795,8 @@ def run_campaign(args: argparse.Namespace) -> str:
                 ("--no-paired", args.no_paired),
                 ("--list", args.list),
                 ("--trace-out", args.trace_out is not None),
+                ("--telemetry", args.telemetry is not None),
+                ("--progress", args.progress),
             ) if active
         ]
         if conflicting:
@@ -760,7 +858,7 @@ def run_campaign(args: argparse.Namespace) -> str:
             campaign_budget_s=args.campaign_budget,
         )
     cost_model = None
-    if args.shard_by_cost is not None:
+    if args.shard_by_cost is not None or (args.progress and args.costs):
         try:
             cost_model = CostModel.load(args.costs)
         except ValueError as exc:
@@ -773,6 +871,8 @@ def run_campaign(args: argparse.Namespace) -> str:
         trace_sink=args.trace_sink, trace_out=args.trace_out,
         auto_replay=args.auto_replay,
         auto_replay_validate=args.validate,
+        telemetry_dir=args.telemetry,
+        progress=args.progress,
     )
     try:
         result = runner.run(specs, jsonl=args.jsonl, resume=args.resume)
@@ -786,6 +886,13 @@ def run_campaign(args: argparse.Namespace) -> str:
         except ValueError as exc:
             raise SystemExit(f"cannot read --record-costs: {exc}")
         recorded.observe_result(result)
+        if result.wall_seconds > 0 and specs:
+            # Advisory whole-host throughput for capacity planning; the
+            # LPT partitioner never reads it (see orchestrator/costs.py).
+            recorded.observe_host(
+                socket.gethostname(),
+                len(specs) / result.wall_seconds,
+            )
         recorded.save(args.record_costs)
     if args.csv:
         write_csv(result.run_rows(), args.csv)
@@ -820,6 +927,8 @@ def run_orchestrate(args: argparse.Namespace) -> tuple:
         spec_timeout_s=args.spec_timeout,
         campaign_budget_s=args.campaign_budget,
         record_costs_path=args.record_costs,
+        telemetry_dir=args.telemetry,
+        progress=args.progress,
     )
     try:
         outcome = orchestrator.run(spec_names, merged_jsonl=args.merged_jsonl)
@@ -842,6 +951,13 @@ def run_orchestrate(args: argparse.Namespace) -> tuple:
     return "\n\n".join(sections), code
 
 
+def run_telemetry_report(args: argparse.Namespace) -> str:
+    try:
+        return render_report(args.paths, top=args.top)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read telemetry: {exc}")
+
+
 _COMMANDS = {
     "fig2": run_fig2,
     "fig5": run_fig5,
@@ -850,6 +966,7 @@ _COMMANDS = {
     "context-switches": run_context_switches,
     "campaign": run_campaign,
     "orchestrate": run_orchestrate,
+    "telemetry-report": run_telemetry_report,
 }
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..kernel.simtime import SimTime
 from ..kernel.simulator import Simulator
@@ -30,6 +30,9 @@ class RunResult:
     timed_phases: int
     #: Free-form additional metrics provided by the scenario.
     extra: Dict[str, float] = field(default_factory=dict)
+    #: The most-activated processes as ``(name, activations)`` — the
+    #: per-process breakdown behind the context-switch totals above.
+    top_processes: List[Tuple[str, int]] = field(default_factory=list)
 
     @property
     def total_activations(self) -> int:
@@ -94,4 +97,5 @@ def measure_run(
         delta_cycles=stats.delta_cycles,
         timed_phases=stats.timed_phases,
         extra=extra,
+        top_processes=stats.top_processes(8),
     )

@@ -40,6 +40,7 @@ from ..kernel.tracing import (
     trace_lines_digest,
 )
 from ..replay import ReplayEngine, ReplayError, ReplayInvalid, ReplayResult
+from ..telemetry import NULL_TELEMETRY
 from .runner import DEFAULT_TRACE_SINK, SpecRunRecord, _record_from, execute_spec
 from .scenarios import build_scenario
 from .spec import ScenarioSpec
@@ -382,6 +383,7 @@ def run_replay_sweep(
     quanta_ns: Sequence[int] = (),
     validate: int = 1,
     trace_sink: str = DEFAULT_TRACE_SINK,
+    telemetry=NULL_TELEMETRY,
 ) -> ReplaySweepResult:
     """One simulation per sweep: record the anchor, replay every point.
 
@@ -397,9 +399,16 @@ def run_replay_sweep(
     not reproducible at that depth/quantum) fall back to a fresh
     simulation for exactly those points: their rows are plain simulated
     rows and the refusals are reported in ``invalid_points``.
+
+    ``telemetry`` (an optional :mod:`repro.telemetry` sideband) gets one
+    span per phase — ``replay.record`` / ``replay.point`` /
+    ``replay.simulate_fallback`` / ``replay.validate`` — plus per-construct
+    ``replay.refusals.*`` counters; the default ``NULL_TELEMETRY`` makes
+    every emission a no-op.
     """
     start = time.perf_counter()
-    evaluator = ReplayEvaluator(anchor, trace_sink=trace_sink)
+    with telemetry.span("replay.record", spec=anchor.name):
+        evaluator = ReplayEvaluator(anchor, trace_sink=trace_sink)
     record_seconds = time.perf_counter() - start
     anchor_record = evaluator.anchor_record
     assert anchor_record is not None
@@ -411,22 +420,33 @@ def run_replay_sweep(
     fallbacks: List[Tuple[int, ScenarioSpec]] = []
     start = time.perf_counter()
     for point in points:
+        point_t0 = time.monotonic() if telemetry.enabled else 0.0
         t0 = time.perf_counter()
         try:
             result = evaluator.replay_point(point)
         except ReplayInvalid as exc:
+            if telemetry.enabled:
+                construct = getattr(exc, "construct", None) or "unspecified"
+                telemetry.counter(f"replay.refusals.{construct}")
             invalid_points.append((point.name, str(exc)))
             fallbacks.append((len(rows), point))
             rows.append(None)
             results.append(None)
             continue
+        if telemetry.enabled:
+            telemetry.span_at(
+                "replay.point", point_t0, time.monotonic() - point_t0,
+                spec=point.name,
+            )
+            telemetry.counter("replay.points_replayed")
         rows.append(replay_record(point, result, time.perf_counter() - t0))
         results.append(result)
     replay_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
     for row_index, point in fallbacks:
-        rows[row_index] = execute_spec(point, trace_sink)
+        with telemetry.span("replay.simulate_fallback", spec=point.name):
+            rows[row_index] = execute_spec(point, trace_sink)
     simulate_seconds = time.perf_counter() - start
 
     replayed_indices = [
@@ -437,17 +457,18 @@ def run_replay_sweep(
     for picked in _validation_sample(len(replayed_indices), validate):
         index = replayed_indices[picked]
         point = points[index]
-        fresh_spool, _ = record_spool(point, trace_sink)
-        if fresh_spool.poison is not None:
-            raise ReplayError(
-                f"validation run for {point.label} is not recordable: "
-                f"{fresh_spool.poison}"
+        with telemetry.span("replay.validate", spec=point.name):
+            fresh_spool, _ = record_spool(point, trace_sink)
+            if fresh_spool.poison is not None:
+                raise ReplayError(
+                    f"validation run for {point.label} is not recordable: "
+                    f"{fresh_spool.poison}"
+                )
+            fresh_result = ReplayEngine(fresh_spool).self_check()
+            diffs = compare_replay_to_spool(
+                results[index], fresh_spool, fresh_result,
+                strict=evaluator.engine.strict,
             )
-        fresh_result = ReplayEngine(fresh_spool).self_check()
-        diffs = compare_replay_to_spool(
-            results[index], fresh_spool, fresh_result,
-            strict=evaluator.engine.strict,
-        )
         validations.append(ValidationRecord(point.name, not diffs, diffs))
         if diffs:
             raise ReplayError(

@@ -22,8 +22,21 @@ File format (JSON, schema 1)::
           }
         },
         ...
+      },
+      "hosts": {                        # optional, advisory only
+        "<host name>": {"specs_per_s": 1.85, "samples": 2},
+        ...
       }
     }
+
+The ``hosts`` key is **advisory telemetry**, not a scheduling input: it
+records each host's observed throughput (specs per second over its shard
+makespan, folded in with the same EWMA) so operators can spot a slow or
+misconfigured machine in ``telemetry-report``.  The LPT partitioner never
+reads it — shards are balanced by per-spec cost only, and every host must
+compute the identical partition from the identical file whether or not
+the key is present.  Files without host observations are written without
+the key, byte-identical to the pre-telemetry format.
 
 Observations are folded in with an exponential moving average
 (``EWMA_ALPHA``), so the model tracks a drifting machine without being
@@ -87,7 +100,28 @@ class CostModel:
     run uses.
     """
 
-    def __init__(self, costs: Optional[Dict[str, Dict[str, object]]] = None):
+    def __init__(
+        self,
+        costs: Optional[Dict[str, Dict[str, object]]] = None,
+        hosts: Optional[Dict[str, Dict[str, object]]] = None,
+    ):
+        self._hosts: Dict[str, Dict[str, object]] = {}
+        for host, host_entry in (hosts or {}).items():
+            if not isinstance(host_entry, dict) or "specs_per_s" not in host_entry:
+                raise ValueError(
+                    f"COSTS hosts entry for {host!r} is not of the form "
+                    f'{{"specs_per_s": rate, "samples": n}}'
+                )
+            try:
+                self._hosts[host] = {
+                    "specs_per_s": float(host_entry["specs_per_s"]),
+                    "samples": int(host_entry.get("samples", 1)),
+                }
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"COSTS hosts entry for {host!r} has non-numeric "
+                    f"specs_per_s/samples"
+                ) from None
         self._costs: Dict[str, Dict[str, object]] = {}
         for name, spec_entry in (costs or {}).items():
             if not isinstance(spec_entry, dict) or "modes" not in spec_entry:
@@ -142,11 +176,17 @@ class CostModel:
                 f"{path} uses COSTS schema {schema!r}; this version reads "
                 f"schema {COSTS_SCHEMA}"
             )
-        return cls(document.get("costs", {}))
+        return cls(document.get("costs", {}), document.get("hosts", {}))
 
     def save(self, path: str) -> None:
-        """Atomically write the model (tmp file + rename)."""
+        """Atomically write the model (tmp file + rename).
+
+        The advisory ``hosts`` key is written only when host throughput
+        has been observed, so a model without it round-trips to a file
+        byte-identical to the pre-telemetry format."""
         document = {"schema": COSTS_SCHEMA, "costs": self._costs}
+        if self._hosts:
+            document["hosts"] = self._hosts
         tmp_path = path + ".tmp"
         with open(tmp_path, "w") as handle:
             json.dump(document, handle, sort_keys=True, indent=2)
@@ -216,6 +256,32 @@ class CostModel:
                     pair.name, other_mode, other_wall, workload=own.workload
                 )
 
+    def observe_host(self, host: str, specs_per_s: float) -> None:
+        """Fold one observed host throughput into the advisory ``hosts``
+        key (same EWMA as spec costs).
+
+        Advisory only: nothing in estimation or partitioning reads it —
+        it exists so ``telemetry-report`` and operators can compare
+        machines of an orchestrated campaign.
+        """
+        if specs_per_s <= 0:
+            return
+        entry = self._hosts.get(host)
+        if entry is None:
+            self._hosts[host] = {
+                "specs_per_s": float(specs_per_s), "samples": 1
+            }
+        else:
+            entry["specs_per_s"] = (
+                (1.0 - EWMA_ALPHA) * entry["specs_per_s"]
+                + EWMA_ALPHA * specs_per_s
+            )
+            entry["samples"] = int(entry["samples"]) + 1
+
+    def host_rates(self) -> Dict[str, Dict[str, object]]:
+        """Copy of the advisory per-host throughput observations."""
+        return {host: dict(entry) for host, entry in self._hosts.items()}
+
     def merge(self, other: "CostModel") -> None:
         """Fold another model's estimates in as observations.
 
@@ -228,6 +294,8 @@ class CostModel:
                     name, mode, entry["wall_s"],
                     workload=spec_entry.get("workload"),
                 )
+        for host, entry in other._hosts.items():
+            self.observe_host(host, entry["specs_per_s"])
 
     # ------------------------------------------------------------------
     # Estimation

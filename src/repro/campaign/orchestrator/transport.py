@@ -41,6 +41,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...analysis.reporting import dict_rows_table
+from ...telemetry import (
+    NULL_TELEMETRY,
+    ProgressTicker,
+    Telemetry,
+    merge_telemetry_files,
+)
 from ..spec import ScenarioSpec
 from .costs import CostModel
 from .hosts import KIND_LOCAL, KIND_SSH, HostSpec
@@ -434,7 +440,23 @@ class Orchestrator:
     record_costs_path:
         When set, every host records its shard's wall times
         (``--record-costs``); the per-host cost files are collected and
-        merged into this local path after the run.
+        merged into this local path after the run.  Each host's observed
+        throughput (shard specs over makespan) is folded into the file's
+        advisory ``hosts`` key — telemetry for operators, never a
+        partitioning input.
+    telemetry_dir:
+        Optional local directory receiving the :mod:`repro.telemetry`
+        sideband of the whole orchestrated run: the orchestrator's own
+        per-host launch/poll/collect spans and shard makespans
+        (``orchestrator.jsonl``), each host's campaign telemetry fetched
+        back as ``host-<name>.jsonl`` (their shards run with
+        ``--telemetry``), all merged into ``telemetry.jsonl`` at the end.
+        Wall-clock sideband only; the merged fingerprint is identical
+        with it on or off.
+    progress:
+        When True, render a live stderr ticker: specs done / total
+        (counted from the local shards' growing JSONL files), a per-host
+        state tail and an ETA.  Display only, stderr only.
     """
 
     def __init__(
@@ -450,6 +472,8 @@ class Orchestrator:
         campaign_budget_s: Optional[float] = None,
         record_costs_path: Optional[str] = None,
         poll_interval: float = 0.1,
+        telemetry_dir: Optional[str] = None,
+        progress: bool = False,
     ):
         if not hosts:
             raise ValueError("orchestrator needs at least one host")
@@ -472,6 +496,8 @@ class Orchestrator:
         self.campaign_budget_s = campaign_budget_s
         self.record_costs_path = record_costs_path
         self.poll_interval = poll_interval
+        self.telemetry_dir = telemetry_dir
+        self.progress = progress
 
     # ------------------------------------------------------------------
     def _resolve_specs(
@@ -523,6 +549,46 @@ class Orchestrator:
             return "(no log)"
         return text[-limit:]
 
+    @staticmethod
+    def _count_done_rows(path: str) -> int:
+        """Completed-spec rows (run + timeout) in a growing shard JSONL.
+
+        A cheap substring scan over the compact row encoding, used only
+        by the ``--progress`` ticker against *local* shards (a remote
+        shard's file is not visible until collected)."""
+        try:
+            with open(path) as handle:
+                return sum(
+                    1
+                    for line in handle
+                    if '"type":"run"' in line or '"type":"timeout"' in line
+                )
+        except OSError:
+            return 0
+
+    def _tick_progress(self, ticker, launched) -> None:
+        """Advance the stderr ticker from whatever is observable now.
+
+        Local shards are counted row-by-row as their files grow; a
+        remote shard only contributes once its host has exited (its
+        rows are not visible until collected)."""
+        total_done = 0
+        states = []
+        for transport, _, run in launched:
+            exited = run.returncode != -1
+            if isinstance(transport, LocalSubprocessTransport):
+                total_done += self._count_done_rows(
+                    transport.remote_path(f"shard{run.shard_index}.jsonl")
+                )
+            elif exited:
+                total_done += len(run.spec_names)
+            states.append(
+                f"{run.host.name}:" + ("done" if exited else "running")
+            )
+        while ticker.done < total_done:
+            ticker.item_done()
+        ticker.tick(detail=" ".join(states))
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -539,7 +605,12 @@ class Orchestrator:
         # ``repro.campaign.runner`` is still initializing (runner pulls
         # the budget types from this package), so the runner symbols are
         # only available at call time.
-        from ..runner import CampaignRunner, JsonlSink, merge_jsonl
+        from ..runner import (
+            MERGED_TELEMETRY,
+            CampaignRunner,
+            JsonlSink,
+            merge_jsonl,
+        )
 
         specs = self._resolve_specs(spec_names)
         names = [spec.name for spec in specs]
@@ -557,6 +628,19 @@ class Orchestrator:
             ]
         estimates = estimated_makespans(shards, model, self.paired)
 
+        telemetry = NULL_TELEMETRY
+        if self.telemetry_dir is not None:
+            os.makedirs(self.telemetry_dir, exist_ok=True)
+            telemetry = Telemetry(
+                "orchestrate",
+                path=os.path.join(self.telemetry_dir, "orchestrator.jsonl"),
+            )
+        ticker = (
+            ProgressTicker(len(specs), label="orchestrate")
+            if self.progress
+            else None
+        )
+
         launched: List[Tuple[HostTransport, object, HostRun]] = []
         #: Per-host launch timestamp: host launches are sequential (an
         #: ssh put_file can take seconds), so measuring every wall from
@@ -565,38 +649,56 @@ class Orchestrator:
         launch_times: Dict[str, float] = {}
         try:
             for index, (host, shard) in enumerate(zip(self.hosts, shards)):
-                transport = make_transport(host, self.out_dir)
-                remote_costs = None
-                if self.shard_by_cost and self.costs_path and os.path.exists(
-                    self.costs_path
+                with telemetry.span(
+                    "orchestrate.launch",
+                    host=host.name,
+                    shard=f"{index}/{count}",
                 ):
-                    remote_costs = transport.put_file(
-                        self.costs_path, "COSTS.json"
+                    transport = make_transport(host, self.out_dir)
+                    remote_costs = None
+                    if (
+                        self.shard_by_cost
+                        and self.costs_path
+                        and os.path.exists(self.costs_path)
+                    ):
+                        remote_costs = transport.put_file(
+                            self.costs_path, "COSTS.json"
+                        )
+                    jsonl_name = f"shard{index}.jsonl"
+                    cli_args = [
+                        "campaign",
+                        "--specs", ",".join(names),
+                        "--workers", str(self.workers_per_host),
+                        "--jsonl", transport.remote_path(jsonl_name),
+                    ]
+                    cli_args += self._shard_cli_args(
+                        index, count, remote_costs
                     )
-                jsonl_name = f"shard{index}.jsonl"
-                cli_args = [
-                    "campaign",
-                    "--specs", ",".join(names),
-                    "--workers", str(self.workers_per_host),
-                    "--jsonl", transport.remote_path(jsonl_name),
-                ]
-                cli_args += self._shard_cli_args(index, count, remote_costs)
-                if not self.paired:
-                    cli_args.append("--no-paired")
-                if self.spec_timeout_s is not None:
-                    cli_args += ["--spec-timeout", str(self.spec_timeout_s)]
-                if self.campaign_budget_s is not None:
-                    cli_args += [
-                        "--campaign-budget", str(self.campaign_budget_s)
-                    ]
-                if self.record_costs_path:
-                    cli_args += [
-                        "--record-costs",
-                        transport.remote_path(f"costs_{host.name}.json"),
-                    ]
-                log_path = os.path.join(self.out_dir, f"{host.name}.log")
-                handle = transport.launch(cli_args, log_path)
-                launch_times[host.name] = time.monotonic()
+                    if not self.paired:
+                        cli_args.append("--no-paired")
+                    if self.spec_timeout_s is not None:
+                        cli_args += [
+                            "--spec-timeout", str(self.spec_timeout_s)
+                        ]
+                    if self.campaign_budget_s is not None:
+                        cli_args += [
+                            "--campaign-budget", str(self.campaign_budget_s)
+                        ]
+                    if self.record_costs_path:
+                        cli_args += [
+                            "--record-costs",
+                            transport.remote_path(f"costs_{host.name}.json"),
+                        ]
+                    if self.telemetry_dir is not None:
+                        # Each host writes its own merged sideband under
+                        # its working dir; collected after the campaign.
+                        cli_args += [
+                            "--telemetry",
+                            transport.remote_path("telemetry"),
+                        ]
+                    log_path = os.path.join(self.out_dir, f"{host.name}.log")
+                    handle = transport.launch(cli_args, log_path)
+                    launch_times[host.name] = time.monotonic()
                 run = HostRun(
                     host=host,
                     shard_index=index,
@@ -615,18 +717,46 @@ class Orchestrator:
                 time.sleep(self.poll_interval)
                 still = []
                 for transport, handle, run in pending:
+                    poll_t0 = (
+                        time.monotonic() if telemetry.enabled else 0.0
+                    )
                     code = transport.poll(handle)
+                    if telemetry.enabled:
+                        telemetry.span_at(
+                            "orchestrate.poll",
+                            poll_t0,
+                            time.monotonic() - poll_t0,
+                            host=run.host.name,
+                        )
                     if code is None:
                         still.append((transport, handle, run))
-                    else:
-                        run.returncode = code
-                        run.wall_seconds = (
-                            time.monotonic() - launch_times[run.host.name]
+                        continue
+                    run.returncode = code
+                    run.wall_seconds = (
+                        time.monotonic() - launch_times[run.host.name]
+                    )
+                    if telemetry.enabled:
+                        telemetry.span_at(
+                            "orchestrate.host",
+                            launch_times[run.host.name],
+                            run.wall_seconds,
+                            host=run.host.name,
+                            shard=f"{run.shard_index}/{run.shard_count}",
+                            specs=len(run.spec_names),
                         )
+                        if run.wall_seconds > 0 and run.spec_names:
+                            telemetry.gauge(
+                                f"orchestrate.specs_per_s.{run.host.name}",
+                                len(run.spec_names) / run.wall_seconds,
+                            )
                 pending = still
+                if ticker is not None:
+                    self._tick_progress(ticker, launched)
         except BaseException:
             for transport, handle, _ in launched:
                 transport.terminate(handle)
+            if ticker is not None:
+                ticker.finish()
             raise
 
         failures = []
@@ -661,10 +791,17 @@ class Orchestrator:
 
         for transport, _, run in launched:
             try:
-                transport.fetch_file(
-                    f"shard{run.shard_index}.jsonl", run.jsonl_path
-                )
+                with telemetry.span(
+                    "orchestrate.collect", host=run.host.name
+                ):
+                    transport.fetch_file(
+                        f"shard{run.shard_index}.jsonl", run.jsonl_path
+                    )
             except OrchestratorError as exc:
+                if telemetry.enabled:
+                    telemetry.close()
+                if ticker is not None:
+                    ticker.finish()
                 raise OrchestratorError(
                     f"{exc}{suspect_log_tails()}"
                 ) from None
@@ -684,7 +821,42 @@ class Orchestrator:
                 local = os.path.join(self.out_dir, name)
                 transport.fetch_file(name, local)
                 collected.merge(CostModel.load(local))
+                if run.wall_seconds > 0 and run.spec_names:
+                    # Advisory throughput observation; the LPT
+                    # partitioner never reads it (see costs.py).
+                    collected.observe_host(
+                        run.host.name,
+                        len(run.spec_names) / run.wall_seconds,
+                    )
             collected.save(self.record_costs_path)
+
+        if self.telemetry_dir is not None:
+            host_files = []
+            for transport, _, run in launched:
+                local = os.path.join(
+                    self.telemetry_dir, f"host-{run.host.name}.jsonl"
+                )
+                try:
+                    with telemetry.span(
+                        "orchestrate.collect_telemetry", host=run.host.name
+                    ):
+                        transport.fetch_file(
+                            "telemetry/telemetry.jsonl", local
+                        )
+                    host_files.append(local)
+                except OrchestratorError:
+                    # A host that ran zero jobs (empty shard) writes no
+                    # sideband; the orchestrated rows are unaffected.
+                    telemetry.counter("orchestrate.telemetry_missing")
+            telemetry.close()
+            merge_telemetry_files(
+                [os.path.join(self.telemetry_dir, "orchestrator.jsonl")]
+                + host_files,
+                os.path.join(self.telemetry_dir, MERGED_TELEMETRY),
+                remove_sources=True,
+            )
+        if ticker is not None:
+            ticker.finish()
 
         if merged_jsonl:
             with open(merged_jsonl, "w") as stream:

@@ -78,6 +78,12 @@ from ..analysis.reporting import dict_rows_table
 from ..analysis.trace_diff import compare_spools
 from ..kernel.simulator import Simulator
 from ..kernel.tracing import SINK_KINDS, make_sink
+from ..telemetry import (
+    NULL_TELEMETRY,
+    ProgressTicker,
+    Telemetry,
+    merge_telemetry_files,
+)
 from .orchestrator.budget import (
     SCOPE_CAMPAIGN,
     RunBudget,
@@ -92,6 +98,58 @@ from .spec import MODE_REFERENCE, MODE_SMART, ScenarioSpec, spec_is_pairable
 #: Sink kind run by campaign workers unless overridden: digests stream out
 #: of the simulation without the trace ever being materialized.
 DEFAULT_TRACE_SINK = "digest"
+
+#: File name of the merged telemetry sideband inside ``--telemetry DIR``.
+MERGED_TELEMETRY = "telemetry.jsonl"
+
+#: Per-process cache of worker telemetry handles, keyed by
+#: ``(telemetry_dir, pid)``.  A pool worker reuses one appending
+#: ``worker-<pid>.jsonl`` sideband for all its jobs; keying by pid keeps a
+#: forked child from writing through an entry inherited from its parent.
+_WORKER_TELEMETRY: Dict[Tuple[str, int], Telemetry] = {}
+
+
+def _worker_telemetry(telemetry_dir: str) -> Telemetry:
+    key = (telemetry_dir, os.getpid())
+    telemetry = _WORKER_TELEMETRY.get(key)
+    if telemetry is None:
+        path = os.path.join(telemetry_dir, f"worker-{os.getpid()}.jsonl")
+        telemetry = Telemetry("campaign-worker", path=path)
+        _WORKER_TELEMETRY[key] = telemetry
+    return telemetry
+
+
+def _collect_fifo_counters(sim: Simulator, telemetry: Telemetry) -> None:
+    """Fold the per-FIFO burst routing counts of a finished run into
+    telemetry counters.
+
+    Duck-typed on the Smart FIFO counter attributes, so reference FIFOs
+    (which have no span path) contribute nothing.  The span-vs-word split
+    is the hit rate of the batch-quantum fast path; ``span_words`` over
+    ``cell_mutations`` is how many words each ring mutation moved.
+    """
+    span_writes = word_writes = span_reads = word_reads = 0
+    span_words = mutations = 0
+    for module in sim.walk_modules():
+        if not hasattr(module, "burst_span_writes"):
+            continue
+        span_writes += module.burst_span_writes
+        word_writes += module.burst_word_writes
+        span_reads += module.burst_span_reads
+        word_reads += module.burst_word_reads
+        cells = getattr(module, "_cells", None)
+        if cells is not None:
+            span_words += cells.span_words
+            mutations += cells.mutations
+    if span_writes or word_writes:
+        telemetry.counter("fifo.burst_span_writes", span_writes)
+        telemetry.counter("fifo.burst_word_writes", word_writes)
+    if span_reads or word_reads:
+        telemetry.counter("fifo.burst_span_reads", span_reads)
+        telemetry.counter("fifo.burst_word_reads", word_reads)
+    if span_words or mutations:
+        telemetry.counter("fifo.span_words", span_words)
+        telemetry.counter("fifo.cell_mutations", mutations)
 
 
 @dataclass
@@ -265,20 +323,30 @@ def combine_pair(ref: PairHalf, smart: PairHalf) -> PairRecord:
 # ---------------------------------------------------------------------------
 # Worker entry points (top-level functions: they must be picklable)
 # ---------------------------------------------------------------------------
-def _run_one(spec: ScenarioSpec, trace_sink: str = DEFAULT_TRACE_SINK):
+def _run_one(
+    spec: ScenarioSpec,
+    trace_sink: str = DEFAULT_TRACE_SINK,
+    telemetry: Telemetry = NULL_TELEMETRY,
+):
     """Build and run ``spec`` in a fresh simulator; return (sim, built, wall).
 
     ``trace_sink`` names the :mod:`repro.kernel.tracing` sink kind the
     simulation emits into (``"digest"`` on the campaign happy path, so no
-    trace record list ever exists).
+    trace record list ever exists).  ``telemetry`` is handed to the
+    simulator, so an enabled sideband gets the kernel phase spans and —
+    after the run — the per-FIFO burst routing counters; the default
+    ``NULL_TELEMETRY`` keeps the hot path at one attribute check.
     """
     sim = Simulator(f"campaign_{spec.label}", trace_sink=make_sink(trace_sink))
+    sim.telemetry = telemetry
     built = build_scenario(sim, spec)
     start = time.perf_counter()
     built.scenario.run()
     wall = time.perf_counter() - start
     if built.verify is not None:
         built.verify()
+    if telemetry.enabled:
+        _collect_fifo_counters(sim, telemetry)
     return sim, built, wall
 
 
@@ -322,9 +390,10 @@ def execute_spec(
     spec: ScenarioSpec,
     trace_sink: str = DEFAULT_TRACE_SINK,
     trace_out: Optional[str] = None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> SpecRunRecord:
     """Worker body of the single-mode campaign."""
-    sim, built, wall = _run_one(spec, trace_sink)
+    sim, built, wall = _run_one(spec, trace_sink, telemetry)
     record = _record_from(spec, sim, built, wall)
     _export_trace(sim, spec, trace_out)
     sim.trace.close()
@@ -336,6 +405,7 @@ def execute_half(
     mode: str,
     trace_sink: str = DEFAULT_TRACE_SINK,
     trace_out: Optional[str] = None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> PairHalf:
     """Worker body of one half of a split pair: run ``spec`` in ``mode``.
 
@@ -346,7 +416,7 @@ def execute_half(
     the lines would dominate the IPC payload.
     """
     mode_spec = spec.with_mode(mode)
-    sim, built, wall = _run_one(mode_spec, trace_sink)
+    sim, built, wall = _run_one(mode_spec, trace_sink, telemetry)
     record = _record_from(mode_spec, sim, built, wall)
     _export_trace(sim, mode_spec, trace_out)
     sim.trace.close()
@@ -436,14 +506,51 @@ _JOB_SINGLE = None
 def _execute_job(job):
     """Dispatch one tagged campaign job (see ``CampaignRunner._execute``).
 
-    ``job`` is ``(spec_index, half_mode, spec, trace_sink, trace_out)``;
-    the index rides along so completion-order mappers (``imap_unordered``)
+    ``job`` is ``(spec_index, half_mode, spec, trace_sink, trace_out)``,
+    optionally extended with ``(telemetry_dir, enqueued_monotonic)``; the
+    index rides along so completion-order mappers (``imap_unordered``)
     can be matched back to their spec without relying on submission order.
+
+    With a telemetry directory the worker opens (once per process) an
+    appending ``worker-<pid>.jsonl`` sideband and wraps the job in
+    queue-wait / execute / serialize spans, flushing after every job so a
+    killed worker loses at most the in-flight one.  The queue-wait span is
+    cross-process span math: ``time.monotonic`` is system-wide on Linux,
+    so the parent's enqueue stamp and this dequeue stamp share a clock.
     """
-    index, half_mode, spec, trace_sink, trace_out = job
-    if half_mode is _JOB_SINGLE:
-        return index, half_mode, execute_spec(spec, trace_sink, trace_out)
-    return index, half_mode, execute_half(spec, half_mode, trace_sink, trace_out)
+    index, half_mode, spec, trace_sink, trace_out = job[:5]
+    telemetry_dir = job[5] if len(job) > 5 else None
+    if telemetry_dir is None:
+        if half_mode is _JOB_SINGLE:
+            return index, half_mode, execute_spec(spec, trace_sink, trace_out)
+        return index, half_mode, execute_half(spec, half_mode, trace_sink, trace_out)
+    enqueued = job[6]
+    telemetry = _worker_telemetry(telemetry_dir)
+    mode = spec.mode if half_mode is _JOB_SINGLE else half_mode
+    now = time.monotonic()
+    if now > enqueued:
+        telemetry.span_at(
+            "campaign.queue_wait", enqueued, now - enqueued,
+            spec=spec.name, mode=mode,
+        )
+    with telemetry.span("campaign.execute", spec=spec.name, mode=mode):
+        if half_mode is _JOB_SINGLE:
+            outcome = execute_spec(
+                spec, trace_sink, trace_out, telemetry=telemetry
+            )
+        else:
+            outcome = execute_half(
+                spec, half_mode, trace_sink, trace_out, telemetry=telemetry
+            )
+    record = outcome if half_mode is _JOB_SINGLE else outcome.record
+    with telemetry.span("campaign.serialize", spec=spec.name, mode=mode):
+        # The canonical-row encode is the worker's share of getting the
+        # result onto the wire; the pool's own pickling cannot be timed
+        # from inside the job.
+        json.dumps(record.deterministic_row(), sort_keys=True)
+    telemetry.counter("campaign.jobs_done")
+    telemetry.flush()
+    return index, half_mode, outcome
 
 
 # ---------------------------------------------------------------------------
@@ -561,6 +668,35 @@ class JsonlSink:
         and re-executes the spec, so a fresh row (or the healed run/pair
         rows) replaces the old one."""
         self._write({"type": "timeout", **record.deterministic_row()})
+
+
+class _TimedSink:
+    """Times every JSONL sink write into the parent telemetry.
+
+    Wraps the sink only *after* any resume replay has run, so recovered
+    rows are not counted as fresh writes; the counters answer "how much
+    parent time goes into persisting rows" without touching the rows."""
+
+    def __init__(self, sink: JsonlSink, telemetry: Telemetry):
+        self._sink = sink
+        self._telemetry = telemetry
+
+    def _timed(self, method, record) -> None:
+        start = time.perf_counter()
+        method(record)
+        self._telemetry.counter(
+            "campaign.sink_write_s", time.perf_counter() - start
+        )
+        self._telemetry.counter("campaign.sink_writes")
+
+    def run_completed(self, record: SpecRunRecord) -> None:
+        self._timed(self._sink.run_completed, record)
+
+    def pair_completed(self, pair: PairRecord) -> None:
+        self._timed(self._sink.pair_completed, pair)
+
+    def timeout_completed(self, record: TimeoutRecord) -> None:
+        self._timed(self._sink.timeout_completed, record)
 
 
 def parse_jsonl_rows(lines: Iterable[str]):
@@ -1171,6 +1307,20 @@ class CampaignRunner:
         group (evenly spaced) against fresh recorded simulations; any
         divergence raises :class:`~repro.replay.ReplayError`.  ``0``
         trusts the anchor self-check.
+    telemetry_dir:
+        Optional directory receiving the :mod:`repro.telemetry` sideband:
+        the parent writes ``parent.jsonl`` (sink/recombine timing, replay
+        routing counters, the overall ``campaign.run`` span), every worker
+        process appends ``worker-<pid>.jsonl`` (queue-wait / execute /
+        serialize spans plus the kernel and FIFO counters of its runs),
+        and at the end everything is concatenated into ``telemetry.jsonl``.
+        Telemetry is wall-clock data and stays strictly out of the
+        deterministic rows — fingerprints are byte-identical with it on or
+        off.  ``None`` (the default) costs one attribute check per run.
+    progress:
+        When True, render a live single-line progress ticker on stderr
+        (specs done/total, rate, ETA — cost-weighted when ``cost_model``
+        is given).  Display only; never touches stdout or the rows.
     """
 
     def __init__(
@@ -1186,6 +1336,8 @@ class CampaignRunner:
         budget: Optional[RunBudget] = None,
         auto_replay: bool = False,
         auto_replay_validate: int = 1,
+        telemetry_dir: Optional[str] = None,
+        progress: bool = False,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -1200,8 +1352,10 @@ class CampaignRunner:
             shard = (index, count)
         if shard_by_cost and shard is None:
             raise ValueError("shard_by_cost requires a shard=(index, count)")
-        if cost_model is not None and not shard_by_cost:
-            raise ValueError("cost_model is only used with shard_by_cost")
+        if cost_model is not None and not shard_by_cost and not progress:
+            raise ValueError(
+                "cost_model is only used with shard_by_cost or progress"
+            )
         if trace_sink not in SINK_KINDS:
             raise ValueError(
                 f"trace_sink must be one of {', '.join(SINK_KINDS)}, "
@@ -1226,6 +1380,11 @@ class CampaignRunner:
         self.trace_out = trace_out
         self.auto_replay = auto_replay
         self.auto_replay_validate = auto_replay_validate
+        self.telemetry_dir = telemetry_dir
+        self.progress = progress
+        self._telemetry = NULL_TELEMETRY
+        self._ticker: Optional[ProgressTicker] = None
+        self._job_count = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -1260,6 +1419,7 @@ class CampaignRunner:
             replay_record,
         )
 
+        telemetry = self._telemetry
         groups: Dict[Tuple[object, ...], List[ScenarioSpec]] = {}
         for spec in specs:
             if self.paired and spec_is_pairable(spec):
@@ -1271,34 +1431,54 @@ class CampaignRunner:
                 continue
             anchor = members[0]
             try:
-                evaluator = ReplayEvaluator(anchor, trace_sink=self.trace_sink)
+                with telemetry.span("replay.record", spec=anchor.name):
+                    evaluator = ReplayEvaluator(
+                        anchor, trace_sink=self.trace_sink
+                    )
             except ReplayError:
                 # Poisoned recording or failed self-check: the whole group
                 # stays on the simulation path.
+                telemetry.counter("replay.poisoned_groups")
                 continue
             assert evaluator.anchor_record is not None
+            telemetry.counter("replay.groups_routed")
             routed[anchor.name] = evaluator.anchor_record
             replayed: List[Tuple[ScenarioSpec, object]] = []
             for point in members[1:]:
+                point_t0 = time.monotonic() if telemetry.enabled else 0.0
                 start = time.perf_counter()
                 try:
                     result = evaluator.replay_point(point)
-                except ReplayInvalid:
-                    continue  # outside the validity envelope: simulate it
-                routed[point.name] = replay_record(
-                    point, result, time.perf_counter() - start
-                )
+                except ReplayInvalid as exc:
+                    # Outside the validity envelope: simulate it.  The
+                    # refusal construct (a human-readable branch name) is
+                    # counted so a sweep's envelope misses are attributable.
+                    if telemetry.enabled:
+                        construct = (
+                            getattr(exc, "construct", None) or "unspecified"
+                        )
+                        telemetry.counter(f"replay.refusals.{construct}")
+                    continue
+                elapsed = time.perf_counter() - start
+                if telemetry.enabled:
+                    telemetry.span_at(
+                        "replay.point", point_t0,
+                        time.monotonic() - point_t0, spec=point.name,
+                    )
+                    telemetry.counter("replay.points_replayed")
+                routed[point.name] = replay_record(point, result, elapsed)
                 replayed.append((point, result))
             for picked in _validation_sample(
                 len(replayed), self.auto_replay_validate
             ):
                 point, result = replayed[picked]
-                fresh_spool, _ = record_spool(point, self.trace_sink)
-                fresh_result = ReplayEngine(fresh_spool).self_check()
-                diffs = compare_replay_to_spool(
-                    result, fresh_spool, fresh_result,
-                    strict=evaluator.engine.strict,
-                )
+                with telemetry.span("replay.validate", spec=point.name):
+                    fresh_spool, _ = record_spool(point, self.trace_sink)
+                    fresh_result = ReplayEngine(fresh_spool).self_check()
+                    diffs = compare_replay_to_spool(
+                        result, fresh_spool, fresh_result,
+                        strict=evaluator.engine.strict,
+                    )
                 if diffs:
                     raise ReplayError(
                         f"auto-replayed point {point.label} diverges from a "
@@ -1330,10 +1510,13 @@ class CampaignRunner:
         jobs = []
         for index, spec in enumerate(specs):
             if self.paired and spec_is_pairable(spec):
-                jobs.append((index, MODE_REFERENCE, spec, self.trace_sink, self.trace_out))
-                jobs.append((index, MODE_SMART, spec, self.trace_sink, self.trace_out))
+                jobs.append(self._job(index, MODE_REFERENCE, spec))
+                jobs.append(self._job(index, MODE_SMART, spec))
             else:
-                jobs.append((index, _JOB_SINGLE, spec, self.trace_sink, self.trace_out))
+                jobs.append(self._job(index, _JOB_SINGLE, spec))
+        self._job_count = len(jobs)
+        telemetry = self._telemetry
+        ticker = self._ticker
         runs, pairs, timeouts = [], [], []
         halves: Dict[int, Dict[str, PairHalf]] = {}
         for index, half_mode, outcome in mapper(_execute_job, jobs):
@@ -1342,11 +1525,15 @@ class CampaignRunner:
                 timeouts.append(outcome)
                 if sink is not None:
                     sink.timeout_completed(outcome)
+                if ticker is not None:
+                    ticker.item_done(spec.name, detail=f"timeout {spec.name}")
                 continue
             if half_mode is _JOB_SINGLE:
                 runs.append(outcome)
                 if sink is not None:
                     sink.run_completed(outcome)
+                if ticker is not None:
+                    ticker.item_done(spec.name, detail=spec.name)
                 continue
             half = outcome
             if half.mode == spec.mode:
@@ -1356,6 +1543,9 @@ class CampaignRunner:
             pending = halves.setdefault(index, {})
             pending[half.mode] = half
             if len(pending) == 2:
+                recombine_t0 = (
+                    time.perf_counter() if telemetry.enabled else 0.0
+                )
                 pair = combine_pair(
                     pending[MODE_REFERENCE], pending[MODE_SMART]
                 )
@@ -1368,11 +1558,46 @@ class CampaignRunner:
                     # is extras-only and the spool re-run would
                     # reintroduce the disabled trace validation.
                     pair = diff_pair_streaming(spec)
+                if telemetry.enabled:
+                    telemetry.counter(
+                        "campaign.recombine_s",
+                        time.perf_counter() - recombine_t0,
+                    )
+                    telemetry.counter("campaign.pairs_recombined")
                 pairs.append(pair)
                 if sink is not None:
                     sink.pair_completed(pair)
+                if ticker is not None:
+                    ticker.item_done(spec.name, detail=spec.name)
                 del halves[index]
         return runs, pairs, timeouts
+
+    def _job(self, index: int, half_mode: Optional[str], spec: ScenarioSpec):
+        """Build one job tuple; telemetry extends it with the sideband
+        directory and an enqueue stamp (see :func:`_execute_job`)."""
+        job = (index, half_mode, spec, self.trace_sink, self.trace_out)
+        if self.telemetry_dir is None:
+            return job
+        return job + (self.telemetry_dir, time.monotonic())
+
+    def _merge_telemetry(self) -> None:
+        """Concatenate the parent and per-worker sidebands into
+        ``telemetry.jsonl``.  Every event carries its pid, so the merge is
+        pure concatenation; the per-process source files are removed."""
+        destination = os.path.join(self.telemetry_dir, MERGED_TELEMETRY)
+        # Only the files this campaign's processes wrote — the directory
+        # may hold unrelated JSONL (e.g. the campaign rows file).
+        sources = [
+            os.path.join(self.telemetry_dir, name)
+            for name in sorted(os.listdir(self.telemetry_dir))
+            if name == "parent.jsonl"
+            or (name.startswith("worker-") and name.endswith(".jsonl"))
+        ]
+        if sources:
+            merge_telemetry_files(sources, destination, remove_sources=True)
+        # An inline (workers=1) run wrote its worker file from this very
+        # process; drop the cached handle so a later run starts fresh.
+        _WORKER_TELEMETRY.pop((self.telemetry_dir, os.getpid()), None)
 
     def _budget_mapper(self, func, jobs):
         """Completion-order mapper over killable child processes.
@@ -1470,7 +1695,26 @@ class CampaignRunner:
             ):
                 continue
             todo.append(spec)
+        telemetry = NULL_TELEMETRY
+        if self.telemetry_dir is not None:
+            os.makedirs(self.telemetry_dir, exist_ok=True)
+            telemetry = Telemetry(
+                "campaign",
+                path=os.path.join(self.telemetry_dir, "parent.jsonl"),
+            )
+        self._telemetry = telemetry
+        if self.progress:
+            costs = None
+            if self.cost_model is not None:
+                costs = {
+                    spec.name: self.cost_model.spec_cost(spec, self.paired)
+                    for spec in todo
+                }
+            self._ticker = ProgressTicker(
+                len(todo), label="campaign", costs=costs
+            )
         start = time.perf_counter()
+        start_mono = time.monotonic()
         sink_file = None
         sink = None
         try:
@@ -1498,6 +1742,12 @@ class CampaignRunner:
                     self.shard, shard_by_cost=self.shard_by_cost,
                 )
             specs = todo
+            if telemetry.enabled:
+                telemetry.gauge("campaign.workers", self.workers)
+                telemetry.gauge("campaign.specs_total", len(campaign_specs))
+                telemetry.gauge("campaign.specs_todo", len(specs))
+                if sink is not None:
+                    sink = _TimedSink(sink, telemetry)
             replay_rows: List[SpecRunRecord] = []
             if self.auto_replay and specs:
                 specs, replay_rows = self._auto_replay_pass(specs, sink=sink)
@@ -1539,7 +1789,19 @@ class CampaignRunner:
         finally:
             if sink_file is not None:
                 sink_file.close()
+            self._telemetry = NULL_TELEMETRY
+            if self._ticker is not None:
+                self._ticker.finish()
+                self._ticker = None
         wall = time.perf_counter() - start
+        if telemetry.enabled:
+            telemetry.span_at(
+                "campaign.run", start_mono, time.monotonic() - start_mono,
+                specs=len(campaign_specs), jobs=self._job_count,
+                workers=self.workers,
+            )
+            telemetry.close()
+            self._merge_telemetry()
         # Recovered rows and freshly executed rows are interchangeable
         # (runs are deterministic); keep the recovered copies so the
         # aggregate matches the persisted file exactly, and drop the

@@ -150,6 +150,7 @@ class CellRing:
         "depth",
         "busy_count",
         "mutations",
+        "span_words",
         "_data",
         "_busy",
         "_insertion",
@@ -168,6 +169,10 @@ class CellRing:
         #: Monotonic counter bumped by every span transfer; CellViews use it
         #: to detect that the slots under them were bulk-rewritten.
         self.mutations = 0
+        #: Words moved by span transfers (push_span + pop_span) — the
+        #: numerator of the span-vs-word hit rate on the telemetry
+        #: sideband (``total_written + total_read`` is the denominator).
+        self.span_words = 0
         self._data: List[Any] = [None] * depth
         self._busy = bytearray(depth)
         self._insertion = array("q", [NEVER]) * depth
@@ -272,6 +277,7 @@ class CellRing:
                 f"{self.depth - self.busy_count} free cells"
             )
         self.mutations += 1
+        self.span_words += count
         depth = self.depth
         start = self._first_free
         first = min(count, depth - start)
@@ -303,6 +309,7 @@ class CellRing:
                 f"{self.busy_count} busy cells"
             )
         self.mutations += 1
+        self.span_words += count
         depth = self.depth
         start = self._first_busy
         first = min(count, depth - start)

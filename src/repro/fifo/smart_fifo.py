@@ -126,6 +126,15 @@ class SmartFifo(Module, FifoInterface):
         #: Number of times a blocking access had to suspend the caller
         #: (i.e. context switches caused by this FIFO).
         self.blocking_waits = 0
+        #: Burst-path routing counters: spans moved as one bulk cell
+        #: transfer vs bursts forced onto the per-word fallback by an
+        #: external observer.  Deterministic (they count branch decisions
+        #: of the burst fast path), but reported only on the telemetry
+        #: sideband — never part of campaign rows.
+        self.burst_span_writes = 0
+        self.burst_word_writes = 0
+        self.burst_span_reads = 0
+        self.burst_word_reads = 0
 
         # Dependency recording (record-and-replay): picked up from the
         # simulator at construction time, None on the normal hot path.
@@ -563,6 +572,7 @@ class SmartFifo(Module, FifoInterface):
             or self._not_full_event.listener_count
             or process is None
         ):
+            self.burst_word_writes += 1
             for index in range(start, start + k):
                 self._do_write(process, manager, words[index])
                 if dates_out is not None:
@@ -572,6 +582,7 @@ class SmartFifo(Module, FifoInterface):
                         process, gap_fs if gaps is None else gaps[index]
                     )
             return k
+        self.burst_span_writes += 1
         if cells.head_free_ready_fs(k) <= local_fs:
             dates = self._span_dates(local_fs, k, gap_fs, gaps, start)
             final_fs = dates[-1] + (
@@ -620,7 +631,9 @@ class SmartFifo(Module, FifoInterface):
             return 0
         if self._always_notify_external or self._not_full_event.listener_count:
             # Word-path fallback: per-word nb_write records its own branches.
+            self.burst_word_writes += 1
             return super().nb_write_burst(words)
+        self.burst_span_writes += 1
         cells = self._cells
         scheduler = self._scheduler
         process = scheduler.current_process
@@ -897,6 +910,7 @@ class SmartFifo(Module, FifoInterface):
             or self._not_empty_event.listener_count
             or process is None
         ):
+            self.burst_word_reads += 1
             for index in range(taken, taken + k):
                 words.append(self._do_read(process, manager))
                 if dates_out is not None:
@@ -906,6 +920,7 @@ class SmartFifo(Module, FifoInterface):
                         process, gap_fs if gaps is None else gaps[index]
                     )
             return
+        self.burst_span_reads += 1
         if cells.head_busy_completion_fs(k) <= local_fs:
             dates = self._span_dates(local_fs, k, gap_fs, gaps, taken)
             final_fs = dates[-1] + (
@@ -953,7 +968,9 @@ class SmartFifo(Module, FifoInterface):
             return []
         if self._always_notify_external or self._not_empty_event.listener_count:
             # Word-path fallback: per-word nb_read records its own branches.
+            self.burst_word_reads += 1
             return super().nb_read_burst(count)
+        self.burst_span_reads += 1
         cells = self._cells
         scheduler = self._scheduler
         process = scheduler.current_process

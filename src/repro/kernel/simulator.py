@@ -33,6 +33,7 @@ from .scheduler import Scheduler
 from .simtime import SimTime, TimeUnit, as_time
 from .stats import KernelStats
 from .tracing import ListSink, TraceSink
+from ..telemetry import NULL_TELEMETRY
 
 
 class Simulator:
@@ -55,6 +56,11 @@ class Simulator:
         #: *before* building the model — FIFOs and workload modules cache it
         #: at construction, so the non-recording hot path costs one None check.
         self.dep_recorder = None
+        #: Telemetry sideband (:mod:`repro.telemetry`): phase spans and
+        #: counter deltas of :meth:`run` when enabled.  Defaults to the
+        #: shared :data:`~repro.telemetry.NULL_TELEMETRY`, gated by one
+        #: ``enabled`` attribute check — same discipline as ``trace``.
+        self.telemetry = NULL_TELEMETRY
         self._names = set()
         self._children = []
         self._elaborated = False
@@ -186,10 +192,42 @@ class Simulator:
     def run(self, until=None, unit: TimeUnit = TimeUnit.NS) -> SimTime:
         """Run the simulation (optionally until a given date) and return
         the final simulated date."""
+        if self.telemetry.enabled:
+            return self._run_instrumented(until, unit)
         self.elaborate()
         context.set_current_simulator(self)
         limit = None if until is None else as_time(until, unit)
         self.scheduler.run(limit)
+        return self.now
+
+    def _run_instrumented(self, until, unit: TimeUnit) -> SimTime:
+        """The telemetry-on twin of :meth:`run`: phase spans around
+        elaboration and scheduling, kernel counter *deltas* for this run
+        (stats are cumulative across ``run`` calls; the sideband reports
+        per-run activity)."""
+        telemetry = self.telemetry
+        before = self.stats.snapshot()
+        with telemetry.span("kernel.run", sim=self.name):
+            with telemetry.span("kernel.elaborate"):
+                self.elaborate()
+            context.set_current_simulator(self)
+            limit = None if until is None else as_time(until, unit)
+            # Hand the scheduler the telemetry so its loop variant can
+            # split wall time between delta and timed phases.
+            self.scheduler.telemetry = telemetry
+            with telemetry.span("kernel.schedule"):
+                self.scheduler.run(limit)
+        after = self.stats.snapshot()
+        for key in (
+            "context_switches",
+            "method_invocations",
+            "delta_cycles",
+            "timed_phases",
+            "event_notifications",
+        ):
+            delta = after[key] - before[key]
+            if delta:
+                telemetry.counter(f"kernel.{key}", delta)
         return self.now
 
     def stop(self) -> None:

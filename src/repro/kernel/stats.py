@@ -14,8 +14,8 @@ machine-independent explanation of the wall-clock numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 
 @dataclass
@@ -57,10 +57,30 @@ class KernelStats:
 
     def snapshot(self) -> Dict[str, int]:
         """Return a plain-dict copy of the scalar counters (no per-process map)."""
-        data = asdict(self)
-        data.pop("per_process_activations")
-        data["context_switches"] = self.thread_activations
-        return data
+        # Built directly from the scalar fields: ``asdict`` would deep-copy
+        # the whole per-process activation map only to throw it away, which
+        # is O(processes) work on what callers treat as a cheap probe.
+        return {
+            "thread_activations": self.thread_activations,
+            "method_invocations": self.method_invocations,
+            "delta_cycles": self.delta_cycles,
+            "timed_phases": self.timed_phases,
+            "event_notifications": self.event_notifications,
+            "processes_created": self.processes_created,
+            "context_switches": self.thread_activations,
+        }
+
+    def top_processes(self, n: int = 5) -> List[Tuple[str, int]]:
+        """The ``n`` most-activated processes as ``(name, activations)``.
+
+        Sorted by descending activation count, then name (deterministic
+        across runs) — the per-process breakdown behind the paper's
+        context-switch argument, printed by the case-study CLI.
+        """
+        return sorted(
+            self.per_process_activations.items(),
+            key=lambda item: (-item[1], item[0]),
+        )[:n]
 
     def diff(self, earlier: "KernelStats") -> Dict[str, int]:
         """Return scalar counters accumulated since ``earlier``."""

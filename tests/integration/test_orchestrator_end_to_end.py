@@ -110,6 +110,41 @@ class TestOrchestratedCampaign:
         assert lone.spec_names == ["bursty_s3_d4"]
 
 
+class TestOrchestratedTelemetry:
+    def test_telemetry_collects_per_host_and_per_worker_views(
+        self, tmp_path, reference_fingerprint
+    ):
+        from repro.telemetry import aggregate_telemetry, render_report
+
+        tele_dir = str(tmp_path / "tele")
+        orchestrator = Orchestrator(
+            local_hosts(2),
+            str(tmp_path / "orch"),
+            workers_per_host=2,
+            telemetry_dir=tele_dir,
+        )
+        outcome = orchestrator.run(SPEC_NAMES)
+        # Telemetry never perturbs the merged deterministic result.
+        assert outcome.fingerprint() == reference_fingerprint
+
+        # One merged sideband; per-host parts folded away.
+        assert sorted(os.listdir(tele_dir)) == ["telemetry.jsonl"]
+        aggregate = aggregate_telemetry([tele_dir])
+        host_rows = aggregate.host_rows()
+        assert [row["host"] for row in host_rows] == ["local0", "local1"]
+        for row in host_rows:
+            assert float(row["makespan_s"]) > 0
+            assert row["polls"] >= 1
+            assert float(row["specs_per_s"]) > 0
+        # Both hosts' campaign workers (2 each) appear with their pids.
+        assert len(aggregate.workers) == 4
+
+        report = render_report([tele_dir], aggregate=aggregate)
+        assert "Orchestrated hosts" in report
+        assert "Worker utilization" in report
+        assert "orchestrate.launch" in report
+
+
 class TestOrchestrateCli:
     def test_orchestrate_subcommand_end_to_end(self, capsys, tmp_path):
         out_dir = str(tmp_path / "cli-out")

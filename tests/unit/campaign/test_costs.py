@@ -193,3 +193,73 @@ class TestEstimation:
         model = CostModel()
         spec = ScenarioSpec("c", "contention", depth=4)
         assert model.spec_cost(spec, paired=True) == model.estimate(spec)
+
+
+class TestAdvisoryHostRates:
+    """The optional ``hosts`` key: observed, persisted, never estimated on."""
+
+    def test_observe_host_round_trips_through_save_load(self, tmp_path):
+        path = str(tmp_path / "COSTS.json")
+        model = CostModel()
+        model.observe("spec_a", "smart", 0.5)
+        model.observe_host("h0", 4.0)
+        model.save(path)
+        loaded = CostModel.load(path)
+        assert loaded.host_rates() == {
+            "h0": {"specs_per_s": 4.0, "samples": 1}
+        }
+        with open(path) as handle:
+            document = json.load(handle)
+        assert document["hosts"]["h0"]["samples"] == 1
+
+    def test_hosts_key_absent_when_nothing_observed(self, tmp_path):
+        # A campaign without host observations writes byte-identical
+        # COSTS.json documents before and after this feature.
+        path = str(tmp_path / "COSTS.json")
+        model = CostModel()
+        model.observe("spec_a", "smart", 0.5)
+        model.save(path)
+        with open(path) as handle:
+            assert "hosts" not in json.load(handle)
+
+    def test_observe_host_folds_with_the_ewma(self):
+        model = CostModel()
+        model.observe_host("h0", 4.0)
+        model.observe_host("h0", 8.0)
+        rates = model.host_rates()
+        assert rates["h0"]["specs_per_s"] == pytest.approx(
+            (1.0 - EWMA_ALPHA) * 4.0 + EWMA_ALPHA * 8.0
+        )
+        assert rates["h0"]["samples"] == 2
+        # Non-positive rates (zero-wall shards) are ignored, not folded.
+        model.observe_host("h0", 0.0)
+        assert model.host_rates()["h0"]["samples"] == 2
+
+    def test_merge_folds_other_models_host_rates(self):
+        ours = CostModel()
+        ours.observe_host("h0", 4.0)
+        theirs = CostModel()
+        theirs.observe_host("h0", 8.0)
+        theirs.observe_host("h1", 2.0)
+        ours.merge(theirs)
+        rates = ours.host_rates()
+        assert set(rates) == {"h0", "h1"}
+        assert rates["h0"]["specs_per_s"] == pytest.approx(6.0)
+
+    def test_estimation_and_partitioning_ignore_host_rates(self):
+        spec = ScenarioSpec("wr", "writer_reader", depth=2)
+        plain = CostModel()
+        advised = CostModel()
+        advised.observe_host("h0", 1e-9)  # a pathologically slow host
+        assert advised.estimate(spec) == plain.estimate(spec)
+        assert advised.spec_cost(spec, paired=True) == plain.spec_cost(
+            spec, paired=True
+        )
+
+    def test_host_rejects_malformed_hosts_document(self, tmp_path):
+        path = tmp_path / "COSTS.json"
+        path.write_text(
+            '{"schema": 1, "costs": {}, "hosts": {"h0": {"specs_per_s": "x"}}}'
+        )
+        with pytest.raises(ValueError, match="hosts"):
+            CostModel.load(str(path))

@@ -50,9 +50,9 @@ class TestResume:
         import repro.campaign.runner as runner_module
         original = runner_module._run_one
 
-        def spying_run_one(spec, trace_sink="digest"):
+        def spying_run_one(spec, trace_sink="digest", *args, **kwargs):
             executed.append((spec.name, spec.mode))
-            return original(spec, trace_sink)
+            return original(spec, trace_sink, *args, **kwargs)
 
         runner_module._run_one = spying_run_one
         try:
@@ -196,9 +196,9 @@ class TestShardedResume:
         import repro.campaign.runner as runner_module
         original = runner_module._run_one
 
-        def spying_run_one(spec, trace_sink="digest"):
+        def spying_run_one(spec, trace_sink="digest", *args, **kwargs):
             executed.append((spec.name, spec.mode))
-            return original(spec, trace_sink)
+            return original(spec, trace_sink, *args, **kwargs)
 
         runner_module._run_one = spying_run_one
         try:

@@ -14,7 +14,11 @@ Runs a small campaign six ways and asserts the scale-out invariant:
 6. an auto-routed conditional sweep: a branch-recording workload
    (random traffic) swept over depths through ``--auto-replay`` —
    the anchor simulates, every in-envelope point replays, and the
-   campaign fingerprint must equal a pinned constant.
+   campaign fingerprint must equal a pinned constant;
+7. the unsharded campaign again with telemetry enabled — the
+   fingerprint must still equal the pinned PR 3 constant (telemetry is
+   a sideband, never an input), and the merged ``telemetry.jsonl`` is
+   left in the out dir for CI to upload.
 
 The merged fingerprint must equal the unsharded one byte for byte — that
 is the property that makes multi-machine campaigns trustworthy.  The burst
@@ -42,6 +46,7 @@ from repro.campaign import (  # noqa: E402
     run_replay_sweep,
     sweep_point_specs,
 )
+from repro.telemetry import load_events  # noqa: E402
 
 #: A fast subset of the default campaign covering old and new workloads.
 SMOKE_SPECS = (
@@ -223,6 +228,35 @@ def main(argv=None) -> int:
     print(
         f"[smoke] OK: anchor simulated once, {auto_replayed} points replayed, "
         "fingerprint matches the PR 9 recorded value"
+    )
+
+    print("[smoke] telemetry-on run (sideband only, fingerprint pinned)...")
+    tele_dir = os.path.join(args.out_dir, "telemetry")
+    observed = CampaignRunner(
+        workers=args.workers, telemetry_dir=tele_dir
+    ).run(specs)
+    print(f"[smoke] telemetry fingerprint: {observed.fingerprint()}")
+    if observed.fingerprint() != reference.fingerprint():
+        print(
+            "FAIL: telemetry-on fingerprint differs from the telemetry-off "
+            "run (the sideband leaked into deterministic rows)",
+            file=sys.stderr,
+        )
+        return 1
+    merged_telemetry = os.path.join(tele_dir, "telemetry.jsonl")
+    events = load_events(merged_telemetry)
+    pids = {event["pid"] for event in events}
+    if len(pids) < 2:
+        print(
+            f"FAIL: merged telemetry carries {len(pids)} pid(s); expected "
+            "the parent plus its pool workers",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"[smoke] OK: fingerprint unchanged with telemetry on; "
+        f"{len(events)} events from {len(pids)} processes in "
+        f"{merged_telemetry}"
     )
     return 0
 
